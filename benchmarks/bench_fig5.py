@@ -1,0 +1,57 @@
+"""Regenerates paper Fig. 5: zero-overhead abstraction.
+
+Two parts, as documented in DESIGN.md:
+
+* modeled — the one-to-one translated kernels on the modeled K80 and
+  E5-2630v3 stay within the paper's <6 % overhead band across the size
+  sweep;
+* measured — the same algorithm as a direct host function vs through
+  the full library stack, wall clock, on this machine.
+"""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_SIZES,
+    fig5_measured_overhead_host,
+    fig5_zero_overhead,
+    write_report,
+)
+from repro.comparison import render_series
+
+
+def test_fig5_modeled(benchmark):
+    curves = benchmark(fig5_zero_overhead, DEFAULT_SIZES)
+    for name, curve in curves.items():
+        for n, speedup in curve.items():
+            # The paper's own curve dips below the 6%-band for the
+            # smallest matrices (fixed API-call cost vs tiny kernels).
+            floor = 0.94 if n >= 512 else 0.85
+            assert speedup >= floor, (name, n, speedup)
+            assert speedup <= 1.02, (name, n, speedup)
+
+    text = render_series(
+        curves,
+        "n",
+        title="Fig. 5: speedup of alpaka kernels relative to native "
+        "(paper: less than 6% overhead)",
+    )
+    print("\n" + text)
+    write_report("fig5_modeled.txt", text)
+
+
+def test_fig5_measured_host(benchmark):
+    speedup = benchmark.pedantic(
+        fig5_measured_overhead_host, rounds=3, iterations=1
+    )
+    # Generous band: a 1-core CI container jitters far more than the
+    # paper's dedicated nodes; the claim defended is "the library
+    # machinery is a small constant, not a multiple".
+    assert speedup >= 0.70, speedup
+    text = (
+        "Fig. 5 (measured half): wall-clock native/alpaka speedup on "
+        f"this host = {speedup:.3f}\n"
+        "(paper band: >= 0.94 on dedicated hardware)"
+    )
+    print("\n" + text)
+    write_report("fig5_measured.txt", text)

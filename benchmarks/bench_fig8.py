@@ -1,0 +1,45 @@
+"""Regenerates paper Fig. 8: the single-source tiling kernel.
+
+One kernel source, four configurations (element count per thread swept
+per architecture), each compared against the native implementation of
+its architecture.  Paper findings asserted: the tiling kernel competes
+with or beats native everywhere, and more elements per thread help on
+both architectures.
+"""
+
+from repro.bench import DEFAULT_SIZES, fig8_single_source_tiling, write_report
+from repro.comparison import render_series
+
+
+def test_fig8(benchmark):
+    curves = benchmark(fig8_single_source_tiling, DEFAULT_SIZES)
+
+    gpu1 = curves["Alpaka(CUDA) tiling 1 element on K80"]
+    gpu4 = curves["Alpaka(CUDA) tiling 4 elements on K80"]
+    cpu256 = curves["Alpaka(OMP2) tiling 256 elements on E5-2630v3"]
+    cpu16k = curves["Alpaka(OMP2) tiling 16k elements on E5-2630v3"]
+
+    for n in DEFAULT_SIZES:
+        # Competes with native (>= ~0.9) in every configuration...
+        for curve in (gpu1, gpu4, cpu256, cpu16k):
+            assert curve[n] >= 0.85, (n, curve[n])
+        # ...and the element level pays once both configurations
+        # saturate the device (a 128-wide tile cannot fill 16 cores at
+        # n=256 — the same reason the paper's 16k curve is erratic at
+        # small n).
+        assert gpu4[n] >= gpu1[n], n
+        if n >= 2048:
+            assert cpu16k[n] >= cpu256[n], n
+    # The best configurations actually beat native (paper: "can compete
+    # with and even outperform").
+    assert max(gpu4.values()) > 1.0
+    assert max(cpu16k.values()) > 1.0
+
+    text = render_series(
+        curves,
+        "n",
+        title="Fig. 8: single-source tiling DGEMM vs native "
+        "implementations (speedup; paper: >= 1 on both back-ends)",
+    )
+    print("\n" + text)
+    write_report("fig8.txt", text)

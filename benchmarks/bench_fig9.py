@@ -1,0 +1,40 @@
+"""Regenerates paper Fig. 9: performance portability.
+
+The same single-source tiling kernel, tuned only through its work
+division, on all five Table 3 machines, normalised to each machine's
+theoretical peak.  Paper finding: every curve sits around 20 % of peak
+— no machine an order of magnitude off.
+"""
+
+import math
+
+from repro.bench import DEFAULT_SIZES, fig9_performance_portability, write_report
+from repro.comparison import render_series
+
+
+def test_fig9(benchmark):
+    curves = benchmark(fig9_performance_portability, DEFAULT_SIZES)
+    assert len(curves) == 5
+
+    large_n = max(DEFAULT_SIZES)
+    fractions = {name: curve[large_n] for name, curve in curves.items()}
+    for name, frac in fractions.items():
+        # "around 20%": each machine lands in a band around the paper's
+        # level, nobody collapses and nobody hits peak.
+        assert 0.10 <= frac <= 0.45, (name, frac)
+    # Spread stays within ~3x across all machines (the portability
+    # claim: same kernel, same order of efficiency everywhere).
+    lo, hi = min(fractions.values()), max(fractions.values())
+    assert hi / lo <= 3.0, fractions
+    # Geometric mean lands near the paper's 20 %.
+    gmean = math.exp(sum(math.log(f) for f in fractions.values()) / 5)
+    assert 0.15 <= gmean <= 0.30, gmean
+
+    text = render_series(
+        curves,
+        "n",
+        title="Fig. 9: single-source tiling kernel, fraction of each "
+        "machine's theoretical peak (paper: all around 0.20)",
+    )
+    print("\n" + text)
+    write_report("fig9.txt", text)

@@ -1,0 +1,115 @@
+"""Paper Sec. 5 (future work): additional architectures.
+
+The paper's conclusion names Intel Xeon Phi as the next target, and its
+Fig. 3 already sketches two MIC mappings (one block per core, and one
+block spanning cores for more shared memory).  This bench extends the
+Fig. 9 portability experiment to a modeled Xeon Phi 5110P using exactly
+those mappings — no kernel change, only the work division and the
+machine model.
+"""
+
+from repro.acc import AccCpuOmp2Blocks, AccCpuOmp2Threads
+from repro.bench import write_report
+from repro.comparison import render_table
+from repro.hardware import machine
+from repro.kernels import GemmTilingKernel, gemm_workdiv_tiling
+from repro.perfmodel import predict_time
+
+
+def _mic_rows(n=4096):
+    phi = machine("intel-xeon-phi-5110p")
+    rows = []
+    # Fig. 3 mapping 1: one block per core, element level feeds the
+    # 8-wide vector units (Table 2 "MIC OpenMP block" row).
+    wd = gemm_workdiv_tiling(n, 1, 128)
+    p = predict_time(
+        phi, "cpu", wd, GemmTilingKernel().characteristics(wd, n), "blocks"
+    )
+    rows.append(
+        {
+            "Mapping": "block per core (OpenMP block)",
+            "Work division": f"{wd.block_count} blocks x 1 thread x 16k elems",
+            "GFLOPS": round(p.gflops, 1),
+            "Fraction of peak": round(p.fraction_of_peak, 3),
+        }
+    )
+    # Fig. 3 mapping 2: a block spans a core's 4 hardware threads
+    # (Table 2 "MIC OpenMP thread" row).
+    wd2 = gemm_workdiv_tiling(n, 2, 32)
+    p2 = predict_time(
+        phi, "cpu", wd2, GemmTilingKernel().characteristics(wd2, n), "threads"
+    )
+    rows.append(
+        {
+            "Mapping": "block spans hardware threads (OpenMP thread)",
+            "Work division": f"{wd2.block_count} blocks x 4 threads x 1k elems",
+            "GFLOPS": round(p2.gflops, 1),
+            "Fraction of peak": round(p2.fraction_of_peak, 3),
+        }
+    )
+    return rows
+
+
+def test_future_work_xeon_phi_modeled(benchmark):
+    rows = benchmark(_mic_rows)
+    block_frac = rows[0]["Fraction of peak"]
+    # The portability claim extends: the MIC lands in the same
+    # ~20%-of-peak band as the five Table 3 machines.
+    assert 0.1 <= block_frac <= 0.45, rows
+
+    text = render_table(
+        rows,
+        "Future work (paper Sec. 5): single-source tiling DGEMM on a "
+        "modeled Xeon Phi 5110P (1011 GFLOPS peak)",
+    )
+    print("\n" + text)
+    write_report("future_work_mic.txt", text)
+
+
+def test_future_work_xeon_phi_functional(benchmark):
+    """The same kernel actually runs under both MIC mappings, and
+    through the simulated OpenMP-4 target-offload back-end (both pieces
+    of the paper's future-work sentence in one test)."""
+    import numpy as np
+
+    from repro import (
+        AccOmp4TargetSim,
+        QueueBlocking,
+        create_task_kernel,
+        get_dev_by_idx,
+        mem,
+    )
+    from repro.kernels import dgemm_reference
+
+    def run():
+        n = 16
+        rng = np.random.default_rng(0)
+        A, B, C = rng.random((3, n, n))
+        expected = dgemm_reference(1.0, A, B, 0.0, C)
+        for acc, bt, v in (
+            # Fig. 3 mapping 1/2 through the host back-ends...
+            (AccCpuOmp2Blocks.for_machine("intel-xeon-phi-5110p"), 1, 8),
+            (AccCpuOmp2Threads.for_machine("intel-xeon-phi-5110p"), 2, 4),
+            # ...and through the offloading back-end proper (isolated
+            # device data environment, teams x threads execution).
+            (AccOmp4TargetSim, 2, 4),
+        ):
+            dev = get_dev_by_idx(acc, 0)
+            q = QueueBlocking(dev)
+            bufs = []
+            for h in (A, B, C):
+                b = mem.alloc(dev, (n, n))
+                mem.copy(q, b, h)
+                bufs.append(b)
+            q.enqueue(
+                create_task_kernel(
+                    acc, gemm_workdiv_tiling(n, bt, v), GemmTilingKernel(),
+                    n, 1.0, bufs[0], bufs[1], 0.0, bufs[2],
+                )
+            )
+            out = np.empty((n, n))
+            mem.copy(q, out, bufs[2])
+            assert np.allclose(out, expected), acc.name
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,136 @@
+"""Wall-clock micro-benchmarks of the kernel library on the host.
+
+Not a paper figure — the working set a performance-curious user runs
+first.  Each benchmark executes the full library path (buffers, queue,
+work division, OpenMP-block back-end) and verifies its result, so these
+double as timed integration tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuOmp2Blocks,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import (
+    AxpyElementsKernel,
+    DotKernel,
+    GemmTilingKernel,
+    HistogramKernel,
+    Jacobi2DKernel,
+    dgemm_reference,
+    gemm_workdiv_tiling,
+    histogram_reference,
+    jacobi_reference_step,
+    scan_exclusive,
+    scan_reference,
+)
+
+ACC = AccCpuOmp2Blocks
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return get_dev_by_idx(ACC, 0)
+
+
+@pytest.fixture(scope="module")
+def queue(dev):
+    return QueueBlocking(dev)
+
+
+def test_axpy_1m(benchmark, dev, queue, rng):
+    n = 1 << 20
+    x = mem.alloc(dev, n)
+    y = mem.alloc(dev, n)
+    x_h = rng.random(n)
+    mem.copy(queue, x, x_h)
+    mem.memset(queue, y, 1.0)
+    wd = WorkDivMembers.make(n // 8192, 1, 8192)
+    task = create_task_kernel(ACC, wd, AxpyElementsKernel(), n, 2.0, x, y)
+    benchmark(lambda: queue.enqueue(task))
+    assert np.isfinite(y.as_numpy()).all()
+
+
+def test_dot_1m(benchmark, dev, queue, rng):
+    n = 1 << 20
+    x = mem.alloc(dev, n)
+    out = mem.alloc(dev, 1)
+    x_h = rng.random(n)
+    mem.copy(queue, x, x_h)
+    wd = WorkDivMembers.make(n // 16384, 1, 16384)
+
+    def run():
+        mem.memset(queue, out, 0.0)
+        queue.enqueue(create_task_kernel(ACC, wd, DotKernel(), n, x, x, out))
+
+    benchmark(run)
+    assert out.as_numpy()[0] == pytest.approx(float(x_h @ x_h), rel=1e-9)
+
+
+def test_gemm_tiling_128(benchmark, dev, queue, rng):
+    n = 128
+    A, B, C = (rng.random((n, n)) for _ in range(3))
+    bufs = []
+    for h in (A, B, C):
+        b = mem.alloc(dev, (n, n))
+        mem.copy(queue, b, h)
+        bufs.append(b)
+    wd = gemm_workdiv_tiling(n, 1, 32)
+    task = create_task_kernel(
+        ACC, wd, GemmTilingKernel(), n, 1.0, bufs[0], bufs[1], 0.0, bufs[2]
+    )
+    benchmark(lambda: queue.enqueue(task))
+    np.testing.assert_allclose(
+        bufs[2].as_numpy(), dgemm_reference(1.0, A, B, 0.0, C), rtol=1e-10
+    )
+
+
+def test_jacobi_256(benchmark, dev, queue, rng):
+    h = w = 256
+    g = rng.random((h, w))
+    src = mem.alloc(dev, (h, w))
+    dst = mem.alloc(dev, (h, w))
+    mem.copy(queue, src, g)
+    from repro import Vec
+
+    elems = Vec(16, 32)
+    wd = WorkDivMembers.make(Vec(h, w).ceil_div(elems), Vec(1, 1), elems)
+    task = create_task_kernel(ACC, wd, Jacobi2DKernel(), h, w, 0.2, src, dst)
+    benchmark(lambda: queue.enqueue(task))
+    np.testing.assert_allclose(dst.as_numpy(), jacobi_reference_step(g, 0.2))
+
+
+def test_scan_64k(benchmark, dev, queue, rng):
+    n = 1 << 16
+    x_h = rng.random(n)
+    x = mem.alloc(dev, n)
+    out = mem.alloc(dev, n)
+    mem.copy(queue, x, x_h)
+    benchmark(lambda: scan_exclusive(ACC, queue, x, out, n, chunk=1024))
+    np.testing.assert_allclose(out.as_numpy(), scan_reference(x_h), rtol=1e-10)
+
+
+def test_histogram_256k(benchmark, dev, queue, rng):
+    n = 1 << 18
+    x_h = rng.random(n) * 0.999
+    x = mem.alloc(dev, n)
+    hist = mem.alloc(dev, 64)
+    mem.copy(queue, x, x_h)
+    wd = WorkDivMembers.make(16, 1, n // 16)
+
+    def run():
+        mem.memset(queue, hist, 0.0)
+        queue.enqueue(
+            create_task_kernel(ACC, wd, HistogramKernel(), n, 0.0, 1.0, 64, x, hist)
+        )
+
+    benchmark(run)
+    np.testing.assert_array_equal(
+        hist.as_numpy(), histogram_reference(x_h, 64, 0.0, 1.0)
+    )

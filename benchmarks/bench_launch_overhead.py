@@ -1,0 +1,65 @@
+"""Extension: per-launch library overhead, measured per back-end.
+
+The paper attributes part of its <6 % overhead to "a small number of
+additional CUDA runtime calls" per launch.  This bench measures *this*
+library's per-launch cost (empty kernel, one-thread grid) on every
+back-end — the quantity an adopter budgeting many small launches needs.
+"""
+
+import pytest
+
+from repro import (
+    QueueBlocking,
+    WorkDivMembers,
+    accelerator,
+    accelerator_names,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+)
+from repro.bench import measure_wall, write_report
+from repro.comparison import render_table
+
+
+@fn_acc
+def _empty(acc):
+    pass
+
+
+def _launch_cost(acc_name):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    queue = QueueBlocking(dev)
+    task = create_task_kernel(acc, WorkDivMembers.make(1, 1, 1), _empty)
+
+    def launch():
+        for _ in range(100):
+            queue.enqueue(task)
+
+    return measure_wall(launch, repeat=3) / 100
+
+
+def test_launch_overhead(benchmark):
+    def run():
+        return {name: _launch_cost(name) for name in accelerator_names()}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"Back-end": name, "per-launch [us]": f"{t * 1e6:8.1f}"}
+        for name, t in sorted(costs.items(), key=lambda kv: kv[1])
+    ]
+    text = render_table(
+        rows, "Extension: measured per-launch overhead (empty kernel)"
+    )
+    print("\n" + text)
+    write_report("launch_overhead.txt", text)
+
+    # Sanity bands (generous: 1-core CI container): the single-threaded
+    # back-ends launch in tens of microseconds; thread-spawning
+    # back-ends stay under ~10 ms per launch.
+    assert costs["AccCpuSerial"] < 2e-3, costs
+    for name, t in costs.items():
+        assert t < 2e-2, (name, t)
+    # Serial launches are not slower than thread-spawning ones.
+    assert costs["AccCpuSerial"] <= costs["AccCpuThreads"] * 3

@@ -1,0 +1,38 @@
+"""Regenerates paper Table 1: the framework property matrix.
+
+The matrix is data plus an executable re-derivation of the Alpaka row;
+the benchmark times the re-derivation (it runs a kernel on every
+registered back-end, so it doubles as a cross-back-end latency probe).
+"""
+
+from repro.comparison import (
+    Property,
+    Rating,
+    TABLE1,
+    evaluate_alpaka,
+    render_table,
+    table1_rows,
+)
+from repro.bench import write_report
+
+
+def test_table1(benchmark):
+    results = benchmark(evaluate_alpaka)
+    # The executable checks must agree with the published row.
+    alpaka_row = next(fw for fw in TABLE1 if fw.name == "Alpaka")
+    for prop, (rating, evidence) in results.items():
+        assert rating == alpaka_row.rating(prop), (prop, evidence)
+
+    text = render_table(
+        table1_rows(),
+        "Table 1: framework properties (+: yes, ~: partial, -: no)",
+    )
+    evidence_rows = [
+        {"Property": p.value, "Rating": r.symbol, "Evidence": e}
+        for p, (r, e) in results.items()
+    ]
+    text += "\n\n" + render_table(
+        evidence_rows, "Alpaka row re-derived from executable checks"
+    )
+    print("\n" + text)
+    write_report("table1.txt", text)

@@ -1,0 +1,42 @@
+"""Regenerates paper Table 2: predefined accelerator work divisions.
+
+Checks the symbolic mappings (thread-level vs block-level strategies)
+and benchmarks the automatic work divider over a sweep of problem sizes.
+"""
+
+from repro.bench import table2_rows, write_report
+from repro.comparison import render_table
+from repro.core import MappingStrategy, divide_work
+from repro.acc import all_accelerators
+
+
+def _sweep_divide_work():
+    rows = []
+    for acc in all_accelerators():
+        dev = acc.platform().get_dev_by_idx(0)
+        props = acc.get_acc_dev_props(dev)
+        for n in (1000, 4096, 65536, 1 << 20):
+            wd = divide_work(n, props, acc.mapping_strategy, thread_elems=4)
+            rows.append((acc.name, n, wd))
+    return rows
+
+
+def test_table2(benchmark):
+    sweep = benchmark(_sweep_divide_work)
+    # Every produced division covers its problem extent.
+    for name, n, wd in sweep:
+        assert wd.grid_elem_extent[0] >= n, (name, n, wd)
+
+    rows = table2_rows()
+    # Paper Table 2 structure: block-level rows pin one thread/block.
+    by_name = {r["Acc"]: r for r in rows}
+    assert by_name["AccGpuCudaSim"]["Block"] == "N/(B*V)"
+    assert by_name["AccCpuOmp2Blocks"]["Thread"] == "1"
+    assert by_name["AccCpuSerial"]["Thread"] == "1"
+    assert by_name["AccCpuOmp2Threads"]["Thread"] == "B"
+
+    text = render_table(
+        rows, "Table 2: predefined accelerators (N=problem, B=threads, V=elements)"
+    )
+    print("\n" + text)
+    write_report("table2.txt", text)

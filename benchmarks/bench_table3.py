@@ -1,0 +1,37 @@
+"""Regenerates paper Table 3: the evaluation hardware.
+
+The registry's machine models carry the paper's published counts,
+clocks and peaks; the bench prints the table transposed like the paper
+and cross-checks each peak against a first-principles recomputation.
+"""
+
+from repro.bench import table3_rows, write_report
+from repro.comparison import render_table
+from repro.hardware import TABLE3_KEYS, machine
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3_rows)
+    assert len(rows) == 5
+
+    # Paper values, verbatim.
+    peaks = {r["Architecture"]: r["Th. double peak performance"] for r in rows}
+    assert peaks["Opteron 6276"] == "480 GFLOPS"
+    assert peaks["Xeon E5-2609"] == "150 GFLOPS"
+    assert peaks["Xeon E5-2630v3"] == "540 GFLOPS"
+    assert peaks["K20 GK110"] == "1170 GFLOPS"
+    assert peaks["K80 GK210"] == "2x1450 GFLOPS"
+
+    # Cross-check: peak is within 2x of cores*clock*SIMD-style product
+    # (the implied flops/cycle/core stays physically plausible).
+    for key in TABLE3_KEYS:
+        spec = machine(key)
+        fpc = spec.flops_per_cycle_per_core
+        if spec.kind == "cpu":
+            assert 1.0 <= fpc <= 32.0, (key, fpc)
+        else:
+            assert 0.25 <= fpc <= 4.0, (key, fpc)  # per CUDA core
+
+    text = render_table(rows, "Table 3: evaluation hardware (one row per machine)")
+    print("\n" + text)
+    write_report("table3.txt", text)

@@ -1,0 +1,9 @@
+"""Fixtures for the benchmark suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,72 @@
+"""Heat diffusion on a 2-d plate — the n-dimensional side of the model.
+
+Demonstrates 2-d work divisions and element boxes, double buffering
+through two device buffers, and queue-ordered time stepping.  A hot
+spot diffuses across a cold plate; the script reports the temperature
+profile and verifies against a pure-numpy reference.
+
+Run:  python examples/heat_equation.py [backend-name] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    QueueBlocking,
+    Vec,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    enqueue,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import Jacobi2DKernel, jacobi_reference_step
+
+
+def simulate(acc_name: str, h: int = 96, w: int = 128, steps: int = 50) -> None:
+    Acc = accelerator(acc_name)
+    dev = get_dev_by_idx(Acc, 0)
+    queue = QueueBlocking(dev)
+
+    # Initial condition: cold plate, hot square in the middle.
+    plate = np.zeros((h, w))
+    plate[h // 3 : 2 * h // 3, w // 3 : 2 * w // 3] = 100.0
+
+    src = mem.alloc(dev, (h, w))
+    dst = mem.alloc(dev, (h, w))
+    mem.copy(queue, src, plate)
+
+    # 2-d division: blocks of one thread owning 8x16 element boxes
+    # (block-level mapping works on every back-end).
+    elems = Vec(8, 16)
+    blocks = Vec(h, w).ceil_div(elems)
+    work_div = WorkDivMembers.make(blocks, Vec(1, 1), elems)
+
+    kernel = Jacobi2DKernel()
+    c = 0.2
+    for _ in range(steps):
+        enqueue(queue, create_task_kernel(Acc, work_div, kernel, h, w, c, src, dst))
+        src, dst = dst, src  # double buffering: swap the roles
+
+    result = np.empty((h, w))
+    mem.copy(queue, result, src)
+
+    reference = plate
+    for _ in range(steps):
+        reference = jacobi_reference_step(reference, c)
+
+    err = np.abs(result - reference).max()
+    assert err < 1e-9, err
+    print(
+        f"{acc_name}: {steps} steps on {h}x{w} plate  "
+        f"T(center)={result[h // 2, w // 2]:7.3f}  "
+        f"T(max)={result.max():7.3f}  max|err|={err:.2e}"
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "AccCpuOmp2Blocks"
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 50
+    simulate(name, steps=steps)

@@ -1,0 +1,7 @@
+"""Shim for environments whose setuptools predates PEP 660 editable
+installs (offline CI containers).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

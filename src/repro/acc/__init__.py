@@ -1,0 +1,42 @@
+"""Accelerator back-ends: the mappings of the abstract hierarchy to
+execution strategies (paper Sec. 3.3, Table 2)."""
+
+from .base import Accelerator, AcceleratorType, BlockContext, GridContext
+from .cpu import (
+    AccCpu,
+    AccCpuFibers,
+    AccCpuOmp2Blocks,
+    AccCpuOmp2Threads,
+    AccCpuSerial,
+    AccCpuThreads,
+)
+from .cuda_sim import AccGpuCudaSim
+from .omp_target import AccOmp4TargetSim, PlatformOmpTarget
+from .registry import (
+    accelerator,
+    accelerator_names,
+    all_accelerators,
+    cpu_accelerators,
+    sync_capable_accelerators,
+)
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorType",
+    "BlockContext",
+    "GridContext",
+    "AccCpu",
+    "AccCpuSerial",
+    "AccCpuOmp2Blocks",
+    "AccCpuOmp2Threads",
+    "AccCpuThreads",
+    "AccCpuFibers",
+    "AccGpuCudaSim",
+    "AccOmp4TargetSim",
+    "PlatformOmpTarget",
+    "accelerator",
+    "accelerator_names",
+    "all_accelerators",
+    "cpu_accelerators",
+    "sync_capable_accelerators",
+]

@@ -1,0 +1,87 @@
+"""Simulated CUDA back-end (``AccGpuCudaSim``).
+
+The reproduction's stand-in for ``AccGpuCudaRt`` (see DESIGN.md
+substitution table).  What is *real* about it:
+
+* the offloading model — its devices' memory is isolated from the host;
+  data moves only through explicit ``mem.copy`` tasks,
+* block/thread execution with a true ``__syncthreads`` barrier and
+  block shared memory, atomics, per-thread RNG,
+* CUDA-shaped device limits (1024 threads/block, 48 KiB shared memory,
+  warp size 32, per-axis grid limits),
+
+and what is *modeled*: execution time, via the hierarchical roofline
+(:mod:`repro.perfmodel`), accumulated on the device's simulated clock
+when the kernel describes its characteristics.
+
+Functional execution cost on the host grows with the real thread count,
+so correctness tests use small extents; figures use the model (that
+split is the point of the substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.properties import AccDevProps
+from ..core.vec import Vec
+from ..core.workdiv import MappingStrategy
+from ..dev.device import Device
+from ..dev.platform import PlatformCudaSim
+from .base import AcceleratorType
+from .engine import run_block_preemptive, run_grid
+from .timing import advance_modeled_time
+
+__all__ = ["AccGpuCudaSim"]
+
+
+class AccGpuCudaSim(AcceleratorType):
+    """CUDA-style accelerator on a simulated GPU device."""
+
+    name = "AccGpuCudaSim"
+    kind = "gpu"
+    mapping_strategy = MappingStrategy.THREAD_LEVEL
+    supports_block_sync = True
+    parallel_scope = "both"
+    machine_key: str = "nvidia-k80"
+    _machine_variants: Dict[str, Type["AccGpuCudaSim"]] = {}
+
+    @classmethod
+    def platform(cls) -> PlatformCudaSim:
+        return PlatformCudaSim(cls.machine_key)
+
+    @classmethod
+    def get_acc_dev_props(cls, dev: Device) -> AccDevProps:
+        spec = dev.spec
+        return AccDevProps(
+            multi_processor_count=spec.sm_count,
+            # CUDA per-axis grid limits (z, y, x order: component 0 is
+            # the slowest dimension).
+            grid_block_extent_max=Vec(65535, 65535, (1 << 31) - 1),
+            block_thread_extent_max=Vec(64, 1024, 1024),
+            thread_elem_extent_max=Vec.all(3, 1 << 30),
+            block_thread_count_max=spec.max_threads_per_block,
+            shared_mem_size_bytes=spec.shared_mem_per_block_bytes,
+            warp_size=spec.warp_size,
+            global_mem_size_bytes=spec.global_mem_bytes,
+        )
+
+    @classmethod
+    def execute(cls, task, device: Device) -> None:
+        props = cls.get_acc_dev_props(device)
+        run_grid(task, device, props, run_block_preemptive, parallel_blocks=False)
+        advance_modeled_time(task, device, cls.kind)
+
+    @classmethod
+    def for_machine(cls, machine_key: str) -> Type["AccGpuCudaSim"]:
+        """Variant targeting another modeled GPU (e.g. ``nvidia-k20``)."""
+        cache_key = f"{cls.__name__}@{machine_key}"
+        variant = cls._machine_variants.get(cache_key)
+        if variant is None:
+            variant = type(
+                cache_key.replace("-", "_").replace("@", "_on_"),
+                (cls,),
+                {"machine_key": machine_key, "name": cache_key},
+            )
+            cls._machine_variants[cache_key] = variant
+        return variant

@@ -1,0 +1,328 @@
+"""Grid execution engines shared by the back-ends.
+
+A back-end is the composition of two choices (paper Sec. 3.3's mapping):
+
+* how *blocks* of the grid are scheduled (sequentially, or across a
+  worker pool — the OpenMP-block strategy), and
+* how *threads inside a block* are executed:
+
+  - :func:`run_block_single_thread` — the block has exactly one thread
+    (serial / OpenMP-block back-ends; the element level carries SIMD),
+  - :func:`run_block_preemptive` — one OS thread per block thread with a
+    real barrier (C++11-threads, OpenMP-thread, CUDA-sim back-ends),
+  - :func:`run_block_cooperative` — fibers: block threads share one core
+    and yield to each other only at synchronisation points
+    (boost::fibers back-end).  Execution is deterministic round-robin,
+    which makes it the back-end of choice for debugging race-like
+    behaviour — same as in alpaka.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..core.errors import KernelError, SharedMemError
+from ..core.vec import Vec
+from ..core.workdiv import validate_work_div
+from ..dev.device import Device
+from ..mem.buf import Buffer
+from ..mem.view import ViewSubView
+from .base import Accelerator, BlockContext, GridContext
+
+__all__ = [
+    "unwrap_args",
+    "iter_indices",
+    "run_block_single_thread",
+    "run_block_preemptive",
+    "run_block_cooperative",
+    "run_grid",
+]
+
+#: Upper bound on concurrently scheduled block workers; beyond this the
+#: host's thread-creation overhead dominates any concurrency benefit.
+MAX_BLOCK_WORKERS = 16
+
+_block_pool: Optional[ThreadPoolExecutor] = None
+_block_pool_lock = threading.Lock()
+
+
+def _shared_block_pool() -> ThreadPoolExecutor:
+    """The persistent block-worker pool.
+
+    OpenMP runtimes keep their worker threads alive between parallel
+    regions; re-creating a pool per kernel launch would charge thread
+    start-up to every launch and show up as (false) abstraction overhead
+    in the Fig. 5 measurement.  Sized to the host, shared by all
+    OpenMP-block launches, torn down with the process.
+    """
+    global _block_pool
+    with _block_pool_lock:
+        if _block_pool is None:
+            import os
+
+            workers = min(MAX_BLOCK_WORKERS, max(2, os.cpu_count() or 1))
+            _block_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="alpaka-omp"
+            )
+        return _block_pool
+
+
+def unwrap_args(args: Tuple, device: Device) -> Tuple:
+    """Turn host-side kernel arguments into device-side ones.
+
+    Buffers become their numpy arrays after a residency check (the
+    moral equivalent of passing the device pointer); everything else
+    passes through untouched — alpaka kernels take arguments by value.
+    """
+    return tuple(
+        a.kernel_array(device) if isinstance(a, (Buffer, ViewSubView)) else a
+        for a in args
+    )
+
+
+def iter_indices(extent: Vec) -> Iterator[Vec]:
+    """All n-dim indices inside ``extent``, C order."""
+    for tup in itertools.product(*(range(e) for e in extent)):
+        yield Vec(*tup)
+
+
+# ---------------------------------------------------------------------------
+# Block runners
+# ---------------------------------------------------------------------------
+
+
+def run_block_single_thread(
+    grid: GridContext, block_idx: Vec, kernel: Callable, args: Tuple
+) -> None:
+    """Execute a one-thread block in the calling thread."""
+    block = BlockContext(grid, block_idx, sync=None)
+    acc = Accelerator(grid, block, Vec.zeros(grid.work_div.dim))
+    kernel(acc, *args)
+
+
+def run_block_preemptive(
+    grid: GridContext, block_idx: Vec, kernel: Callable, args: Tuple
+) -> None:
+    """Execute a block with one OS thread per block thread.
+
+    ``sync_block_threads`` maps to a :class:`threading.Barrier` across
+    the block.  The first kernel exception aborts the barrier (so no
+    sibling deadlocks) and is re-raised to the block scheduler.
+    """
+    wd = grid.work_div
+    n = wd.block_thread_count
+    if n == 1:
+        run_block_single_thread(grid, block_idx, kernel, args)
+        return
+
+    barrier = threading.Barrier(n)
+    block = BlockContext(grid, block_idx, sync=barrier.wait)
+    errors: list = []
+    err_lock = threading.Lock()
+
+    def body(thread_idx: Vec) -> None:
+        acc = Accelerator(grid, block, thread_idx)
+        try:
+            kernel(acc, *args)
+        except threading.BrokenBarrierError:
+            pass  # a sibling failed; silently unwind
+        except BaseException as exc:  # noqa: BLE001 - reported by scheduler
+            with err_lock:
+                errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=body, args=(tidx,), daemon=True)
+        for tidx in iter_indices(wd.block_thread_extent)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class _FiberScheduler:
+    """Cooperative round-robin scheduler for one block's fibers.
+
+    Exactly one fiber runs at any time; control transfers only at
+    barriers and fiber completion, giving deterministic interleaving.
+    """
+
+    READY, BARRIER, DONE = range(3)
+
+    def __init__(self, n: int):
+        self.n = n
+        self.cv = threading.Condition()
+        self.state = [self.READY] * n
+        self.current = 0
+        self._ident_to_fiber: dict = {}
+
+    # -- identity ---------------------------------------------------------
+
+    def register(self, fiber_id: int) -> None:
+        with self.cv:
+            self._ident_to_fiber[threading.get_ident()] = fiber_id
+
+    def my_id(self) -> int:
+        try:
+            return self._ident_to_fiber[threading.get_ident()]
+        except KeyError:
+            raise KernelError(
+                "sync_block_threads called from outside a fiber"
+            ) from None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _next_ready_locked(self, after: int) -> Optional[int]:
+        for k in range(1, self.n + 1):
+            j = (after + k) % self.n
+            if self.state[j] == self.READY:
+                return j
+        return None
+
+    def _release_barrier_locked(self) -> None:
+        for j, s in enumerate(self.state):
+            if s == self.BARRIER:
+                self.state[j] = self.READY
+
+    def wait_turn(self, i: int) -> None:
+        with self.cv:
+            while not (self.current == i and self.state[i] == self.READY):
+                self.cv.wait()
+
+    def barrier_wait(self) -> None:
+        i = self.my_id()
+        with self.cv:
+            self.state[i] = self.BARRIER
+            nxt = self._next_ready_locked(i)
+            if nxt is None:
+                # Everyone else is at the barrier or done: generation
+                # complete; this fiber continues.
+                self._release_barrier_locked()
+                self.current = i
+                return
+            self.current = nxt
+            self.cv.notify_all()
+            while not (self.current == i and self.state[i] == self.READY):
+                self.cv.wait()
+
+    def finish(self, i: int) -> None:
+        with self.cv:
+            self.state[i] = self.DONE
+            nxt = self._next_ready_locked(i)
+            if nxt is None:
+                # Remaining fibers (if any) all sit at a barrier while
+                # this one exited — divergent sync, undefined on CUDA;
+                # release them so the block terminates.
+                self._release_barrier_locked()
+                nxt = self._next_ready_locked(i)
+            if nxt is not None:
+                self.current = nxt
+            self.cv.notify_all()
+
+
+def run_block_cooperative(
+    grid: GridContext, block_idx: Vec, kernel: Callable, args: Tuple
+) -> None:
+    """Execute a block as cooperatively scheduled fibers (one at a time)."""
+    wd = grid.work_div
+    n = wd.block_thread_count
+    if n == 1:
+        run_block_single_thread(grid, block_idx, kernel, args)
+        return
+
+    sched = _FiberScheduler(n)
+    block = BlockContext(grid, block_idx, sync=sched.barrier_wait)
+    errors: list = []
+
+    def body(fiber_id: int, thread_idx: Vec) -> None:
+        sched.register(fiber_id)
+        sched.wait_turn(fiber_id)
+        acc = Accelerator(grid, block, thread_idx)
+        try:
+            kernel(acc, *args)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            sched.finish(fiber_id)
+
+    fibers = [
+        threading.Thread(target=body, args=(fid, tidx), daemon=True)
+        for fid, tidx in enumerate(iter_indices(wd.block_thread_extent))
+    ]
+    for f in fibers:
+        f.start()
+    for f in fibers:
+        f.join()
+    if errors:
+        raise errors[0]
+
+
+# ---------------------------------------------------------------------------
+# Grid scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_grid(
+    task,
+    device: Device,
+    props,
+    block_runner: Callable[[GridContext, Vec, Callable, Tuple], None],
+    *,
+    parallel_blocks: bool = False,
+) -> None:
+    """Run every block of ``task``'s grid on ``device``.
+
+    ``parallel_blocks`` schedules blocks over a worker pool (the
+    OpenMP-block strategy); otherwise blocks run sequentially in the
+    caller — grids are independent of each other and blocks within a
+    grid are independent by the model's contract (paper Sec. 3.2.2), so
+    either order is legal.
+    """
+    wd = task.work_div
+    validate_work_div(wd, props)
+    shared_dyn = getattr(task, "shared_mem_bytes", 0)
+    if shared_dyn > props.shared_mem_size_bytes:
+        raise SharedMemError(
+            f"dynamic shared memory request of {shared_dyn} B exceeds the "
+            f"device limit of {props.shared_mem_size_bytes} B"
+        )
+    grid = GridContext(
+        device,
+        wd,
+        props.for_dim(wd.dim),
+        unwrap_args(task.args, device),
+        shared_mem_bytes=shared_dyn,
+    )
+    device.note_kernel_launch()
+
+    block_indices = iter_indices(wd.grid_block_extent)
+    if not parallel_blocks or wd.block_count == 1:
+        for bidx in block_indices:
+            _run_one(block_runner, grid, bidx, task)
+        return
+
+    pool = _shared_block_pool()
+    futures = [
+        pool.submit(_run_one, block_runner, grid, bidx, task)
+        for bidx in block_indices
+    ]
+    for fut in futures:
+        fut.result()  # re-raises the first failure
+
+
+def _run_one(block_runner, grid: GridContext, bidx: Vec, task) -> None:
+    try:
+        block_runner(grid, bidx, task.kernel, grid.args)
+    except KernelError:
+        raise
+    except BaseException as exc:  # noqa: BLE001
+        kname = getattr(task.kernel, "__name__", type(task.kernel).__name__)
+        raise KernelError(
+            f"kernel {kname!r} failed in block {bidx!r}"
+        ) from exc

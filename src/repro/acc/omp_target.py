@@ -1,0 +1,111 @@
+"""Simulated OpenMP 4.x target-offload back-end (paper future work).
+
+The paper's conclusion: *"Future work will focus on including more
+Alpaka back-ends, e.g. for OpenACC and OpenMP 4.x target offloading and
+studying performance portability for additional architectures (e.g.
+Intel Xeon Phi ...)"*.  This back-end realises that combination:
+
+* **offloading semantics** — OpenMP ``target`` regions execute against
+  a *device data environment*: host pointers are not device pointers,
+  data moves through explicit ``map`` clauses.  The platform therefore
+  exposes a device whose memory is isolated from the host, exactly like
+  the CUDA back-end's (``mem.copy`` plays the map clause).
+* **teams x threads execution** — ``teams distribute`` runs blocks
+  concurrently and ``parallel for`` runs a block's threads
+  concurrently, so *both* hierarchy levels are parallel
+  (``parallel_scope="both"``), unlike the host OpenMP-2 back-ends.
+* **default target device** — the modeled Xeon Phi 5110P, the paper's
+  named additional architecture; any CPU-kind machine model works.
+
+Proof of the abstraction-extension claim: this file adds a back-end
+with a third memory-space behaviour without touching a single kernel
+or any core module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..core.properties import AccDevProps
+from ..core.vec import Vec
+from ..core.workdiv import MappingStrategy
+from ..dev.device import Device
+from ..dev.platform import Platform
+from ..hardware.registry import machine
+from .base import AcceleratorType
+from .engine import run_block_preemptive, run_grid
+from .timing import advance_modeled_time
+
+__all__ = ["PlatformOmpTarget", "AccOmp4TargetSim"]
+
+_HUGE = 1 << 30
+
+
+class PlatformOmpTarget(Platform):
+    """OpenMP target device: CPU-kind hardware behind an offload
+    boundary (isolated device data environment)."""
+
+    kind = "omp-target"
+
+    def __init__(self, machine_key: str = "intel-xeon-phi-5110p"):
+        spec = machine(machine_key)
+        if spec.kind != "cpu":
+            raise ValueError(
+                f"OpenMP target offload models CPU-kind devices; "
+                f"{spec.key} is {spec.kind}"
+            )
+        super().__init__(spec, accessible_from_host=False)
+
+
+class AccOmp4TargetSim(AcceleratorType):
+    """``#pragma omp target teams distribute parallel for`` as a
+    back-end."""
+
+    name = "AccOmp4TargetSim"
+    kind = "cpu"
+    mapping_strategy = MappingStrategy.THREAD_LEVEL
+    supports_block_sync = True
+    parallel_scope = "both"  # teams AND threads execute concurrently
+    machine_key: str = "intel-xeon-phi-5110p"
+    _machine_variants: Dict[str, Type["AccOmp4TargetSim"]] = {}
+
+    @classmethod
+    def platform(cls) -> PlatformOmpTarget:
+        return PlatformOmpTarget(cls.machine_key)
+
+    @classmethod
+    def get_acc_dev_props(cls, dev: Device) -> AccDevProps:
+        spec = dev.spec
+        return AccDevProps(
+            multi_processor_count=spec.cores_per_device,
+            grid_block_extent_max=Vec.all(3, _HUGE),
+            # A team binds to one core; its thread count is the core's
+            # hardware-thread count (4 on Knights Corner).
+            block_thread_extent_max=Vec.all(3, spec.max_threads_per_block),
+            thread_elem_extent_max=Vec.all(3, _HUGE),
+            block_thread_count_max=spec.max_threads_per_block,
+            shared_mem_size_bytes=spec.shared_mem_per_block_bytes,
+            warp_size=1,
+            global_mem_size_bytes=spec.global_mem_bytes,
+        )
+
+    @classmethod
+    def execute(cls, task, device: Device) -> None:
+        props = cls.get_acc_dev_props(device)
+        run_grid(
+            task, device, props, run_block_preemptive, parallel_blocks=True
+        )
+        advance_modeled_time(task, device, cls.kind)
+
+    @classmethod
+    def for_machine(cls, machine_key: str) -> Type["AccOmp4TargetSim"]:
+        cache_key = f"{cls.__name__}@{machine_key}"
+        variant = cls._machine_variants.get(cache_key)
+        if variant is None:
+            variant = type(
+                cache_key.replace("-", "_").replace("@", "_on_"),
+                (cls,),
+                {"machine_key": machine_key, "name": cache_key},
+            )
+            cls._machine_variants[cache_key] = variant
+        return variant

@@ -1,0 +1,71 @@
+"""Accelerator registry: look up back-ends by name.
+
+The paper's headline usability claim — *"running Alpaka applications on
+a new platform requires the change of only one source code line"* —
+becomes, in an application with a config file, looking the back-end up
+by name.  The registry also drives the Table 2 bench and the
+"run this kernel on every back-end" test patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import AcceleratorType
+from .cpu import (
+    AccCpuFibers,
+    AccCpuOmp2Blocks,
+    AccCpuOmp2Threads,
+    AccCpuSerial,
+    AccCpuThreads,
+)
+from .cuda_sim import AccGpuCudaSim
+from .omp_target import AccOmp4TargetSim
+
+__all__ = [
+    "accelerator",
+    "accelerator_names",
+    "all_accelerators",
+    "cpu_accelerators",
+    "sync_capable_accelerators",
+]
+
+_REGISTRY: Dict[str, Type[AcceleratorType]] = {
+    acc.name: acc
+    for acc in (
+        AccCpuSerial,
+        AccCpuOmp2Blocks,
+        AccCpuOmp2Threads,
+        AccCpuThreads,
+        AccCpuFibers,
+        AccGpuCudaSim,
+        AccOmp4TargetSim,
+    )
+}
+
+
+def accelerator(name: str) -> Type[AcceleratorType]:
+    """Look up a back-end by its class name (``"AccCpuSerial"``...)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def accelerator_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_accelerators() -> List[Type[AcceleratorType]]:
+    return [_REGISTRY[n] for n in sorted(_REGISTRY)]
+
+
+def cpu_accelerators() -> List[Type[AcceleratorType]]:
+    return [a for a in all_accelerators() if a.kind == "cpu"]
+
+
+def sync_capable_accelerators() -> List[Type[AcceleratorType]]:
+    """Back-ends whose blocks may hold more than one thread."""
+    return [a for a in all_accelerators() if a.supports_block_sync]

@@ -1,0 +1,47 @@
+"""Modeled-time hook for kernel execution.
+
+The reproduction runs every kernel *functionally* on the host.  For the
+performance figures it additionally advances the device's simulated
+clock by the time the launch would have taken on the modeled machine —
+but only when the kernel opts in by describing itself: a kernel class
+may implement::
+
+    def characteristics(self, work_div, *args) -> KernelCharacteristics
+
+Kernels without the method cost no simulated time (their correctness is
+still fully exercised).  This is the documented substitution for the
+paper's wall-clock measurements on K20/K80/Xeon/Opteron hardware; see
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+from ..dev.device import Device
+
+__all__ = ["advance_modeled_time"]
+
+
+def advance_modeled_time(task, device: Device, backend_kind: str) -> float:
+    """Advance ``device``'s simulated clock for ``task``; returns the
+    modeled seconds (0.0 when the kernel does not describe itself)."""
+    describe = getattr(task.kernel, "characteristics", None)
+    if describe is None:
+        return 0.0
+    from ..perfmodel.roofline import predict_time
+
+    chars = describe(task.work_div, *task.args)
+    if chars is None:
+        return 0.0
+    predicted = predict_time(
+        device.spec,
+        backend_kind,
+        task.work_div,
+        chars,
+        parallel_scope=getattr(task.acc_type, "parallel_scope", "none"),
+    )
+    seconds = predicted.seconds
+    if seconds < 0:
+        raise ModelError(f"negative modeled time from {task.kernel!r}")
+    device.advance_sim_time(seconds)
+    return seconds

@@ -1,0 +1,5 @@
+"""Applications built on the library (real-world example workloads)."""
+
+from . import hase, pic
+
+__all__ = ["hase", "pic"]

@@ -1,0 +1,21 @@
+"""Mini-HASEonGPU: adaptive multi-device Monte-Carlo ASE integration
+(the paper's real-world application, Sec. 4.3 / Fig. 10)."""
+
+from .geometry import PrismMesh
+from .kernel import AseFluxKernel
+from .physics import GainMedium, gaussian_pump_profile
+from .raytrace import ase_contributions, importance_sample_starts, path_gain
+from .runner import AseResult, compute_ase_flux, default_sample_points
+
+__all__ = [
+    "PrismMesh",
+    "GainMedium",
+    "gaussian_pump_profile",
+    "path_gain",
+    "ase_contributions",
+    "importance_sample_starts",
+    "AseFluxKernel",
+    "AseResult",
+    "compute_ase_flux",
+    "default_sample_points",
+]

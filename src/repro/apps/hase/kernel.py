@@ -1,0 +1,101 @@
+"""The ASE Monte-Carlo kernel — single source, every back-end.
+
+One grid block owns one sample point; the block's threads split the
+requested Monte-Carlo samples via the element level; each thread draws
+its emission points from its own Philox stream (reproducible across
+back-ends), ray-marches the gain integrals as vector operations, and
+accumulates sum / sum-of-squares / count with grid atomics.  The shape
+is exactly HASEonGPU's: an embarrassingly parallel outer loop over
+sample points, a data-parallel inner loop over rays, random-access mesh
+lookups in between.
+
+The gain medium is captured kernel state (the analogue of CUDA constant
+memory: read-only tables broadcast to every thread), while all
+per-launch data flows through buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.index import Block, Blocks, Elems, Grid, Thread, get_idx, get_work_div
+from ...core.kernel import fn_acc
+from ...hardware.cache import AccessPattern
+from ...perfmodel.kernel_model import KernelCharacteristics
+from .physics import GainMedium
+from .raytrace import ase_contributions
+
+__all__ = ["AseFluxKernel", "FLOPS_PER_RAY_STEP", "FLOPS_PER_RAY"]
+
+#: Model accounting: flops per marching step (gain lookup accumulate,
+#: position update) and per ray (exp, distance, division).
+FLOPS_PER_RAY_STEP = 4.0
+FLOPS_PER_RAY = 30.0
+
+
+class AseFluxKernel:
+    """Accumulate ASE Monte-Carlo sums for a batch of sample points.
+
+    Kernel arguments (after the accelerator):
+
+    ``seed``
+        RNG seed of this adaptive round (vary per round).
+    ``samples_per_point``
+        MC samples each block adds to its sample point this round.
+    ``points``
+        (m, 3) buffer of sample-point coordinates.
+    ``acc_sum, acc_sq, acc_cnt``
+        (m,) accumulator buffers (flux sums, squared sums, counts);
+        zeroed once by the host before the first round.
+    """
+
+    def __init__(self, medium: GainMedium, steps: int = 32):
+        self.medium = medium
+        self.steps = steps
+
+    @fn_acc
+    def __call__(self, acc, seed, samples_per_point, points, acc_sum, acc_sq, acc_cnt):
+        point_idx = get_idx(acc, Grid, Blocks)[0]
+        if point_idx >= points.shape[0]:
+            return
+        sample_point = points[point_idx]
+
+        # This thread's share of the round's samples — split over the
+        # *block's* element space (each block owns one sample point, so
+        # the sample index space restarts per block).
+        start = get_idx(acc, Block, Elems)[0]
+        span = get_work_div(acc, Thread, Elems)[0]
+        count = min(start + span, samples_per_point) - min(start, samples_per_point)
+        if count <= 0:
+            return
+
+        rng = acc.rng(seed)
+        uniforms = rng.uniform(3 * count).reshape(count, 3)
+        starts = self.medium.mesh.sample_volume_points(uniforms)
+        contrib = ase_contributions(
+            self.medium, starts, sample_point, self.steps
+        )
+        contrib *= self.medium.mesh.total_volume  # uniform-sampling weight
+
+        acc.atomic_add(acc_sum, point_idx, float(np.sum(contrib)))
+        acc.atomic_add(acc_sq, point_idx, float(np.sum(contrib * contrib)))
+        acc.atomic_add(acc_cnt, point_idx, float(count))
+
+    def characteristics(
+        self, work_div, seed, samples_per_point, points, acc_sum, acc_sq, acc_cnt
+    ) -> KernelCharacteristics:
+        n_points = work_div.block_count
+        rays = float(n_points) * float(samples_per_point)
+        mesh_bytes = self.medium.mesh.prism_count * 8 * 2  # gain + emission
+        return KernelCharacteristics(
+            flops=rays * (self.steps * FLOPS_PER_RAY_STEP + FLOPS_PER_RAY),
+            global_read_bytes=float(mesh_bytes + 24 * n_points),
+            global_write_bytes=24.0 * n_points,
+            working_set_bytes=int(mesh_bytes),
+            thread_access_pattern=AccessPattern.TILED,  # mesh stays on chip
+            vector_friendly=True,
+            # exp/div-heavy instruction mix; see KernelCharacteristics.
+            issue_efficiency=0.5,
+            # HASE's inner math runs through a vectorised math library.
+            uses_vector_math_library=True,
+        )

@@ -1,0 +1,99 @@
+"""ASE physics of the gain medium.
+
+Amplified spontaneous emission in a pumped laser crystal: excited ions
+(density ``N2``) emit spontaneously at rate ``N2/tau_spont``; a photon
+travelling toward a sample point is amplified (or absorbed) along its
+path with the local small-signal gain coefficient::
+
+    g(x) = sigma_e * N2(x) - sigma_a * (N_tot - N2(x))
+
+so the ASE flux at sample point ``s`` is the volume integral
+
+    Phi(s) = Int_V  N2(x)/tau  *  exp(Int_x->s g dl)  /  (4 pi |x-s|^2)  dV
+
+which HASEonGPU estimates by Monte Carlo.  Units follow the HASE
+convention (cm, cm^2, cm^-3, s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import PrismMesh
+
+__all__ = ["GainMedium", "gaussian_pump_profile"]
+
+
+def gaussian_pump_profile(
+    mesh: PrismMesh,
+    peak_inversion: float,
+    waist_fraction: float = 0.35,
+    absorption_depth_fraction: float = 0.8,
+) -> np.ndarray:
+    """Per-prism excited-state density from a Gaussian pump beam.
+
+    The pump is Gaussian in (x, y) around the slab centre and decays
+    exponentially in z (Beer-Lambert absorption of the pump light) —
+    the generic shape of an end-pumped gain medium.
+    """
+    if peak_inversion < 0:
+        raise ValueError("peak inversion must be non-negative")
+    c = mesh.prism_centroids()
+    x0, y0 = mesh.width / 2.0, mesh.height / 2.0
+    waist = waist_fraction * min(mesh.width, mesh.height)
+    r2 = (c[:, 0] - x0) ** 2 + (c[:, 1] - y0) ** 2
+    radial = np.exp(-r2 / (2.0 * waist**2))
+    axial = np.exp(-c[:, 2] / (absorption_depth_fraction * mesh.depth))
+    return peak_inversion * radial * axial
+
+
+@dataclass(frozen=True)
+class GainMedium:
+    """A pumped gain medium: mesh + spectroscopic constants + inversion.
+
+    Parameters default to Yb:YAG-like values at the ASE wavelength
+    (HASEonGPU's physical system).
+    """
+
+    mesh: PrismMesh
+    n2: np.ndarray  # per-prism excited-state density [cm^-3]
+    sigma_emission: float = 2.0e-20  # [cm^2]
+    sigma_absorption: float = 1.0e-21  # [cm^2]
+    n_total: float = 6.0e20  # doping density [cm^-3]
+    tau_spont: float = 9.5e-4  # spontaneous lifetime [s]
+
+    def __post_init__(self):
+        n2 = np.asarray(self.n2, dtype=np.float64)
+        if n2.shape != (self.mesh.prism_count,):
+            raise ValueError(
+                f"n2 must have one entry per prism "
+                f"({self.mesh.prism_count}), got shape {n2.shape}"
+            )
+        if np.any(n2 < 0) or np.any(n2 > self.n_total):
+            raise ValueError("n2 must lie in [0, n_total]")
+        object.__setattr__(self, "n2", n2)
+        object.__setattr__(self, "_gain_coeff", self._compute_gain())
+
+    def _compute_gain(self) -> np.ndarray:
+        return (
+            self.sigma_emission * self.n2
+            - self.sigma_absorption * (self.n_total - self.n2)
+        )
+
+    @property
+    def gain_coefficients(self) -> np.ndarray:
+        """Per-prism small-signal gain coefficient g(x) [cm^-1]."""
+        return self._gain_coeff
+
+    @property
+    def emission_density(self) -> np.ndarray:
+        """Per-prism spontaneous emission rate density N2/tau
+        [photons / (cm^3 s)]."""
+        return self.n2 / self.tau_spont
+
+    def stored_energy_proxy(self) -> float:
+        """Total inversion (integrated N2) — the quantity ASE depletes;
+        used by examples to report pump efficiency."""
+        return float(np.sum(self.n2) * self.mesh.prism_volume)

@@ -1,0 +1,135 @@
+"""Ray-marching gain integration through the prism mesh.
+
+The path integral ``Int_x->s g dl`` is evaluated with midpoint-rule ray
+marching: the segment from emission point to sample point is split into
+``steps`` equal pieces, each midpoint is located in the mesh (O(1),
+vectorised) and contributes ``g(prism) * ds``.  Marching instead of
+exact prism clipping trades a quadrature error (second order in the
+step) for a fully vectorisable inner loop — the same structure the GPU
+code wants, and the error is controlled by ``steps`` (tested against
+analytic solutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .physics import GainMedium
+
+__all__ = ["path_gain", "ase_contributions", "importance_sample_starts"]
+
+
+def path_gain(
+    medium: GainMedium,
+    starts: np.ndarray,
+    end: np.ndarray,
+    steps: int = 32,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Amplification factor along each ray ``starts[j] -> end``.
+
+    Returns ``(gain, distance)``: ``gain[j] = exp(Int g dl)`` and the
+    ray length.  ``starts`` has shape (m, 3); ``end`` shape (3,).
+    """
+    starts = np.asarray(starts, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    if starts.ndim != 2 or starts.shape[1] != 3:
+        raise ValueError(f"starts must be (m, 3), got {starts.shape}")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+
+    delta = end[None, :] - starts  # (m, 3)
+    dist = np.linalg.norm(delta, axis=1)  # (m,)
+    ds = dist / steps
+
+    t_mid = (np.arange(steps, dtype=np.float64) + 0.5) / steps  # (steps,)
+    # Midpoints: (m, steps, 3)
+    pos = starts[:, None, :] + delta[:, None, :] * t_mid[None, :, None]
+    prisms = medium.mesh.locate_prisms(pos.reshape(-1, 3)).reshape(
+        starts.shape[0], steps
+    )
+    g = medium.gain_coefficients[prisms]  # (m, steps)
+    optical_depth = g.sum(axis=1) * ds
+    return np.exp(optical_depth), dist
+
+
+def importance_sample_starts(
+    medium: GainMedium, uniforms: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Emission points drawn proportional to the local emission density.
+
+    HASEonGPU importance-samples the gain volume: prisms that emit more
+    spontaneously receive proportionally more Monte-Carlo rays.  Given
+    (m, 4) uniforms, returns ``(starts, weights)`` where ``weights`` is
+    the likelihood ratio ``p_uniform / p_importance`` each contribution
+    must be multiplied by (so estimators stay unbiased).
+
+    For strongly peaked pump profiles this reduces the estimator
+    variance substantially (asserted in the tests); for a flat profile
+    it degenerates to uniform sampling with unit weights.
+    """
+    u = np.asarray(uniforms, dtype=np.float64)
+    if u.ndim != 2 or u.shape[1] != 4:
+        raise ValueError(f"need (m, 4) uniforms, got {u.shape}")
+    mesh = medium.mesh
+    density = medium.emission_density
+    total = density.sum()
+    if total <= 0.0:
+        raise ValueError("importance sampling needs a pumped medium")
+    probs = density / total
+    cdf = np.cumsum(probs)
+    prisms = np.searchsorted(cdf, u[:, 0], side="right")
+    prisms = np.minimum(prisms, mesh.prism_count - 1)
+
+    # Uniform location inside the chosen prism: z from the layer, (x, y)
+    # from the prism's bounding cell rejected onto the triangle half by
+    # folding (exact for the structured right-triangle mesh).
+    tri = prisms % mesh.triangle_count
+    layer = prisms // mesh.triangle_count
+    cell = tri // 2
+    upper = tri % 2
+    cx = (cell % mesh.nx).astype(np.float64)
+    cy = (cell // mesh.nx).astype(np.float64)
+    a = u[:, 1]
+    b = u[:, 2]
+    # Fold points across the diagonal into the requested half.
+    in_upper = a + b > 1.0
+    need_fold = in_upper != (upper == 1)
+    a = np.where(need_fold, 1.0 - a, a)
+    b = np.where(need_fold, 1.0 - b, b)
+    starts = np.empty((len(prisms), 3))
+    starts[:, 0] = (cx + a) * mesh.cell_dx
+    starts[:, 1] = (cy + b) * mesh.cell_dy
+    starts[:, 2] = (layer + u[:, 3]) * mesh.layer_dz
+
+    # Likelihood ratio vs uniform-in-volume sampling.
+    p_uniform = 1.0 / mesh.prism_count
+    weights = p_uniform / probs[prisms]
+    return starts, weights
+
+
+def ase_contributions(
+    medium: GainMedium,
+    starts: np.ndarray,
+    sample_point: np.ndarray,
+    steps: int = 32,
+) -> np.ndarray:
+    """Per-ray Monte-Carlo contributions to the ASE flux at one point.
+
+    For emission points x_j uniform in the slab, the estimator of the
+    physics integral is ``V_total * mean(contrib_j)`` with::
+
+        contrib_j = S(x_j) * gain_j / (4 pi d_j^2)
+
+    where ``S = N2/tau`` is the emission density.  A minimum distance of
+    one marching step regularises the 1/d^2 singularity for emission
+    points next to the sample point (standard MC practice; HASE excludes
+    the sample prism similarly).
+    """
+    gain, dist = path_gain(medium, starts, sample_point, steps)
+    src_prisms = medium.mesh.locate_prisms(starts)
+    emission = medium.emission_density[src_prisms]
+    d_min = max(
+        medium.mesh.cell_dx, medium.mesh.cell_dy, medium.mesh.layer_dz
+    ) / steps
+    d2 = np.maximum(dist, d_min) ** 2
+    return emission * gain / (4.0 * np.pi * d2)

@@ -1,0 +1,16 @@
+"""Mini particle-in-cell: 1-d electrostatic plasma (PIConGPU's physics,
+miniaturised) — the second real-world example application."""
+
+from .grid import PicGrid, cold_plasma_particles
+from .kernels import DepositChargeKernel, IntegrateFieldKernel, PushKernel
+from .simulation import PicHistory, PicSimulation
+
+__all__ = [
+    "PicGrid",
+    "cold_plasma_particles",
+    "DepositChargeKernel",
+    "IntegrateFieldKernel",
+    "PushKernel",
+    "PicSimulation",
+    "PicHistory",
+]

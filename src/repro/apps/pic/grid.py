@@ -1,0 +1,75 @@
+"""1-d periodic PIC grid and particle initialisation.
+
+The second real-world workload (after HASE): the paper's authors build
+PIConGPU, a particle-in-cell plasma code; this is its 1-d electrostatic
+miniature.  Normalised units throughout: ``eps0 = 1``, electron mass
+``m = 1``, electron charge ``q = -1``; a neutralising immobile ion
+background carries ``+n0``.  With mean electron density ``n0 = 1`` the
+plasma frequency is exactly ``omega_p = sqrt(n0 q^2 / (eps0 m)) = 1``,
+which makes the physics tests parameter-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...rand.philox import PhiloxRng
+
+__all__ = ["PicGrid", "cold_plasma_particles"]
+
+
+@dataclass(frozen=True)
+class PicGrid:
+    """Periodic 1-d domain with ``ng`` cells of width ``dx``."""
+
+    ng: int
+    length: float = 2.0 * np.pi
+
+    def __post_init__(self):
+        if self.ng < 2:
+            raise ValueError("need at least two cells")
+        if self.length <= 0:
+            raise ValueError("domain length must be positive")
+
+    @property
+    def dx(self) -> float:
+        return self.length / self.ng
+
+    @property
+    def cell_centers(self) -> np.ndarray:
+        return (np.arange(self.ng) + 0.5) * self.dx
+
+    def wrap(self, x: np.ndarray) -> np.ndarray:
+        """Map positions into [0, length)."""
+        return np.mod(x, self.length)
+
+
+def cold_plasma_particles(
+    grid: PicGrid,
+    particles_per_cell: int,
+    *,
+    displacement: float = 0.0,
+    mode: int = 1,
+    thermal_velocity: float = 0.0,
+    seed: int = 0,
+):
+    """Quiet-start electrons, optionally displaced sinusoidally.
+
+    Returns ``(x, v, weight)``: positions, velocities, and the charge
+    weight per macro-particle such that the mean density is ``n0 = 1``.
+    A displacement ``A*sin(mode * 2*pi*x0/L)`` seeds a standing Langmuir
+    oscillation at ``omega_p`` (the classic PIC validation problem).
+    """
+    if particles_per_cell < 1:
+        raise ValueError("need at least one particle per cell")
+    n = grid.ng * particles_per_cell
+    x0 = (np.arange(n) + 0.5) * grid.length / n
+    k = 2.0 * np.pi * mode / grid.length
+    x = grid.wrap(x0 + displacement * np.sin(k * x0))
+    v = np.zeros(n)
+    if thermal_velocity > 0.0:
+        v = thermal_velocity * PhiloxRng(seed).normal(n)
+    weight = grid.length / n  # so that sum(w)/L = n0 = 1
+    return x, v, weight

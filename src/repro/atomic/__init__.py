@@ -1,0 +1,5 @@
+"""Atomic operations (grid/block scope serialisation of memory access)."""
+
+from .ops import ATOMIC_OP_NAMES, AtomicDomain
+
+__all__ = ["AtomicDomain", "ATOMIC_OP_NAMES"]

@@ -1,0 +1,110 @@
+"""Regenerate every paper table and figure from the command line::
+
+    python -m repro.bench            # all reports to benchmarks/out/
+    python -m repro.bench fig9 table1  # a selection
+
+This is the pytest-free path for users who want the artefacts without
+the benchmark harness; the assertions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..comparison import render_series, render_table
+from . import (
+    DEFAULT_SIZES,
+    fig4_ptx_comparison,
+    fig5_measured_overhead_host,
+    fig5_zero_overhead,
+    fig6_swapped_backends,
+    fig8_single_source_tiling,
+    fig9_performance_portability,
+    fig10_hase,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    write_report,
+)
+
+
+def _table1() -> str:
+    return render_table(table1_rows(), "Table 1: framework properties")
+
+
+def _table2() -> str:
+    return render_table(table2_rows(), "Table 2: predefined accelerators")
+
+
+def _table3() -> str:
+    return render_table(table3_rows(), "Table 3: evaluation hardware")
+
+
+def _fig4() -> str:
+    d = fig4_ptx_comparison()
+    return (
+        f"Fig. 4 — {d['comparison'].summary()}\n\n=== Alpaka PTX ===\n"
+        + d["alpaka_ptx"]
+        + "\n\n=== Native CUDA PTX ===\n"
+        + d["native_ptx"]
+    )
+
+
+def _fig5() -> str:
+    modeled = render_series(
+        fig5_zero_overhead(DEFAULT_SIZES), "n", title="Fig. 5 (modeled)"
+    )
+    measured = fig5_measured_overhead_host()
+    return modeled + f"\n\nmeasured host native/alpaka speedup: {measured:.3f}"
+
+
+def _fig6() -> str:
+    return render_series(
+        fig6_swapped_backends(DEFAULT_SIZES), "n", title="Fig. 6"
+    )
+
+
+def _fig8() -> str:
+    return render_series(
+        fig8_single_source_tiling(DEFAULT_SIZES), "n", title="Fig. 8"
+    )
+
+
+def _fig9() -> str:
+    return render_series(
+        fig9_performance_portability(DEFAULT_SIZES), "n", title="Fig. 9"
+    )
+
+
+def _fig10() -> str:
+    return render_table(fig10_hase(), "Fig. 10: HASE port")
+
+
+GENERATORS = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+}
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(GENERATORS)
+    unknown = [n for n in names if n not in GENERATORS]
+    if unknown:
+        print(f"unknown targets: {unknown}; known: {sorted(GENERATORS)}")
+        return 2
+    for name in names:
+        text = GENERATORS[name]()
+        path = write_report(f"{name}.txt", text)
+        print(f"\n{text}\n-> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,415 @@
+"""Regeneration of every evaluation table and figure of the paper.
+
+Each ``figN_*``/``tableN_*`` function computes the data behind one
+figure or table of the paper's Sec. 4 and returns it as plain
+dictionaries/lists; the scripts in ``benchmarks/`` render and persist
+them, and ``tests/bench`` asserts the *shapes* the paper reports
+(acceptance criteria in DESIGN.md).
+
+Modeled quantities use the Table 3 machine models through
+:mod:`repro.perfmodel`; measured quantities run real code on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..acc import all_accelerators
+from ..comparison.frameworks import table1_rows  # re-export convenience
+from ..core.workdiv import MappingStrategy, WorkDivMembers
+from ..hardware import TABLE3_KEYS, machine, table3_rows
+from ..kernels.axpy import AxpyKernel, axpy_cuda_native
+from ..kernels.gemm import (
+    GemmCudaStyleKernel,
+    GemmOmpStyleKernel,
+    GemmTilingKernel,
+    gemm_workdiv_cuda,
+    gemm_workdiv_omp,
+    gemm_workdiv_tiling,
+)
+from ..perfmodel import predict_time
+from ..trace import compare_streams, trace_alpaka_kernel, trace_cuda_kernel
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "fig4_ptx_comparison",
+    "fig5_zero_overhead",
+    "fig5_measured_overhead_host",
+    "fig6_swapped_backends",
+    "fig8_single_source_tiling",
+    "fig9_performance_portability",
+    "fig10_hase",
+]
+
+#: Matrix extents swept by the DGEMM figures (the paper sweeps up to
+#: 7168; the model is analytic so the full range costs nothing).
+DEFAULT_SIZES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 5120, 7168)
+
+#: The GPU and CPU machines the paper's Figs. 5/6/8 measure on.
+GPU_MACHINE = "nvidia-k80"
+CPU_MACHINE = "intel-xeon-e5-2630v3"
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — predefined accelerator mappings
+# ---------------------------------------------------------------------------
+
+
+def table2_rows(n: int = 4096, b: int = 16, v: int = 4) -> List[dict]:
+    """The predefined work-division mappings, symbolically and for a
+    concrete (N, B, V) example computed through :func:`divide_work`."""
+    from ..core.workdiv import divide_work
+
+    rows = []
+    arch = {
+        "AccGpuCudaSim": "GPU",
+        "AccCpuOmp2Blocks": "CPU",
+        "AccCpuOmp2Threads": "CPU",
+        "AccCpuThreads": "CPU",
+        "AccCpuSerial": "CPU",
+        "AccCpuFibers": "CPU",
+    }
+    for acc in all_accelerators():
+        props = acc.get_acc_dev_props(acc.platform().get_dev_by_idx(0))
+        if acc.mapping_strategy is MappingStrategy.BLOCK_LEVEL:
+            grid, block, thread, elem = "1", "N/V", "1", "V"
+            wd = divide_work(n, props, acc.mapping_strategy, thread_elems=v)
+        else:
+            grid, block, thread, elem = "1", "N/(B*V)", "B", "V"
+            wd = divide_work(
+                n, props, acc.mapping_strategy,
+                block_threads=min(b, props.block_thread_count_max),
+                thread_elems=v,
+            )
+        rows.append(
+            {
+                "Arch": arch.get(acc.name, "CPU"),
+                "Acc": acc.name,
+                "Grid": grid,
+                "Block": block,
+                "Thread": thread,
+                "Element": elem,
+                f"example N={n}": (
+                    f"{wd.grid_block_extent[0]} blocks x "
+                    f"{wd.block_thread_extent[0]} threads x "
+                    f"{wd.thread_elem_extent[0]} elems"
+                ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — PTX comparison
+# ---------------------------------------------------------------------------
+
+
+def fig4_ptx_comparison() -> dict:
+    """Trace the alpaka and native CUDA DAXPY kernels and compare.
+
+    Returns the two instruction streams and the normalised comparison;
+    the paper's finding is ``identical_up_to_cache_modifiers`` with
+    exactly one non-coherent-load note.
+    """
+    specs = [("int", "n"), ("float", "alpha"), ("array", "x"), ("array", "y")]
+    native_specs = [
+        ("int", "n"),
+        ("float", "alpha"),
+        ("const_array", "x"),
+        ("array", "y"),
+    ]
+    alpaka_ir = trace_alpaka_kernel(AxpyKernel(), specs, name="alpaka_daxpy")
+    native_ir = trace_cuda_kernel(
+        axpy_cuda_native, native_specs, name="cuda_daxpy"
+    )
+    result = compare_streams(alpaka_ir, native_ir)
+    return {
+        "alpaka_ptx": alpaka_ir.to_text(),
+        "native_ptx": native_ir.to_text(),
+        "comparison": result,
+        "alpaka_instructions": len(alpaka_ir),
+        "native_instructions": len(native_ir),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — zero-overhead abstraction
+# ---------------------------------------------------------------------------
+
+
+def fig5_zero_overhead(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Dict[str, Dict[int, float]]:
+    """Speedup of alpaka kernels relative to native, same back-end.
+
+    Two curves as in the paper: the CUDA-style kernel on the (modeled)
+    K80, and the OpenMP-style kernel on the (modeled) E5-2630v3.
+    Values near 1.0 (>= 0.94 for CUDA, ~1.0 for OpenMP) reproduce the
+    zero-overhead claim.
+    """
+    gpu = machine(GPU_MACHINE)
+    cpu = machine(CPU_MACHINE)
+    curves: Dict[str, Dict[int, float]] = {
+        "Alpaka(CUDA) native-style kernel on K80": {},
+        "Alpaka(OMP2) native-style kernel on E5-2630v3": {},
+    }
+    for n in sizes:
+        wd = gemm_workdiv_cuda(n, 16)
+        t_native = predict_time(
+            gpu, "gpu", wd,
+            GemmCudaStyleKernel(native=True).characteristics(wd, n), "both",
+        ).seconds
+        t_alpaka = predict_time(
+            gpu, "gpu", wd,
+            GemmCudaStyleKernel().characteristics(wd, n), "both",
+        ).seconds
+        curves["Alpaka(CUDA) native-style kernel on K80"][n] = t_native / t_alpaka
+
+        wo = gemm_workdiv_omp(n, 64)
+        t_native = predict_time(
+            cpu, "cpu", wo,
+            GemmOmpStyleKernel(native=True).characteristics(wo, n), "blocks",
+        ).seconds
+        t_alpaka = predict_time(
+            cpu, "cpu", wo,
+            GemmOmpStyleKernel().characteristics(wo, n), "blocks",
+        ).seconds
+        curves["Alpaka(OMP2) native-style kernel on E5-2630v3"][n] = (
+            t_native / t_alpaka
+        )
+    return curves
+
+
+def fig5_measured_overhead_host(n: int = 512, rows_per_chunk: int = 64) -> float:
+    """*Measured* abstraction overhead on the real host.
+
+    Runs the same row-chunked DGEMM once as a direct function and once
+    through the full library stack (buffers, queue, work division,
+    OpenMP-block back-end) and returns the wall-clock speedup of native
+    over alpaka.  This is the genuinely measured half of Fig. 5 — the
+    abstraction machinery of *this* library, measured like the paper
+    measured alpaka's.
+    """
+    from .. import AccCpuOmp2Blocks, QueueBlocking, get_dev_by_idx, mem
+    from ..core.kernel import create_task_kernel
+    from ..kernels.gemm import dgemm_rows_host
+    from .harness import measure_wall
+
+    rng = np.random.default_rng(7)
+    A = rng.random((n, n))
+    B = rng.random((n, n))
+    C = rng.random((n, n))
+
+    def native():
+        dgemm_rows_host(1.0, A, B, 0.0, C, rows_per_chunk)
+
+    dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+    q = QueueBlocking(dev)
+    Ab = mem.alloc(dev, (n, n))
+    Bb = mem.alloc(dev, (n, n))
+    Cb = mem.alloc(dev, (n, n))
+    mem.copy(q, Ab, A)
+    mem.copy(q, Bb, B)
+    mem.copy(q, Cb, C)
+    wd = gemm_workdiv_omp(n, rows_per_chunk)
+    kernel = GemmOmpStyleKernel()
+
+    def alpaka():
+        q.enqueue(create_task_kernel(AccCpuOmp2Blocks, wd, kernel, n, 1.0, Ab, Bb, 0.0, Cb))
+
+    t_native = measure_wall(native)
+    t_alpaka = measure_wall(alpaka)
+    return t_native / t_alpaka
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — swapped back-ends
+# ---------------------------------------------------------------------------
+
+
+def fig6_swapped_backends(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Dict[str, Dict[int, float]]:
+    """Speedup of naively ported kernels relative to the native kernel
+    of the target architecture.  The paper's point: both curves sit far
+    below 1 (its Fig. 6 y-axis tops out at 0.2)."""
+    gpu = machine(GPU_MACHINE)
+    cpu = machine(CPU_MACHINE)
+    curves: Dict[str, Dict[int, float]] = {
+        "Alpaka(OMP2) CUDA-style kernel on E5-2630v3": {},
+        "Alpaka(CUDA) OMP-style kernel on K80": {},
+    }
+    for n in sizes:
+        # CUDA-style kernel forced onto the CPU thread back-end.
+        wd_c = gemm_workdiv_cuda(n, 8)
+        t_swapped = predict_time(
+            cpu, "cpu", wd_c,
+            GemmCudaStyleKernel().characteristics(wd_c, n), "threads",
+        ).seconds
+        wo = gemm_workdiv_omp(n, 64)
+        t_native_cpu = predict_time(
+            cpu, "cpu", wo,
+            GemmOmpStyleKernel(native=True).characteristics(wo, n), "blocks",
+        ).seconds
+        curves["Alpaka(OMP2) CUDA-style kernel on E5-2630v3"][n] = (
+            t_native_cpu / t_swapped
+        )
+
+        # OMP-style kernel forced onto the CUDA back-end.
+        wo_g = gemm_workdiv_omp(n, 16)
+        t_swapped = predict_time(
+            gpu, "gpu", wo_g,
+            GemmOmpStyleKernel().characteristics(wo_g, n), "both",
+        ).seconds
+        wd_g = gemm_workdiv_cuda(n, 16)
+        t_native_gpu = predict_time(
+            gpu, "gpu", wd_g,
+            GemmCudaStyleKernel(native=True).characteristics(wd_g, n), "both",
+        ).seconds
+        curves["Alpaka(CUDA) OMP-style kernel on K80"][n] = (
+            t_native_gpu / t_swapped
+        )
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — single-source tiling kernel
+# ---------------------------------------------------------------------------
+
+
+def fig8_single_source_tiling(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Dict[str, Dict[int, float]]:
+    """Speedup of the single-source tiling kernel relative to the native
+    implementation on each architecture, for the element counts the
+    paper sweeps (1 and 4 elements on the GPU; 256 and 16k on the CPU).
+    """
+    gpu = machine(GPU_MACHINE)
+    cpu = machine(CPU_MACHINE)
+    configs = [
+        ("Alpaka(CUDA) tiling 1 element on K80", gpu, "gpu", 16, 1, "both"),
+        ("Alpaka(CUDA) tiling 4 elements on K80", gpu, "gpu", 16, 2, "both"),
+        ("Alpaka(OMP2) tiling 256 elements on E5-2630v3", cpu, "cpu", 1, 16, "blocks"),
+        ("Alpaka(OMP2) tiling 16k elements on E5-2630v3", cpu, "cpu", 1, 128, "blocks"),
+    ]
+    curves: Dict[str, Dict[int, float]] = {name: {} for name, *_ in configs}
+    for n in sizes:
+        wd_g = gemm_workdiv_cuda(n, 16)
+        t_native_gpu = predict_time(
+            gpu, "gpu", wd_g,
+            GemmCudaStyleKernel(native=True).characteristics(wd_g, n), "both",
+        ).seconds
+        wo = gemm_workdiv_omp(n, 64)
+        t_native_cpu = predict_time(
+            cpu, "cpu", wo,
+            GemmOmpStyleKernel(native=True).characteristics(wo, n), "blocks",
+        ).seconds
+        for name, spec, kind, bt, v, scope in configs:
+            wd = gemm_workdiv_tiling(n, bt, v)
+            t = predict_time(
+                spec, kind, wd,
+                GemmTilingKernel().characteristics(wd, n), scope,
+            ).seconds
+            baseline = t_native_gpu if kind == "gpu" else t_native_cpu
+            curves[name][n] = baseline / t
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — performance portability
+# ---------------------------------------------------------------------------
+
+#: Tuned tiling configuration per machine (paper: element count chosen
+#: per architecture; GPUs small, CPUs large).
+FIG9_CONFIG = {
+    "nvidia-k80": ("gpu", 16, 2, "both"),
+    "nvidia-k20": ("gpu", 16, 2, "both"),
+    "intel-xeon-e5-2609": ("cpu", 1, 128, "blocks"),
+    "intel-xeon-e5-2630v3": ("cpu", 1, 128, "blocks"),
+    "amd-opteron-6276": ("cpu", 1, 128, "blocks"),
+}
+
+
+def fig9_performance_portability(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Dict[str, Dict[int, float]]:
+    """Fraction of theoretical peak reached by the single tiling kernel
+    on each Table 3 machine (paper: all curves around 20 %)."""
+    curves: Dict[str, Dict[int, float]] = {}
+    for key in TABLE3_KEYS:
+        kind, bt, v, scope = FIG9_CONFIG[key]
+        spec = machine(key)
+        label = f"tiling kernel on {spec.architecture}"
+        curves[label] = {}
+        for n in sizes:
+            wd = gemm_workdiv_tiling(n, bt, v)
+            p = predict_time(
+                spec, kind, wd, GemmTilingKernel().characteristics(wd, n), scope
+            )
+            curves[label][n] = p.fraction_of_peak
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — HASEonGPU
+# ---------------------------------------------------------------------------
+
+
+def fig10_hase(
+    n_points: int = 256,
+    samples_per_point: int = 100_000,
+    steps: int = 32,
+) -> List[dict]:
+    """The HASE port's performance on each platform.
+
+    Rows mirror the paper's bars: hardware peak, modeled application
+    GFLOPS, and speedup relative to the native CUDA version on the K20
+    cluster (the paper's baseline = 1.0).  The paper's findings encoded
+    here: Alpaka(CUDA) on K20 shows *no overhead* (identical time), and
+    the CPU platforms land at speedups matching their peak ratios.
+    """
+    from ..apps.hase import (
+        AseFluxKernel,
+        GainMedium,
+        PrismMesh,
+        gaussian_pump_profile,
+    )
+
+    mesh = PrismMesh(nx=16, ny=16, nz=4)
+    medium = GainMedium(mesh, gaussian_pump_profile(mesh, 4.0e20))
+    kernel = AseFluxKernel(medium, steps=steps)
+
+    platforms = [
+        ("CUDA native on K20", "nvidia-k20", "gpu", 64, "both", True),
+        ("Alpaka(CUDA) on K20", "nvidia-k20", "gpu", 64, "both", False),
+        ("Alpaka(OMP2) on Opteron 6276", "amd-opteron-6276", "cpu", 1, "blocks", False),
+        ("Alpaka(OMP2) on E5-2630v3", "intel-xeon-e5-2630v3", "cpu", 1, "blocks", False),
+    ]
+    rows = []
+    t_baseline = None
+    for label, key, kind, tpb, scope, native in platforms:
+        spec = machine(key)
+        elems = -(-samples_per_point // tpb)
+        wd = WorkDivMembers.make((n_points,), (tpb,), (elems,))
+        chars = kernel.characteristics(wd, 0, samples_per_point, None, None, None, None)
+        # The paper measured zero overhead for HASE's CUDA port; its
+        # kernels are dominated by inner math, not index calculation.
+        p = predict_time(spec, kind, wd, chars, scope)
+        if t_baseline is None:
+            t_baseline = p.seconds
+        rows.append(
+            {
+                "Configuration": label,
+                "Hardware peak [GFLOPS]": round(
+                    spec.device_peak_gflops_dp if kind == "gpu" else spec.peak_gflops_dp
+                ),
+                "Application [GFLOPS]": round(p.gflops, 1),
+                "Speedup vs native K20": round(t_baseline / p.seconds, 3),
+            }
+        )
+    return rows

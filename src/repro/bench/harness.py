@@ -1,0 +1,70 @@
+"""Benchmark harness utilities.
+
+Shared plumbing for the ``benchmarks/`` suite: wall-clock measurement
+for the host-measured comparisons, simulated-clock capture for the
+modeled comparisons, and output capture so each bench writes the table
+it regenerates next to printing it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List
+
+__all__ = [
+    "measure_wall",
+    "sim_time_of",
+    "write_report",
+    "REPORT_DIR_ENV",
+]
+
+#: Environment variable overriding where bench reports are written.
+REPORT_DIR_ENV = "REPRO_BENCH_REPORT_DIR"
+
+
+def measure_wall(fn: Callable[[], None], repeat: int = 3, warmup: int = 1) -> float:
+    """Best-of-``repeat`` wall time of ``fn`` after ``warmup`` calls.
+
+    Minimum (not mean) is the right statistic for overhead comparisons:
+    noise is strictly additive.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@contextmanager
+def sim_time_of(device) -> Iterator[List[float]]:
+    """Capture the simulated seconds a block of launches accrues::
+
+        with sim_time_of(dev) as t:
+            enqueue(...)
+        elapsed = t[0]
+    """
+    out: List[float] = [0.0]
+    start = device.sim_time_s
+    yield out
+    out[0] = device.sim_time_s - start
+
+
+def write_report(name: str, text: str) -> str:
+    """Write a bench's regenerated table under ``benchmarks/out/`` (or
+    ``$REPRO_BENCH_REPORT_DIR``) and return the path."""
+    base = os.environ.get(REPORT_DIR_ENV)
+    if base is None:
+        base = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+            "benchmarks", "out")
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, name)
+    with open(path, "w") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path

@@ -1,0 +1,22 @@
+"""Framework comparison matrix (paper Table 1) and table rendering."""
+
+from .frameworks import (
+    TABLE1,
+    Framework,
+    Property,
+    Rating,
+    evaluate_alpaka,
+    table1_rows,
+)
+from .render import render_series, render_table
+
+__all__ = [
+    "Property",
+    "Rating",
+    "Framework",
+    "TABLE1",
+    "table1_rows",
+    "evaluate_alpaka",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benches.
+
+Small, dependency-free, used by every ``benchmarks/bench_*.py`` to print
+the regenerated tables/series in a shape comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table (keys of the first row
+    define the columns)."""
+    if not rows:
+        return title
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in cols
+    }
+    sep = "-+-".join("-" * widths[c] for c in cols)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(c).ljust(widths[c]) for c in cols))
+    lines.append(sep)
+    for r in rows:
+        lines.append(
+            " | ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict[object, float]],
+    x_label: str,
+    y_format: str = "{:.3f}",
+    title: str = "",
+) -> str:
+    """Render {curve name: {x: y}} as one table with the x values as
+    rows — the textual form of the paper's line plots."""
+    xs: List[object] = sorted({x for curve in series.values() for x in curve})
+    rows = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name, curve in series.items():
+            row[name] = y_format.format(curve[x]) if x in curve else ""
+        rows.append(row)
+    return render_table(rows, title)

@@ -1,0 +1,102 @@
+"""Element-level helpers (paper Sec. 3.2.4).
+
+The element level is Alpaka's answer to SIMD: each thread owns a small
+fixed-size box of elements, and the kernel author either loops over it
+(scalar path) or applies one vector operation to the whole span
+(vector path — compiler auto-vectorisation in C++, numpy array
+operations in this reproduction).
+
+The helpers here compute which elements the calling thread owns, clipped
+to the real data extent, in both n-dimensional box form and flat slice
+form.  The performance cliff between iterating :func:`independent_elements`
+scalar-wise and operating on :func:`element_slice` with numpy is the
+Python analogue of the vectorised-vs-scalar cliff the paper measures in
+Fig. 4's SSE2 discussion and exploits in Figs. 8/9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from .index import Elems, Grid, Thread, get_idx, get_work_div
+from .vec import Vec
+
+__all__ = [
+    "element_box",
+    "element_slice",
+    "independent_elements",
+    "grid_strided_spans",
+]
+
+
+def element_box(acc, extent) -> Tuple[slice, ...]:
+    """Per-axis slices of the element box owned by the calling thread.
+
+    The box is ``[first, first + elems_per_thread)`` per axis, clipped
+    to ``extent``.  Empty slices result when the thread falls entirely
+    outside the data (the overhang threads of a non-dividing work
+    division).
+    """
+    ext = extent if isinstance(extent, Vec) else Vec.from_iterable(
+        (extent,) if isinstance(extent, int) else extent
+    )
+    first = get_idx(acc, Grid, Elems)
+    span = get_work_div(acc, Thread, Elems)
+    return tuple(
+        slice(min(f, e), min(f + s, e))
+        for f, s, e in zip(first, span, ext)
+    )
+
+
+def element_slice(acc, extent: int) -> slice:
+    """Flat slice of elements owned by the calling thread (1-d form).
+
+    This is the fast path: ``data[element_slice(acc, n)] += ...``
+    performs the whole per-thread workload as one numpy operation.
+    """
+    box = element_box(acc, Vec(extent) if isinstance(extent, int) else extent)
+    if len(box) != 1:
+        raise ValueError(
+            "element_slice is one-dimensional; use element_box for n-d kernels"
+        )
+    return box[0]
+
+
+def independent_elements(acc, extent) -> Iterator[Vec]:
+    """Iterate the n-dim indices of the calling thread's elements.
+
+    The scalar path: equivalent to looping ``element_box`` explicitly.
+    Yields :class:`Vec` indices in C order; yields nothing for
+    out-of-bounds threads, so kernels need no separate guard.
+    """
+    box = element_box(acc, extent)
+
+    def rec(prefix, axes):
+        if not axes:
+            yield Vec(*prefix)
+            return
+        s, rest = axes[0], axes[1:]
+        for i in range(s.start, s.stop):
+            yield from rec(prefix + (i,), rest)
+
+    yield from rec((), box)
+
+
+def grid_strided_spans(acc, extent: int) -> Iterator[slice]:
+    """Grid-strided loop over element spans (persistent-thread pattern).
+
+    When the grid does not cover the data (fewer blocks than needed),
+    each thread repeatedly strides by the whole grid's element extent::
+
+        for span in grid_strided_spans(acc, n):
+            y[span] += a * x[span]
+
+    With a covering grid this degenerates to a single span identical to
+    :func:`element_slice`.
+    """
+    span = get_work_div(acc, Thread, Elems)[0]
+    stride = get_work_div(acc, Grid, Elems)[0]
+    start = get_idx(acc, Grid, Elems)[0]
+    while start < extent:
+        yield slice(start, min(start + span, extent))
+        start += stride

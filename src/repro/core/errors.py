@@ -1,0 +1,83 @@
+"""Exception hierarchy for the pyalpaka reproduction.
+
+Alpaka itself reports most contract violations at compile time through
+template machinery; a Python port has to surface the same contracts at
+runtime.  Every error raised by the library derives from
+:class:`AlpakaError` so applications can catch the whole family with one
+handler.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AlpakaError",
+    "DimensionError",
+    "InvalidWorkDiv",
+    "MemorySpaceError",
+    "ExtentError",
+    "DeviceError",
+    "QueueError",
+    "KernelError",
+    "SharedMemError",
+    "TraceError",
+    "ModelError",
+]
+
+
+class AlpakaError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class DimensionError(AlpakaError, ValueError):
+    """Operands of a :class:`~repro.core.vec.Vec` operation disagree in
+    dimensionality, or a dimensionality is out of the supported range."""
+
+
+class InvalidWorkDiv(AlpakaError, ValueError):
+    """A work division violates the constraints of the accelerator it is
+    mapped to (e.g. more than one thread per block on a serial
+    accelerator, or a block larger than the device limit)."""
+
+
+class MemorySpaceError(AlpakaError, RuntimeError):
+    """Host code touched device-resident memory (or vice versa) without
+    an explicit deep copy.
+
+    The paper's memory model is *pointer based with explicit deep
+    copies*; this error is how the reproduction enforces that model even
+    though all bytes physically live in host RAM.
+    """
+
+
+class ExtentError(AlpakaError, ValueError):
+    """A copy/set/view extent does not fit inside the source or
+    destination buffer."""
+
+
+class DeviceError(AlpakaError, RuntimeError):
+    """Device enumeration or selection failed."""
+
+
+class QueueError(AlpakaError, RuntimeError):
+    """Illegal queue operation (e.g. enqueuing into a destroyed queue)."""
+
+
+class KernelError(AlpakaError, RuntimeError):
+    """A kernel raised, or violated an execution contract.
+
+    The original exception (if any) is preserved as ``__cause__``.
+    """
+
+
+class SharedMemError(AlpakaError, RuntimeError):
+    """Block shared memory misuse: allocation outside a kernel, divergent
+    allocation shapes between threads of one block, or exceeding the
+    device's shared-memory capacity."""
+
+
+class TraceError(AlpakaError, RuntimeError):
+    """The symbolic kernel tracer met a construct it cannot represent."""
+
+
+class ModelError(AlpakaError, ValueError):
+    """The performance model was given inconsistent characteristics."""

@@ -1,0 +1,92 @@
+"""Accelerator/device properties (alpaka ``AccDevProps``).
+
+A work division is only valid with respect to the capabilities of the
+device it will run on; those capabilities are described here.  Each
+back-end computes an :class:`AccDevProps` for each of its devices
+(:meth:`repro.acc.base.AcceleratorType.get_acc_dev_props`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .vec import Vec
+
+__all__ = ["AccDevProps"]
+
+
+@dataclass(frozen=True)
+class AccDevProps:
+    """Limits an accelerator imposes on work divisions and shared memory.
+
+    Attributes
+    ----------
+    multi_processor_count:
+        Number of independent processors (SMs on a GPU, cores on a CPU).
+        Used by the automatic work divider to pick a block count that
+        saturates the device.
+    grid_block_extent_max:
+        Elementwise maximum grid extent in blocks.
+    block_thread_extent_max:
+        Elementwise maximum block extent in threads.
+    thread_elem_extent_max:
+        Elementwise maximum element count per thread.
+    block_thread_count_max:
+        Maximum *total* threads per block (product bound; e.g. 1024 on
+        CUDA devices, 1 on the serial back-end).
+    shared_mem_size_bytes:
+        Block shared memory capacity.
+    warp_size:
+        Lockstep width of the device (32 for the simulated CUDA device,
+        1 for CPU back-ends; the element level models CPU SIMD instead).
+    global_mem_size_bytes:
+        Device global memory capacity; allocation beyond it fails.
+    """
+
+    multi_processor_count: int
+    grid_block_extent_max: Vec
+    block_thread_extent_max: Vec
+    thread_elem_extent_max: Vec
+    block_thread_count_max: int
+    shared_mem_size_bytes: int
+    warp_size: int = 1
+    global_mem_size_bytes: int = 1 << 34
+
+    def __post_init__(self):
+        if self.multi_processor_count < 1:
+            raise ValueError("multi_processor_count must be >= 1")
+        if self.block_thread_count_max < 1:
+            raise ValueError("block_thread_count_max must be >= 1")
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+
+    @property
+    def dim(self) -> int:
+        return self.grid_block_extent_max.dim
+
+    def for_dim(self, dim: int) -> "AccDevProps":
+        """Project the extent limits onto ``dim`` dimensions.
+
+        Back-ends store their limits at maximum dimensionality; a kernel
+        launched with a lower-dimensional work division is constrained
+        by the *innermost* (fastest) components, matching CUDA's
+        per-axis limits.
+        """
+        if dim == self.dim:
+            return self
+
+        def proj(v: Vec) -> Vec:
+            return Vec(*v.as_tuple()[-dim:]) if dim <= v.dim else Vec(
+                *((v[0],) * (dim - v.dim) + v.as_tuple())
+            )
+
+        return AccDevProps(
+            multi_processor_count=self.multi_processor_count,
+            grid_block_extent_max=proj(self.grid_block_extent_max),
+            block_thread_extent_max=proj(self.block_thread_extent_max),
+            thread_elem_extent_max=proj(self.thread_elem_extent_max),
+            block_thread_count_max=self.block_thread_count_max,
+            shared_mem_size_bytes=self.shared_mem_size_bytes,
+            warp_size=self.warp_size,
+            global_mem_size_bytes=self.global_mem_size_bytes,
+        )

@@ -1,0 +1,241 @@
+"""Work division: how a problem extent is split over the hierarchy.
+
+A work division fixes the extents of the three nested levels below the
+grid: blocks per grid, threads per block and elements per thread
+(paper Listing 2).  The division is *the* tuning knob that the paper's
+evaluation turns — the same kernel with a CUDA-shaped division
+(many threads, few elements) or a CPU-shaped division (one thread per
+block, many elements) differs by an order of magnitude in performance.
+
+Besides the explicit :class:`WorkDivMembers`, this module implements the
+automatic divider :func:`divide_work` realising the predefined mappings
+of paper Table 2, and :func:`validate_work_div` which enforces device
+limits (:class:`~repro.core.properties.AccDevProps`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from .errors import InvalidWorkDiv
+from .properties import AccDevProps
+from .vec import Vec, as_vec
+
+__all__ = [
+    "WorkDivMembers",
+    "MappingStrategy",
+    "divide_work",
+    "validate_work_div",
+]
+
+
+@dataclass(frozen=True)
+class WorkDivMembers:
+    """Extents of the block, thread and element levels (paper Listing 2).
+
+    All three extents must share one dimensionality.  The grid level
+    itself always spans the whole device (paper Sec. 3.3), so it has no
+    extent of its own.
+    """
+
+    grid_block_extent: Vec
+    block_thread_extent: Vec
+    thread_elem_extent: Vec
+
+    def __post_init__(self):
+        g, b, t = (
+            self.grid_block_extent,
+            self.block_thread_extent,
+            self.thread_elem_extent,
+        )
+        if not (g.dim == b.dim == t.dim):
+            raise InvalidWorkDiv(
+                f"work division levels disagree in dimensionality: "
+                f"{g.dim}/{b.dim}/{t.dim}"
+            )
+        for name, v in (
+            ("grid block extent", g),
+            ("block thread extent", b),
+            ("thread element extent", t),
+        ):
+            if any(c <= 0 for c in v):
+                raise InvalidWorkDiv(f"{name} must be positive, got {v!r}")
+
+    @classmethod
+    def make(
+        cls,
+        grid_blocks: Union[int, Sequence[int], Vec],
+        block_threads: Union[int, Sequence[int], Vec],
+        thread_elems: Union[int, Sequence[int], Vec],
+        dim: int | None = None,
+    ) -> "WorkDivMembers":
+        """Convenience constructor accepting ints / sequences / Vecs.
+
+        When ``dim`` is given, plain ints broadcast to that
+        dimensionality; otherwise the dimensionality is inferred from
+        the first non-int argument (defaulting to 1-d).
+        """
+        if dim is None:
+            for v in (grid_blocks, block_threads, thread_elems):
+                if isinstance(v, Vec):
+                    dim = v.dim
+                    break
+                if isinstance(v, (tuple, list)):
+                    dim = len(v)
+                    break
+            else:
+                dim = 1
+        return cls(
+            as_vec(grid_blocks, dim),
+            as_vec(block_threads, dim),
+            as_vec(thread_elems, dim),
+        )
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.grid_block_extent.dim
+
+    @property
+    def grid_thread_extent(self) -> Vec:
+        return self.grid_block_extent * self.block_thread_extent
+
+    @property
+    def grid_elem_extent(self) -> Vec:
+        """The total n-dim element extent the division covers — the
+        problem extent a caller sized the division for (or slightly
+        more, when the extents do not divide evenly)."""
+        return (
+            self.grid_block_extent
+            * self.block_thread_extent
+            * self.thread_elem_extent
+        )
+
+    @property
+    def block_count(self) -> int:
+        return self.grid_block_extent.prod()
+
+    @property
+    def block_thread_count(self) -> int:
+        return self.block_thread_extent.prod()
+
+    @property
+    def thread_elem_count(self) -> int:
+        return self.thread_elem_extent.prod()
+
+    def __str__(self) -> str:
+        return (
+            f"WorkDiv(blocks={self.grid_block_extent!r}, "
+            f"threads={self.block_thread_extent!r}, "
+            f"elems={self.thread_elem_extent!r})"
+        )
+
+
+class MappingStrategy(enum.Enum):
+    """How an accelerator prefers work to be divided (paper Table 2).
+
+    * ``THREAD_LEVEL`` — the back-end has cheap hardware threads; fill
+      blocks with threads (CUDA, OpenMP-thread, C++11-thread rows:
+      grid = N/(B*V), block = B, element = V).
+    * ``BLOCK_LEVEL`` — threads are expensive or absent; one thread per
+      block, parallelism across blocks, data parallelism in the element
+      level (OpenMP-block and Sequential rows: grid = N/V, block = 1,
+      element = V).
+    """
+
+    THREAD_LEVEL = "thread-level"
+    BLOCK_LEVEL = "block-level"
+
+
+def divide_work(
+    extent: Union[int, Sequence[int], Vec],
+    props: AccDevProps,
+    strategy: MappingStrategy,
+    *,
+    block_threads: Union[int, Sequence[int], Vec, None] = None,
+    thread_elems: Union[int, Sequence[int], Vec, None] = None,
+) -> WorkDivMembers:
+    """Compute a valid work division covering ``extent`` elements.
+
+    Implements the predefined mappings of paper Table 2 with problem
+    size ``N = prod(extent)``, threads per block ``B`` and elements per
+    thread ``V``:
+
+    * thread-level:  grid = ceil(N / (B*V)), block = B, element = V
+    * block-level:   grid = ceil(N / V),     block = 1, element = V
+
+    ``B`` defaults to the device's maximum block size (clamped per
+    axis); ``V`` defaults to 1.  The result is validated against
+    ``props``; all divisions cover at least ``extent`` (they may
+    overhang, kernels guard with an in-bounds test exactly as on CUDA).
+    """
+    ext = as_vec(extent)
+    ext.assert_positive("problem extent")
+    dim = ext.dim
+    p = props.for_dim(dim)
+
+    v = as_vec(thread_elems, dim) if thread_elems is not None else Vec.ones(dim)
+    v.assert_positive("thread element extent")
+
+    if strategy is MappingStrategy.BLOCK_LEVEL:
+        if block_threads is not None and as_vec(block_threads, dim).prod() != 1:
+            raise InvalidWorkDiv(
+                "block-level mapping fixes one thread per block; "
+                f"got block_threads={block_threads!r}"
+            )
+        b = Vec.ones(dim)
+    else:
+        if block_threads is not None:
+            b = as_vec(block_threads, dim)
+            b.assert_positive("block thread extent")
+        else:
+            b = _default_block_extent(ext, v, p)
+
+    grid = ext.ceil_div(b * v).max(1)
+    wd = WorkDivMembers(grid, b, v)
+    validate_work_div(wd, p)
+    return wd
+
+
+def _default_block_extent(extent: Vec, elems: Vec, props: AccDevProps) -> Vec:
+    """Pick a block extent: as large as the device allows along the
+    fastest axis, 1 elsewhere, clamped so the block is not larger than
+    the per-thread-decimated problem."""
+    dim = extent.dim
+    work = extent.ceil_div(elems)
+    b = Vec.ones(dim)
+    fast = dim - 1
+    limit = min(
+        props.block_thread_extent_max[fast],
+        props.block_thread_count_max,
+    )
+    b = b.with_component(fast, max(1, min(limit, work[fast])))
+    return b
+
+
+def validate_work_div(wd: WorkDivMembers, props: AccDevProps) -> None:
+    """Raise :class:`InvalidWorkDiv` when ``wd`` violates ``props``."""
+    p = props.for_dim(wd.dim)
+    if not wd.grid_block_extent.elementwise_le(p.grid_block_extent_max):
+        raise InvalidWorkDiv(
+            f"grid extent {wd.grid_block_extent!r} exceeds device limit "
+            f"{p.grid_block_extent_max!r}"
+        )
+    if not wd.block_thread_extent.elementwise_le(p.block_thread_extent_max):
+        raise InvalidWorkDiv(
+            f"block extent {wd.block_thread_extent!r} exceeds device limit "
+            f"{p.block_thread_extent_max!r}"
+        )
+    if wd.block_thread_count > p.block_thread_count_max:
+        raise InvalidWorkDiv(
+            f"block thread count {wd.block_thread_count} exceeds device "
+            f"limit {p.block_thread_count_max}"
+        )
+    if not wd.thread_elem_extent.elementwise_le(p.thread_elem_extent_max):
+        raise InvalidWorkDiv(
+            f"thread element extent {wd.thread_elem_extent!r} exceeds device "
+            f"limit {p.thread_elem_extent_max!r}"
+        )

@@ -1,0 +1,16 @@
+"""Devices, platforms and the device manager (offloading model)."""
+
+from .device import Device, MemorySpace
+from .manager import get_dev_by_idx, get_dev_count, platform_of
+from .platform import Platform, PlatformCpu, PlatformCudaSim
+
+__all__ = [
+    "Device",
+    "MemorySpace",
+    "Platform",
+    "PlatformCpu",
+    "PlatformCudaSim",
+    "get_dev_by_idx",
+    "get_dev_count",
+    "platform_of",
+]

@@ -1,0 +1,38 @@
+"""Device manager: ``DevMan<Acc>::getDevByIdx`` (paper Listing 5).
+
+Ties accelerator types to their platforms so host code can select a
+device knowing only the accelerator type — the one line that changes
+when retargeting an application.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from ..core.errors import DeviceError
+from .device import Device
+from .platform import Platform
+
+__all__ = ["get_dev_by_idx", "get_dev_count", "platform_of"]
+
+
+def platform_of(acc_type) -> Platform:
+    """The platform an accelerator type executes on.
+
+    Accelerator types expose a ``platform()`` classmethod; this wrapper
+    exists so host code (and tests) do not depend on that classmethod
+    directly.
+    """
+    plat = getattr(acc_type, "platform", None)
+    if plat is None:
+        raise DeviceError(f"{acc_type!r} is not an accelerator type")
+    return plat()
+
+
+def get_dev_by_idx(acc_type, idx: int = 0) -> Device:
+    """Select the ``idx``-th device the accelerator can run on."""
+    return platform_of(acc_type).get_dev_by_idx(idx)
+
+
+def get_dev_count(acc_type) -> int:
+    return platform_of(acc_type).device_count

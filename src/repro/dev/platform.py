@@ -1,0 +1,109 @@
+"""Platforms: families of devices an accelerator can target.
+
+Two platform kinds exist in the reproduction, matching the two memory
+spaces of the paper's offloading model:
+
+* :class:`PlatformCpu` — the host.  One device per machine model (the
+  real host by default), host-accessible memory.
+* :class:`PlatformCudaSim` — the simulated CUDA platform.  One device
+  per GPU die of the modeled machine (a K80 exposes two, exactly as the
+  paper's Table 3 counts it), with an isolated memory space.
+
+Platforms are cheap value-like objects; two ``PlatformCpu()`` instances
+expose the *same* devices (devices are cached per (kind, machine key))
+so buffers allocated through either compare resident-equal.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from ..core.errors import DeviceError
+from ..hardware.registry import host_machine, machine
+from ..hardware.specs import HardwareSpec
+from .device import Device
+
+__all__ = ["Platform", "PlatformCpu", "PlatformCudaSim"]
+
+_cache_lock = threading.Lock()
+_device_cache: Dict[Tuple[str, str], List[Device]] = {}
+
+
+class Platform:
+    """Base class; concrete platforms fix ``kind`` and device creation."""
+
+    kind: str = "abstract"
+
+    def __init__(self, spec: HardwareSpec, accessible_from_host: bool):
+        self.spec = spec
+        self._accessible_from_host = accessible_from_host
+
+    @property
+    def devices(self) -> List[Device]:
+        key = (self.kind, self.spec.key)
+        with _cache_lock:
+            devs = _device_cache.get(key)
+            if devs is None:
+                devs = [
+                    Device(self, self.spec, i, self._accessible_from_host)
+                    for i in range(self.spec.device_count)
+                ]
+                _device_cache[key] = devs
+            return devs
+
+    @property
+    def device_count(self) -> int:
+        return self.spec.device_count
+
+    def get_dev_by_idx(self, idx: int) -> Device:
+        devs = self.devices
+        if not 0 <= idx < len(devs):
+            raise DeviceError(
+                f"device index {idx} out of range; platform {self.kind} "
+                f"({self.spec.key}) has {len(devs)} device(s)"
+            )
+        return devs[idx]
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.kind} on {self.spec.key}>"
+
+
+class PlatformCpu(Platform):
+    """The host platform.
+
+    ``machine_key`` selects a modeled machine from the hardware registry
+    (used by the performance model to stand in for the paper's CPUs);
+    by default the actual host is used.
+    """
+
+    kind = "cpu"
+
+    def __init__(self, machine_key: str | None = None):
+        spec = machine(machine_key) if machine_key else host_machine()
+        if spec.kind != "cpu":
+            raise DeviceError(f"{spec.key} is not a CPU machine")
+        super().__init__(spec, accessible_from_host=True)
+
+
+class PlatformCudaSim(Platform):
+    """The simulated CUDA platform.
+
+    Devices have isolated memory (host access raises) and a simulated
+    clock driven by the performance model.  Default machine is the K80
+    used for most of the paper's GPU measurements.
+    """
+
+    kind = "cuda-sim"
+
+    def __init__(self, machine_key: str = "nvidia-k80"):
+        spec = machine(machine_key)
+        if spec.kind != "gpu":
+            raise DeviceError(f"{spec.key} is not a GPU machine")
+        super().__init__(spec, accessible_from_host=False)
+
+
+def _reset_device_cache() -> None:
+    """Test hook: forget all cached devices (invalidates buffers)."""
+    with _cache_lock:
+        _device_cache.clear()

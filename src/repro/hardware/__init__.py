@@ -1,0 +1,38 @@
+"""Modeled hardware: the paper's Table 3 machines and a cache model.
+
+The reproduction runs on whatever host executes the tests; the *paper's*
+machines exist here as explicit models so the performance figures can be
+regenerated from first principles (see DESIGN.md, substitution table).
+"""
+
+from .cache import AccessPattern, BandwidthEstimate, CacheModel
+from .registry import (
+    TABLE3_KEYS,
+    all_machines,
+    host_machine,
+    machine,
+    machine_keys,
+    register_machine,
+    table3_rows,
+)
+from .serialize import load_machine, save_machine, spec_from_dict, spec_to_dict
+from .specs import CacheLevel, HardwareSpec
+
+__all__ = [
+    "HardwareSpec",
+    "CacheLevel",
+    "CacheModel",
+    "AccessPattern",
+    "BandwidthEstimate",
+    "machine",
+    "machine_keys",
+    "all_machines",
+    "register_machine",
+    "table3_rows",
+    "host_machine",
+    "TABLE3_KEYS",
+    "spec_to_dict",
+    "spec_from_dict",
+    "save_machine",
+    "load_machine",
+]

@@ -1,0 +1,305 @@
+"""Registry of modeled machines — paper Table 3 plus the local host.
+
+The five evaluation machines carry the exact counts, clocks and
+theoretical double-precision peaks printed in Table 3.  Cache and
+bandwidth parameters are vendor-published values; they feed the
+performance model only (Figs. 5/6/8/9/10 shapes), never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from .specs import CacheLevel, HardwareSpec
+
+__all__ = [
+    "machine",
+    "machine_keys",
+    "all_machines",
+    "register_machine",
+    "table3_rows",
+    "TABLE3_KEYS",
+    "host_machine",
+]
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def _opteron_6276() -> HardwareSpec:
+    # AMD Interlagos (Bulldozer): 16 integer cores per device sharing 8
+    # FPU modules; 4-socket node. Paper: 480 GFLOPS node peak.
+    return HardwareSpec(
+        key="amd-opteron-6276",
+        vendor="AMD",
+        architecture="Opteron 6276",
+        kind="cpu",
+        device_count=4,
+        cores_per_device=16,
+        clock_ghz=2.3,
+        turbo_ghz=3.2,
+        release="Q4/2011",
+        peak_gflops_dp=480.0,
+        global_mem_bandwidth_gbs=4 * 51.2,
+        caches=(
+            CacheLevel("L1", 16 * _KB, 4 * 16 * 2 * 2.3 * 8, 1.5, shared_by=1),
+            CacheLevel("L2", 2 * _MB, 4 * 8 * 2.3 * 16, 9.0, shared_by=2),
+            CacheLevel("L3", 16 * _MB, 4 * 2.3 * 32, 20.0, shared_by=16),
+        ),
+        simd_dp_lanes=4,  # AVX (shared FMA pipes between paired cores)
+        shared_mem_per_block_bytes=2 * _MB,  # block shared mem maps to L2
+        max_threads_per_block=16,
+        global_mem_bytes=64 << 30,
+    )
+
+
+def _xeon_e5_2609() -> HardwareSpec:
+    # Sandy Bridge EP, no hyper-threading, no turbo; 2-socket node.
+    # 2 * 4 cores * 2.4 GHz * 8 DP flops/cycle (AVX) = 153.6; Table 3
+    # rounds to 150.
+    return HardwareSpec(
+        key="intel-xeon-e5-2609",
+        vendor="Intel",
+        architecture="Xeon E5-2609",
+        kind="cpu",
+        device_count=2,
+        cores_per_device=4,
+        clock_ghz=2.4,
+        turbo_ghz=None,
+        release="Q1/2012",
+        peak_gflops_dp=150.0,
+        global_mem_bandwidth_gbs=2 * 51.2,
+        caches=(
+            CacheLevel("L1", 32 * _KB, 2 * 4 * 2.4 * 32, 1.2, shared_by=1),
+            CacheLevel("L2", 256 * _KB, 2 * 4 * 2.4 * 16, 3.5, shared_by=1),
+            CacheLevel("L3", 10 * _MB, 2 * 2.4 * 32, 15.0, shared_by=4),
+        ),
+        simd_dp_lanes=4,  # AVX-256
+        shared_mem_per_block_bytes=10 * _MB,
+        max_threads_per_block=4,
+        global_mem_bytes=32 << 30,
+        peak_assumes_fma=False,  # Sandy Bridge: separate mul and add ports
+    )
+
+
+def _xeon_e5_2630v3() -> HardwareSpec:
+    # Haswell EP, 8 cores / 16 hyper-threads per socket, 2-socket node.
+    # AVX2+FMA: 2 * 8 * 2.4 * 16 = 614 theoretical; Table 3 lists 540
+    # (AVX base clock is below nominal), which we adopt.
+    return HardwareSpec(
+        key="intel-xeon-e5-2630v3",
+        vendor="Intel",
+        architecture="Xeon E5-2630v3",
+        kind="cpu",
+        device_count=2,
+        cores_per_device=8,
+        clock_ghz=2.4,
+        turbo_ghz=3.2,
+        release="Q3/2014",
+        peak_gflops_dp=540.0,
+        global_mem_bandwidth_gbs=2 * 68.0,
+        caches=(
+            CacheLevel("L1", 32 * _KB, 2 * 8 * 2.4 * 64, 1.2, shared_by=1),
+            CacheLevel("L2", 256 * _KB, 2 * 8 * 2.4 * 32, 3.5, shared_by=1),
+            CacheLevel("L3", 20 * _MB, 2 * 2.4 * 64, 14.0, shared_by=8),
+        ),
+        simd_dp_lanes=4,
+        shared_mem_per_block_bytes=20 * _MB,
+        max_threads_per_block=16,  # hyper-threads
+        global_mem_bytes=64 << 30,
+    )
+
+
+def _nvidia_k20() -> HardwareSpec:
+    # GK110: 13 SMX * 192 cores = 2496, 0.71 GHz; Table 3: 1170 GFLOPS.
+    return HardwareSpec(
+        key="nvidia-k20",
+        vendor="NVIDIA",
+        architecture="K20 GK110",
+        kind="gpu",
+        device_count=1,
+        cores_per_device=2496,
+        clock_ghz=0.71,
+        turbo_ghz=None,
+        release="Q4/2012",
+        peak_gflops_dp=1170.0,
+        global_mem_bandwidth_gbs=208.0,
+        caches=(
+            CacheLevel("L2", 1536 * _KB, 500.0, 80.0, shared_by=13),
+            CacheLevel("shared", 48 * _KB, 13 * 0.71 * 128, 10.0, shared_by=1),
+        ),
+        warp_size=32,
+        sm_count=13,
+        shared_mem_per_block_bytes=48 * _KB,
+        max_threads_per_block=1024,
+        global_mem_bytes=5 << 30,
+    )
+
+
+def _nvidia_k80() -> HardwareSpec:
+    # K80 board = 2 GK210 dies; Table 3 lists it as 2 devices of 2496
+    # cores, 0.56 (0.88) GHz, 2 x 1450 GFLOPS.
+    return HardwareSpec(
+        key="nvidia-k80",
+        vendor="NVIDIA",
+        architecture="K80 GK210",
+        kind="gpu",
+        device_count=2,
+        cores_per_device=2496,
+        clock_ghz=0.56,
+        turbo_ghz=0.88,
+        release="Q4/2014",
+        peak_gflops_dp=2 * 1450.0,
+        global_mem_bandwidth_gbs=2 * 240.0,
+        caches=(
+            CacheLevel("L2", 1536 * _KB, 600.0, 80.0, shared_by=13),
+            CacheLevel("shared", 112 * _KB, 13 * 0.56 * 128, 10.0, shared_by=1),
+        ),
+        warp_size=32,
+        sm_count=13,
+        shared_mem_per_block_bytes=48 * _KB,
+        max_threads_per_block=1024,
+        global_mem_bytes=12 << 30,
+    )
+
+
+def _xeon_phi_5110p() -> HardwareSpec:
+    # Knights Corner MIC: 60 cores, 4 hardware threads each, 8-wide DP
+    # SIMD, 1.053 GHz, ~1011 GFLOPS DP peak, 320 GB/s GDDR5.  Not part
+    # of Table 3 — the paper's Fig. 3 shows the MIC mapping and its
+    # future work names Xeon Phi explicitly; the model backs the
+    # future-architectures bench.
+    return HardwareSpec(
+        key="intel-xeon-phi-5110p",
+        vendor="Intel",
+        architecture="Xeon Phi 5110P",
+        kind="cpu",
+        device_count=1,
+        cores_per_device=60,
+        clock_ghz=1.053,
+        turbo_ghz=None,
+        release="Q4/2012",
+        peak_gflops_dp=1011.0,
+        global_mem_bandwidth_gbs=320.0,
+        caches=(
+            CacheLevel("L1", 32 * _KB, 60 * 1.053 * 64, 1.0, shared_by=1),
+            CacheLevel("L2", 512 * _KB, 60 * 1.053 * 32, 11.0, shared_by=1),
+        ),
+        simd_dp_lanes=8,  # 512-bit vector units
+        shared_mem_per_block_bytes=512 * _KB,  # Fig. 3: block maps to L2
+        max_threads_per_block=4,  # 4 hardware threads per core
+        global_mem_bytes=8 << 30,
+    )
+
+
+def host_machine() -> HardwareSpec:
+    """A model of the machine the reproduction actually runs on.
+
+    Used for the functional CPU back-ends; counts come from the OS, the
+    throughput numbers are nominal (they never enter modeled figures,
+    which use the Table 3 machines)."""
+    cores = os.cpu_count() or 1
+    return HardwareSpec(
+        key="host",
+        vendor="generic",
+        architecture="host CPU",
+        kind="cpu",
+        device_count=1,
+        cores_per_device=cores,
+        clock_ghz=2.0,
+        turbo_ghz=None,
+        release="n/a",
+        peak_gflops_dp=16.0 * cores,
+        global_mem_bandwidth_gbs=20.0,
+        caches=(
+            CacheLevel("L1", 32 * _KB, cores * 100.0, 1.0, shared_by=1),
+            CacheLevel("L2", 1 * _MB, cores * 50.0, 4.0, shared_by=1),
+        ),
+        simd_dp_lanes=4,
+        shared_mem_per_block_bytes=1 * _MB,
+        max_threads_per_block=max(cores, 16),
+        global_mem_bytes=4 << 30,
+    )
+
+
+#: Keys of the five paper machines, in Table 3 column order.
+TABLE3_KEYS = (
+    "amd-opteron-6276",
+    "intel-xeon-e5-2609",
+    "intel-xeon-e5-2630v3",
+    "nvidia-k20",
+    "nvidia-k80",
+)
+
+_REGISTRY: Dict[str, HardwareSpec] = {}
+
+
+def register_machine(spec: HardwareSpec, *, replace: bool = False) -> HardwareSpec:
+    """Add a machine model to the registry (used by tests and users who
+    model their own hardware)."""
+    if spec.key in _REGISTRY and not replace:
+        raise KeyError(f"machine {spec.key!r} already registered")
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+for _ctor in (
+    _opteron_6276,
+    _xeon_e5_2609,
+    _xeon_e5_2630v3,
+    _nvidia_k20,
+    _nvidia_k80,
+    _xeon_phi_5110p,
+):
+    register_machine(_ctor())
+register_machine(host_machine())
+
+
+def machine(key: str) -> HardwareSpec:
+    """Look up a machine model by key (see :data:`TABLE3_KEYS`)."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {key!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def machine_keys() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_machines() -> List[HardwareSpec]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def table3_rows() -> List[dict]:
+    """Regenerate paper Table 3 from the registry (one dict per column
+    of the paper's table; the bench renders it transposed like the
+    paper)."""
+    rows = []
+    for key in TABLE3_KEYS:
+        m = machine(key)
+        per_dev = m.peak_gflops_dp / m.device_count
+        peak = (
+            f"{m.device_count}x{per_dev:.0f} GFLOPS"
+            if m.device_count > 1 and m.kind == "gpu"
+            else f"{m.peak_gflops_dp:.0f} GFLOPS"
+        )
+        cores = m.cores_per_device
+        cores_str = str(cores)
+        if m.key == "intel-xeon-e5-2630v3":
+            cores_str = f"{cores} ({2 * cores} hyper-threads)"
+        rows.append(
+            {
+                "Vendor": m.vendor,
+                "Architecture": m.architecture,
+                "Number of devices": m.device_count,
+                "Number of cores per device": cores_str,
+                "Clock frequency": m.clock_string(),
+                "Release date": m.release,
+                "Th. double peak performance": peak,
+            }
+        )
+    return rows

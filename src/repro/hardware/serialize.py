@@ -1,0 +1,68 @@
+"""Machine-model serialisation: model your own hardware in JSON.
+
+The Table 3 machines ship in code; users reproducing the figures on
+*their* hardware describe it once in JSON and load it into the
+registry::
+
+    spec = load_machine("my-cluster-node.json", register=True)
+    Acc = AccCpuOmp2Blocks.for_machine(spec.key)
+
+Round-trips are exact: ``spec_from_dict(spec_to_dict(s)) == s``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Union
+
+from .registry import register_machine
+from .specs import CacheLevel, HardwareSpec
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "save_machine",
+    "load_machine",
+]
+
+
+def spec_to_dict(spec: HardwareSpec) -> dict:
+    """A plain-JSON-able dict of the spec (caches nested)."""
+    d = asdict(spec)
+    d["caches"] = [asdict(c) for c in spec.caches]
+    return d
+
+
+def spec_from_dict(data: dict) -> HardwareSpec:
+    """Inverse of :func:`spec_to_dict`; validates through the dataclass
+    constructors (bad values raise exactly like hand-written specs)."""
+    payload = dict(data)
+    caches = tuple(CacheLevel(**c) for c in payload.pop("caches", ()))
+    return HardwareSpec(caches=caches, **payload)
+
+
+def save_machine(spec: HardwareSpec, path: str) -> str:
+    """Write a spec as JSON; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(spec_to_dict(spec), fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_machine(
+    source: Union[str, dict],
+    *,
+    register: bool = False,
+    replace: bool = False,
+) -> HardwareSpec:
+    """Load a spec from a JSON file path (or an already-parsed dict);
+    optionally add it to the machine registry."""
+    if isinstance(source, dict):
+        data = source
+    else:
+        with open(source) as fh:
+            data = json.load(fh)
+    spec = spec_from_dict(data)
+    if register:
+        register_machine(spec, replace=replace)
+    return spec

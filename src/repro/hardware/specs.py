@@ -1,0 +1,132 @@
+"""Hardware description records for the modeled evaluation machines.
+
+The paper evaluates on five machines (Table 3).  We cannot measure on
+that hardware, so the reproduction carries explicit machine models: the
+published core counts, clocks and theoretical double-precision peaks,
+plus the memory-system parameters (bandwidths, cache/shared-memory
+geometry) that the performance model in :mod:`repro.perfmodel` needs.
+
+Peak GFLOPS values are taken directly from paper Table 3 (they are the
+*node* totals, i.e. across all devices of a machine).  Microarchitecture
+parameters (SIMD lanes, warp size, cache sizes, bandwidths) come from
+the vendors' published specifications; where the paper's peak and a
+first-principles ``sockets*cores*clock*flops_per_cycle`` product
+disagree slightly, the paper's number wins and the derived per-core
+throughput absorbs the difference, so every modeled ratio is relative to
+the same peaks the paper normalises by (Fig. 9, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["CacheLevel", "HardwareSpec"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of an on-chip memory hierarchy.
+
+    ``bandwidth_gbs`` is the aggregate bandwidth of the level across the
+    whole device; ``shared_by`` tells the model how many execution units
+    contend for one instance of the level.
+    """
+
+    name: str
+    size_bytes: int
+    bandwidth_gbs: float
+    latency_ns: float
+    shared_by: int = 1
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError(f"cache size must be positive: {self}")
+        if self.bandwidth_gbs <= 0 or self.latency_ns < 0:
+            raise ValueError(f"invalid cache timing: {self}")
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A machine from paper Table 3 (or the local host).
+
+    A *machine* may contain several identical *devices* (sockets for
+    CPUs, GPU boards / GPU dies for accelerators); ``peak_gflops_dp`` is
+    the machine total, ``device_peak_gflops_dp`` the per-device share.
+    """
+
+    key: str
+    vendor: str
+    architecture: str
+    kind: str  # "cpu" | "gpu"
+    device_count: int
+    cores_per_device: int
+    clock_ghz: float
+    turbo_ghz: Optional[float]
+    release: str
+    peak_gflops_dp: float
+    global_mem_bandwidth_gbs: float
+    caches: Tuple[CacheLevel, ...] = field(default_factory=tuple)
+    simd_dp_lanes: int = 1  # CPU vector width in doubles
+    warp_size: int = 1  # GPU lockstep width
+    sm_count: int = 0  # GPU streaming multiprocessors per device
+    shared_mem_per_block_bytes: int = 48 * 1024
+    max_threads_per_block: int = 1024
+    global_mem_bytes: int = 8 << 30
+    #: Whether ``peak_gflops_dp`` counts fused multiply-adds as two
+    #: flops issued by one instruction.  Code whose compiler does not
+    #: contract a*b+c into FMA (gcc 4.9 defaults on the paper's CPUs)
+    #: can reach at most half of an FMA-based peak.
+    peak_assumes_fma: bool = True
+
+    def __post_init__(self):
+        if self.kind not in ("cpu", "gpu"):
+            raise ValueError(f"kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        if self.device_count < 1 or self.cores_per_device < 1:
+            raise ValueError(f"device/core counts must be >= 1: {self.key}")
+        if self.peak_gflops_dp <= 0 or self.global_mem_bandwidth_gbs <= 0:
+            raise ValueError(f"peak/bandwidth must be positive: {self.key}")
+        if self.kind == "gpu" and self.sm_count < 1:
+            raise ValueError(f"gpu spec needs sm_count: {self.key}")
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def device_peak_gflops_dp(self) -> float:
+        return self.peak_gflops_dp / self.device_count
+
+    @property
+    def total_cores(self) -> int:
+        return self.device_count * self.cores_per_device
+
+    @property
+    def effective_clock_ghz(self) -> float:
+        """Clock used for throughput modeling.
+
+        Table 3's note: turbo applies only when few cores are busy; a
+        saturating kernel runs at base clock, so the model uses the base
+        clock and treats turbo as an upper bound only.
+        """
+        return self.clock_ghz
+
+    @property
+    def flops_per_cycle_per_core(self) -> float:
+        """DP FLOPs/cycle/core implied by the paper's peak — the model's
+        normalisation constant (see module docstring)."""
+        return self.peak_gflops_dp / (self.total_cores * self.clock_ghz)
+
+    def smallest_cache_level(self) -> Optional[CacheLevel]:
+        return min(self.caches, key=lambda c: c.size_bytes) if self.caches else None
+
+    def cache_level(self, name: str) -> CacheLevel:
+        for c in self.caches:
+            if c.name == name:
+                return c
+        raise KeyError(f"{self.key} has no cache level {name!r}")
+
+    def clock_string(self) -> str:
+        """Format the clock column exactly as paper Table 3 does:
+        ``base (turbo) GHz`` or plain ``base GHz``."""
+        if self.turbo_ghz:
+            return f"{self.clock_ghz:.2f} ({self.turbo_ghz:.2f}) GHz"
+        return f"{self.clock_ghz:.2f} GHz"

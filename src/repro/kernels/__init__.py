@@ -1,0 +1,75 @@
+"""Kernel library: the paper's workloads plus common idioms."""
+
+from .axpy import AxpyElementsKernel, AxpyKernel, axpy_cuda_native, axpy_reference
+from .gemm import (
+    ALPAKA_EXTRA_API_CALLS,
+    ALPAKA_GPU_OVERHEAD_FRACTION,
+    GemmCudaStyleKernel,
+    GemmOmpStyleKernel,
+    GemmTilingKernel,
+    dgemm_reference,
+    dgemm_rows_host,
+    gemm_workdiv_cuda,
+    gemm_workdiv_omp,
+    gemm_workdiv_tiling,
+)
+from .histogram import HistogramKernel, histogram_reference
+from .reduce import DotKernel, SumReduceKernel, sum_reference
+from .scan import (
+    AddOffsetsKernel,
+    BlockScanKernel,
+    scan_exclusive,
+    scan_reference,
+)
+from .sort import BitonicSortKernel, sort_chunks
+from .spmv import CsrSpmvKernel, csr_from_dense, spmv_reference
+from .stencil import Jacobi2DKernel, jacobi_reference_step
+from .stencil3d import Jacobi3DKernel, jacobi3d_reference_step
+from .transform import FillKernel, IotaKernel, MapKernel, ScaleKernel
+from .transpose import (
+    TransposeNaiveKernel,
+    TransposeTiledKernel,
+    transpose_workdiv,
+)
+
+__all__ = [
+    "AxpyKernel",
+    "AxpyElementsKernel",
+    "axpy_cuda_native",
+    "axpy_reference",
+    "GemmCudaStyleKernel",
+    "GemmOmpStyleKernel",
+    "GemmTilingKernel",
+    "gemm_workdiv_cuda",
+    "gemm_workdiv_omp",
+    "gemm_workdiv_tiling",
+    "dgemm_reference",
+    "dgemm_rows_host",
+    "ALPAKA_GPU_OVERHEAD_FRACTION",
+    "ALPAKA_EXTRA_API_CALLS",
+    "SumReduceKernel",
+    "DotKernel",
+    "sum_reference",
+    "BlockScanKernel",
+    "AddOffsetsKernel",
+    "scan_exclusive",
+    "scan_reference",
+    "HistogramKernel",
+    "histogram_reference",
+    "Jacobi2DKernel",
+    "jacobi_reference_step",
+    "Jacobi3DKernel",
+    "jacobi3d_reference_step",
+    "BitonicSortKernel",
+    "sort_chunks",
+    "CsrSpmvKernel",
+    "csr_from_dense",
+    "spmv_reference",
+    "FillKernel",
+    "IotaKernel",
+    "ScaleKernel",
+    "MapKernel",
+    "TransposeNaiveKernel",
+    "TransposeTiledKernel",
+    "transpose_workdiv",
+]

@@ -1,0 +1,334 @@
+"""DGEMM kernels (paper Sec. 4.2, Figs. 5-9).
+
+``C <- alpha*A*B + beta*C`` on square n x n matrices, in the three
+renditions the paper evaluates:
+
+* :class:`GemmCudaStyleKernel` — the shared-memory tiled kernel of the
+  CUDA programming guide, translated one-to-one to alpaka: scalar
+  per-thread work, a BxB thread block loads BxB tiles of A and B into
+  shared memory, synchronises, accumulates.  Fast on the CUDA back-end,
+  collapses on CPUs (Fig. 6): no vector work for the element level, and
+  two block barriers per tile step that cost OS futexes instead of
+  hardware sync.
+* :class:`GemmOmpStyleKernel` — the standard nested-loop kernel,
+  translated one-to-one from the native OpenMP implementation: one
+  thread per block, each thread owns a span of C rows and updates them
+  with vector (element-level) operations.  Fast on CPU back-ends,
+  collapses on the GPU (Fig. 6): 1-thread blocks waste 31/32 of every
+  warp and its per-thread contiguous walk uncoalesces.
+* :class:`GemmTilingKernel` — the single-source hierarchically tiled
+  kernel of Sec. 4.2.2/Fig. 7 that uses *all* levels: blocks own C
+  tiles, threads own sub-tiles, the element level does register/vector
+  blocking.  One source, competitive everywhere (Fig. 8), ~20 % of
+  peak on all five machines (Fig. 9).
+
+Each kernel carries a cost description (``characteristics``) for the
+performance model; construct with ``native=True`` for the
+native-implementation variant (no abstraction overhead) used as the
+Fig. 5 baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.element import grid_strided_spans
+from ..core.errors import KernelError
+from ..core.index import (
+    Block,
+    Blocks,
+    Elems,
+    Grid,
+    Thread,
+    Threads,
+    get_idx,
+    get_work_div,
+)
+from ..core.kernel import fn_acc
+from ..core.workdiv import WorkDivMembers
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = [
+    "GemmCudaStyleKernel",
+    "GemmOmpStyleKernel",
+    "GemmTilingKernel",
+    "gemm_workdiv_cuda",
+    "gemm_workdiv_omp",
+    "gemm_workdiv_tiling",
+    "dgemm_reference",
+    "dgemm_rows_host",
+]
+
+#: Residual abstraction cost of the alpaka layer under nvcc, as measured
+#: by the paper (Sec. 4.2.1: "an overhead of 6% or less", from
+#: move/forward operators in the grid index calculations).  Applied by
+#: the model on the GPU back-end only; gcc elides the same abstractions
+#: completely (the paper's OpenMP back-end measures 100 % relative
+#: performance).
+ALPAKA_GPU_OVERHEAD_FRACTION = 0.045
+
+#: Extra CUDA runtime calls per launch issued by the alpaka back-end.
+ALPAKA_EXTRA_API_CALLS = 3
+
+#: Elements per axis a thread can truly keep in registers; element
+#: extents beyond this still help cache blocking but no longer reduce
+#: on-chip traffic per FMA.
+REGISTER_BLOCK_CAP = 4
+
+
+def dgemm_reference(alpha, A, B, beta, C):
+    """Host-side reference result (BLAS via numpy)."""
+    return alpha * (A @ B) + beta * C
+
+
+def dgemm_rows_host(alpha, A, B, beta, C, rows_per_chunk: int = 64) -> None:
+    """The *native* OpenMP-style implementation: a direct function the
+    Fig. 5 wall-clock comparison baselines against (same row-chunked
+    vector operations as :class:`GemmOmpStyleKernel`, zero library
+    machinery).  Updates ``C`` in place."""
+    n = C.shape[0]
+    for r0 in range(0, n, rows_per_chunk):
+        r1 = min(r0 + rows_per_chunk, n)
+        C[r0:r1, :] = alpha * (A[r0:r1, :] @ B) + beta * C[r0:r1, :]
+
+
+# ---------------------------------------------------------------------------
+# Work divisions (Table 2 mappings specialised to DGEMM)
+# ---------------------------------------------------------------------------
+
+
+def gemm_workdiv_cuda(n: int, block_threads: int = 16) -> WorkDivMembers:
+    """CUDA mapping: 2-d grid of (B, B) thread blocks, 1 element each."""
+    blocks = -(-n // block_threads)
+    return WorkDivMembers.make(
+        (blocks, blocks), (block_threads, block_threads), (1, 1)
+    )
+
+
+def gemm_workdiv_omp(n: int, rows_per_thread: int = 64) -> WorkDivMembers:
+    """OpenMP-block mapping: 1-d grid over row chunks, 1 thread per
+    block, ``rows_per_thread`` elements."""
+    blocks = -(-n // rows_per_thread)
+    return WorkDivMembers.make((blocks,), (1,), (rows_per_thread,))
+
+
+def gemm_workdiv_tiling(
+    n: int, block_threads: int, elems_per_thread: int
+) -> WorkDivMembers:
+    """Hierarchical tiling mapping: square thread and element extents;
+    a block owns a (B*V) x (B*V) tile of C."""
+    tile = block_threads * elems_per_thread
+    blocks = -(-n // tile)
+    return WorkDivMembers.make(
+        (blocks, blocks),
+        (block_threads, block_threads),
+        (elems_per_thread, elems_per_thread),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def _copy_window(dst, dst_rows, dst_cols, src, sr0, sc0, n):
+    """dst[dst_rows, dst_cols] = zero-padded window of src at (sr0, sc0)."""
+    h = dst_rows.stop - dst_rows.start
+    w = dst_cols.stop - dst_cols.start
+    rows_avail = max(0, min(h, n - sr0))
+    cols_avail = max(0, min(w, n - sc0))
+    target = dst[dst_rows, dst_cols]
+    if rows_avail == h and cols_avail == w:
+        target[...] = src[sr0 : sr0 + h, sc0 : sc0 + w]
+        return
+    target[...] = 0.0
+    if rows_avail > 0 and cols_avail > 0:
+        target[:rows_avail, :cols_avail] = src[
+            sr0 : sr0 + rows_avail, sc0 : sc0 + cols_avail
+        ]
+
+
+class GemmCudaStyleKernel:
+    """CUDA-programming-guide tiled DGEMM, one scalar element per thread.
+
+    Requires a square 2-d thread block and a back-end with block
+    synchronisation.  ``native=True`` marks the baseline variant
+    (identical algorithm, no abstraction-layer cost in the model).
+    """
+
+    def __init__(self, native: bool = False):
+        self.native = native
+
+    @fn_acc
+    def __call__(self, acc, n, alpha, A, B, beta, C):
+        ti = get_idx(acc, Block, Threads)
+        bi = get_idx(acc, Grid, Blocks)
+        ts = get_work_div(acc, Block, Threads)
+        if ts.dim != 2 or ts[0] != ts[1]:
+            raise KernelError(
+                f"GemmCudaStyleKernel needs a square 2-d thread block, got {ts!r}"
+            )
+        bt = ts[0]
+        row = bi[0] * bt + ti[0]
+        col = bi[1] * bt + ti[1]
+        s_a = acc.shared_mem("tileA", (bt, bt))
+        s_b = acc.shared_mem("tileB", (bt, bt))
+
+        accum = 0.0
+        for t in range(-(-n // bt)):
+            a_col = t * bt + ti[1]
+            b_row = t * bt + ti[0]
+            s_a[ti[0], ti[1]] = A[row, a_col] if (row < n and a_col < n) else 0.0
+            s_b[ti[0], ti[1]] = B[b_row, col] if (b_row < n and col < n) else 0.0
+            acc.sync_block_threads()
+            for k in range(bt):
+                accum += s_a[ti[0], k] * s_b[k, ti[1]]
+            acc.sync_block_threads()
+        if row < n and col < n:
+            C[row, col] = alpha * accum + beta * C[row, col]
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        bt = work_div.block_thread_extent[0]
+        tiles = -(-n // bt)
+        chars = KernelCharacteristics(
+            flops=2.0 * n**3 + 3.0 * n**2,
+            global_read_bytes=8.0 * (2.0 * n**3 / bt + n**2),
+            global_write_bytes=8.0 * n**2,
+            working_set_bytes=2 * bt * bt * 8,
+            thread_access_pattern=AccessPattern.TILED,
+            vector_friendly=False,
+            on_chip_read_bytes=16.0 * n**3,  # two shared reads per FMA
+            block_sync_generations=2.0 * tiles * work_div.block_count,
+        )
+        if not self.native:
+            chars = chars.with_overhead(
+                ALPAKA_GPU_OVERHEAD_FRACTION, ALPAKA_EXTRA_API_CALLS
+            )
+        return chars
+
+
+class GemmOmpStyleKernel:
+    """Standard nested-loop DGEMM over row chunks, one thread per block.
+
+    The element level spans whole C rows, so the inner update is one
+    vector operation per chunk — the shape an auto-vectoriser (or
+    numpy) wants.
+    """
+
+    def __init__(self, native: bool = False):
+        self.native = native
+
+    @fn_acc
+    def __call__(self, acc, n, alpha, A, B, beta, C):
+        for rows in grid_strided_spans(acc, n):
+            C[rows, :] = alpha * (A[rows, :] @ B) + beta * C[rows, :]
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        chars = KernelCharacteristics(
+            flops=2.0 * n**3 + 3.0 * n**2,
+            # B is reused across rows when it stays cached ...
+            global_read_bytes=8.0 * (2.0 * n**2),
+            # ... and re-streamed per C row when it does not (the reuse
+            # across a thread's row chunk would itself require the
+            # cache residency that is missing in the spill case).
+            spill_read_bytes=8.0 * n**3,
+            global_write_bytes=8.0 * n**2,
+            working_set_bytes=int(n) * int(n) * 8,
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+            on_chip_read_bytes=16.0 * n**3,  # stream B + accumulate C rows
+        )
+        # gcc elides the alpaka layer completely on this back-end
+        # (paper: 100 % relative performance), so even the non-native
+        # variant carries no overhead fraction.
+        return chars
+
+
+class GemmTilingKernel:
+    """The single-source hierarchically tiled DGEMM (paper Fig. 7).
+
+    A block computes a (T0 x T1) tile of C with T = threads * elements
+    per axis; tiles of A and B are staged through block shared memory;
+    each thread accumulates its (V0 x V1) sub-tile with element-level
+    vector operations.  The same source runs on every back-end; the
+    work division chooses the shape (paper: B=16, V=1..2 on GPUs;
+    B=1, V=16..128 on CPUs).
+    """
+
+    def __init__(self, native: bool = False):
+        self.native = native
+
+    @fn_acc
+    def __call__(self, acc, n, alpha, A, B, beta, C):
+        bi = get_idx(acc, Grid, Blocks)
+        ti = get_idx(acc, Block, Threads)
+        ts = get_work_div(acc, Block, Threads)
+        ve = get_work_div(acc, Thread, Elems)
+        if ts.dim != 2:
+            raise KernelError("GemmTilingKernel needs a 2-d work division")
+        t_rows = ts[0] * ve[0]  # block tile rows
+        t_cols = ts[1] * ve[1]  # block tile cols
+        t_k = t_cols  # k-extent of staged tiles
+
+        s_a = acc.shared_mem("tileA", (t_rows, t_k))
+        s_b = acc.shared_mem("tileB", (t_k, t_cols))
+
+        # This thread's sub-tile of C, and its slice of the loads.
+        r0 = bi[0] * t_rows + ti[0] * ve[0]
+        c0 = bi[1] * t_cols + ti[1] * ve[1]
+        my_rows = slice(ti[0] * ve[0], (ti[0] + 1) * ve[0])
+        my_cols = slice(ti[1] * ve[1], (ti[1] + 1) * ve[1])
+        # Cooperative staging: split the k extent across the other axis.
+        kw_a = -(-t_k // ts[1])
+        a_cols = slice(ti[1] * kw_a, min(t_k, (ti[1] + 1) * kw_a))
+        kw_b = -(-t_k // ts[0])
+        b_rows = slice(ti[0] * kw_b, min(t_k, (ti[0] + 1) * kw_b))
+
+        accum = np.zeros((ve[0], ve[1]))
+        for t in range(-(-n // t_k)):
+            k0 = t * t_k
+            _copy_window(
+                s_a, my_rows, a_cols, A, r0, k0 + a_cols.start, n
+            )
+            _copy_window(
+                s_b, b_rows, my_cols, B, k0 + b_rows.start, c0, n
+            )
+            acc.sync_block_threads()
+            accum += s_a[my_rows, :] @ s_b[:, my_cols]
+            acc.sync_block_threads()
+
+        r1 = min(r0 + ve[0], n)
+        c1 = min(c0 + ve[1], n)
+        if r1 > r0 and c1 > c0:
+            C[r0:r1, c0:c1] = (
+                alpha * accum[: r1 - r0, : c1 - c0] + beta * C[r0:r1, c0:c1]
+            )
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        ts = work_div.block_thread_extent
+        ve = work_div.thread_elem_extent
+        t_rows = ts[0] * ve[0]
+        t_cols = ts[1] * ve[1]
+        t_k = t_cols
+        tiles = -(-n // t_k)
+        v0 = min(ve[0], REGISTER_BLOCK_CAP)
+        v1 = min(ve[1], REGISTER_BLOCK_CAP)
+        chars = KernelCharacteristics(
+            flops=2.0 * n**3 + 3.0 * n**2,
+            global_read_bytes=8.0 * (n**3 / t_rows + n**3 / t_cols + n**2),
+            global_write_bytes=8.0 * n**2,
+            working_set_bytes=(t_rows * t_k + t_k * t_cols) * 8,
+            thread_access_pattern=AccessPattern.TILED,
+            vector_friendly=ve.prod() >= 4,
+            # Register blocking reads v0 + v1 operands per v0*v1 FMAs.
+            on_chip_read_bytes=8.0 * n**3 * (v0 + v1) / (v0 * v1),
+            block_sync_generations=2.0 * tiles * work_div.block_count,
+        )
+        if not self.native:
+            chars = chars.with_overhead(
+                ALPAKA_GPU_OVERHEAD_FRACTION, ALPAKA_EXTRA_API_CALLS
+            )
+        return chars

@@ -1,0 +1,97 @@
+"""Reduction kernels.
+
+Not part of the paper's evaluation tables, but the idiom every real
+alpaka application (HASEonGPU included) leans on: block-level tree
+reduction in shared memory plus one grid-level atomic per block.
+Exercises `sync_block_threads`, shared memory and atomics together,
+which makes it the work-horse of the cross-back-end integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.element import element_slice, grid_strided_spans
+from ..core.index import Block, Grid, Threads, get_idx, get_work_div
+from ..core.kernel import fn_acc
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = ["SumReduceKernel", "DotKernel", "sum_reference"]
+
+
+class SumReduceKernel:
+    """Grid sum of a 1-d array into ``out[0]``.
+
+    Each thread accumulates its element spans (vector path), the block
+    tree-reduces in shared memory, thread 0 atomically adds the block's
+    partial sum to global memory.  ``out`` must be zeroed beforehand.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, x, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        bt = get_work_div(acc, Block, Threads)[0]
+
+        partial = 0.0
+        for span in grid_strided_spans(acc, n):
+            partial += float(np.sum(x[span]))
+
+        scratch = acc.shared_mem("reduce", (bt,))
+        scratch[ti] = partial
+        acc.sync_block_threads()
+
+        # Tree reduction over the block.
+        stride = 1
+        while stride < bt:
+            if ti % (2 * stride) == 0 and ti + stride < bt:
+                scratch[ti] += scratch[ti + stride]
+            stride *= 2
+            acc.sync_block_threads()
+
+        if ti == 0:
+            acc.atomic_add(out, 0, float(scratch[0]))
+
+    def characteristics(self, work_div, n, x, out) -> KernelCharacteristics:
+        return KernelCharacteristics(
+            flops=float(n),
+            global_read_bytes=8.0 * n,
+            global_write_bytes=8.0 * work_div.block_count,
+            working_set_bytes=8 * work_div.block_thread_count,
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+            block_sync_generations=float(
+                work_div.block_count
+                * (1 + max(1, work_div.block_thread_count - 1).bit_length())
+            ),
+        )
+
+
+class DotKernel:
+    """Dot product of two 1-d arrays into ``out[0]`` (zeroed beforehand).
+
+    Single-level variant: per-thread vector multiply-accumulate plus a
+    grid atomic — the no-shared-memory shape that runs on *every*
+    back-end including the serial and OpenMP-block ones.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, x, y, out):
+        partial = 0.0
+        for span in grid_strided_spans(acc, n):
+            partial += float(np.dot(x[span], y[span]))
+        acc.atomic_add(out, 0, partial)
+
+    def characteristics(self, work_div, n, x, y, out) -> KernelCharacteristics:
+        return KernelCharacteristics(
+            flops=2.0 * n,
+            global_read_bytes=16.0 * n,
+            global_write_bytes=8.0 * work_div.grid_thread_extent.prod(),
+            working_set_bytes=16 * int(n),
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+        )
+
+
+def sum_reference(x: np.ndarray) -> float:
+    return float(np.sum(x))

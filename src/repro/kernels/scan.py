@@ -1,0 +1,134 @@
+"""Exclusive prefix sum (scan) — the multi-launch composition idiom.
+
+Scan cannot be computed in one grid pass without global synchronisation,
+and alpaka's grids synchronise only *between* launches (paper Sec. 3.2.1
+— "grids can be synchronized to each other via explicit synchronization
+evoked in the code").  The canonical three-launch algorithm is therefore
+the natural test of queue-ordered kernel composition:
+
+1. each block scans its chunk and writes its total,
+2. one block scans the block totals,
+3. each block adds its offset.
+
+``scan_exclusive`` drives the three launches through one in-order queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import mem
+from ..core.element import element_slice
+from ..core.index import Block, Blocks, Elems, Grid, Thread, Threads, get_idx, get_work_div
+from ..core.kernel import create_task_kernel, fn_acc
+from ..core.workdiv import WorkDivMembers
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = [
+    "BlockScanKernel",
+    "AddOffsetsKernel",
+    "scan_exclusive",
+    "scan_reference",
+]
+
+
+def scan_reference(x: np.ndarray) -> np.ndarray:
+    """Host-side exclusive prefix sum."""
+    out = np.zeros_like(x)
+    np.cumsum(x[:-1], out=out[1:])
+    return out
+
+
+class BlockScanKernel:
+    """Launch 1 (and 2): per-block exclusive scan over its chunk.
+
+    Each (single-threaded) block owns ``chunk`` elements via the element
+    level, scans them with one vectorised ``cumsum``, and writes the
+    chunk total to ``totals[block]`` — which launch 2 scans again with a
+    single block.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, x, out, totals):
+        bi = get_idx(acc, Grid, Blocks)[0]
+        span = element_slice(acc, n)
+        if span.start >= span.stop:
+            if bi < totals.shape[0]:
+                totals[bi] = 0.0
+            return
+        chunk = x[span]
+        out[span] = np.concatenate(([0.0], np.cumsum(chunk[:-1])))
+        totals[bi] = float(chunk.sum())
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        return KernelCharacteristics(
+            flops=2.0 * n,
+            global_read_bytes=8.0 * n,
+            global_write_bytes=8.0 * (n + work_div.block_count),
+            working_set_bytes=8 * work_div.thread_elem_count,
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+        )
+
+
+class AddOffsetsKernel:
+    """Launch 3: add each block's scanned offset to its chunk."""
+
+    @fn_acc
+    def __call__(self, acc, n, out, offsets):
+        bi = get_idx(acc, Grid, Blocks)[0]
+        span = element_slice(acc, n)
+        if span.start < span.stop:
+            out[span] += offsets[bi]
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        return KernelCharacteristics(
+            flops=float(n),
+            global_read_bytes=8.0 * (n + work_div.block_count),
+            global_write_bytes=8.0 * n,
+            working_set_bytes=8 * work_div.thread_elem_count,
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+        )
+
+
+def scan_exclusive(acc_type, queue, x_buf, out_buf, n: int, chunk: int = 256):
+    """Exclusive scan of ``x_buf`` into ``out_buf`` on ``acc_type``.
+
+    Three queue-ordered launches; intermediate block totals live in a
+    scratch buffer on the queue's device.  ``chunk`` elements per block
+    (the single-block second launch requires ``ceil(n/chunk) <= chunk``,
+    i.e. n <= chunk^2; raise otherwise rather than recurse).
+    """
+    blocks = max(1, -(-n // chunk))
+    if blocks > chunk:
+        raise ValueError(
+            f"scan of {n} elements needs {blocks} blocks > chunk {chunk}; "
+            "increase chunk so the block totals fit one block"
+        )
+    dev = queue.dev
+    totals = mem.alloc(dev, blocks)
+    offsets = mem.alloc(dev, blocks)
+    dummy = mem.alloc(dev, 1)
+
+    wd1 = WorkDivMembers.make(blocks, 1, chunk)
+    queue.enqueue(
+        create_task_kernel(
+            acc_type, wd1, BlockScanKernel(), n, x_buf, out_buf, totals
+        )
+    )
+    # Scan the block totals with a single block.
+    wd2 = WorkDivMembers.make(1, 1, blocks)
+    queue.enqueue(
+        create_task_kernel(
+            acc_type, wd2, BlockScanKernel(), blocks, totals, offsets, dummy
+        )
+    )
+    wd3 = WorkDivMembers.make(blocks, 1, chunk)
+    queue.enqueue(
+        create_task_kernel(acc_type, wd3, AddOffsetsKernel(), n, out_buf, offsets)
+    )
+    queue.wait()
+    for b in (totals, offsets, dummy):
+        b.free()

@@ -1,0 +1,110 @@
+"""Bitonic sort — the data-dependent-control classic.
+
+A block-local bitonic sorting network: the block's threads cooperate
+through shared memory with a barrier between network stages.  Bitonic
+networks are *the* GPU textbook example of algorithms whose control
+flow is data-independent (every thread executes the same
+compare-exchange schedule), which is exactly what the lockstep warp
+model wants — and the reason the kernel runs unchanged on the fiber
+and thread back-ends too.
+
+Each (single- or multi-thread) block sorts one independent ``chunk`` of
+the input; the host-side :func:`sort_chunks` launches one grid and
+returns per-chunk sorted output (a building block for merge sort or
+top-k, and a strong stress test of barrier-heavy kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import mem
+from ..core.index import Block, Blocks, Grid, Threads, get_idx, get_work_div
+from ..core.kernel import create_task_kernel, fn_acc
+from ..core.workdiv import WorkDivMembers
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = ["BitonicSortKernel", "sort_chunks"]
+
+
+class BitonicSortKernel:
+    """Sort each block's ``chunk`` elements ascending (power of two).
+
+    Stage pattern: for ``k = 2,4,...,chunk`` and ``j = k/2 ... 1`` every
+    thread compare-exchanges the pairs it owns, with a block barrier
+    between (k, j) stages.  Out-of-range data is padded with +inf so
+    any tail length sorts correctly.
+    """
+
+    def __init__(self, chunk: int):
+        if chunk < 1 or chunk & (chunk - 1):
+            raise ValueError("chunk must be a power of two")
+        self.chunk = chunk
+
+    @fn_acc
+    def __call__(self, acc, n, data):
+        chunk = self.chunk
+        bi = get_idx(acc, Grid, Blocks)[0]
+        ti = get_idx(acc, Block, Threads)[0]
+        bt = get_work_div(acc, Block, Threads)[0]
+        base = bi * chunk
+        if base >= n:
+            return
+
+        buf = acc.shared_mem("sort", (chunk,))
+        # Cooperative load with +inf padding.
+        for i in range(ti, chunk, bt):
+            buf[i] = data[base + i] if base + i < n else np.inf
+        acc.sync_block_threads()
+
+        k = 2
+        while k <= chunk:
+            j = k // 2
+            while j >= 1:
+                # Each thread handles its strided share of indices.
+                for i in range(ti, chunk, bt):
+                    partner = i ^ j
+                    if partner > i:
+                        ascending = (i & k) == 0
+                        a, b = buf[i], buf[partner]
+                        if (a > b) == ascending:
+                            buf[i], buf[partner] = b, a
+                acc.sync_block_threads()
+                j //= 2
+            k *= 2
+
+        for i in range(ti, chunk, bt):
+            if base + i < n:
+                data[base + i] = buf[i]
+
+    def characteristics(self, work_div, n, data) -> KernelCharacteristics:
+        import math
+
+        chunk = self.chunk
+        stages = sum(
+            int(math.log2(k)) for k in (2**e for e in range(1, int(math.log2(chunk)) + 1))
+        )
+        return KernelCharacteristics(
+            flops=float(n) * stages,  # compare-exchanges as flop proxies
+            global_read_bytes=8.0 * n,
+            global_write_bytes=8.0 * n,
+            working_set_bytes=8 * chunk,
+            thread_access_pattern=AccessPattern.STRIDED,
+            vector_friendly=False,
+            block_sync_generations=float((stages + 1) * work_div.block_count),
+        )
+
+
+def sort_chunks(acc_type, queue, data_buf, n: int, chunk: int = 64,
+                block_threads: int | None = None) -> None:
+    """Sort ``data_buf`` in independent ``chunk``-sized pieces in place."""
+    blocks = max(1, -(-n // chunk))
+    if block_threads is None:
+        block_threads = 1 if not acc_type.supports_block_sync else min(
+            8, acc_type.get_acc_dev_props(queue.dev).block_thread_count_max
+        )
+    wd = WorkDivMembers.make(blocks, block_threads, -(-chunk // block_threads))
+    kernel = BitonicSortKernel(chunk)
+    queue.enqueue(create_task_kernel(acc_type, wd, kernel, n, data_buf))
+    queue.wait()

@@ -1,0 +1,80 @@
+"""Sparse matrix-vector product (CSR) — the irregular-access workload.
+
+Dense DGEMM shows the model's tiled best case; SpMV is its opposite:
+indirect, data-dependent gathers from ``x`` with no blocking to save
+you.  One thread owns a span of rows (element level); each row is one
+vector gather + dot product.  The characteristics declare a RANDOM
+access pattern, which is how the cache model prices the indirection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.element import grid_strided_spans
+from ..core.kernel import fn_acc
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = ["CsrSpmvKernel", "csr_from_dense", "spmv_reference"]
+
+
+def csr_from_dense(dense: np.ndarray):
+    """(values, col_idx, row_ptr) CSR triple of a dense matrix —
+    minimal helper so examples/tests need no scipy dependency at the
+    call site (scipy validates it in the tests)."""
+    rows, cols = dense.shape
+    values, col_idx, row_ptr = [], [], [0]
+    for r in range(rows):
+        nz = np.nonzero(dense[r])[0]
+        values.extend(dense[r, nz])
+        col_idx.extend(nz)
+        row_ptr.append(len(values))
+    return (
+        np.asarray(values, dtype=np.float64),
+        np.asarray(col_idx, dtype=np.int64),
+        np.asarray(row_ptr, dtype=np.int64),
+    )
+
+
+def spmv_reference(dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return dense @ x
+
+
+class CsrSpmvKernel:
+    """``y = A x`` for CSR ``A``; one row span per thread."""
+
+    @fn_acc
+    def __call__(self, acc, n_rows, values, col_idx, row_ptr, x, y):
+        for rows in grid_strided_spans(acc, n_rows):
+            for r in range(rows.start, rows.stop):
+                lo = int(row_ptr[r])
+                hi = int(row_ptr[r + 1])
+                if hi > lo:
+                    y[r] = float(
+                        np.dot(values[lo:hi], x[col_idx[lo:hi]])
+                    )
+                else:
+                    y[r] = 0.0
+
+    def characteristics(
+        self, work_div, n_rows, values, col_idx, row_ptr, x, y
+    ) -> KernelCharacteristics:
+        # `values` arrives as whatever the host bound: a Buffer (use its
+        # extent), a host array, or None (estimate ~8 nnz/row).
+        if values is None:
+            nnz = 8.0 * n_rows
+        elif hasattr(values, "extent"):
+            nnz = float(values.extent.prod())
+        else:
+            nnz = float(len(values))
+        return KernelCharacteristics(
+            flops=2.0 * nnz,
+            # values+cols stream; x gathers are the random component.
+            global_read_bytes=16.0 * nnz + 8.0 * nnz,
+            global_write_bytes=8.0 * n_rows,
+            working_set_bytes=int(8 * n_rows),  # x, if it fits
+            thread_access_pattern=AccessPattern.RANDOM,
+            vector_friendly=True,
+            uses_vector_math_library=True,  # gather+dot via the library
+        )

@@ -1,0 +1,83 @@
+"""Elementwise utility kernels: fill, iota, scale, generic map.
+
+The small change of pace every example and test needs; all use
+grid-striding so any valid work division covers any extent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.element import grid_strided_spans
+from ..core.kernel import fn_acc
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = ["FillKernel", "IotaKernel", "ScaleKernel", "MapKernel"]
+
+
+def _elementwise_chars(n, reads, writes, flops_per_elem) -> KernelCharacteristics:
+    return KernelCharacteristics(
+        flops=flops_per_elem * n,
+        global_read_bytes=8.0 * reads * n,
+        global_write_bytes=8.0 * writes * n,
+        working_set_bytes=8 * int(n) * (reads + writes),
+        thread_access_pattern=AccessPattern.CONTIGUOUS,
+        vector_friendly=True,
+    )
+
+
+class FillKernel:
+    """``out[:] = value``."""
+
+    @fn_acc
+    def __call__(self, acc, n, value, out):
+        for span in grid_strided_spans(acc, n):
+            out[span] = value
+
+    def characteristics(self, work_div, n, value, out):
+        return _elementwise_chars(n, 0, 1, 0.0)
+
+
+class IotaKernel:
+    """``out[i] = start + i``."""
+
+    @fn_acc
+    def __call__(self, acc, n, start, out):
+        for span in grid_strided_spans(acc, n):
+            out[span] = start + np.arange(span.start, span.stop, dtype=out.dtype)
+
+    def characteristics(self, work_div, n, start, out):
+        return _elementwise_chars(n, 0, 1, 1.0)
+
+
+class ScaleKernel:
+    """``out[i] = factor * x[i]``."""
+
+    @fn_acc
+    def __call__(self, acc, n, factor, x, out):
+        for span in grid_strided_spans(acc, n):
+            out[span] = factor * x[span]
+
+    def characteristics(self, work_div, n, factor, x, out):
+        return _elementwise_chars(n, 1, 1, 1.0)
+
+
+class MapKernel:
+    """``out[i] = fn(x[i])`` for a host-supplied vectorisable ``fn``.
+
+    Demonstrates that kernels are ordinary objects: the mapped function
+    is captured state, exactly like a C++ functor member — while the
+    *kernel arguments* stay data-structure agnostic.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    @fn_acc
+    def __call__(self, acc, n, x, out):
+        for span in grid_strided_spans(acc, n):
+            out[span] = self.fn(x[span])
+
+    def characteristics(self, work_div, n, x, out):
+        return _elementwise_chars(n, 1, 1, 1.0)

@@ -1,0 +1,95 @@
+"""Tiled matrix transpose — the coalescing textbook example.
+
+A naive transpose reads rows and writes columns: one side of the
+transfer is always strided.  The tiled version stages a square tile in
+block shared memory and writes it back transposed, so *both* global
+sides are contiguous — the canonical demonstration of why the paper's
+Fig. 6 cares about data access patterns.  Both variants ship, with
+characteristics that make the model price the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index import Block, Blocks, Grid, Threads, get_idx, get_work_div
+from ..core.kernel import fn_acc
+from ..core.workdiv import WorkDivMembers
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = ["TransposeNaiveKernel", "TransposeTiledKernel", "transpose_workdiv"]
+
+
+def transpose_workdiv(n: int, tile: int = 16) -> WorkDivMembers:
+    """One single-thread block per (tile x tile) tile; the element level
+    carries the tile (runs on every back-end)."""
+    blocks = -(-n // tile)
+    return WorkDivMembers.make((blocks, blocks), (1, 1), (tile, tile))
+
+
+class TransposeNaiveKernel:
+    """``out = inp.T`` with direct global reads and writes.
+
+    Per block-tile: contiguous reads, strided writes — the pattern the
+    model prices as STRIDED on one side.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, inp, out):
+        bi = get_idx(acc, Grid, Blocks)
+        ve = get_work_div(acc, Block, Threads) * acc.work_div.thread_elem_extent
+        r0, c0 = bi[0] * ve[0], bi[1] * ve[1]
+        r1, c1 = min(r0 + ve[0], n), min(c0 + ve[1], n)
+        if r1 > r0 and c1 > c0:
+            out[c0:c1, r0:r1] = inp[r0:r1, c0:c1].T
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        return KernelCharacteristics(
+            flops=0.0,
+            global_read_bytes=8.0 * n * n,
+            global_write_bytes=8.0 * n * n,
+            working_set_bytes=1 << 34,  # no reuse structure
+            # Each thread walks its own rows (contiguous per thread):
+            # reads coalesce-hostile on GPUs through the device pattern
+            # translation, which is exactly the half of the transfer
+            # that breaks in a naive transpose.  (The model has no
+            # "mixed" class; this choice prices the GPU side faithfully
+            # and the CPU side optimistically.)
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+        )
+
+
+class TransposeTiledKernel:
+    """``out = inp.T`` staged through a shared-memory tile.
+
+    Both global transfers are contiguous; only the on-chip tile is
+    accessed transposed.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, inp, out):
+        bi = get_idx(acc, Grid, Blocks)
+        ve = get_work_div(acc, Block, Threads) * acc.work_div.thread_elem_extent
+        tile = acc.shared_mem("tile", (ve[0], ve[1]))
+        r0, c0 = bi[0] * ve[0], bi[1] * ve[1]
+        r1, c1 = min(r0 + ve[0], n), min(c0 + ve[1], n)
+        if r1 <= r0 or c1 <= c0:
+            return
+        tile[: r1 - r0, : c1 - c0] = inp[r0:r1, c0:c1]
+        acc.sync_block_threads()
+        out[c0:c1, r0:r1] = tile[: r1 - r0, : c1 - c0].T
+
+    def characteristics(self, work_div, n, *args) -> KernelCharacteristics:
+        ve = work_div.block_thread_extent * work_div.thread_elem_extent
+        return KernelCharacteristics(
+            flops=0.0,
+            global_read_bytes=8.0 * n * n,
+            global_write_bytes=8.0 * n * n,
+            working_set_bytes=int(ve[0] * ve[1] * 8),
+            thread_access_pattern=AccessPattern.TILED,
+            vector_friendly=True,
+            on_chip_read_bytes=16.0 * n * n,  # tile in + transposed out
+            block_sync_generations=float(work_div.block_count),
+        )

@@ -1,0 +1,5 @@
+"""Accelerator-dispatched math operations."""
+
+from .ops import DEFAULT_MATH, MathOps
+
+__all__ = ["MathOps", "DEFAULT_MATH"]

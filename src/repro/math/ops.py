@@ -1,0 +1,108 @@
+"""Accelerator math (``alpaka::math``).
+
+Alpaka kernels call ``math::sqrt(acc, x)`` instead of ``std::sqrt`` so
+each back-end can supply its native implementation (CUDA intrinsics vs
+libm).  Here every back-end shares the numpy implementation — the
+point preserved is the *dispatch seam*: kernels depend only on the
+accelerator, and a back-end (or a test) can substitute its own math
+table, e.g. reduced-precision GPU intrinsics.
+
+All functions accept scalars *and* numpy arrays, so the same kernel
+source works on the scalar path and on the vectorised element-level
+path (paper Sec. 3.2.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MathOps", "DEFAULT_MATH"]
+
+
+class MathOps:
+    """A back-end's math table; override entries by subclassing."""
+
+    # Unary
+    @staticmethod
+    def sqrt(x):
+        return np.sqrt(x)
+
+    @staticmethod
+    def rsqrt(x):
+        return 1.0 / np.sqrt(x)
+
+    @staticmethod
+    def exp(x):
+        return np.exp(x)
+
+    @staticmethod
+    def log(x):
+        return np.log(x)
+
+    @staticmethod
+    def sin(x):
+        return np.sin(x)
+
+    @staticmethod
+    def cos(x):
+        return np.cos(x)
+
+    @staticmethod
+    def tan(x):
+        return np.tan(x)
+
+    @staticmethod
+    def abs(x):
+        return np.abs(x)
+
+    @staticmethod
+    def floor(x):
+        return np.floor(x)
+
+    @staticmethod
+    def ceil(x):
+        return np.ceil(x)
+
+    @staticmethod
+    def erf(x):
+        try:
+            from scipy.special import erf as _erf
+            return _erf(x)
+        except ImportError:  # pragma: no cover
+            return np.vectorize(np.math.erf)(x)
+
+    # Binary
+    @staticmethod
+    def pow(x, y):
+        return np.power(x, y)
+
+    @staticmethod
+    def atan2(y, x):
+        return np.arctan2(y, x)
+
+    @staticmethod
+    def min(x, y):
+        return np.minimum(x, y)
+
+    @staticmethod
+    def max(x, y):
+        return np.maximum(x, y)
+
+    @staticmethod
+    def fmod(x, y):
+        return np.fmod(x, y)
+
+    # Ternary
+    @staticmethod
+    def fma(x, y, z):
+        """Fused multiply-add.  numpy has no true FMA; the contract kept
+        is arithmetic (x*y+z), not the single-rounding guarantee."""
+        return x * y + z
+
+    @staticmethod
+    def clamp(x, lo, hi):
+        return np.minimum(np.maximum(x, lo), hi)
+
+
+#: Shared default math table.
+DEFAULT_MATH = MathOps()

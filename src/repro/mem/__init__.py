@@ -1,0 +1,22 @@
+"""Pointer-based memory model: buffers, explicit deep copies, memset."""
+
+from .alignment import OPTIMAL_ALIGNMENT_BYTES, pitch_bytes, pitch_elements
+from .buf import Buffer, alloc, alloc_like
+from .copy import PCIE_BANDWIDTH_GBS, TaskCopy, TaskMemset, copy, memset
+from .view import ViewSubView, sub_view
+
+__all__ = [
+    "Buffer",
+    "alloc",
+    "alloc_like",
+    "copy",
+    "memset",
+    "TaskCopy",
+    "TaskMemset",
+    "ViewSubView",
+    "sub_view",
+    "pitch_elements",
+    "pitch_bytes",
+    "OPTIMAL_ALIGNMENT_BYTES",
+    "PCIE_BANDWIDTH_GBS",
+]

@@ -1,0 +1,43 @@
+"""Row alignment / pitch computation for multi-dimensional buffers.
+
+The paper (Sec. 4.2): *"The matrices are mapped to 1D memory buffers
+with Alpaka aligning rows to optimum memory boundaries."*  Alpaka pads
+each row of a >=2-d allocation so rows start on an alignment boundary
+(the pitch); copies and views must honour it.  We reproduce that with a
+padded trailing dimension on the backing numpy array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OPTIMAL_ALIGNMENT_BYTES", "pitch_elements", "pitch_bytes"]
+
+#: Boundary rows are padded to.  64 bytes = one x86 cache line = one
+#: fully coalesced 16-thread float access on the simulated GPU.
+OPTIMAL_ALIGNMENT_BYTES = 64
+
+
+def pitch_elements(row_elements: int, dtype, alignment: int = OPTIMAL_ALIGNMENT_BYTES) -> int:
+    """Number of elements per padded row.
+
+    The smallest multiple of ``alignment`` bytes that holds
+    ``row_elements`` items of ``dtype``, expressed in elements.  When
+    the item size does not divide the alignment (e.g. 12-byte records),
+    padding falls back to the unpadded row — alignment is then
+    unattainable and alpaka would behave the same.
+    """
+    if row_elements < 0:
+        raise ValueError("row_elements must be non-negative")
+    itemsize = np.dtype(dtype).itemsize
+    if alignment % itemsize != 0:
+        return row_elements
+    elems_per_boundary = alignment // itemsize
+    if row_elements == 0:
+        return 0
+    return -(-row_elements // elems_per_boundary) * elems_per_boundary
+
+
+def pitch_bytes(row_elements: int, dtype, alignment: int = OPTIMAL_ALIGNMENT_BYTES) -> int:
+    """Pitch of a padded row in bytes (CUDA's ``pitch``)."""
+    return pitch_elements(row_elements, dtype, alignment) * np.dtype(dtype).itemsize

@@ -1,0 +1,24 @@
+"""Performance model: regenerates the paper's timing figures from
+machine models and kernel characteristics (see DESIGN.md substitutions).
+"""
+
+from .curves import RooflinePoint, place_kernel, roofline_envelope
+from .kernel_model import KernelCharacteristics, device_effective_pattern
+from .roofline import (
+    MachineResources,
+    PredictedTime,
+    machine_resources,
+    predict_time,
+)
+
+__all__ = [
+    "KernelCharacteristics",
+    "device_effective_pattern",
+    "PredictedTime",
+    "MachineResources",
+    "predict_time",
+    "machine_resources",
+    "RooflinePoint",
+    "roofline_envelope",
+    "place_kernel",
+]

@@ -1,0 +1,65 @@
+"""Roofline curves: the classic (arithmetic intensity, GFLOPS) plot data.
+
+Utility API for users exploring the model: for a machine, produce the
+roofline envelope (memory-slope then compute-flat), and place a kernel
+launch on it.  The benches don't need this — it exists so the model is
+inspectable the way performance engineers expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.workdiv import WorkDivMembers
+from ..hardware.specs import HardwareSpec
+from .kernel_model import KernelCharacteristics
+from .roofline import machine_resources, predict_time
+
+__all__ = ["RooflinePoint", "roofline_envelope", "place_kernel"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a machine's roofline."""
+
+    arithmetic_intensity: float  # flops / DRAM byte
+    attained_gflops: float
+    bound: str
+
+
+def roofline_envelope(
+    spec: HardwareSpec,
+    backend_kind: str,
+    intensities: np.ndarray | None = None,
+) -> List[Tuple[float, float]]:
+    """The machine's roofline: attainable GFLOPS as a function of
+    arithmetic intensity, ``min(peak, AI * BW)``.
+
+    Returns (intensity, gflops) pairs suitable for log-log plotting.
+    """
+    res = machine_resources(spec, backend_kind)
+    if intensities is None:
+        intensities = np.logspace(-2, 3, 51)
+    return [
+        (float(ai), float(min(res.peak_gflops, ai * res.dram_bandwidth_gbs)))
+        for ai in intensities
+    ]
+
+
+def place_kernel(
+    spec: HardwareSpec,
+    backend_kind: str,
+    wd: WorkDivMembers,
+    chars: KernelCharacteristics,
+    parallel_scope: str = "both",
+) -> RooflinePoint:
+    """Where a kernel launch lands relative to the envelope."""
+    p = predict_time(spec, backend_kind, wd, chars, parallel_scope)
+    return RooflinePoint(
+        arithmetic_intensity=chars.arithmetic_intensity,
+        attained_gflops=p.gflops,
+        bound=p.bound,
+    )

@@ -1,0 +1,177 @@
+"""Kernel characteristics: what the performance model needs to know.
+
+A kernel that wants modeled timing describes one launch with a
+:class:`KernelCharacteristics` record — total useful FLOPs, DRAM
+traffic after cache/shared-memory reuse, the per-block working set, the
+per-thread access pattern, and whether its element-level inner
+operations are vector friendly.
+
+The record is deliberately *device independent*: the same description
+feeds the model for every machine and back-end, and all
+device-specific effects (coalescing, SIMD, occupancy, cache fit) are
+applied by :mod:`repro.perfmodel.roofline`.  That mirrors the paper's
+separation between the algorithm (kernel) and the parallelisation
+strategy (accelerator + work division).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.errors import ModelError
+from ..hardware.cache import AccessPattern
+
+__all__ = [
+    "KernelCharacteristics",
+    "device_effective_pattern",
+]
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Cost description of one kernel launch.
+
+    Attributes
+    ----------
+    flops:
+        Useful floating-point operations in the whole launch.
+    global_read_bytes / global_write_bytes:
+        DRAM traffic assuming the kernel's blocking/reuse works (tile
+        fits the cache level it was sized for).
+    spill_read_bytes:
+        DRAM read traffic when the reuse *fails* (working set does not
+        fit any cache); defaults to ``global_read_bytes``.
+    working_set_bytes:
+        Per-block hot working set; decides which cache level serves the
+        inner loop and whether the reuse assumption holds.
+    thread_access_pattern:
+        Access pattern *as seen from one thread* (see
+        :func:`device_effective_pattern` for the device translation).
+    vector_friendly:
+        True when the element-level inner operations are span
+        operations (auto-vectorisable / numpy path).
+    on_chip_read_bytes:
+        Traffic through the cache/shared-memory level that serves the
+        inner loop (e.g. 16 bytes per FMA for a tiled DGEMM without
+        register blocking).  This is the ceiling that pins optimised
+        DGEMM near 20 % of peak on *every* machine (paper Fig. 9);
+        element-level register blocking divides it.
+    block_sync_generations:
+        Total block-barrier generations in the launch (count per block
+        times number of blocks).  Cheap on GPUs, expensive on CPU
+        thread back-ends — one of the two reasons the CUDA-style kernel
+        collapses on CPUs in Fig. 6.
+    abstraction_overhead_fraction:
+        Relative execution-time cost of the abstraction layer versus a
+        native implementation of the same algorithm on the same
+        back-end (paper Sec. 4.2.1: the move/forward-operator copies in
+        the grid index calculations cost the CUDA back-end <6 %, the
+        OpenMP back-end ~0 %).  This is the one place the model takes a
+        *measured* paper quantity as an input instead of deriving it —
+        deriving a compiler's copy-elision behaviour is outside any
+        roofline's power; what the model reproduces is the structure
+        (which back-end pays it, and that it is small and roughly
+        size-independent).  0 for native kernels.
+    extra_api_calls:
+        Additional runtime API calls the abstraction issues per launch
+        (paper: "a small number of additional CUDA runtime calls by the
+        alpaka CUDA back-end"); each costs one launch overhead and is
+        what bends the Fig. 5 curve down at small matrix sizes.
+    launches:
+        Number of kernel launches the record covers (launch overhead
+        multiplies with it).
+    """
+
+    flops: float
+    global_read_bytes: float
+    global_write_bytes: float
+    working_set_bytes: int
+    thread_access_pattern: AccessPattern
+    vector_friendly: bool
+    on_chip_read_bytes: float = 0.0
+    block_sync_generations: float = 0.0
+    spill_read_bytes: float | None = None
+    abstraction_overhead_fraction: float = 0.0
+    extra_api_calls: int = 0
+    launches: int = 1
+    #: Fraction of peak issue rate the kernel's instruction mix can use
+    #: even with perfect occupancy/vectorisation — transcendentals
+    #: counted as one flop but costing many cycles, divergent branches,
+    #: integer address work.  1.0 for pure FMA streams (DGEMM), ~0.5
+    #: for Monte-Carlo kernels full of exp/div (HASE).
+    issue_efficiency: float = 1.0
+    #: True when the element-level math goes through a hand-vectorised
+    #: math library (numpy/SVML/MKL-style) rather than compiler
+    #: auto-vectorisation of user loops; such code keeps full SIMD and
+    #: FMA efficiency on CPUs regardless of gcc's auto-vectoriser.
+    uses_vector_math_library: bool = False
+
+    def __post_init__(self):
+        if self.flops < 0:
+            raise ModelError("flops must be non-negative")
+        if self.global_read_bytes < 0 or self.global_write_bytes < 0:
+            raise ModelError("traffic must be non-negative")
+        if self.working_set_bytes < 0:
+            raise ModelError("working set must be non-negative")
+        if self.launches < 1:
+            raise ModelError("launches must be >= 1")
+        if self.spill_read_bytes is not None and self.spill_read_bytes < 0:
+            raise ModelError("spill traffic must be non-negative")
+        if self.on_chip_read_bytes < 0 or self.block_sync_generations < 0:
+            raise ModelError("on-chip traffic / sync counts must be non-negative")
+        if self.abstraction_overhead_fraction < 0 or self.extra_api_calls < 0:
+            raise ModelError("overhead terms must be non-negative")
+        if not 0.0 < self.issue_efficiency <= 1.0:
+            raise ModelError("issue_efficiency must be in (0, 1]")
+
+    def with_overhead(
+        self, fraction: float, extra_api_calls: int = 2
+    ) -> "KernelCharacteristics":
+        """The same kernel, wrapped by an abstraction layer costing a
+        ``fraction`` of execution time plus ``extra_api_calls`` runtime
+        calls per launch."""
+        return replace(
+            self,
+            abstraction_overhead_fraction=fraction,
+            extra_api_calls=extra_api_calls,
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.global_read_bytes + self.global_write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte — the roofline x-axis."""
+        return self.flops / self.total_bytes if self.total_bytes else float("inf")
+
+
+def device_effective_pattern(
+    pattern: AccessPattern, backend_kind: str
+) -> AccessPattern:
+    """Translate a per-thread access pattern into the pattern the memory
+    system of a device actually sees.
+
+    This one function encodes the paper's Fig. 6 explanation: *"the
+    back-ends require completely different data access patterns to
+    achieve optimum data access performance, e.g. strided data access
+    in CUDA"*.
+
+    * On a **GPU**, adjacent threads execute in lockstep; per-thread
+      *strided* access (thread ``i`` touches ``data[i]``, ``data[i+N]``,
+      ...) coalesces into contiguous transactions, while per-thread
+      *contiguous* access (each thread walks its own chunk) scatters a
+      warp's loads across lines.
+    * On a **CPU**, one thread runs a whole block; its pattern reaches
+      the cache untranslated.
+    * *Tiled* and *random* mean the same thing everywhere.
+    """
+    if backend_kind == "cpu":
+        return pattern
+    if backend_kind == "gpu":
+        if pattern is AccessPattern.STRIDED:
+            return AccessPattern.CONTIGUOUS
+        if pattern is AccessPattern.CONTIGUOUS:
+            return AccessPattern.STRIDED
+        return pattern
+    raise ModelError(f"unknown backend kind {backend_kind!r}")

@@ -1,0 +1,16 @@
+"""Queues (streams) and events."""
+
+from .event import Event, elapsed_sim_time, record, wait_queue_for
+from .queue import Queue, QueueBlocking, QueueNonBlocking, enqueue, wait
+
+__all__ = [
+    "Queue",
+    "QueueBlocking",
+    "QueueNonBlocking",
+    "enqueue",
+    "wait",
+    "Event",
+    "record",
+    "elapsed_sim_time",
+    "wait_queue_for",
+]

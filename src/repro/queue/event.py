@@ -1,0 +1,105 @@
+"""Events: synchronisation markers between queues and with the host.
+
+An event is enqueued into a queue; it *fires* when the queue reaches it.
+The host blocks with ``wait(event)``; another queue can be made to wait
+for it with :func:`wait_queue_for`, giving cross-queue dependencies —
+the mechanism behind the paper's claim that multiple back-end instances
+can run simultaneously and still be coordinated (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.errors import QueueError
+from ..dev.device import Device
+from .queue import Queue
+
+__all__ = ["Event", "record", "wait_queue_for", "elapsed_sim_time"]
+
+
+class Event:
+    """A one-shot-per-record completion marker bound to a device.
+
+    Re-recording re-arms the event (CUDA semantics): ``wait`` blocks
+    until the *latest* record has fired.
+    """
+
+    def __init__(self, dev: Device):
+        self.dev = dev
+        self._cv = threading.Condition()
+        self._record_count = 0
+        self._fired_count = 0
+        self._sim_time_at_fire: Optional[float] = None
+
+    # -- task protocol: an Event can be enqueued directly ---------------
+
+    def execute(self, device: Device) -> None:
+        with self._cv:
+            self._fired_count += 1
+            self._sim_time_at_fire = device.sim_time_s
+            self._cv.notify_all()
+
+    # -- host-side API ----------------------------------------------------
+
+    def record(self, queue: Queue) -> "Event":
+        """Arm the event and enqueue its firing into ``queue``."""
+        if queue.dev is not self.dev:
+            raise QueueError(
+                f"event of {self.dev!r} recorded into queue of {queue.dev!r}"
+            )
+        with self._cv:
+            self._record_count += 1
+            target = self._record_count
+        queue.enqueue(self)
+        self._last_target = target
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the latest record fired.  An event never recorded
+        is complete by definition (CUDA semantics)."""
+        with self._cv:
+            target = self._record_count
+            fired = self._cv.wait_for(
+                lambda: self._fired_count >= target, timeout=timeout
+            )
+            return fired
+
+    @property
+    def is_complete(self) -> bool:
+        with self._cv:
+            return self._fired_count >= self._record_count
+
+    @property
+    def sim_time_at_fire(self) -> Optional[float]:
+        """The device's simulated clock when the event last fired —
+        the reproduction's analogue of ``cudaEventElapsedTime``
+        (``elapsed_sim_time`` subtracts two of these)."""
+        with self._cv:
+            return self._sim_time_at_fire
+
+
+def elapsed_sim_time(start: Event, stop: Event) -> float:
+    """Modeled seconds between two fired events of one device."""
+    if start.dev is not stop.dev:
+        raise QueueError("elapsed_sim_time needs events of one device")
+    a, b = start.sim_time_at_fire, stop.sim_time_at_fire
+    if a is None or b is None:
+        raise QueueError("both events must have fired")
+    return b - a
+
+
+def record(event: Event, queue: Queue) -> Event:
+    """Free-function spelling of ``enqueue(queue, event)``."""
+    return event.record(queue)
+
+
+def wait_queue_for(queue: Queue, event: Event) -> None:
+    """Make ``queue`` wait for ``event`` before running later tasks.
+
+    Implemented by enqueuing a task that blocks the queue's worker on
+    the event; on a blocking queue this blocks the host, which is the
+    correct degenerate behaviour.
+    """
+    queue.enqueue(lambda: event.wait())

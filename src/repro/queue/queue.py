@@ -1,0 +1,185 @@
+"""Work queues (paper Sec. 3.4.5, "Streams").
+
+A queue is the in-order work list of one device: *"No operation in a
+stream will begin before all previously issued operations in the stream
+have completed."*  Two flavours exist, as in the paper:
+
+* **blocking** (synchronous): enqueue executes the task in the calling
+  thread and returns when it is done;
+* **non-blocking** (asynchronous): enqueue hands the task to a worker
+  thread and returns immediately; the host resumes computing while the
+  device works.
+
+Both preserve in-order semantics.  ``wait(queue)`` blocks the host until
+the queue has drained; ``wait(event)`` until an event recorded into a
+queue has fired.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional, Protocol, Union
+
+from ..core.errors import KernelError, QueueError
+from ..dev.device import Device
+
+__all__ = ["Queue", "QueueBlocking", "QueueNonBlocking", "enqueue", "wait"]
+
+
+class _Task(Protocol):  # pragma: no cover - typing helper
+    def execute(self, device: Device) -> None: ...
+
+
+class Queue:
+    """Base in-order queue bound to a device.
+
+    Subclasses implement :meth:`_submit`.  Plain callables of zero
+    arguments may be enqueued as well as task objects; they run on the
+    queue like tasks (useful for callbacks and tests).
+    """
+
+    blocking: bool = True
+
+    def __init__(self, dev: Device):
+        self.dev = dev
+        self._destroyed = False
+
+    # -- public API -----------------------------------------------------
+
+    def enqueue(self, task: Union[_Task, Callable[[], None]]) -> None:
+        if self._destroyed:
+            raise QueueError("enqueue on a destroyed queue")
+        runnable = self._as_runnable(task)
+        self._submit(runnable)
+
+    def wait(self) -> None:
+        """Block the host until all enqueued work has completed."""
+
+    def destroy(self) -> None:
+        """Drain and invalidate the queue (idempotent)."""
+        if not self._destroyed:
+            self.wait()
+            self._destroyed = True
+
+    def __enter__(self) -> "Queue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.destroy()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _as_runnable(self, task) -> Callable[[], None]:
+        execute = getattr(task, "execute", None)
+        if execute is not None:
+            return lambda: execute(self.dev)
+        if callable(task):
+            return task
+        raise QueueError(f"cannot enqueue {task!r}: no execute() and not callable")
+
+    def _submit(self, runnable: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        kind = "blocking" if self.blocking else "non-blocking"
+        return f"<Queue {kind} on {self.dev.name}>"
+
+
+class QueueBlocking(Queue):
+    """Synchronous queue: enqueue = execute now, in the caller's thread."""
+
+    blocking = True
+
+    def _submit(self, runnable: Callable[[], None]) -> None:
+        runnable()
+
+    def wait(self) -> None:
+        # Everything already ran at enqueue time.
+        return
+
+
+class QueueNonBlocking(Queue):
+    """Asynchronous queue: a worker thread drains tasks in order.
+
+    The first enqueued task that raises poisons the queue: the exception
+    is re-raised (chained) from the next :meth:`wait` or
+    :meth:`enqueue`, mirroring how CUDA reports asynchronous errors on
+    the next API call.
+    """
+
+    blocking = False
+
+    def __init__(self, dev: Device):
+        super().__init__(dev)
+        self._tasks: deque = deque()
+        self._cv = threading.Condition()
+        self._pending = 0
+        self._error: Optional[BaseException] = None
+        self._shutdown = False
+        self._worker = threading.Thread(
+            target=self._run, name=f"queue-{dev.uid}", daemon=True
+        )
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._tasks and not self._shutdown:
+                    self._cv.wait()
+                if self._shutdown and not self._tasks:
+                    return
+                runnable = self._tasks.popleft()
+            try:
+                if self._error is None:
+                    runnable()
+            except BaseException as exc:  # noqa: BLE001 - reported on wait
+                with self._cv:
+                    self._error = exc
+            finally:
+                with self._cv:
+                    self._pending -= 1
+                    self._cv.notify_all()
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            err, self._error = self._error, None
+            raise KernelError(
+                "an asynchronously enqueued task failed"
+            ) from err
+
+    def _submit(self, runnable: Callable[[], None]) -> None:
+        with self._cv:
+            self._raise_pending_error()
+            self._pending += 1
+            self._tasks.append(runnable)
+            self._cv.notify_all()
+
+    def wait(self) -> None:
+        with self._cv:
+            while self._pending > 0:
+                self._cv.wait()
+            self._raise_pending_error()
+
+    def destroy(self) -> None:
+        if self._destroyed:
+            return
+        try:
+            self.wait()
+        finally:
+            with self._cv:
+                self._shutdown = True
+                self._cv.notify_all()
+            self._worker.join(timeout=5)
+            self._destroyed = True
+
+
+def enqueue(queue: Queue, task) -> None:
+    """Free-function spelling of paper Listing 5's
+    ``stream::enqueue(stream, exec)``."""
+    queue.enqueue(task)
+
+
+def wait(waitable) -> None:
+    """Block the host on a queue or an event (``alpaka::wait::wait``)."""
+    waitable.wait()

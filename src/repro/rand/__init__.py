@@ -1,0 +1,5 @@
+"""Counter-based parallel random number generation."""
+
+from .philox import PhiloxRng, philox4x32
+
+__all__ = ["PhiloxRng", "philox4x32"]

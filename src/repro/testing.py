@@ -1,0 +1,124 @@
+"""Differential testing across back-ends — testability as a public API.
+
+The paper's *testability* property (Sec. 1.1): an algorithm can be
+tested on one hardware and gives, in a loose sense, the same results on
+another.  This module makes that property directly executable for any
+user kernel::
+
+    report = run_on_all_backends(
+        MyKernel(), args=(n, 2.0), arrays={"x": x_host, "y": y_host},
+        thread_elems=64,
+    )
+    report.assert_consistent()        # all back-ends agree bitwise
+    out = report.results["AccCpuSerial"]["y"]
+
+Buffers are allocated and staged per back-end, the work division is
+derived from each back-end's Table 2 mapping, and outputs are gathered
+back — the full offloading lifecycle, once per registered accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import mem
+from .acc.registry import accelerator, accelerator_names
+from .core.kernel import create_task_kernel
+from .core.workdiv import divide_work
+from .dev.manager import get_dev_by_idx
+from .queue.queue import QueueBlocking
+
+__all__ = ["BackendReport", "run_on_all_backends"]
+
+
+@dataclass
+class BackendReport:
+    """Per-back-end outputs of one kernel, plus consistency checks."""
+
+    results: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    reference_backend: str = "AccCpuSerial"
+
+    def assert_consistent(
+        self, rtol: float = 0.0, atol: float = 0.0
+    ) -> None:
+        """Raise unless every back-end matches the reference.
+
+        Defaults to bitwise equality — deterministic kernels through
+        identical span decompositions reproduce exactly; pass
+        tolerances for kernels whose atomics reorder float sums.
+        """
+        if self.reference_backend not in self.results:
+            raise AssertionError(
+                f"reference back-end {self.reference_backend!r} missing "
+                f"from results {sorted(self.results)}"
+            )
+        ref = self.results[self.reference_backend]
+        for name, arrays in self.results.items():
+            for key, value in arrays.items():
+                if rtol == 0.0 and atol == 0.0:
+                    np.testing.assert_array_equal(
+                        value, ref[key], err_msg=f"{name}:{key}"
+                    )
+                else:
+                    np.testing.assert_allclose(
+                        value, ref[key], rtol=rtol, atol=atol,
+                        err_msg=f"{name}:{key}",
+                    )
+
+    @property
+    def backends(self) -> Sequence[str]:
+        return sorted(self.results)
+
+
+def run_on_all_backends(
+    kernel,
+    *,
+    args: Tuple = (),
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+    extent: Optional[int] = None,
+    thread_elems: int = 16,
+    backends: Optional[Iterable[str]] = None,
+) -> BackendReport:
+    """Execute ``kernel`` on every (or the given) back-ends.
+
+    ``args`` are scalar kernel arguments (passed first); ``arrays`` are
+    staged as buffers in declaration order after them.  The work
+    division covers ``extent`` (default: the first array's length)
+    using each back-end's preferred Table 2 mapping with
+    ``thread_elems`` elements per thread.
+    """
+    arrays = arrays or {}
+    if extent is None:
+        if not arrays:
+            raise ValueError("need arrays or an explicit extent")
+        extent = int(np.asarray(next(iter(arrays.values()))).shape[0])
+
+    report = BackendReport()
+    for name in backends if backends is not None else accelerator_names():
+        acc = accelerator(name)
+        dev = get_dev_by_idx(acc, 0)
+        queue = QueueBlocking(dev)
+        bufs = {}
+        for key, host in arrays.items():
+            host = np.ascontiguousarray(host)
+            buf = mem.alloc(dev, host.shape, dtype=host.dtype)
+            mem.copy(queue, buf, host)
+            bufs[key] = buf
+        props = acc.get_acc_dev_props(dev)
+        wd = divide_work(
+            extent, props, acc.mapping_strategy, thread_elems=thread_elems
+        )
+        queue.enqueue(
+            create_task_kernel(acc, wd, kernel, *args, *bufs.values())
+        )
+        gathered = {}
+        for key, buf in bufs.items():
+            out = np.empty_like(np.ascontiguousarray(arrays[key]))
+            mem.copy(queue, out, buf)
+            gathered[key] = out
+            buf.free()
+        report.results[name] = gathered
+    return report

@@ -1,0 +1,219 @@
+"""Tracing accelerator: compile an *alpaka* kernel symbolically.
+
+The same kernel object that executes on any back-end is handed a
+:class:`TraceAcc`; its index queries then emit PTX-like instructions
+instead of returning numbers (the ``trace_get_idx`` hook in
+:func:`repro.core.index.get_idx`), and its buffer arguments are
+:class:`~repro.trace.symbolic.SymArray` parameters.  The result is the
+reproduction's "generated code" for the kernel, comparable
+instruction-by-instruction with a natively written CUDA kernel
+(:mod:`repro.trace.native_cuda`) — paper Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.errors import TraceError
+from ..core.index import Origin, Unit
+from .ir import IRBuilder
+from .symbolic import SymArray, SymFloat, SymInt, TraceContext
+
+__all__ = ["TraceAcc", "ArgSpec", "trace_alpaka_kernel"]
+
+#: ("int", name) | ("float", name) | ("array", name) | ("const_array", name)
+ArgSpec = Tuple[str, str]
+
+_AXES = ("x", "y", "z")
+
+
+class _TraceVec:
+    """Minimal Vec look-alike over symbolic components."""
+
+    def __init__(self, components: List[SymInt]):
+        self._c = components
+
+    def __getitem__(self, i: int) -> SymInt:
+        return self._c[i]
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    @property
+    def dim(self) -> int:
+        return len(self._c)
+
+
+class SymSharedArray:
+    """A block-shared array in a traced kernel.
+
+    Loads/stores go through the ``.shared`` state space (no ``cvta``:
+    shared addresses are generic-free in PTX kernels compiled for a
+    known space).
+    """
+
+    def __init__(self, ctx: TraceContext, name: str, itemsize: int = 8):
+        self.ctx = ctx
+        self.name = name
+        self.itemsize = itemsize
+        self._base: str | None = None
+        self._addr_cache: dict = {}
+
+    def _address(self, idx: SymInt) -> str:
+        if self._base is None:
+            self._base = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("mov.u64", self._base, f"%{self.name}")
+        addr = self._addr_cache.get(idx.reg)
+        if addr is None:
+            off = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("mul.wide.s32", off, idx.reg, str(self.itemsize))
+            addr = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("add.s64", addr, self._base, off)
+            self._addr_cache[idx.reg] = addr
+        return addr
+
+    def __getitem__(self, idx) -> SymFloat:
+        if not isinstance(idx, SymInt):
+            raise TraceError("shared arrays trace only symbolic indices")
+        dst = self.ctx.b.new_reg("fd")
+        self.ctx.b.emit("ld.shared.f64", dst, self._address(idx))
+        return SymFloat(self.ctx, dst)
+
+    def __setitem__(self, idx, value) -> None:
+        if not isinstance(idx, SymInt):
+            raise TraceError("shared arrays trace only symbolic indices")
+        if hasattr(value, "materialise"):
+            value = value.materialise()
+        if not isinstance(value, SymFloat):
+            value = self.ctx.float_value(value)
+        self.ctx.b.emit("st.shared.f64", None, self._address(idx), value.reg)
+
+
+class TraceAcc:
+    """The accelerator stand-in a kernel sees while being traced.
+
+    Only 1-3 dimensional index queries are supported; component 0 is the
+    slowest dimension (library convention), which maps to the *last*
+    CUDA axis name, so a 1-d kernel's queries read ``%tid.x`` exactly as
+    in the paper's figure.  Shared memory and block barriers trace too
+    (``ld.shared``/``st.shared``/``bar.sync``), so tiled kernels can be
+    inspected, not only elementwise ones.
+    """
+
+    def __init__(self, ctx: TraceContext, dim: int = 1):
+        if not 1 <= dim <= 3:
+            raise TraceError(f"TraceAcc supports 1..3 dimensions, got {dim}")
+        self.ctx = ctx
+        self.dim = dim
+        self._idx_cache = {}
+        self._shared: dict = {}
+
+    # -- shared memory & synchronisation (traced) ----------------------
+
+    def shared_mem(self, name: str, shape, dtype=None) -> SymSharedArray:
+        if name not in self._shared:
+            self._shared[name] = SymSharedArray(self.ctx, name)
+        return self._shared[name]
+
+    def sync_block_threads(self) -> None:
+        self.ctx.b.emit("bar.sync", None, "0")
+
+    # -- hooks consumed by repro.core.index ------------------------------
+
+    def trace_get_idx(self, origin: Origin, unit: Unit) -> _TraceVec:
+        key = ("idx", origin, unit)
+        if key not in self._idx_cache:
+            self._idx_cache[key] = self._compute_idx(origin, unit)
+        return self._idx_cache[key]
+
+    def trace_get_work_div(self, origin: Origin, unit: Unit) -> _TraceVec:
+        key = ("ext", origin, unit)
+        if key not in self._idx_cache:
+            self._idx_cache[key] = self._compute_extent(origin, unit)
+        return self._idx_cache[key]
+
+    # -- special registers ---------------------------------------------------
+
+    def _sreg(self, sreg: str, axis: int) -> SymInt:
+        """Read a CUDA special register (%ctaid/%ntid/%tid/%nctaid)."""
+        name = f"%{sreg}.{_AXES[self.dim - 1 - axis]}"
+        key = ("sreg", name)
+        if key not in self._idx_cache:
+            dst = self.ctx.b.new_reg("r")
+            self.ctx.b.emit("mov.u32", dst, name)
+            self._idx_cache[key] = SymInt(self.ctx, dst)
+        return self._idx_cache[key]
+
+    def _compute_idx(self, origin: Origin, unit: Unit) -> _TraceVec:
+        comps = []
+        for axis in range(self.dim):
+            if origin is Origin.GRID and unit is Unit.BLOCKS:
+                comps.append(self._sreg("ctaid", axis))
+            elif origin is Origin.BLOCK and unit is Unit.THREADS:
+                comps.append(self._sreg("tid", axis))
+            elif origin is Origin.GRID and unit is Unit.THREADS:
+                ctaid = self._sreg("ctaid", axis)
+                ntid = self._sreg("ntid", axis)
+                tid = self._sreg("tid", axis)
+                comps.append(ntid.mad(ctaid, tid))
+            else:
+                raise TraceError(
+                    f"unsupported traced index query {origin}/{unit}"
+                )
+        return _TraceVec(comps)
+
+    def _compute_extent(self, origin: Origin, unit: Unit) -> _TraceVec:
+        comps = []
+        for axis in range(self.dim):
+            if origin is Origin.BLOCK and unit is Unit.THREADS:
+                comps.append(self._sreg("ntid", axis))
+            elif origin is Origin.GRID and unit is Unit.BLOCKS:
+                comps.append(self._sreg("nctaid", axis))
+            elif origin is Origin.GRID and unit is Unit.THREADS:
+                comps.append(
+                    self._sreg("nctaid", axis) * self._sreg("ntid", axis)
+                )
+            else:
+                raise TraceError(
+                    f"unsupported traced extent query {origin}/{unit}"
+                )
+        return _TraceVec(comps)
+
+
+def _make_params(ctx: TraceContext, arg_specs: Sequence[ArgSpec]):
+    args = []
+    for kind, name in arg_specs:
+        if kind == "int":
+            args.append(SymInt(ctx, ctx.b.new_param("r")))
+        elif kind == "float":
+            args.append(SymFloat(ctx, ctx.b.new_param("fd")))
+        elif kind == "array":
+            args.append(SymArray(ctx, ctx.b.new_param("rd"), name))
+        elif kind == "const_array":
+            args.append(
+                SymArray(ctx, ctx.b.new_param("rd"), name, const=True)
+            )
+        else:
+            raise TraceError(f"unknown arg spec kind {kind!r} for {name!r}")
+    return args
+
+
+def trace_alpaka_kernel(
+    kernel,
+    arg_specs: Sequence[ArgSpec],
+    *,
+    dim: int = 1,
+    name: str = "alpaka_kernel",
+) -> IRBuilder:
+    """Symbolically compile an alpaka kernel.
+
+    ``arg_specs`` describes the kernel parameters after the accelerator,
+    in order.  Returns the finished instruction stream.
+    """
+    ctx = TraceContext(name)
+    acc = TraceAcc(ctx, dim=dim)
+    args = _make_params(ctx, arg_specs)
+    kernel(acc, *args)
+    return ctx.finish()

@@ -1,0 +1,358 @@
+"""CPU assembler tracing — the second half of paper Fig. 4.
+
+Besides the PTX comparison, Sec. 4.1 inspects the *x86 assembler* of the
+DAXPY kernels: the native C++ loop vectorises to packed SSE2
+(``movupd``/``mulpd``/``addpd``) while a one-element-per-thread kernel
+compiles to scalar instructions (``movsd``/``mulsd``/``addsd``); adding
+the element level ("a primitive inner loop over a fixed number of
+elements") lets the compiler emit the packed forms for the alpaka kernel
+too.
+
+This tracer reproduces that observation mechanically.  Two modes:
+
+* **scalar** — :func:`trace_cpu_kernel_scalar` runs the
+  one-element-per-thread kernel with a symbolic thread index; loads,
+  multiplies and adds come out as ``movsd``/``mulsd``/``addsd``.
+* **vector** — :func:`trace_cpu_kernel_spans` runs the element-span
+  kernel over one concrete span; span operations come out as
+  SSE2-packed ``movupd``/``mulpd``/``addpd``, two lanes per register,
+  unrolled across the span — exactly what the auto-vectoriser produces
+  for the "primitive inner loop".
+
+The emitted dialect is deliberately small (AT&T-ish Intel mnemonics,
+``%xmmN`` registers, ``%rdi/%rsi/...`` pointer registers): enough to
+*count and classify* instructions, which is all the paper's argument
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import TraceError
+from ..core.index import Origin, Unit
+from ..core.vec import Vec
+from ..core.workdiv import WorkDivMembers
+
+__all__ = [
+    "CpuTraceContext",
+    "CpuArray",
+    "trace_cpu_kernel_scalar",
+    "trace_cpu_kernel_spans",
+    "classify_fp_instructions",
+]
+
+#: SSE2 register width in doubles.
+SSE2_LANES = 2
+
+_PTR_REGS = ("%rdi", "%rsi", "%rdx", "%rcx", "%r8", "%r9")
+
+
+class CpuTraceContext:
+    """Instruction list + register allocation for one CPU trace."""
+
+    def __init__(self, name: str = "kernel"):
+        self.name = name
+        self.instructions: List[str] = []
+        self._xmm = 0
+        self._gp = 0
+        self._ptrs = list(_PTR_REGS)
+        self._labels = 0
+
+    def new_xmm(self) -> str:
+        reg = f"%xmm{self._xmm}"
+        self._xmm = (self._xmm + 1) % 16
+        return reg
+
+    def new_gp(self) -> str:
+        reg = f"%r1{self._gp}"
+        self._gp = (self._gp + 1) % 6
+        return reg
+
+    def new_ptr(self) -> str:
+        if not self._ptrs:
+            raise TraceError("out of pointer argument registers")
+        return self._ptrs.pop(0)
+
+    def new_label(self) -> str:
+        self._labels += 1
+        return f".L{self._labels}"
+
+    def emit(self, text: str) -> None:
+        self.instructions.append(text)
+
+    def to_text(self) -> str:
+        return "\n".join(
+            i if i.endswith(":") else "    " + i for i in self.instructions
+        )
+
+    def mnemonics(self) -> List[str]:
+        return [
+            i.split()[0] for i in self.instructions if not i.endswith(":")
+        ]
+
+
+class _XmmScalar:
+    """One double in an xmm register (scalar SSE2 path)."""
+
+    def __init__(self, ctx: CpuTraceContext, reg: str):
+        self.ctx = ctx
+        self.reg = reg
+
+    def _bin(self, mnemonic: str, other):
+        if isinstance(other, _XmmVector):
+            # scalar op vector promotes to the packed path (broadcast);
+            # NotImplemented routes Python to the vector's reflected op.
+            return NotImplemented
+        o = _coerce_scalar(self.ctx, other)
+        dst = self.ctx.new_xmm()
+        self.ctx.emit(f"movapd {self.reg}, {dst}")
+        self.ctx.emit(f"{mnemonic} {o.reg}, {dst}")
+        return _XmmScalar(self.ctx, dst)
+
+    def __mul__(self, other):
+        return self._bin("mulsd", other)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other):
+        return self._bin("addsd", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._bin("subsd", other)
+
+
+class _XmmVector:
+    """A span of doubles across packed xmm registers (2 lanes each)."""
+
+    def __init__(self, ctx: CpuTraceContext, regs: Sequence[str], count: int):
+        self.ctx = ctx
+        self.regs = list(regs)
+        self.count = count
+
+    def _bin(self, mnemonic: str, other) -> "_XmmVector":
+        out = []
+        if isinstance(other, _XmmVector):
+            if other.count != self.count:
+                raise TraceError("span length mismatch in vector op")
+            rhs = other.regs
+        else:
+            rhs = [_broadcast(self.ctx, other)] * len(self.regs)
+        for a, b in zip(self.regs, rhs):
+            dst = self.ctx.new_xmm()
+            self.ctx.emit(f"movapd {a}, {dst}")
+            self.ctx.emit(f"{mnemonic} {b}, {dst}")
+            out.append(dst)
+        return _XmmVector(self.ctx, out, self.count)
+
+    def __mul__(self, other):
+        return self._bin("mulpd", other)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other):
+        return self._bin("addpd", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._bin("subpd", other)
+
+
+_BROADCAST_CACHE_ATTR = "_broadcast_reg"
+
+
+def _broadcast(ctx: CpuTraceContext, scalar) -> str:
+    """Broadcast a scalar operand across both lanes (``movddup``);
+    cached so the constant is splatted once per trace, like a compiler
+    hoisting it out of the loop."""
+    if isinstance(scalar, _XmmScalar):
+        cached = getattr(scalar, _BROADCAST_CACHE_ATTR, None)
+        if cached:
+            return cached
+        dst = ctx.new_xmm()
+        ctx.emit(f"movddup {scalar.reg}, {dst}")
+        setattr(scalar, _BROADCAST_CACHE_ATTR, dst)
+        return dst
+    dst = ctx.new_xmm()
+    ctx.emit(f"movddup ${float(scalar)}, {dst}")
+    return dst
+
+
+def _coerce_scalar(ctx: CpuTraceContext, value) -> _XmmScalar:
+    if isinstance(value, _XmmScalar):
+        return value
+    if isinstance(value, (int, float)):
+        dst = ctx.new_xmm()
+        ctx.emit(f"movsd ${float(value)}, {dst}")
+        return _XmmScalar(ctx, dst)
+    raise TraceError(f"cannot use {value!r} as a CPU scalar operand")
+
+
+class _CpuSymIndex:
+    """A symbolic loop/thread index in a general-purpose register."""
+
+    def __init__(self, ctx: CpuTraceContext, reg: str):
+        self.ctx = ctx
+        self.reg = reg
+
+    def __lt__(self, bound) -> "_CpuGuard":
+        return _CpuGuard(self.ctx, self.reg, bound)
+
+
+class _CpuGuard:
+    def __init__(self, ctx: CpuTraceContext, reg: str, bound):
+        self.ctx = ctx
+        self.reg = reg
+        self.bound = bound
+
+    def __bool__(self) -> bool:
+        label = self.ctx.new_label()
+        self.ctx.emit(f"cmp {self.bound}, {self.reg}")
+        self.ctx.emit(f"jge {label}")
+        self.ctx._exit_label = label
+        return True
+
+
+class CpuArray:
+    """A pointer argument.
+
+    Scalar (symbolic-index) access emits ``movsd``; slice access emits
+    packed ``movupd`` pairs across the span.
+    """
+
+    def __init__(self, ctx: CpuTraceContext, name: str):
+        self.ctx = ctx
+        self.name = name
+        self.base = ctx.new_ptr()
+
+    # -- loads -----------------------------------------------------------
+
+    def __getitem__(self, idx):
+        if isinstance(idx, _CpuSymIndex):
+            dst = self.ctx.new_xmm()
+            self.ctx.emit(f"movsd ({self.base},{idx.reg},8), {dst}")
+            return _XmmScalar(self.ctx, dst)
+        if isinstance(idx, slice):
+            count = idx.stop - idx.start
+            if count <= 0 or count % SSE2_LANES:
+                raise TraceError(
+                    f"span of {count} doubles does not fill SSE2 lanes"
+                )
+            regs = []
+            for lane0 in range(idx.start, idx.stop, SSE2_LANES):
+                dst = self.ctx.new_xmm()
+                self.ctx.emit(f"movupd {8 * lane0}({self.base}), {dst}")
+                regs.append(dst)
+            return _XmmVector(self.ctx, regs, count)
+        raise TraceError(f"unsupported CPU-trace index {idx!r}")
+
+    # -- stores -------------------------------------------------------------
+
+    def __setitem__(self, idx, value) -> None:
+        if isinstance(idx, _CpuSymIndex):
+            v = _coerce_scalar(self.ctx, value)
+            self.ctx.emit(f"movsd {v.reg}, ({self.base},{idx.reg},8)")
+            return
+        if isinstance(idx, slice):
+            if not isinstance(value, _XmmVector):
+                raise TraceError("span store needs a vector value")
+            for k, reg in enumerate(value.regs):
+                off = 8 * (idx.start + k * SSE2_LANES)
+                self.ctx.emit(f"movupd {reg}, {off}({self.base})")
+            return
+        raise TraceError(f"unsupported CPU-trace index {idx!r}")
+
+
+class _CpuScalarAcc:
+    """Accelerator stand-in for the scalar (one element/thread) trace."""
+
+    def __init__(self, ctx: CpuTraceContext):
+        self.ctx = ctx
+        self._idx: Optional[_CpuSymIndex] = None
+
+    def trace_get_idx(self, origin: Origin, unit: Unit):
+        if self._idx is None:
+            reg = self.ctx.new_gp()
+            self.ctx.emit(f"mov <thread_linear>, {reg}")
+            self._idx = _CpuSymIndex(self.ctx, reg)
+        return [self._idx]
+
+    def trace_get_work_div(self, origin: Origin, unit: Unit):
+        raise TraceError(
+            "the scalar CPU trace models one thread body; span kernels "
+            "trace through trace_cpu_kernel_spans"
+        )
+
+
+class _CpuSpanAcc:
+    """Accelerator stand-in for the element-span trace.
+
+    Carries a *concrete* work division of one thread owning ``span``
+    elements, so ``grid_strided_spans`` and friends run normally and
+    hand the kernel plain slices — which :class:`CpuArray` then turns
+    into packed instructions.
+    """
+
+    def __init__(self, span: int):
+        self.work_div = WorkDivMembers.make(1, 1, span)
+        self.grid_block_idx = Vec(0)
+        self.block_thread_idx = Vec(0)
+
+
+def trace_cpu_kernel_scalar(kernel, array_names: Sequence[str], *scalars):
+    """Trace a one-element-per-thread kernel body on the CPU.
+
+    ``scalars`` are the leading non-array kernel arguments after the
+    accelerator (e.g. ``n, alpha`` for DAXPY); ``n`` is traced as the
+    symbolic bound register.
+    """
+    ctx = CpuTraceContext(getattr(kernel, "__name__", "kernel"))
+    ctx._exit_label = None
+    acc = _CpuScalarAcc(ctx)
+    bound = ctx.new_gp()
+    ctx.emit(f"mov <n>, {bound}")
+    # n is the guard bound; remaining scalars become xmm constants.
+    args: List[object] = [bound]
+    for s in scalars[1:]:
+        args.append(_coerce_scalar(ctx, s))
+    arrays = [CpuArray(ctx, name) for name in array_names]
+    kernel(acc, *args, *arrays)
+    if ctx._exit_label:
+        ctx.emit(f"{ctx._exit_label}:")
+    return ctx
+
+
+def trace_cpu_kernel_spans(kernel, array_names: Sequence[str], *scalars, span: int = 4):
+    """Trace an element-span kernel over one concrete ``span``.
+
+    The span plays the paper's "primitive inner loop over a fixed
+    number of elements": operations on it emit packed SSE2.
+    """
+    ctx = CpuTraceContext(getattr(kernel, "__name__", "kernel"))
+    ctx._exit_label = None
+    acc = _CpuSpanAcc(span)
+    args: List[object] = [scalars[0]]
+    for s in scalars[1:]:
+        args.append(_coerce_scalar(ctx, s))
+    arrays = [CpuArray(ctx, name) for name in array_names]
+    kernel(acc, *args, *arrays)
+    return ctx
+
+
+def classify_fp_instructions(ctx: CpuTraceContext) -> dict:
+    """Count packed vs scalar floating-point instructions — the metric
+    the paper's Fig. 4 discussion turns on."""
+    packed = scalar = 0
+    for m in ctx.mnemonics():
+        # movapd is a register copy used by both paths; it classifies
+        # neither way.
+        if m in ("movupd", "mulpd", "addpd", "subpd", "movddup"):
+            packed += 1
+        elif m in ("movsd", "mulsd", "addsd", "subsd"):
+            scalar += 1
+    return {"packed": packed, "scalar": scalar}

@@ -1,0 +1,321 @@
+"""Symbolic values for kernel tracing.
+
+Executing a kernel with these operands instead of numbers records a
+PTX-like instruction stream (the reproduction's "generated code", see
+:mod:`repro.trace.ir`).  The types implement just enough operator
+overloading for the idioms real alpaka kernels use:
+
+* integer index arithmetic (``bi * bdim + ti``) → ``mad``/``mul``/``add``,
+* the in-bounds guard ``if i < n:`` → ``setp`` + predicated branch
+  (the *taken* path is traced, like a compiler emitting the body),
+* buffer loads/stores → address computation + ``ld.global``/``st.global``,
+* ``a * x + y`` → ``fma.rn.f64`` (multiply-add contraction, which nvcc
+  performs and the paper's Fig. 4 shows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.errors import TraceError
+from .ir import IRBuilder
+
+__all__ = ["TraceContext", "SymInt", "SymFloat", "SymBool", "SymArray", "Product"]
+
+_NEGATED = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+
+class TraceContext:
+    """Shared state of one kernel trace."""
+
+    def __init__(self, name: str = "kernel"):
+        self.b = IRBuilder(name)
+        self.exit_label: Optional[str] = None
+        #: (index register, itemsize) -> byte-offset register; shared
+        #: between arrays exactly as nvcc shares the mul.wide result.
+        self.offset_cache: Dict[Tuple[str, int], str] = {}
+
+    def get_exit_label(self) -> str:
+        if self.exit_label is None:
+            self.exit_label = self.b.new_label()
+        return self.exit_label
+
+    def finish(self) -> IRBuilder:
+        """Close the trace (emit the pending early-exit label)."""
+        if self.exit_label is not None:
+            self.b.emit_label(self.exit_label)
+            self.exit_label = None
+        return self.b
+
+    # -- literal materialisation ---------------------------------------
+
+    def int_value(self, v: Union[int, "SymInt"]) -> "SymInt":
+        if isinstance(v, SymInt):
+            return v
+        reg = self.b.new_reg("r")
+        self.b.emit("mov.u32", reg, str(int(v)))
+        return SymInt(self, reg)
+
+    def float_value(self, v: Union[float, "SymFloat"]) -> "SymFloat":
+        if isinstance(v, SymFloat):
+            return v
+        reg = self.b.new_reg("fd")
+        self.b.emit("mov.f64", reg, f"0d{np.float64(v).view(np.uint64):016X}")
+        return SymFloat(self, reg)
+
+
+class SymInt:
+    """A 32-bit integer register value."""
+
+    __slots__ = ("ctx", "reg")
+
+    def __init__(self, ctx: TraceContext, reg: str):
+        self.ctx = ctx
+        self.reg = reg
+
+    def _bin(self, op: str, other) -> "SymInt":
+        o = self.ctx.int_value(other)
+        dst = self.ctx.b.new_reg("r")
+        self.ctx.b.emit(op, dst, self.reg, o.reg)
+        return SymInt(self.ctx, dst)
+
+    def __add__(self, other):
+        return self._bin("add.s32", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._bin("sub.s32", other)
+
+    def __mul__(self, other):
+        return self._bin("mul.lo.s32", other)
+
+    __rmul__ = __mul__
+
+    def mad(self, mul_by: "SymInt", plus: "SymInt") -> "SymInt":
+        """Fused multiply-add on integers (``mad.lo.s32``) — the global
+        thread-index computation ``ntid * ctaid + tid``."""
+        dst = self.ctx.b.new_reg("r")
+        self.ctx.b.emit("mad.lo.s32", dst, self.reg, mul_by.reg, plus.reg)
+        return SymInt(self.ctx, dst)
+
+    def _cmp(self, cond: str, other) -> "SymBool":
+        return SymBool(self.ctx, cond, self, self.ctx.int_value(other))
+
+    def __lt__(self, other):
+        return self._cmp("lt", other)
+
+    def __le__(self, other):
+        return self._cmp("le", other)
+
+    def __gt__(self, other):
+        return self._cmp("gt", other)
+
+    def __ge__(self, other):
+        return self._cmp("ge", other)
+
+    def __repr__(self):
+        return f"SymInt({self.reg})"
+
+
+class SymBool:
+    """A lazy predicate.
+
+    Using it in ``if`` traces the *guard* idiom: the negated condition
+    is tested and branches to the kernel exit; the body is then traced
+    as the fall-through path.  This matches how nvcc compiles
+    ``if (i < n) { body }`` in Fig. 4 (``setp.ge.s32`` + ``@%p1 bra``).
+    """
+
+    __slots__ = ("ctx", "cond", "lhs", "rhs")
+
+    def __init__(self, ctx: TraceContext, cond: str, lhs: SymInt, rhs: SymInt):
+        self.ctx = ctx
+        self.cond = cond
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __bool__(self) -> bool:
+        neg = _NEGATED[self.cond]
+        pred = self.ctx.b.new_reg("p")
+        self.ctx.b.emit(f"setp.{neg}.s32", pred, self.lhs.reg, self.rhs.reg)
+        target = self.ctx.get_exit_label()
+        self.ctx.b.emit("bra", None, target, predicate=pred)
+        return True
+
+
+class Product:
+    """An uncommitted ``a * b`` awaiting contraction.
+
+    ``Product + SymFloat`` emits one ``fma.rn.f64``; any other use
+    materialises a plain ``mul.f64`` first.
+    """
+
+    __slots__ = ("ctx", "a", "b", "_materialised")
+
+    def __init__(self, ctx: TraceContext, a: "SymFloat", b: "SymFloat"):
+        self.ctx = ctx
+        self.a = a
+        self.b = b
+        self._materialised: Optional[SymFloat] = None
+
+    def materialise(self) -> "SymFloat":
+        if self._materialised is None:
+            dst = self.ctx.b.new_reg("fd")
+            self.ctx.b.emit("mul.f64", dst, self.a.reg, self.b.reg)
+            self._materialised = SymFloat(self.ctx, dst)
+        return self._materialised
+
+    def _fma(self, addend) -> "SymFloat":
+        c = self.ctx.float_value(addend)
+        dst = self.ctx.b.new_reg("fd")
+        self.ctx.b.emit("fma.rn.f64", dst, self.a.reg, self.b.reg, c.reg)
+        return SymFloat(self.ctx, dst)
+
+    def __add__(self, other):
+        if isinstance(other, Product):
+            return self._fma(other.materialise())
+        return self._fma(other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        return self.materialise() * other
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        return self.materialise() - other
+
+    def __truediv__(self, other):
+        return self.materialise() / other
+
+    def __repr__(self):
+        return f"Product({self.a.reg} * {self.b.reg})"
+
+
+class SymFloat:
+    """A 64-bit float register value."""
+
+    __slots__ = ("ctx", "reg")
+
+    def __init__(self, ctx: TraceContext, reg: str):
+        self.ctx = ctx
+        self.reg = reg
+
+    def _coerce(self, other) -> "SymFloat":
+        if isinstance(other, Product):
+            return other.materialise()
+        return self.ctx.float_value(other)
+
+    def __mul__(self, other):
+        return Product(self.ctx, self, self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other):
+        if isinstance(other, Product):
+            return other + self  # contract to fma
+        o = self._coerce(other)
+        dst = self.ctx.b.new_reg("fd")
+        self.ctx.b.emit("add.f64", dst, self.reg, o.reg)
+        return SymFloat(self.ctx, dst)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        dst = self.ctx.b.new_reg("fd")
+        self.ctx.b.emit("sub.f64", dst, self.reg, o.reg)
+        return SymFloat(self.ctx, dst)
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        dst = self.ctx.b.new_reg("fd")
+        self.ctx.b.emit("div.rn.f64", dst, self.reg, o.reg)
+        return SymFloat(self.ctx, dst)
+
+    def __repr__(self):
+        return f"SymFloat({self.reg})"
+
+
+class SymArray:
+    """A global-memory array parameter.
+
+    ``const=True`` marks a pointer the kernel only reads through
+    ``const __restrict__`` — loads then use the non-coherent texture
+    path (``ld.global.nc.f64``), the one-instruction difference the
+    paper observes between the native CUDA and the Alpaka DAXPY PTX.
+    """
+
+    def __init__(
+        self,
+        ctx: TraceContext,
+        param_reg: str,
+        name: str,
+        dtype=np.float64,
+        const: bool = False,
+    ):
+        self.ctx = ctx
+        self.param_reg = param_reg
+        self.name = name
+        self.itemsize = np.dtype(dtype).itemsize
+        self.const = const
+        self._global_reg: Optional[str] = None
+        self._addr_cache: Dict[str, str] = {}
+
+    def _global_base(self) -> str:
+        if self._global_reg is None:
+            dst = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("cvta.to.global.u64", dst, self.param_reg)
+            self._global_reg = dst
+        return self._global_reg
+
+    def _offset(self, idx: SymInt) -> str:
+        key = (idx.reg, self.itemsize)
+        off = self.ctx.offset_cache.get(key)
+        if off is None:
+            off = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("mul.wide.s32", off, idx.reg, str(self.itemsize))
+            self.ctx.offset_cache[key] = off
+        return off
+
+    def _address(self, idx: SymInt) -> str:
+        off = self._offset(idx)
+        addr = self._addr_cache.get(off)
+        if addr is None:
+            base = self._global_base()
+            addr = self.ctx.b.new_reg("rd")
+            self.ctx.b.emit("add.s64", addr, base, off)
+            self._addr_cache[off] = addr
+        return addr
+
+    def __getitem__(self, idx) -> SymFloat:
+        if not isinstance(idx, SymInt):
+            raise TraceError(
+                f"symbolic array {self.name!r} indexed with non-symbolic "
+                f"{idx!r}; trace kernels index with thread-derived values"
+            )
+        addr = self._address(idx)
+        dst = self.ctx.b.new_reg("fd")
+        op = "ld.global.nc.f64" if self.const else "ld.global.f64"
+        self.ctx.b.emit(op, dst, addr)
+        return SymFloat(self.ctx, dst)
+
+    def __setitem__(self, idx, value) -> None:
+        if not isinstance(idx, SymInt):
+            raise TraceError(
+                f"symbolic array {self.name!r} written with non-symbolic "
+                f"index {idx!r}"
+            )
+        if isinstance(value, Product):
+            value = value.materialise()
+        if not isinstance(value, SymFloat):
+            value = self.ctx.float_value(value)
+        addr = self._address(idx)
+        self.ctx.b.emit("st.global.f64", None, addr, value.reg)
+
+    def __repr__(self):
+        return f"SymArray({self.name})"

@@ -1,0 +1,54 @@
+"""CUDA-shaped per-axis limits on the simulated GPU."""
+
+import pytest
+
+from repro import AccGpuCudaSim, Vec, WorkDivMembers, get_dev_by_idx
+from repro.core.errors import InvalidWorkDiv
+from repro.core.workdiv import validate_work_div
+
+
+@pytest.fixture
+def props():
+    return AccGpuCudaSim.get_acc_dev_props(get_dev_by_idx(AccGpuCudaSim, 0))
+
+
+class TestPerAxisLimits:
+    def test_block_z_axis_capped_at_64(self, props):
+        """CUDA allows 1024 threads along x/y but only 64 along z; our
+        component 0 (slowest) maps to z."""
+        ok = WorkDivMembers.make(Vec(1, 1, 1), Vec(64, 4, 4), Vec(1, 1, 1))
+        validate_work_div(ok, props)
+        bad = WorkDivMembers.make(Vec(1, 1, 1), Vec(65, 1, 1), Vec(1, 1, 1))
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(bad, props)
+
+    def test_block_total_capped_at_1024(self, props):
+        bad = WorkDivMembers.make(Vec(1, 1), Vec(64, 64), Vec(1, 1))
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(bad, props)
+        ok = WorkDivMembers.make(Vec(1, 1), Vec(32, 32), Vec(1, 1))
+        validate_work_div(ok, props)
+
+    def test_grid_y_axis_capped_at_65535(self, props):
+        bad = WorkDivMembers.make(Vec(1, 70000, 1), Vec(1, 1, 1), Vec(1, 1, 1))
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(bad, props)
+
+    def test_grid_x_axis_is_huge(self, props):
+        ok = WorkDivMembers.make(Vec(1, 1, 1 << 20), Vec(1, 1, 1), Vec(1, 1, 1))
+        validate_work_div(ok, props)
+
+    def test_1d_division_uses_fastest_axis_limits(self, props):
+        """A 1-d work division is constrained by the x-axis limits."""
+        ok = WorkDivMembers.make(1 << 20, 1024, 1)
+        validate_work_div(ok, props)
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(WorkDivMembers.make(1, 1025, 1), props)
+
+    def test_2d_division_uses_xy_limits(self, props):
+        ok = WorkDivMembers.make(Vec(65535, 1 << 20), Vec(1, 1), Vec(1, 1))
+        validate_work_div(ok, props)
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(
+                WorkDivMembers.make(Vec(65536, 1), Vec(1, 1), Vec(1, 1)), props
+            )

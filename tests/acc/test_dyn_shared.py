@@ -1,0 +1,129 @@
+"""Dynamic block shared memory (launch-time sized)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccGpuCudaSim,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    get_idx,
+    mem,
+)
+from repro.core import Block, Threads
+from repro.core.errors import KernelError, SharedMemError
+
+
+class RotateDyn:
+    @fn_acc
+    def __call__(self, acc, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        s = acc.shared_mem_dyn()
+        bt = s.shape[0]
+        s[ti] = float(ti)
+        acc.sync_block_threads()
+        out[ti] = s[(ti + 1) % bt]
+
+
+class TestDynamicSharedMem:
+    def test_basic(self, sync_acc, runner):
+        from repro import QueueBlocking, create_task_kernel, get_dev_by_idx
+
+        dev = get_dev_by_idx(sync_acc, 0)
+        q = QueueBlocking(dev)
+        cap = sync_acc.get_acc_dev_props(dev).block_thread_count_max
+        bt = min(8, cap)
+        out = mem.alloc(dev, bt)
+        wd = WorkDivMembers.make(1, bt, 1)
+        q.enqueue(
+            create_task_kernel(
+                sync_acc, wd, RotateDyn(), out, shared_mem_bytes=bt * 8
+            )
+        )
+        res = np.zeros(bt)
+        mem.copy(q, res, out)
+        np.testing.assert_array_equal(res, (np.arange(bt) + 1) % bt)
+
+    def test_size_follows_launch_parameter(self):
+        sizes = []
+
+        @fn_acc
+        def probe(acc, out):
+            sizes.append(acc.shared_mem_dyn(np.float32).shape[0])
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 1, 1)
+        for nbytes in (64, 256):
+            q.enqueue(
+                create_task_kernel(
+                    AccGpuCudaSim, wd, probe, out, shared_mem_bytes=nbytes
+                )
+            )
+        assert sizes == [16, 64]  # bytes / sizeof(float32)
+
+    def test_unsized_request_raises(self):
+        @fn_acc
+        def probe(acc, out):
+            acc.shared_mem_dyn()
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises(KernelError) as exc:
+            q.enqueue(create_task_kernel(AccGpuCudaSim, wd, probe, out))
+        assert isinstance(exc.value.__cause__, SharedMemError)
+
+    def test_over_limit_rejected_at_launch(self):
+        @fn_acc
+        def probe(acc, out):
+            pass
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises(SharedMemError):
+            q.enqueue(
+                create_task_kernel(
+                    AccGpuCudaSim, wd, probe, out,
+                    shared_mem_bytes=49 * 1024,  # > 48 KiB limit
+                )
+            )
+
+    def test_negative_rejected(self):
+        @fn_acc
+        def probe(acc):
+            pass
+
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises(KernelError):
+            create_task_kernel(
+                AccGpuCudaSim, wd, probe, shared_mem_bytes=-1
+            )
+
+    def test_dyn_plus_static_budget_shared(self):
+        """Dynamic and static allocations draw from one block budget."""
+
+        @fn_acc
+        def probe(acc, out):
+            acc.shared_mem_dyn()  # 40 KiB
+            acc.shared_mem("more", (2048,))  # 16 KiB -> over 48 KiB
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises(KernelError) as exc:
+            q.enqueue(
+                create_task_kernel(
+                    AccGpuCudaSim, wd, probe, out,
+                    shared_mem_bytes=40 * 1024,
+                )
+            )
+        assert isinstance(exc.value.__cause__, SharedMemError)

@@ -1,0 +1,172 @@
+"""Execution engines: error propagation, fibers determinism, residency."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuFibers,
+    AccCpuSerial,
+    AccCpuThreads,
+    AccGpuCudaSim,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    get_idx,
+    mem,
+)
+from repro.core import Block, Grid, Threads, Blocks
+from repro.core.errors import KernelError, MemorySpaceError
+
+
+class TestErrorPropagation:
+    @pytest.mark.parametrize(
+        "acc", [AccCpuSerial, AccCpuThreads, AccCpuFibers, AccGpuCudaSim]
+    )
+    def test_kernel_error_names_block(self, acc):
+        @fn_acc
+        def bad(acc_, out):
+            if get_idx(acc_, Grid, Blocks)[0] == 1:
+                raise RuntimeError("boom in block 1")
+            out[0] = 1.0
+
+        dev = get_dev_by_idx(acc, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = (
+            WorkDivMembers.make(3, 2, 1)
+            if acc.supports_block_sync
+            else WorkDivMembers.make(3, 1, 1)
+        )
+        with pytest.raises(KernelError, match="block"):
+            q.enqueue(create_task_kernel(acc, wd, bad, out))
+
+    def test_sibling_threads_unwind_after_failure(self):
+        """One failing thread must not deadlock siblings at a barrier."""
+
+        @fn_acc
+        def bad(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            if ti == 0:
+                raise RuntimeError("thread 0 dies before the barrier")
+            acc.sync_block_threads()  # would hang without barrier abort
+            out[ti] = 1.0
+
+        dev = get_dev_by_idx(AccCpuThreads, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 4)
+        wd = WorkDivMembers.make(1, 4, 1)
+        with pytest.raises(KernelError):
+            q.enqueue(create_task_kernel(AccCpuThreads, wd, bad, out))
+
+
+class TestFiberSemantics:
+    def test_cooperative_no_interleaving_between_syncs(self):
+        """Fibers run one at a time: a read-modify-write sequence
+        without atomics is safe between sync points (boost::fibers
+        semantics), unlike with preemptive threads."""
+
+        @fn_acc
+        def k(acc, out):
+            # Deliberately non-atomic RMW with a data hazard window.
+            v = out[0]
+            for _ in range(100):
+                v = v + 1.0
+            out[0] = v
+
+        dev = get_dev_by_idx(AccCpuFibers, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 8, 1)
+        q.enqueue(create_task_kernel(AccCpuFibers, wd, k, out))
+        assert out.as_numpy()[0] == 800.0
+
+    def test_fiber_round_robin_order(self):
+        """Control transfers at barriers in deterministic round-robin."""
+
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            n = acc.atomic_add(out, 0, 1.0)  # pre-barrier arrival order
+            out[1 + ti] = n
+            acc.sync_block_threads()
+            if ti == 0:
+                out[5] = out[0]
+
+        dev = get_dev_by_idx(AccCpuFibers, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 6)
+        wd = WorkDivMembers.make(1, 4, 1)
+        q.enqueue(create_task_kernel(AccCpuFibers, wd, k, out))
+        got = out.as_numpy()
+        # Fibers reached the barrier strictly in thread order.
+        np.testing.assert_array_equal(got[1:5], [0.0, 1.0, 2.0, 3.0])
+
+    def test_fibers_are_repeatable(self):
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            old = acc.atomic_add(out, 0, 1.0)
+            acc.sync_block_threads()
+            out[1 + ti] = old * 10
+
+        results = []
+        for _ in range(3):
+            dev = get_dev_by_idx(AccCpuFibers, 0)
+            q = QueueBlocking(dev)
+            out = mem.alloc(dev, 5)
+            wd = WorkDivMembers.make(1, 4, 1)
+            q.enqueue(create_task_kernel(AccCpuFibers, wd, k, out))
+            results.append(out.as_numpy().copy())
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[1], results[2])
+
+
+class TestResidency:
+    def test_wrong_device_buffer_rejected(self):
+        """A kernel on the GPU may not receive a CPU buffer (alpaka
+        would dereference a wild pointer; we raise)."""
+        cpu = get_dev_by_idx(AccCpuSerial, 0)
+        gpu_q = QueueBlocking(get_dev_by_idx(AccGpuCudaSim, 0))
+        cpu_buf = mem.alloc(cpu, 8)
+
+        @fn_acc
+        def k(acc, buf):
+            buf[0] = 1.0
+
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises((KernelError, MemorySpaceError)):
+            gpu_q.enqueue(create_task_kernel(AccGpuCudaSim, wd, k, cpu_buf))
+
+    def test_cross_gpu_die_buffer_rejected(self):
+        d0 = get_dev_by_idx(AccGpuCudaSim, 0)
+        d1 = get_dev_by_idx(AccGpuCudaSim, 1)
+        buf0 = mem.alloc(d0, 8)
+        q1 = QueueBlocking(d1)
+
+        @fn_acc
+        def k(acc, buf):
+            buf[0] = 1.0
+
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises((KernelError, MemorySpaceError)):
+            q1.enqueue(create_task_kernel(AccGpuCudaSim, wd, k, buf0))
+
+
+class TestLaunchAccounting:
+    def test_launch_counter(self):
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        before = dev.kernel_launch_count
+
+        @fn_acc
+        def k(acc):
+            pass
+
+        wd = WorkDivMembers.make(2, 1, 1)
+        q.enqueue(create_task_kernel(AccCpuSerial, wd, k))
+        q.enqueue(create_task_kernel(AccCpuSerial, wd, k))
+        assert dev.kernel_launch_count == before + 2

@@ -1,0 +1,110 @@
+"""Fiber scheduler edge cases: divergent exits around barriers.
+
+CUDA leaves divergent ``__syncthreads`` undefined; the cooperative
+scheduler's contract is merely *no deadlock*: when every still-running
+fiber waits at a barrier and the rest have exited, the barrier releases.
+These tests pin that behaviour (and the analogous preemptive-engine
+abort path) so refactors cannot regress it into a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuFibers,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    get_idx,
+    mem,
+)
+from repro.core import Block, Threads
+
+
+def run_fibers(kernel, threads, out_len):
+    dev = get_dev_by_idx(AccCpuFibers, 0)
+    q = QueueBlocking(dev)
+    out = mem.alloc(dev, out_len)
+    wd = WorkDivMembers.make(1, threads, 1)
+    q.enqueue(create_task_kernel(AccCpuFibers, wd, kernel, out))
+    res = out.as_numpy().copy()
+    out.free()
+    return res
+
+
+class TestDivergentExit:
+    def test_early_returner_does_not_deadlock_barrier(self):
+        """Fiber 0 exits before the barrier; the remaining fibers'
+        barrier still completes."""
+
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            if ti == 0:
+                out[0] = 1.0
+                return
+            acc.sync_block_threads()
+            out[ti] = 2.0
+
+        res = run_fibers(k, 4, 4)
+        np.testing.assert_array_equal(res, [1.0, 2.0, 2.0, 2.0])
+
+    def test_all_but_one_exit_early(self):
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            if ti != 3:
+                out[ti] = -1.0
+                return
+            acc.sync_block_threads()
+            out[3] = 7.0
+
+        res = run_fibers(k, 4, 4)
+        np.testing.assert_array_equal(res, [-1.0, -1.0, -1.0, 7.0])
+
+    def test_exit_between_generations(self):
+        """A fiber that leaves after the first barrier must not stall
+        the second generation."""
+
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            acc.sync_block_threads()
+            if ti == 1:
+                out[1] = 5.0
+                return
+            acc.sync_block_threads()
+            out[ti] = 9.0
+
+        res = run_fibers(k, 3, 3)
+        np.testing.assert_array_equal(res, [9.0, 5.0, 9.0])
+
+    def test_single_fiber_many_syncs(self):
+        @fn_acc
+        def k(acc, out):
+            for i in range(10):
+                acc.sync_block_threads()
+            out[0] = 10.0
+
+        res = run_fibers(k, 1, 1)
+        assert res[0] == 10.0
+
+    def test_interleaving_still_round_robin_after_divergence(self):
+        """After a divergent exit, baton order stays deterministic."""
+
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            if ti == 0:
+                return
+            old = acc.atomic_add(out, 0, 1.0)
+            acc.sync_block_threads()
+            out[ti] = old
+
+        first = run_fibers(k, 4, 4)
+        second = run_fibers(k, 4, 4)
+        np.testing.assert_array_equal(first, second)
+        # Fibers 1..3 arrived in thread order.
+        np.testing.assert_array_equal(first[1:], [0.0, 1.0, 2.0])

@@ -1,0 +1,109 @@
+"""The simulated OpenMP 4.x target-offload back-end (future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccOmp4TargetSim,
+    MemorySpaceError,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.acc import PlatformOmpTarget
+from repro.core.errors import KernelError
+
+
+class TestOffloadSemantics:
+    def test_device_data_environment_is_isolated(self):
+        """Host pointers are not device pointers: map clauses (copies)
+        are mandatory."""
+        dev = get_dev_by_idx(AccOmp4TargetSim, 0)
+        assert not dev.accessible_from_host
+        buf = mem.alloc(dev, 8)
+        with pytest.raises(MemorySpaceError):
+            buf.as_numpy()
+
+    def test_host_buffer_rejected_as_kernel_arg(self):
+        host = get_dev_by_idx(AccCpuSerial, 0)
+        host_buf = mem.alloc(host, 4)
+        dev = get_dev_by_idx(AccOmp4TargetSim, 0)
+        q = QueueBlocking(dev)
+
+        from repro import fn_acc
+
+        @fn_acc
+        def k(acc, data):
+            data[0] = 1.0
+
+        with pytest.raises((KernelError, MemorySpaceError)):
+            q.enqueue(
+                create_task_kernel(
+                    AccOmp4TargetSim, WorkDivMembers.make(1, 1, 1), k, host_buf
+                )
+            )
+
+    def test_map_roundtrip(self, rng):
+        dev = get_dev_by_idx(AccOmp4TargetSim, 0)
+        q = QueueBlocking(dev)
+        data = rng.random(32)
+        buf = mem.alloc(dev, 32)
+        mem.copy(q, buf, data)  # map(to:)
+        out = np.zeros(32)
+        mem.copy(q, out, buf)  # map(from:)
+        np.testing.assert_array_equal(out, data)
+
+
+class TestTeamsExecution:
+    def test_defaults_to_xeon_phi(self):
+        dev = get_dev_by_idx(AccOmp4TargetSim, 0)
+        assert dev.spec.key == "intel-xeon-phi-5110p"
+        props = AccOmp4TargetSim.get_acc_dev_props(dev)
+        assert props.block_thread_count_max == 4  # KNC hardware threads
+        assert props.multi_processor_count == 60
+
+    def test_both_levels_parallel(self):
+        assert AccOmp4TargetSim.parallel_scope == "both"
+        assert AccOmp4TargetSim.supports_block_sync
+
+    def test_team_barrier_works(self, runner):
+        from repro import fn_acc, get_idx, get_work_div
+        from repro.core import Block, Threads
+
+        @fn_acc
+        def rotate(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            bt = get_work_div(acc, Block, Threads)[0]
+            s = acc.shared_mem("s", (bt,))
+            s[ti] = float(ti)
+            acc.sync_block_threads()
+            out[ti] = s[(ti + 1) % bt]
+
+        wd = WorkDivMembers.make(1, 4, 1)
+        out = runner.run(AccOmp4TargetSim, wd, rotate, arrays={"out": np.zeros(4)})
+        np.testing.assert_array_equal(out["out"], [1.0, 2.0, 3.0, 0.0])
+
+    def test_block_size_capped_at_hw_threads(self, runner):
+        from repro import fn_acc
+        from repro.core.errors import InvalidWorkDiv
+
+        @fn_acc
+        def k(acc, out):
+            pass
+
+        wd = WorkDivMembers.make(1, 8, 1)  # > 4 hardware threads
+        with pytest.raises(InvalidWorkDiv):
+            runner.run(AccOmp4TargetSim, wd, k, arrays={"out": np.zeros(1)})
+
+    def test_for_machine_variant(self):
+        v = AccOmp4TargetSim.for_machine("intel-xeon-e5-2630v3")
+        dev = v.platform().get_dev_by_idx(0)
+        assert dev.spec.key == "intel-xeon-e5-2630v3"
+        assert not dev.accessible_from_host  # still behind the offload
+
+    def test_gpu_machine_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformOmpTarget("nvidia-k80")

@@ -1,0 +1,105 @@
+"""Accelerator registry and back-end metadata."""
+
+import pytest
+
+from repro.acc import (
+    AccCpuFibers,
+    AccCpuOmp2Blocks,
+    AccCpuOmp2Threads,
+    AccCpuSerial,
+    AccCpuThreads,
+    AccGpuCudaSim,
+    accelerator,
+    accelerator_names,
+    all_accelerators,
+    cpu_accelerators,
+    sync_capable_accelerators,
+)
+from repro.core.workdiv import MappingStrategy
+
+
+class TestRegistry:
+    def test_all_seven_registered(self):
+        assert len(accelerator_names()) == 7
+
+    def test_lookup_by_name(self):
+        assert accelerator("AccCpuSerial") is AccCpuSerial
+        assert accelerator("AccGpuCudaSim") is AccGpuCudaSim
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            accelerator("AccFpgaSim")
+
+    def test_cpu_filter(self):
+        cpus = cpu_accelerators()
+        assert AccGpuCudaSim not in cpus
+        assert len(cpus) == 6  # five host back-ends + OpenMP target
+
+    def test_sync_filter(self):
+        syncs = sync_capable_accelerators()
+        assert AccCpuSerial not in syncs
+        assert AccCpuOmp2Blocks not in syncs
+        assert AccGpuCudaSim in syncs
+        assert AccCpuFibers in syncs
+
+
+class TestBackendMetadata:
+    def test_table2_strategies(self):
+        """Paper Table 2: which back-ends use which mapping."""
+        assert AccCpuSerial.mapping_strategy is MappingStrategy.BLOCK_LEVEL
+        assert AccCpuOmp2Blocks.mapping_strategy is MappingStrategy.BLOCK_LEVEL
+        assert AccCpuOmp2Threads.mapping_strategy is MappingStrategy.THREAD_LEVEL
+        assert AccCpuThreads.mapping_strategy is MappingStrategy.THREAD_LEVEL
+        assert AccGpuCudaSim.mapping_strategy is MappingStrategy.THREAD_LEVEL
+
+    def test_parallel_scopes(self):
+        assert AccCpuSerial.parallel_scope == "none"
+        assert AccCpuFibers.parallel_scope == "none"  # one runnable fiber
+        assert AccCpuOmp2Blocks.parallel_scope == "blocks"
+        assert AccCpuOmp2Threads.parallel_scope == "threads"
+        assert AccGpuCudaSim.parallel_scope == "both"
+
+    def test_not_instantiable(self):
+        for acc in all_accelerators():
+            with pytest.raises(TypeError):
+                acc()
+
+    def test_props_respect_backend_limits(self):
+        for acc in all_accelerators():
+            dev = acc.platform().get_dev_by_idx(0)
+            props = acc.get_acc_dev_props(dev)
+            if not acc.supports_block_sync:
+                assert props.block_thread_count_max == 1
+            else:
+                assert props.block_thread_count_max > 1
+
+    def test_cuda_sim_props_are_cuda_shaped(self):
+        dev = AccGpuCudaSim.platform().get_dev_by_idx(0)
+        p = AccGpuCudaSim.get_acc_dev_props(dev)
+        assert p.warp_size == 32
+        assert p.block_thread_count_max == 1024
+        assert p.shared_mem_size_bytes == 48 * 1024
+        assert p.multi_processor_count == 13  # K80 GK210 SMX count
+
+
+class TestForMachine:
+    def test_variant_caching(self):
+        a = AccCpuOmp2Blocks.for_machine("intel-xeon-e5-2630v3")
+        b = AccCpuOmp2Blocks.for_machine("intel-xeon-e5-2630v3")
+        assert a is b
+
+    def test_variant_is_subclass(self):
+        v = AccCpuOmp2Blocks.for_machine("amd-opteron-6276")
+        assert issubclass(v, AccCpuOmp2Blocks)
+        assert v.platform().spec.key == "amd-opteron-6276"
+
+    def test_gpu_variant(self):
+        v = AccGpuCudaSim.for_machine("nvidia-k20")
+        assert v.platform().spec.key == "nvidia-k20"
+        assert v.platform().device_count == 1
+
+    def test_variants_do_not_collide_across_backends(self):
+        a = AccCpuOmp2Blocks.for_machine("amd-opteron-6276")
+        b = AccCpuSerial.for_machine("amd-opteron-6276")
+        assert a is not b
+        assert a.parallel_scope != b.parallel_scope

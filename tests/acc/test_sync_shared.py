@@ -1,0 +1,170 @@
+"""Block synchronisation and shared memory across sync-capable back-ends."""
+
+import numpy as np
+import pytest
+
+from repro import WorkDivMembers, fn_acc, get_idx, get_work_div
+from repro.core import Block, Grid, Threads, Blocks
+from repro.core.errors import KernelError, SharedMemError
+
+
+class RotateKernel:
+    """Each thread writes its id to shared memory, syncs, then reads its
+    neighbour's value — wrong without a working barrier."""
+
+    @fn_acc
+    def __call__(self, acc, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        bt = get_work_div(acc, Block, Threads)[0]
+        bi = get_idx(acc, Grid, Blocks)[0]
+        scratch = acc.shared_mem("s", (bt,))
+        scratch[ti] = float(ti)
+        acc.sync_block_threads()
+        out[bi * bt + ti] = scratch[(ti + 1) % bt]
+
+
+class PingPongKernel:
+    """Multiple barrier generations in alternation."""
+
+    @fn_acc
+    def __call__(self, acc, rounds, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        bt = get_work_div(acc, Block, Threads)[0]
+        a = acc.shared_mem("a", (bt,))
+        b = acc.shared_mem("b", (bt,))
+        a[ti] = float(ti)
+        acc.sync_block_threads()
+        src, dst = a, b
+        for _ in range(rounds):
+            dst[ti] = src[(ti + 1) % bt]
+            acc.sync_block_threads()
+            src, dst = dst, src
+        out[ti] = src[ti]
+
+
+class TestBarriers:
+    def test_neighbour_rotation(self, sync_acc, runner):
+        # Block of 4 threads: within every sync-capable back-end's
+        # limit (the OpenMP-target device caps at 4 hardware threads).
+        wd = WorkDivMembers.make(3, 4, 1)
+        out = runner.run(
+            sync_acc, wd, RotateKernel(), arrays={"out": np.zeros(12)}
+        )["out"]
+        expected = np.tile((np.arange(4) + 1) % 4, 3).astype(float)
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("rounds", [1, 2, 7])
+    def test_multiple_generations(self, sync_acc, runner, rounds):
+        bt = 4
+        wd = WorkDivMembers.make(1, bt, 1)
+        out = runner.run(
+            sync_acc, wd, PingPongKernel(), rounds,
+            arrays={"out": np.zeros(bt)},
+        )["out"]
+        expected = (np.arange(bt) + rounds) % bt
+        np.testing.assert_array_equal(out, expected.astype(float))
+
+    def test_sync_noop_with_single_thread(self, any_acc, runner):
+        """A lone thread may call sync on every back-end (trivial
+        barrier)."""
+
+        @fn_acc
+        def k(acc, out):
+            acc.sync_block_threads()
+            out[0] = 1.0
+
+        wd = WorkDivMembers.make(1, 1, 1)
+        out = runner.run(any_acc, wd, k, arrays={"out": np.zeros(1)})["out"]
+        assert out[0] == 1.0
+
+
+class TestSharedMemory:
+    def test_same_array_across_threads(self, sync_acc, runner):
+        wd = WorkDivMembers.make(1, 4, 1)  # within every back-end's cap
+
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            s = acc.shared_mem("x", (4,))
+            s[ti] = ti + 10.0
+            acc.sync_block_threads()
+            if ti == 0:
+                out[:] = s[:]
+
+        out = runner.run(sync_acc, wd, k, arrays={"out": np.zeros(4)})["out"]
+        np.testing.assert_array_equal(out, [10.0, 11.0, 12.0, 13.0])
+
+    def test_blocks_do_not_share(self, any_acc, runner):
+        """Shared memory is discarded between blocks (paper 3.2.2)."""
+
+        @fn_acc
+        def k(acc, out):
+            bi = get_idx(acc, Grid, Blocks)[0]
+            s = acc.shared_var("v")
+            out[bi] = s[0]  # must read this block's fresh zero
+            s[0] = bi + 1.0
+
+        wd = WorkDivMembers.make(4, 1, 1)
+        out = runner.run(any_acc, wd, k, arrays={"out": np.ones(4)})["out"]
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+    def test_divergent_shape_rejected(self, sync_acc, runner):
+        @fn_acc
+        def k(acc, out):
+            ti = get_idx(acc, Block, Threads)[0]
+            acc.shared_mem("s", (int(ti) + 1,))
+            acc.sync_block_threads()
+
+        wd = WorkDivMembers.make(1, 2, 1)
+        with pytest.raises(KernelError) as exc:
+            runner.run(sync_acc, wd, k, arrays={"out": np.zeros(1)})
+        assert isinstance(exc.value.__cause__, SharedMemError)
+
+    def test_capacity_enforced(self, runner):
+        from repro import AccGpuCudaSim
+
+        @fn_acc
+        def k(acc, out):
+            acc.shared_mem("big", (100_000,))  # 800 KB > 48 KB
+
+        wd = WorkDivMembers.make(1, 1, 1)
+        with pytest.raises(KernelError) as exc:
+            runner.run(AccGpuCudaSim, wd, k, arrays={"out": np.zeros(1)})
+        assert isinstance(exc.value.__cause__, SharedMemError)
+
+    def test_dtype_and_2d_shapes(self, sync_acc, runner):
+        @fn_acc
+        def k(acc, out):
+            s = acc.shared_mem("m", (2, 3), dtype=np.int64)
+            ti = get_idx(acc, Block, Threads)[0]
+            if ti == 0:
+                s[1, 2] = 42
+            acc.sync_block_threads()
+            if ti == 1:
+                out[0] = float(s[1, 2])
+
+        wd = WorkDivMembers.make(1, 2, 1)
+        out = runner.run(sync_acc, wd, k, arrays={"out": np.zeros(1)})["out"]
+        assert out[0] == 42.0
+
+
+class TestSerialBackendContract:
+    def test_serial_rejects_multithread_blocks(self, runner):
+        from repro import AccCpuSerial
+        from repro.core.errors import InvalidWorkDiv
+
+        wd = WorkDivMembers.make(1, 2, 1)
+        with pytest.raises(InvalidWorkDiv):
+            runner.run(
+                AccCpuSerial, wd, RotateKernel(), arrays={"out": np.zeros(2)}
+            )
+
+    def test_omp_blocks_rejects_multithread_blocks(self, runner):
+        from repro import AccCpuOmp2Blocks
+        from repro.core.errors import InvalidWorkDiv
+
+        wd = WorkDivMembers.make(1, 2, 1)
+        with pytest.raises(InvalidWorkDiv):
+            runner.run(
+                AccCpuOmp2Blocks, wd, RotateKernel(), arrays={"out": np.zeros(2)}
+            )

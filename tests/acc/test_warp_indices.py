@@ -1,0 +1,70 @@
+"""Warp/lane index accessors."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccGpuCudaSim,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    mem,
+)
+
+
+def collect(acc_type, wd, field):
+    rows = []
+
+    @fn_acc
+    def probe(acc, out):
+        rows.append(
+            (
+                tuple(acc.block_thread_idx),
+                getattr(acc, field),
+            )
+        )
+
+    dev = get_dev_by_idx(acc_type, 0)
+    q = QueueBlocking(dev)
+    out = mem.alloc(dev, 1)
+    q.enqueue(create_task_kernel(acc_type, wd, probe, out))
+    return dict(rows)
+
+
+class TestWarpIndices:
+    def test_warp_partitioning_on_gpu(self):
+        wd = WorkDivMembers.make(1, 96, 1)  # 3 warps of 32
+        warps = collect(AccGpuCudaSim, wd, "warp_idx")
+        assert warps[(0,)] == 0
+        assert warps[(31,)] == 0
+        assert warps[(32,)] == 1
+        assert warps[(95,)] == 2
+
+    def test_lane_indices_on_gpu(self):
+        wd = WorkDivMembers.make(1, 64, 1)
+        lanes = collect(AccGpuCudaSim, wd, "lane_idx")
+        assert lanes[(0,)] == 0
+        assert lanes[(33,)] == 1
+        assert sorted(set(lanes.values())) == list(range(32))
+
+    def test_2d_block_linearisation(self):
+        wd = WorkDivMembers.make((1, 1), (2, 32), (1, 1))
+        warps = collect(AccGpuCudaSim, wd, "warp_idx")
+        # Row 0 (flat 0..31) is warp 0; row 1 (flat 32..63) is warp 1.
+        assert warps[(0, 5)] == 0
+        assert warps[(1, 5)] == 1
+
+    def test_cpu_backends_have_unit_warps(self):
+        wd = WorkDivMembers.make(4, 1, 1)
+        lanes = collect(AccCpuSerial, wd, "lane_idx")
+        assert set(lanes.values()) == {0}
+        warps = collect(AccCpuSerial, wd, "warp_idx")
+        assert set(warps.values()) == {0}
+
+    def test_warp_size_property(self):
+        wd = WorkDivMembers.make(1, 1, 1)
+        assert collect(AccGpuCudaSim, wd, "warp_size")[(0,)] == 32
+        assert collect(AccCpuSerial, wd, "warp_size")[(0,)] == 1

@@ -1,0 +1,98 @@
+"""Importance sampling of the gain volume (variance reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hase import (
+    GainMedium,
+    PrismMesh,
+    ase_contributions,
+    gaussian_pump_profile,
+    importance_sample_starts,
+)
+from repro.rand import PhiloxRng
+
+
+@pytest.fixture(scope="module")
+def peaked_medium():
+    mesh = PrismMesh(nx=8, ny=8, nz=3)
+    n2 = gaussian_pump_profile(mesh, 4.0e20, waist_fraction=0.15)
+    return GainMedium(mesh, n2)
+
+
+def draws(n, seed=11):
+    return PhiloxRng(seed).uniform(4 * n).reshape(n, 4)
+
+
+class TestSamplerGeometry:
+    def test_points_inside_slab(self, peaked_medium):
+        starts, w = importance_sample_starts(peaked_medium, draws(2000))
+        m = peaked_medium.mesh
+        assert np.all(starts >= 0)
+        assert np.all(starts[:, 0] <= m.width)
+        assert np.all(starts[:, 1] <= m.height)
+        assert np.all(starts[:, 2] <= m.depth)
+        assert np.all(w > 0)
+
+    def test_points_land_in_drawn_prism(self, peaked_medium):
+        """The triangle fold is exact: every sampled point locates back
+        to a prism with the emission density it was weighted for."""
+        starts, w = importance_sample_starts(peaked_medium, draws(4000))
+        located = peaked_medium.mesh.locate_prisms(starts)
+        dens = peaked_medium.emission_density
+        p_uniform = 1.0 / peaked_medium.mesh.prism_count
+        probs = dens / dens.sum()
+        np.testing.assert_allclose(w, p_uniform / probs[located], rtol=1e-12)
+
+    def test_sampling_follows_density(self, peaked_medium):
+        """Hot prisms receive proportionally more samples."""
+        n = 60_000
+        starts, _ = importance_sample_starts(peaked_medium, draws(n, seed=5))
+        counts = np.bincount(
+            peaked_medium.mesh.locate_prisms(starts),
+            minlength=peaked_medium.mesh.prism_count,
+        )
+        dens = peaked_medium.emission_density
+        expected = n * dens / dens.sum()
+        mask = expected > 50
+        ratio = counts[mask] / expected[mask]
+        assert np.all(np.abs(ratio - 1.0) < 0.5)
+        assert abs(ratio.mean() - 1.0) < 0.05
+
+    def test_validation(self, peaked_medium):
+        with pytest.raises(ValueError):
+            importance_sample_starts(peaked_medium, np.zeros((5, 3)))
+        mesh = peaked_medium.mesh
+        dark = GainMedium(mesh, np.zeros(mesh.prism_count))
+        with pytest.raises(ValueError):
+            importance_sample_starts(dark, draws(10))
+
+
+class TestEstimatorProperties:
+    def _estimators(self, medium, n, seed):
+        s = np.array([0.5, 0.5, medium.mesh.depth * 0.999])
+        u3 = PhiloxRng(seed).uniform(3 * n).reshape(n, 3)
+        uni = (
+            ase_contributions(medium, medium.mesh.sample_volume_points(u3), s)
+            * medium.mesh.total_volume
+        )
+        starts, w = importance_sample_starts(medium, draws(n, seed + 1))
+        imp = ase_contributions(medium, starts, s) * medium.mesh.total_volume * w
+        return uni, imp
+
+    def test_unbiased(self, peaked_medium):
+        uni, imp = self._estimators(peaked_medium, 40_000, seed=21)
+        se = np.sqrt(uni.var() / len(uni) + imp.var() / len(imp))
+        assert abs(uni.mean() - imp.mean()) < 5 * se
+
+    def test_variance_reduced_for_peaked_pump(self, peaked_medium):
+        uni, imp = self._estimators(peaked_medium, 20_000, seed=31)
+        rel_var_uni = uni.var() / uni.mean() ** 2
+        rel_var_imp = imp.var() / imp.mean() ** 2
+        assert rel_var_imp < rel_var_uni
+
+    def test_flat_pump_degenerates_to_uniform(self):
+        mesh = PrismMesh(nx=6, ny=6, nz=2)
+        flat = GainMedium(mesh, np.full(mesh.prism_count, 2.0e20))
+        _, w = importance_sample_starts(flat, draws(1000))
+        np.testing.assert_allclose(w, 1.0, rtol=1e-12)

@@ -1,0 +1,135 @@
+"""HASE physics and ray-marching gain integration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hase import (
+    GainMedium,
+    PrismMesh,
+    ase_contributions,
+    gaussian_pump_profile,
+    path_gain,
+)
+
+
+@pytest.fixture
+def mesh():
+    return PrismMesh(nx=5, ny=5, nz=2, width=1.0, height=1.0, depth=0.2)
+
+
+def uniform_medium(mesh, n2_value):
+    return GainMedium(mesh, np.full(mesh.prism_count, n2_value))
+
+
+class TestGainMedium:
+    def test_gain_coefficient_formula(self, mesh):
+        m = uniform_medium(mesh, 3.0e20)
+        expected = 2.0e-20 * 3.0e20 - 1.0e-21 * (6.0e20 - 3.0e20)
+        assert np.allclose(m.gain_coefficients, expected)
+
+    def test_unpumped_medium_absorbs(self, mesh):
+        m = uniform_medium(mesh, 0.0)
+        assert np.all(m.gain_coefficients < 0)
+
+    def test_validation(self, mesh):
+        with pytest.raises(ValueError):
+            GainMedium(mesh, np.zeros(3))  # wrong length
+        with pytest.raises(ValueError):
+            GainMedium(mesh, np.full(mesh.prism_count, 7.0e20))  # > n_total
+        with pytest.raises(ValueError):
+            GainMedium(mesh, np.full(mesh.prism_count, -1.0))
+
+    def test_emission_density(self, mesh):
+        m = uniform_medium(mesh, 1.9e20)
+        assert np.allclose(m.emission_density, 1.9e20 / 9.5e-4)
+
+    def test_pump_profile_shape(self, mesh):
+        n2 = gaussian_pump_profile(mesh, 4.0e20)
+        assert n2.shape == (mesh.prism_count,)
+        assert np.all(n2 >= 0) and np.all(n2 <= 4.0e20)
+        # Peak near the slab centre, on the pumped (z=0) side.
+        c = mesh.prism_centroids()
+        centre_mask = (
+            (np.abs(c[:, 0] - 0.5) < 0.15)
+            & (np.abs(c[:, 1] - 0.5) < 0.15)
+            & (c[:, 2] < 0.1)
+        )
+        corner_mask = (c[:, 0] < 0.2) & (c[:, 1] < 0.2) & (c[:, 2] > 0.1)
+        assert n2[centre_mask].mean() > 2 * n2[corner_mask].mean()
+
+    def test_pump_validation(self, mesh):
+        with pytest.raises(ValueError):
+            gaussian_pump_profile(mesh, -1.0)
+
+
+class TestPathGain:
+    def test_uniform_medium_analytic(self, mesh):
+        """In a uniform medium the integral is exact: gain = exp(g*d)."""
+        m = uniform_medium(mesh, 3.0e20)
+        g = m.gain_coefficients[0]
+        starts = np.array([[0.1, 0.1, 0.1], [0.5, 0.2, 0.05]])
+        end = np.array([0.9, 0.9, 0.15])
+        gain, dist = path_gain(m, starts, end, steps=16)
+        np.testing.assert_allclose(gain, np.exp(g * dist), rtol=1e-12)
+
+    def test_zero_length_ray(self, mesh):
+        m = uniform_medium(mesh, 3.0e20)
+        p = np.array([[0.3, 0.3, 0.1]])
+        gain, dist = path_gain(m, p, p[0], steps=8)
+        assert dist[0] == 0.0
+        assert gain[0] == 1.0
+
+    def test_two_layer_medium_converges(self, mesh):
+        """Piecewise medium: marching converges to the exact two-segment
+        integral as steps grow."""
+        n2 = np.zeros(mesh.prism_count)
+        n2[mesh.triangle_count:] = 4.0e20  # top layer pumped
+        m = GainMedium(mesh, n2)
+        g_lo = m.gain_coefficients[0]
+        g_hi = m.gain_coefficients[-1]
+        start = np.array([[0.52, 0.52, 0.0]])
+        end = np.array([0.52, 0.52, 0.2])  # vertical ray, half per layer
+        exact = np.exp((g_lo + g_hi) * 0.1)
+        gain, _ = path_gain(m, start, end, steps=64)
+        np.testing.assert_allclose(gain[0], exact, rtol=1e-3)
+
+    def test_validation(self, mesh):
+        m = uniform_medium(mesh, 1e20)
+        with pytest.raises(ValueError):
+            path_gain(m, np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            path_gain(m, np.zeros((2, 3)), np.zeros(3), steps=0)
+
+
+class TestAseContributions:
+    def test_positive_and_finite(self, mesh):
+        m = uniform_medium(mesh, 3.0e20)
+        rng = np.random.default_rng(0)
+        starts = m.mesh.sample_volume_points(rng.random((100, 3)))
+        c = ase_contributions(m, starts, np.array([0.5, 0.5, 0.2]))
+        assert np.all(c > 0) and np.all(np.isfinite(c))
+
+    def test_singularity_regularised(self, mesh):
+        """Emission points at the sample point do not blow up."""
+        m = uniform_medium(mesh, 3.0e20)
+        s = np.array([0.5, 0.5, 0.1])
+        c = ase_contributions(m, s[None, :], s)
+        assert np.isfinite(c[0])
+
+    def test_stronger_pump_more_ase(self, mesh):
+        rng = np.random.default_rng(1)
+        starts = mesh.sample_volume_points(rng.random((200, 3)))
+        s = np.array([0.5, 0.5, 0.2])
+        weak = ase_contributions(uniform_medium(mesh, 1.0e20), starts, s)
+        strong = ase_contributions(uniform_medium(mesh, 4.0e20), starts, s)
+        assert strong.mean() > weak.mean()
+
+    def test_distance_attenuation_dominates_nearby(self, mesh):
+        """With negligible gain, contributions fall like 1/d^2."""
+        m = uniform_medium(mesh, 5e19)  # nearly transparent
+        s = np.array([0.9, 0.9, 0.19])
+        near = np.array([[0.8, 0.8, 0.19]])
+        far = np.array([[0.1, 0.1, 0.01]])
+        c_near = ase_contributions(m, near, s)[0]
+        c_far = ase_contributions(m, far, s)[0]
+        assert c_near > c_far

@@ -1,0 +1,120 @@
+"""HASE adaptive runner: convergence, multi-device, cross-back-end."""
+
+import numpy as np
+import pytest
+
+from repro import AccCpuOmp2Blocks, AccCpuSerial, AccGpuCudaSim
+from repro.apps.hase import (
+    GainMedium,
+    PrismMesh,
+    compute_ase_flux,
+    default_sample_points,
+    gaussian_pump_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def medium():
+    mesh = PrismMesh(nx=6, ny=6, nz=3, width=1.0, height=1.0, depth=0.2)
+    return GainMedium(mesh, gaussian_pump_profile(mesh, 4.0e20))
+
+
+@pytest.fixture(scope="module")
+def points(medium):
+    return default_sample_points(medium, per_edge=2)
+
+
+class TestAdaptivity:
+    def test_converges_or_caps(self, medium, points):
+        res = compute_ase_flux(
+            AccCpuSerial, medium, points,
+            target_rel_error=0.10, initial_samples=128,
+            max_samples_per_point=4096,
+        )
+        done = (res.rel_error <= 0.10) | (res.samples >= 4096)
+        assert np.all(done)
+        assert res.rounds >= 1
+
+    def test_tighter_tolerance_spends_more(self, medium, points):
+        loose = compute_ase_flux(
+            AccCpuSerial, medium, points,
+            target_rel_error=0.3, initial_samples=64,
+            max_samples_per_point=8192,
+        )
+        tight = compute_ase_flux(
+            AccCpuSerial, medium, points,
+            target_rel_error=0.05, initial_samples=64,
+            max_samples_per_point=8192,
+        )
+        assert tight.samples.sum() > loose.samples.sum()
+
+    def test_error_estimate_is_honest(self, medium, points):
+        """Two independent runs agree within their combined claimed
+        error bars (5 sigma slack)."""
+        a = compute_ase_flux(
+            AccCpuSerial, medium, points, seed=1,
+            target_rel_error=0.05, initial_samples=256,
+            max_samples_per_point=8192,
+        )
+        b = compute_ase_flux(
+            AccCpuSerial, medium, points, seed=999,
+            target_rel_error=0.05, initial_samples=256,
+            max_samples_per_point=8192,
+        )
+        rel = np.abs(a.flux - b.flux) / a.flux
+        assert np.all(rel < 5 * (a.rel_error + b.rel_error) + 1e-9)
+
+
+class TestMultiDevice:
+    def test_uses_both_k80_dies(self, medium, points):
+        res = compute_ase_flux(
+            AccGpuCudaSim, medium, points,
+            target_rel_error=0.2, initial_samples=64,
+            max_samples_per_point=512,
+        )
+        assert len(res.device_names) == 2
+        assert res.sim_time_s > 0  # modeled clock advanced
+
+    def test_single_device_option(self, medium, points):
+        res = compute_ase_flux(
+            AccGpuCudaSim, medium, points,
+            target_rel_error=0.2, initial_samples=64,
+            max_samples_per_point=512, use_all_devices=False,
+        )
+        assert len(res.device_names) == 1
+
+    def test_multi_device_matches_single(self, medium, points):
+        """Sharding over devices changes only the MC streams, not the
+        physics."""
+        multi = compute_ase_flux(
+            AccGpuCudaSim, medium, points,
+            target_rel_error=0.08, initial_samples=512,
+            max_samples_per_point=8192,
+        )
+        single = compute_ase_flux(
+            AccGpuCudaSim, medium, points,
+            target_rel_error=0.08, initial_samples=512,
+            max_samples_per_point=8192, use_all_devices=False,
+        )
+        rel = np.abs(multi.flux - single.flux) / single.flux
+        assert np.all(rel < 5 * (multi.rel_error + single.rel_error))
+
+
+class TestCrossBackend:
+    def test_cpu_backends_agree(self, medium, points):
+        serial = compute_ase_flux(
+            AccCpuSerial, medium, points,
+            target_rel_error=0.08, initial_samples=512,
+            max_samples_per_point=4096,
+        )
+        omp = compute_ase_flux(
+            AccCpuOmp2Blocks, medium, points,
+            target_rel_error=0.08, initial_samples=512,
+            max_samples_per_point=4096,
+        )
+        # Identical work division and Philox streams -> identical sums.
+        np.testing.assert_allclose(serial.flux, omp.flux, rtol=1e-12)
+
+    def test_input_validation(self, medium):
+        with pytest.raises(ValueError):
+            compute_ase_flux(AccCpuSerial, medium, np.zeros((4, 2)))

@@ -1,0 +1,141 @@
+"""Mini-PIC: loading, kernels, conservation laws, plasma physics."""
+
+import numpy as np
+import pytest
+
+from repro import AccCpuOmp2Blocks, AccCpuSerial, AccGpuCudaSim
+from repro.apps.pic import (
+    PicGrid,
+    PicSimulation,
+    cold_plasma_particles,
+)
+
+
+class TestGridAndLoading:
+    def test_grid_measures(self):
+        g = PicGrid(ng=16, length=8.0)
+        assert g.dx == 0.5
+        assert len(g.cell_centers) == 16
+        assert g.cell_centers[0] == 0.25
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            PicGrid(ng=1)
+        with pytest.raises(ValueError):
+            PicGrid(ng=8, length=-1.0)
+
+    def test_wrap(self):
+        g = PicGrid(ng=8, length=4.0)
+        np.testing.assert_allclose(
+            g.wrap(np.array([-0.5, 4.5, 2.0])), [3.5, 0.5, 2.0]
+        )
+
+    def test_quiet_start_density(self):
+        g = PicGrid(ng=16)
+        x, v, w = cold_plasma_particles(g, particles_per_cell=10)
+        assert len(x) == 160
+        assert np.all(v == 0)
+        assert len(x) * w / g.length == pytest.approx(1.0)  # n0 = 1
+
+    def test_displacement_and_thermal(self):
+        g = PicGrid(ng=16)
+        x0, _, _ = cold_plasma_particles(g, 4)
+        x1, v1, _ = cold_plasma_particles(
+            g, 4, displacement=0.1, thermal_velocity=0.01
+        )
+        assert not np.array_equal(x0, x1)
+        assert v1.std() == pytest.approx(0.01, rel=0.3)
+
+    def test_validation(self):
+        g = PicGrid(ng=8)
+        with pytest.raises(ValueError):
+            cold_plasma_particles(g, 0)
+
+
+class TestConservation:
+    @pytest.fixture(scope="class")
+    def sim_history(self):
+        grid = PicGrid(ng=16)
+        x, v, w = cold_plasma_particles(grid, 10, displacement=0.02)
+        sim = PicSimulation(AccCpuSerial, grid, x, v, w)
+        hist = sim.run(steps=100, dt=0.1)
+        rho = sim._host(sim.rho)
+        e = sim._host(sim.e_field)
+        sim.free()
+        return hist, rho, e, grid
+
+    def test_charge_neutrality(self, sim_history):
+        """Ion background exactly cancels the deposited electrons."""
+        _, rho, _, grid = sim_history
+        assert abs(rho.sum() * grid.dx) < 1e-10
+
+    def test_field_zero_mean(self, sim_history):
+        _, _, e, _ = sim_history
+        assert abs(e.mean()) < 1e-12
+
+    def test_energy_bounded(self, sim_history):
+        """Leapfrog keeps total energy bounded (no secular blow-up)."""
+        hist, _, _, _ = sim_history
+        te = hist.total_energy
+        assert (te.max() - te.min()) / te.mean() < 0.3
+
+    def test_energy_exchanges(self, sim_history):
+        """Field and kinetic energy trade places (oscillation)."""
+        hist, _, _, _ = sim_history
+        fe = np.array(hist.field_energy)
+        ke = np.array(hist.kinetic_energy)
+        assert fe.max() > 10 * fe.min()
+        assert ke.max() > 0
+
+
+class TestPlasmaPhysics:
+    def test_langmuir_frequency(self):
+        """Cold plasma oscillates at omega_p = 1 (normalised units)."""
+        grid = PicGrid(ng=32)
+        x, v, w = cold_plasma_particles(grid, 20, displacement=0.01)
+        sim = PicSimulation(AccCpuSerial, grid, x, v, w)
+        dt, steps = 0.1, 300
+        hist = sim.run(steps, dt)
+        sim.free()
+        fe = np.asarray(hist.field_energy)
+        freqs = np.fft.rfftfreq(steps, dt) * 2.0 * np.pi
+        spec = np.abs(np.fft.rfft(fe - fe.mean()))
+        omega = freqs[np.argmax(spec)] / 2.0  # energy beats at 2*omega_p
+        assert omega == pytest.approx(1.0, abs=0.15)
+
+    def test_unperturbed_plasma_stays_quiet(self):
+        grid = PicGrid(ng=16)
+        x, v, w = cold_plasma_particles(grid, 10)
+        sim = PicSimulation(AccCpuSerial, grid, x, v, w)
+        hist = sim.run(steps=20, dt=0.1)
+        sim.free()
+        assert max(hist.field_energy) < 1e-20
+
+    def test_larger_displacement_more_energy(self):
+        grid = PicGrid(ng=16)
+        energies = []
+        for amp in (0.01, 0.02):
+            x, v, w = cold_plasma_particles(grid, 10, displacement=amp)
+            sim = PicSimulation(AccCpuSerial, grid, x, v, w)
+            hist = sim.run(steps=40, dt=0.1)
+            sim.free()
+            energies.append(max(hist.field_energy))
+        # Field energy scales ~ amplitude^2.
+        assert energies[1] == pytest.approx(4 * energies[0], rel=0.2)
+
+
+class TestCrossBackend:
+    def test_backends_agree_exactly(self):
+        grid = PicGrid(ng=16)
+        results = {}
+        for acc in (AccCpuSerial, AccCpuOmp2Blocks, AccGpuCudaSim):
+            x, v, w = cold_plasma_particles(grid, 8, displacement=0.02)
+            sim = PicSimulation(acc, grid, x, v, w)
+            sim.run(steps=25, dt=0.1)
+            results[acc.name] = sim._host(sim.e_field).copy()
+            sim.free()
+        base = results.pop("AccCpuSerial")
+        for name, e in results.items():
+            # Deposit order differs across back-ends only through
+            # atomic merge order: float addition reordering, ~1e-13.
+            np.testing.assert_allclose(e, base, atol=1e-10, err_msg=name)

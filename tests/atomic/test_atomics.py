@@ -1,0 +1,151 @@
+"""Atomics: CUDA semantics and race-freedom under real threads."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atomic import AtomicDomain
+
+
+@pytest.fixture
+def dom():
+    return AtomicDomain()
+
+
+@pytest.fixture
+def arr():
+    return np.zeros(8)
+
+
+class TestSemantics:
+    """All ops return the OLD value (CUDA convention)."""
+
+    def test_add(self, dom, arr):
+        assert dom.atomic_add(arr, 0, 5.0) == 0.0
+        assert dom.atomic_add(arr, 0, 2.0) == 5.0
+        assert arr[0] == 7.0
+
+    def test_sub(self, dom, arr):
+        arr[1] = 10.0
+        assert dom.atomic_sub(arr, 1, 4.0) == 10.0
+        assert arr[1] == 6.0
+
+    def test_min_max(self, dom, arr):
+        arr[2] = 5.0
+        assert dom.atomic_min(arr, 2, 3.0) == 5.0
+        assert arr[2] == 3.0
+        assert dom.atomic_max(arr, 2, 9.0) == 3.0
+        assert arr[2] == 9.0
+
+    def test_exch(self, dom, arr):
+        arr[3] = 1.0
+        assert dom.atomic_exch(arr, 3, 42.0) == 1.0
+        assert arr[3] == 42.0
+
+    def test_cas(self, dom, arr):
+        arr[4] = 7.0
+        assert dom.atomic_cas(arr, 4, 7.0, 9.0) == 7.0
+        assert arr[4] == 9.0
+        assert dom.atomic_cas(arr, 4, 7.0, 11.0) == 9.0
+        assert arr[4] == 9.0  # compare failed, no write
+
+    def test_inc_wraps(self, dom):
+        a = np.array([2], dtype=np.int64)
+        assert dom.atomic_inc(a, 0, 2) == 2
+        assert a[0] == 0  # old >= limit wraps to 0
+        dom.atomic_inc(a, 0, 2)
+        assert a[0] == 1
+
+    def test_dec_wraps(self, dom):
+        a = np.array([0], dtype=np.int64)
+        assert dom.atomic_dec(a, 0, 5) == 0
+        assert a[0] == 5  # old == 0 wraps to limit
+
+    def test_bitwise(self, dom):
+        a = np.array([0b1100], dtype=np.int64)
+        dom.atomic_and_(a, 0, 0b1010)
+        assert a[0] == 0b1000
+        dom.atomic_or_(a, 0, 0b0001)
+        assert a[0] == 0b1001
+        dom.atomic_xor(a, 0, 0b1111)
+        assert a[0] == 0b0110
+
+    def test_multi_dim_index(self, dom):
+        a = np.zeros((3, 3))
+        dom.atomic_add(a, (1, 2), 4.0)
+        assert a[1, 2] == 4.0
+        dom.atomic_add(a, [1, 2], 1.0)  # list index accepted
+        assert a[1, 2] == 5.0
+
+
+class TestConcurrency:
+    def test_threaded_add_is_exact(self, dom):
+        """1000 increments from 8 threads land exactly — the property
+        plain ``arr[i] += v`` does not have."""
+        a = np.zeros(1)
+
+        def worker():
+            for _ in range(1000):
+                dom.atomic_add(a, 0, 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a[0] == 8000.0
+
+    def test_threaded_disjoint_indices(self, dom):
+        a = np.zeros(16)
+
+        def worker(i):
+            for _ in range(500):
+                dom.atomic_add(a, i, 1.0)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.all(a == 500.0)
+
+    def test_threaded_min(self, dom):
+        a = np.full(1, np.inf)
+        values = np.random.default_rng(0).random(400)
+
+        def worker(chunk):
+            for v in chunk:
+                dom.atomic_min(a, 0, v)
+
+        threads = [
+            threading.Thread(target=worker, args=(values[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a[0] == values.min()
+
+
+class TestStriping:
+    def test_single_stripe_still_correct(self):
+        dom = AtomicDomain(stripes=1)
+        a = np.zeros(4)
+        for i in range(4):
+            dom.atomic_add(a, i, float(i))
+        np.testing.assert_array_equal(a, [0, 1, 2, 3])
+
+    def test_invalid_stripes(self):
+        with pytest.raises(ValueError):
+            AtomicDomain(stripes=0)
+
+    @given(st.integers(1, 64), st.lists(st.integers(0, 7), min_size=1, max_size=50))
+    def test_any_striping_preserves_sums(self, stripes, indices):
+        dom = AtomicDomain(stripes=stripes)
+        a = np.zeros(8)
+        for i in indices:
+            dom.atomic_add(a, i, 1.0)
+        assert a.sum() == len(indices)

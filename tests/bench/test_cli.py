@@ -1,0 +1,39 @@
+"""The ``python -m repro.bench`` report generator."""
+
+import os
+
+import pytest
+
+from repro.bench.__main__ import GENERATORS, main
+from repro.bench.harness import REPORT_DIR_ENV
+
+
+@pytest.fixture
+def report_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(REPORT_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+class TestCli:
+    def test_selected_targets(self, report_dir, capsys):
+        assert main(["table3", "fig4"]) == 0
+        assert (report_dir / "table3.txt").exists()
+        assert (report_dir / "fig4.txt").exists()
+        out = capsys.readouterr().out
+        assert "K80" in out and "fma.rn.f64" in out
+
+    def test_unknown_target(self, report_dir, capsys):
+        assert main(["fig7"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_all_generators_registered(self):
+        assert set(GENERATORS) == {
+            "table1", "table2", "table3",
+            "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
+        }
+
+    def test_fast_targets_produce_nonempty_reports(self, report_dir):
+        for name in ("table1", "table2", "fig6", "fig9", "fig10"):
+            assert main([name]) == 0
+            content = (report_dir / f"{name}.txt").read_text()
+            assert len(content) > 100, name

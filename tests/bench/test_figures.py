@@ -1,0 +1,111 @@
+"""Figure generators: each returns data with the paper's shape.
+
+These are the library-level counterparts of the assertions in
+``benchmarks/``; they run on a reduced size sweep so the whole shape
+check stays fast in the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig4_ptx_comparison,
+    fig5_zero_overhead,
+    fig6_swapped_backends,
+    fig8_single_source_tiling,
+    fig9_performance_portability,
+    fig10_hase,
+    table2_rows,
+    table3_rows,
+)
+
+SIZES = (1024, 4096)
+
+
+class TestFig4:
+    def test_paper_statement(self):
+        data = fig4_ptx_comparison()
+        assert data["comparison"].identical_up_to_cache_modifiers
+        assert len(data["comparison"].notes) == 1
+        assert "ld.global.nc.f64" in data["native_ptx"]
+        assert "ld.global.nc" not in data["alpaka_ptx"]
+
+
+class TestFig5:
+    def test_overhead_band(self):
+        curves = fig5_zero_overhead(SIZES)
+        assert len(curves) == 2
+        for curve in curves.values():
+            for v in curve.values():
+                assert 0.94 <= v <= 1.01
+
+    def test_omp_has_zero_overhead(self):
+        curves = fig5_zero_overhead(SIZES)
+        omp = [c for name, c in curves.items() if "OMP2" in name][0]
+        assert all(v == pytest.approx(1.0) for v in omp.values())
+
+    def test_cuda_overhead_is_nonzero_but_small(self):
+        curves = fig5_zero_overhead(SIZES)
+        cuda = [c for name, c in curves.items() if "CUDA" in name][0]
+        assert all(0.94 <= v < 1.0 for v in cuda.values())
+
+
+class TestFig6:
+    def test_collapse(self):
+        curves = fig6_swapped_backends(SIZES)
+        assert len(curves) == 2
+        for curve in curves.values():
+            for v in curve.values():
+                assert v < 0.2
+
+
+class TestFig8:
+    def test_tiling_competes_and_elements_help(self):
+        curves = fig8_single_source_tiling(SIZES)
+        assert len(curves) == 4
+        for curve in curves.values():
+            assert all(v >= 0.85 for v in curve.values())
+        gpu1 = curves["Alpaka(CUDA) tiling 1 element on K80"]
+        gpu4 = curves["Alpaka(CUDA) tiling 4 elements on K80"]
+        assert all(gpu4[n] > gpu1[n] for n in SIZES)
+
+
+class TestFig9:
+    def test_around_twenty_percent(self):
+        curves = fig9_performance_portability((4096,))
+        assert len(curves) == 5
+        fracs = [c[4096] for c in curves.values()]
+        assert all(0.1 <= f <= 0.45 for f in fracs)
+        assert max(fracs) / min(fracs) <= 3.0
+
+
+class TestFig10:
+    def test_paper_ratios(self):
+        rows = fig10_hase()
+        by = {r["Configuration"]: r for r in rows}
+        assert by["Alpaka(CUDA) on K20"]["Speedup vs native K20"] == 1.0
+        assert by["Alpaka(OMP2) on E5-2630v3"]["Speedup vs native K20"] == (
+            pytest.approx(540.0 / 1170.0, abs=0.08)
+        )
+        assert by["Alpaka(OMP2) on Opteron 6276"]["Speedup vs native K20"] == (
+            pytest.approx(480.0 / 1170.0, abs=0.08)
+        )
+
+    def test_gflops_below_peak(self):
+        for row in fig10_hase():
+            assert row["Application [GFLOPS]"] <= row["Hardware peak [GFLOPS]"]
+
+
+class TestTables:
+    def test_table2_all_backends(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        for row in rows:
+            assert row["Grid"] == "1"
+            assert row["Element"] == "V"
+
+    def test_table3_matches_registry(self):
+        rows = table3_rows()
+        assert [r["Vendor"] for r in rows] == [
+            "AMD", "Intel", "Intel", "NVIDIA", "NVIDIA",
+        ]

@@ -1,0 +1,85 @@
+"""Table 1 matrix: structure, paper values, executable Alpaka row."""
+
+import pytest
+
+from repro.comparison import (
+    Framework,
+    Property,
+    Rating,
+    TABLE1,
+    evaluate_alpaka,
+    render_series,
+    render_table,
+    table1_rows,
+)
+
+
+class TestMatrixStructure:
+    def test_eleven_frameworks(self):
+        assert len(TABLE1) == 11
+        names = [fw.name for fw in TABLE1]
+        assert names[0] == "NVIDIA CUDA"
+        assert names[-1] == "Alpaka"
+
+    def test_every_cell_filled_with_rationale(self):
+        for fw in TABLE1:
+            for prop in Property:
+                assert fw.rating(prop) in Rating
+                assert fw.rationale[prop], (fw.name, prop)
+
+    def test_missing_rating_rejected(self):
+        with pytest.raises(ValueError):
+            Framework("X", {Property.OPENNESS: Rating.YES})
+
+    def test_paper_spot_checks(self):
+        """Cells quoted verbatim from the paper's Table 1."""
+        by = {fw.name: fw for fw in TABLE1}
+        assert by["NVIDIA CUDA"].rating(Property.OPENNESS) is Rating.NO
+        assert by["NVIDIA CUDA"].rating(Property.OPTIMIZABILITY) is Rating.PARTIAL
+        assert by["OpenCL"].rating(Property.SINGLE_SOURCE) is Rating.PARTIAL
+        assert by["KOKKOS"].rating(Property.OPTIMIZABILITY) is Rating.NO
+        assert by["KOKKOS"].rating(Property.DATA_STRUCTURE_AGNOSTIC) is Rating.PARTIAL
+        assert by["Thrust"].rating(Property.DATA_STRUCTURE_AGNOSTIC) is Rating.NO
+        assert by["OpenMP"].rating(Property.HETEROGENEITY) is Rating.PARTIAL
+
+    def test_alpaka_is_all_yes(self):
+        """The paper's punchline: Alpaka is the only all-check row."""
+        alpaka = next(fw for fw in TABLE1 if fw.name == "Alpaka")
+        assert all(alpaka.rating(p) is Rating.YES for p in Property)
+        for fw in TABLE1:
+            if fw.name != "Alpaka":
+                assert any(fw.rating(p) is not Rating.YES for p in Property), fw.name
+
+    def test_rows_renderable(self):
+        rows = table1_rows()
+        assert len(rows) == 11
+        text = render_table(rows, "t")
+        assert "Alpaka" in text and "+" in text
+
+
+class TestExecutableAlpakaRow:
+    def test_matches_published_row(self):
+        results = evaluate_alpaka()
+        assert set(results) == set(Property)
+        for prop, (rating, evidence) in results.items():
+            assert rating is Rating.YES, (prop, evidence)
+            assert evidence
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 100, "bb": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len({len(l) for l in lines if "|" in l or "-+-" in l}) == 1
+
+    def test_render_table_empty(self):
+        assert render_table([], "title") == "title"
+
+    def test_render_series(self):
+        s = {"c1": {1: 0.5, 2: 0.6}, "c2": {2: 0.7}}
+        text = render_series(s, "n")
+        assert "0.500" in text and "0.700" in text
+        # Missing points render blank, not zero.
+        first_row = text.splitlines()[2]
+        assert "c1" not in first_row

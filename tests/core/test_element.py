@@ -1,0 +1,145 @@
+"""Element-level helpers: box/slice/iteration/grid-stride coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.element import (
+    element_box,
+    element_slice,
+    grid_strided_spans,
+    independent_elements,
+)
+from repro.core.vec import Vec
+from repro.core.workdiv import WorkDivMembers
+
+
+class FakeAcc:
+    def __init__(self, wd, block_idx, thread_idx):
+        self.work_div = wd
+        self.grid_block_idx = block_idx
+        self.block_thread_idx = thread_idx
+
+
+def all_threads(wd):
+    """Enumerate FakeAccs for every thread of a work division."""
+    import itertools
+
+    for b in itertools.product(*(range(e) for e in wd.grid_block_extent)):
+        for t in itertools.product(*(range(e) for e in wd.block_thread_extent)):
+            yield FakeAcc(wd, Vec(*b), Vec(*t))
+
+
+class TestElementBox:
+    def test_basic_ownership(self):
+        wd = WorkDivMembers.make(4, 2, 8)
+        acc = FakeAcc(wd, Vec(1), Vec(0))
+        assert element_box(acc, Vec(64)) == (slice(16, 24),)
+
+    def test_clipping_at_extent(self):
+        wd = WorkDivMembers.make(4, 1, 8)
+        acc = FakeAcc(wd, Vec(3), Vec(0))
+        assert element_box(acc, Vec(28)) == (slice(24, 28),)
+
+    def test_fully_out_of_bounds_is_empty(self):
+        wd = WorkDivMembers.make(8, 1, 8)
+        acc = FakeAcc(wd, Vec(7), Vec(0))
+        (s,) = element_box(acc, Vec(16))
+        assert s.start == s.stop
+
+    def test_2d_box(self):
+        wd = WorkDivMembers.make((2, 2), (1, 1), (4, 8))
+        acc = FakeAcc(wd, Vec(1, 0), Vec(0, 0))
+        assert element_box(acc, Vec(8, 16)) == (slice(4, 8), slice(0, 8))
+
+
+class TestCoverage:
+    """The defining invariant: all threads together cover the data
+    exactly once."""
+
+    @given(
+        blocks=st.integers(1, 6),
+        threads=st.integers(1, 4),
+        elems=st.integers(1, 8),
+        extent=st.integers(1, 150),
+    )
+    @settings(max_examples=40)
+    def test_1d_partition(self, blocks, threads, elems, extent):
+        wd = WorkDivMembers.make(blocks, threads, elems)
+        if wd.grid_elem_extent[0] < extent:
+            extent = wd.grid_elem_extent[0]  # only covering divisions
+        counts = np.zeros(extent, dtype=int)
+        for acc in all_threads(wd):
+            (s,) = element_box(acc, Vec(extent))
+            counts[s] += 1
+        assert np.all(counts == 1)
+
+    @given(
+        bx=st.integers(1, 3), by=st.integers(1, 3),
+        ex=st.integers(1, 4), ey=st.integers(1, 4),
+        h=st.integers(1, 12), w=st.integers(1, 12),
+    )
+    @settings(max_examples=30)
+    def test_2d_partition(self, bx, by, ex, ey, h, w):
+        wd = WorkDivMembers.make((bx, by), (1, 1), (ex, ey))
+        h = min(h, wd.grid_elem_extent[0])
+        w = min(w, wd.grid_elem_extent[1])
+        counts = np.zeros((h, w), dtype=int)
+        for acc in all_threads(wd):
+            r, c = element_box(acc, Vec(h, w))
+            counts[r, c] += 1
+        assert np.all(counts == 1)
+
+
+class TestElementSlice:
+    def test_matches_box(self):
+        wd = WorkDivMembers.make(4, 2, 8)
+        acc = FakeAcc(wd, Vec(0), Vec(1))
+        assert element_slice(acc, 64) == slice(8, 16)
+
+    def test_rejects_2d(self):
+        wd = WorkDivMembers.make((2, 2), (1, 1), (1, 1))
+        acc = FakeAcc(wd, Vec(0, 0), Vec(0, 0))
+        with pytest.raises(ValueError):
+            element_slice(acc, Vec(4, 4))
+
+
+class TestIndependentElements:
+    def test_yields_owned_indices(self):
+        wd = WorkDivMembers.make(2, 1, 4)
+        acc = FakeAcc(wd, Vec(1), Vec(0))
+        assert [v[0] for v in independent_elements(acc, Vec(8))] == [4, 5, 6, 7]
+
+    def test_2d_c_order(self):
+        wd = WorkDivMembers.make((1, 1), (1, 1), (2, 2))
+        acc = FakeAcc(wd, Vec(0, 0), Vec(0, 0))
+        idxs = [tuple(v) for v in independent_elements(acc, Vec(2, 2))]
+        assert idxs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_empty_for_out_of_bounds_thread(self):
+        wd = WorkDivMembers.make(4, 1, 4)
+        acc = FakeAcc(wd, Vec(3), Vec(0))
+        assert list(independent_elements(acc, Vec(8))) == []
+
+
+class TestGridStridedSpans:
+    @given(
+        blocks=st.integers(1, 4),
+        elems=st.integers(1, 8),
+        extent=st.integers(1, 200),
+    )
+    @settings(max_examples=40)
+    def test_covers_any_extent(self, blocks, elems, extent):
+        """Grid striding covers extents even beyond one grid pass."""
+        wd = WorkDivMembers.make(blocks, 1, elems)
+        counts = np.zeros(extent, dtype=int)
+        for acc in all_threads(wd):
+            for span in grid_strided_spans(acc, extent):
+                counts[span] += 1
+        assert np.all(counts == 1)
+
+    def test_single_pass_equals_slice(self):
+        wd = WorkDivMembers.make(4, 2, 8)  # covers exactly 64
+        acc = FakeAcc(wd, Vec(2), Vec(1))
+        spans = list(grid_strided_spans(acc, 64))
+        assert spans == [element_slice(acc, 64)]

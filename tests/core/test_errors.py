@@ -1,0 +1,99 @@
+"""The exception contract: one catchable family, correct subtyping."""
+
+import pytest
+
+from repro.core.errors import (
+    AlpakaError,
+    DeviceError,
+    DimensionError,
+    ExtentError,
+    InvalidWorkDiv,
+    KernelError,
+    MemorySpaceError,
+    ModelError,
+    QueueError,
+    SharedMemError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DimensionError, InvalidWorkDiv, MemorySpaceError, ExtentError,
+            DeviceError, QueueError, KernelError, SharedMemError,
+            TraceError, ModelError,
+        ],
+    )
+    def test_all_derive_from_alpaka_error(self, exc):
+        assert issubclass(exc, AlpakaError)
+
+    def test_value_errors_are_value_errors(self):
+        """Callers using stdlib idioms still catch the right things."""
+        for exc in (DimensionError, InvalidWorkDiv, ExtentError, ModelError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        for exc in (
+            MemorySpaceError, DeviceError, QueueError, KernelError,
+            SharedMemError, TraceError,
+        ):
+            assert issubclass(exc, RuntimeError)
+
+
+class TestOneHandlerCatchesEverything:
+    def test_public_apis_raise_within_family(self):
+        """A sweep of representative failure modes, all caught by the
+        single AlpakaError handler an application would install."""
+        import numpy as np
+
+        from repro import (
+            AccCpuSerial,
+            AccGpuCudaSim,
+            QueueBlocking,
+            Vec,
+            WorkDivMembers,
+            create_task_kernel,
+            fn_acc,
+            get_dev_by_idx,
+            mem,
+        )
+
+        cpu = get_dev_by_idx(AccCpuSerial, 0)
+        gpu = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(cpu)
+        failures = [
+            lambda: Vec(),  # no components
+            lambda: WorkDivMembers.make(0, 1, 1),  # empty grid
+            lambda: mem.alloc(gpu, 8).as_numpy(),  # cross-space access
+            lambda: mem.copy(q, np.zeros(3), np.zeros(4)),  # no buffer
+            lambda: mem.sub_view(mem.alloc(cpu, 4), 2, 4),  # view overflow
+            lambda: create_task_kernel(
+                AccCpuSerial, WorkDivMembers.make(1, 1, 1), 42
+            ),  # non-callable kernel
+        ]
+        for fail in failures:
+            with pytest.raises(AlpakaError):
+                fail()
+
+    def test_kernel_failures_chain_cause(self):
+        from repro import (
+            AccCpuSerial,
+            QueueBlocking,
+            WorkDivMembers,
+            create_task_kernel,
+            fn_acc,
+            get_dev_by_idx,
+        )
+
+        @fn_acc
+        def boom(acc):
+            raise ZeroDivisionError("1/0")
+
+        q = QueueBlocking(get_dev_by_idx(AccCpuSerial, 0))
+        with pytest.raises(AlpakaError) as exc:
+            q.enqueue(
+                create_task_kernel(AccCpuSerial, WorkDivMembers.make(1, 1, 1), boom)
+            )
+        assert isinstance(exc.value.__cause__, ZeroDivisionError)

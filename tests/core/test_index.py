@@ -1,0 +1,141 @@
+"""Index queries, linearisation and map_idx."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import DimensionError
+from repro.core.index import (
+    Block,
+    Blocks,
+    Elems,
+    Grid,
+    Thread,
+    Threads,
+    delinearize,
+    get_idx,
+    get_work_div,
+    linearize,
+    map_idx,
+)
+from repro.core.vec import Vec
+from repro.core.workdiv import WorkDivMembers
+
+
+class FakeAcc:
+    """Minimal accelerator stand-in for pure index math."""
+
+    def __init__(self, wd, block_idx, thread_idx):
+        self.work_div = wd
+        self.grid_block_idx = block_idx
+        self.block_thread_idx = thread_idx
+
+
+WD = WorkDivMembers.make((3, 4), (2, 8), (2, 2))
+
+
+class TestGetIdx:
+    def setup_method(self):
+        self.acc = FakeAcc(WD, Vec(1, 2), Vec(1, 5))
+
+    def test_grid_blocks(self):
+        assert get_idx(self.acc, Grid, Blocks) == Vec(1, 2)
+
+    def test_block_threads(self):
+        assert get_idx(self.acc, Block, Threads) == Vec(1, 5)
+
+    def test_grid_threads(self):
+        # block(1,2) * block_extent(2,8) + thread(1,5) = (3, 21)
+        assert get_idx(self.acc, Grid, Threads) == Vec(3, 21)
+
+    def test_grid_elems(self):
+        assert get_idx(self.acc, Grid, Elems) == Vec(6, 42)
+
+    def test_block_elems(self):
+        assert get_idx(self.acc, Block, Elems) == Vec(2, 10)
+
+    def test_unsupported(self):
+        with pytest.raises(DimensionError):
+            get_idx(self.acc, Thread, Blocks)
+
+
+class TestGetWorkDiv:
+    def test_all_supported_combinations(self):
+        assert get_work_div(WD, Grid, Blocks) == Vec(3, 4)
+        assert get_work_div(WD, Grid, Threads) == Vec(6, 32)
+        assert get_work_div(WD, Grid, Elems) == Vec(12, 64)
+        assert get_work_div(WD, Block, Threads) == Vec(2, 8)
+        assert get_work_div(WD, Block, Elems) == Vec(4, 16)
+        assert get_work_div(WD, Thread, Elems) == Vec(2, 2)
+
+    def test_accepts_acc_or_workdiv(self):
+        acc = FakeAcc(WD, Vec(0, 0), Vec(0, 0))
+        assert get_work_div(acc, Grid, Threads) == get_work_div(WD, Grid, Threads)
+
+    def test_unsupported(self):
+        with pytest.raises(DimensionError):
+            get_work_div(WD, Thread, Blocks)
+
+
+class TestLinearize:
+    def test_c_order(self):
+        assert linearize(Vec(0, 0), Vec(4, 8)) == 0
+        assert linearize(Vec(1, 2), Vec(4, 8)) == 10
+        assert linearize(Vec(3, 7), Vec(4, 8)) == 31
+
+    def test_out_of_extent(self):
+        with pytest.raises(DimensionError):
+            linearize(Vec(4, 0), Vec(4, 8))
+        with pytest.raises(DimensionError):
+            linearize(Vec(-1,), Vec(4,))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionError):
+            linearize(Vec(1), Vec(4, 8))
+
+    def test_delinearize(self):
+        assert delinearize(10, Vec(4, 8)) == Vec(1, 2)
+        with pytest.raises(DimensionError):
+            delinearize(32, Vec(4, 8))
+
+    @given(st.integers(0, 3), st.integers(0, 7), st.integers(0, 4))
+    def test_roundtrip_3d(self, i, j, k):
+        ext = Vec(4, 8, 5)
+        idx = Vec(i, j, k)
+        assert delinearize(linearize(idx, ext), ext) == idx
+
+    @given(st.integers(0, 159))
+    def test_roundtrip_linear(self, lin):
+        ext = Vec(4, 8, 5)
+        assert linearize(delinearize(lin, ext), ext) == lin
+
+    @given(st.integers(0, 3), st.integers(0, 7))
+    def test_linearize_matches_numpy(self, i, j):
+        import numpy as np
+
+        ext = Vec(4, 8)
+        assert linearize(Vec(i, j), ext) == int(
+            np.ravel_multi_index((i, j), (4, 8))
+        )
+
+
+class TestMapIdx:
+    def test_identity(self):
+        assert map_idx(2, Vec(1, 2), Vec(4, 8)) == Vec(1, 2)
+
+    def test_to_linear(self):
+        assert map_idx(1, Vec(1, 2), Vec(4, 8)) == Vec(10)
+
+    def test_from_linear(self):
+        assert map_idx(2, Vec(10), Vec(4, 8)) == Vec(1, 2)
+
+    def test_bad_target(self):
+        with pytest.raises(DimensionError):
+            map_idx(3, Vec(1, 2), Vec(4, 8))
+
+    def test_paper_listing3_idiom(self):
+        """Paper Listing 3: linearise the global thread index."""
+        acc = FakeAcc(WD, Vec(2, 3), Vec(1, 7))
+        g_idx = get_idx(acc, Grid, Threads)
+        g_ext = get_work_div(acc, Grid, Threads)
+        lin = map_idx(1, g_idx, g_ext)
+        assert lin == Vec(g_idx[0] * g_ext[1] + g_idx[1])

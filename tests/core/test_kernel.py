@@ -1,0 +1,108 @@
+"""Kernel protocol: markers, task binding, contracts."""
+
+import pytest
+
+from repro.core.errors import KernelError
+from repro.core.kernel import (
+    KernelTask,
+    create_task_kernel,
+    fn_acc,
+    fn_host,
+    fn_host_acc,
+    is_acc_callable,
+)
+from repro.core.workdiv import WorkDivMembers
+from repro import AccCpuSerial
+
+WD = WorkDivMembers.make(1, 1, 1)
+
+
+class TestMarkers:
+    def test_fn_acc_marks(self):
+        @fn_acc
+        def k(acc):
+            pass
+
+        assert is_acc_callable(k)
+
+    def test_fn_host_excludes(self):
+        @fn_host
+        def k(acc):
+            pass
+
+        assert not is_acc_callable(k)
+
+    def test_fn_host_acc_includes(self):
+        @fn_host_acc
+        def k(acc):
+            pass
+
+        assert is_acc_callable(k)
+
+    def test_unmarked_allowed(self):
+        assert is_acc_callable(lambda acc: None)
+
+    def test_class_call_marker(self):
+        class K:
+            @fn_acc
+            def __call__(self, acc):
+                pass
+
+        assert is_acc_callable(K())
+
+        class H:
+            @fn_host
+            def __call__(self, acc):
+                pass
+
+        assert not is_acc_callable(H())
+
+
+class TestKernelTask:
+    def test_create(self):
+        task = create_task_kernel(AccCpuSerial, WD, lambda acc, x: None, 42)
+        assert task.acc_type is AccCpuSerial
+        assert task.args == (42,)
+        assert "AccCpuSerial" in repr(task)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(KernelError):
+            create_task_kernel(AccCpuSerial, WD, 42)
+
+    def test_host_only_kernel_rejected(self):
+        @fn_host
+        def host_fn(acc):
+            pass
+
+        with pytest.raises(KernelError):
+            create_task_kernel(AccCpuSerial, WD, host_fn)
+
+    def test_task_is_reusable(self):
+        """Tasks hold no execution state: re-enqueuing re-runs."""
+        from repro import QueueBlocking, get_dev_by_idx
+
+        calls = []
+
+        @fn_acc
+        def k(acc):
+            calls.append(1)
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WD, k)
+        q.enqueue(task)
+        q.enqueue(task)
+        assert len(calls) == 2
+
+    def test_kernel_exception_wrapped(self):
+        from repro import QueueBlocking, get_dev_by_idx
+
+        @fn_acc
+        def bad(acc):
+            raise ValueError("inner boom")
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        with pytest.raises(KernelError) as exc:
+            q.enqueue(create_task_kernel(AccCpuSerial, WD, bad))
+        assert isinstance(exc.value.__cause__, ValueError)

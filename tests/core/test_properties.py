@@ -1,0 +1,60 @@
+"""AccDevProps: validation and dimensional projection."""
+
+import pytest
+
+from repro.core.properties import AccDevProps
+from repro.core.vec import Vec
+
+
+def make(**kw):
+    defaults = dict(
+        multi_processor_count=4,
+        grid_block_extent_max=Vec(65535, 65535, 1 << 30),
+        block_thread_extent_max=Vec(64, 1024, 1024),
+        thread_elem_extent_max=Vec.all(3, 1 << 20),
+        block_thread_count_max=1024,
+        shared_mem_size_bytes=48 * 1024,
+        warp_size=32,
+    )
+    defaults.update(kw)
+    return AccDevProps(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        p = make()
+        assert p.dim == 3
+        assert p.warp_size == 32
+
+    def test_bad_mp_count(self):
+        with pytest.raises(ValueError):
+            make(multi_processor_count=0)
+
+    def test_bad_block_max(self):
+        with pytest.raises(ValueError):
+            make(block_thread_count_max=0)
+
+    def test_bad_warp(self):
+        with pytest.raises(ValueError):
+            make(warp_size=0)
+
+
+class TestProjection:
+    def test_same_dim_is_identity(self):
+        p = make()
+        assert p.for_dim(3) is p
+
+    def test_lower_dim_keeps_fastest_axes(self):
+        p = make()
+        p1 = p.for_dim(1)
+        # component 0 of the 1-d view is the *innermost* (x) limit.
+        assert p1.block_thread_extent_max == Vec(1024)
+        p2 = p.for_dim(2)
+        assert p2.block_thread_extent_max == Vec(1024, 1024)
+        assert p2.grid_block_extent_max == Vec(65535, 1 << 30)
+
+    def test_scalar_limits_preserved(self):
+        p = make().for_dim(1)
+        assert p.block_thread_count_max == 1024
+        assert p.shared_mem_size_bytes == 48 * 1024
+        assert p.warp_size == 32

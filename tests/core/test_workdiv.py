@@ -1,0 +1,164 @@
+"""Work divisions: construction, validation, Table 2 auto-divider."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidWorkDiv
+from repro.core.properties import AccDevProps
+from repro.core.vec import Vec
+from repro.core.workdiv import (
+    MappingStrategy,
+    WorkDivMembers,
+    divide_work,
+    validate_work_div,
+)
+
+PROPS = AccDevProps(
+    multi_processor_count=8,
+    grid_block_extent_max=Vec.all(3, 1 << 20),
+    block_thread_extent_max=Vec.all(3, 1024),
+    thread_elem_extent_max=Vec.all(3, 1 << 20),
+    block_thread_count_max=1024,
+    shared_mem_size_bytes=48 * 1024,
+)
+
+SERIAL_PROPS = AccDevProps(
+    multi_processor_count=1,
+    grid_block_extent_max=Vec.all(3, 1 << 20),
+    block_thread_extent_max=Vec.all(3, 1),
+    thread_elem_extent_max=Vec.all(3, 1 << 20),
+    block_thread_count_max=1,
+    shared_mem_size_bytes=1 << 20,
+)
+
+
+class TestWorkDivMembers:
+    def test_make_broadcast(self):
+        wd = WorkDivMembers.make(256, 16, 1)
+        assert wd.dim == 1
+        assert wd.grid_block_extent == Vec(256)
+
+    def test_make_2d(self):
+        wd = WorkDivMembers.make((8, 16), (1, 1), (1, 1))
+        assert wd.dim == 2
+        assert wd.grid_thread_extent == Vec(8, 16)
+
+    def test_make_int_with_vec(self):
+        wd = WorkDivMembers.make(Vec(8, 16), 2, 1)
+        assert wd.block_thread_extent == Vec(2, 2)
+
+    def test_derived_counts(self):
+        wd = WorkDivMembers.make((3, 4), (2, 8), (2, 2))
+        assert wd.block_count == 12
+        assert wd.block_thread_count == 16
+        assert wd.thread_elem_count == 4
+        assert wd.grid_elem_extent == Vec(12, 64)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidWorkDiv):
+            WorkDivMembers(Vec(2, 2), Vec(2), Vec(1, 1))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(InvalidWorkDiv):
+            WorkDivMembers.make(0, 1, 1)
+        with pytest.raises(InvalidWorkDiv):
+            WorkDivMembers.make(1, 1, -1)
+
+    def test_paper_listing2(self):
+        """Listing 2: 2-d division, grid 8x16, others 1."""
+        wd = WorkDivMembers.make((8, 16), (1, 1), (1, 1))
+        assert wd.block_count == 128
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        validate_work_div(WorkDivMembers.make(64, 256, 4), PROPS)
+
+    def test_block_extent_limit(self):
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(WorkDivMembers.make(1, 2048, 1), PROPS)
+
+    def test_block_product_limit(self):
+        # Per-axis fine (33*32 <= 1024 per axis) but product too big.
+        wd = WorkDivMembers.make((1, 1), (64, 32), (1, 1))
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(wd, PROPS)
+
+    def test_serial_rejects_threads(self):
+        with pytest.raises(InvalidWorkDiv):
+            validate_work_div(WorkDivMembers.make(4, 2, 1), SERIAL_PROPS)
+
+
+class TestDivideWork:
+    def test_thread_level_mapping(self):
+        """Table 2 thread-level row: grid = N/(B*V), block = B, elem = V."""
+        wd = divide_work(
+            4096, PROPS, MappingStrategy.THREAD_LEVEL,
+            block_threads=16, thread_elems=4,
+        )
+        assert wd.grid_block_extent == Vec(64)
+        assert wd.block_thread_extent == Vec(16)
+        assert wd.thread_elem_extent == Vec(4)
+
+    def test_block_level_mapping(self):
+        """Table 2 block-level row: grid = N/V, block = 1, elem = V."""
+        wd = divide_work(
+            4096, SERIAL_PROPS, MappingStrategy.BLOCK_LEVEL, thread_elems=4
+        )
+        assert wd.grid_block_extent == Vec(1024)
+        assert wd.block_thread_extent == Vec(1)
+        assert wd.thread_elem_extent == Vec(4)
+
+    def test_block_level_rejects_threads(self):
+        with pytest.raises(InvalidWorkDiv):
+            divide_work(
+                64, SERIAL_PROPS, MappingStrategy.BLOCK_LEVEL, block_threads=4
+            )
+
+    def test_default_block_is_device_max(self):
+        wd = divide_work(1 << 16, PROPS, MappingStrategy.THREAD_LEVEL)
+        assert wd.block_thread_count == 1024
+
+    def test_default_block_clamps_to_problem(self):
+        wd = divide_work(10, PROPS, MappingStrategy.THREAD_LEVEL)
+        assert wd.block_thread_count == 10
+
+    def test_2d_extent(self):
+        wd = divide_work(
+            (100, 200), PROPS, MappingStrategy.THREAD_LEVEL,
+            block_threads=(1, 32), thread_elems=(2, 2),
+        )
+        assert wd.grid_block_extent == Vec(50, 4)
+        assert wd.grid_elem_extent.elementwise_le(Vec(128, 256))
+
+    def test_non_dividing_overhang(self):
+        wd = divide_work(
+            1000, PROPS, MappingStrategy.THREAD_LEVEL,
+            block_threads=16, thread_elems=3,
+        )
+        assert wd.grid_elem_extent[0] >= 1000
+        assert wd.grid_elem_extent[0] < 1000 + 48  # at most one extra block
+
+    @given(
+        n=st.integers(1, 1 << 20),
+        b=st.integers(1, 64),
+        v=st.integers(1, 64),
+    )
+    def test_coverage_invariant(self, n, b, v):
+        """Every division covers the problem with < one block slack."""
+        wd = divide_work(
+            n, PROPS, MappingStrategy.THREAD_LEVEL,
+            block_threads=min(b, 1024), thread_elems=v,
+        )
+        covered = wd.grid_elem_extent[0]
+        per_block = wd.block_thread_count * wd.thread_elem_count
+        assert covered >= n
+        assert covered - n < per_block
+
+    @given(n=st.integers(1, 1 << 20), v=st.integers(1, 256))
+    def test_block_level_invariants(self, n, v):
+        wd = divide_work(
+            n, SERIAL_PROPS, MappingStrategy.BLOCK_LEVEL, thread_elems=v
+        )
+        assert wd.block_thread_count == 1
+        assert wd.grid_elem_extent[0] >= n

@@ -1,0 +1,117 @@
+"""Devices, platforms, the device manager, memory accounting."""
+
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccGpuCudaSim,
+    PlatformCpu,
+    PlatformCudaSim,
+    get_dev_by_idx,
+    get_dev_count,
+)
+from repro.core.errors import DeviceError
+from repro.dev.device import MemorySpace
+from repro.dev.manager import platform_of
+
+
+class TestPlatforms:
+    def test_cpu_platform_single_device(self):
+        assert PlatformCpu().device_count == 1
+
+    def test_cuda_sim_default_is_k80_with_two_dies(self):
+        p = PlatformCudaSim()
+        assert p.spec.key == "nvidia-k80"
+        assert p.device_count == 2
+
+    def test_k20_has_one_device(self):
+        assert PlatformCudaSim("nvidia-k20").device_count == 1
+
+    def test_devices_cached_across_instances(self):
+        """Two platform objects expose the same devices, so residency
+        checks hold across independently created platforms."""
+        a = PlatformCudaSim().get_dev_by_idx(0)
+        b = PlatformCudaSim().get_dev_by_idx(0)
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(DeviceError):
+            PlatformCpu("nvidia-k80")
+        with pytest.raises(DeviceError):
+            PlatformCudaSim("intel-xeon-e5-2630v3")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(DeviceError):
+            PlatformCpu().get_dev_by_idx(5)
+
+
+class TestDevMan:
+    def test_get_dev_by_idx(self):
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        assert dev.accessible_from_host
+
+    def test_get_dev_count(self):
+        assert get_dev_count(AccGpuCudaSim) == 2
+        assert get_dev_count(AccCpuSerial) == 1
+
+    def test_gpu_device_not_host_accessible(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        assert not dev.accessible_from_host
+
+    def test_non_accelerator_rejected(self):
+        with pytest.raises(DeviceError):
+            platform_of(int)
+
+    def test_device_names_distinct(self):
+        d0 = get_dev_by_idx(AccGpuCudaSim, 0)
+        d1 = get_dev_by_idx(AccGpuCudaSim, 1)
+        assert d0.name != d1.name
+        assert d0.uid != d1.uid
+
+
+class TestMemorySpace:
+    def test_reserve_release(self):
+        ms = MemorySpace(1000)
+        ms.reserve(600)
+        assert ms.free_bytes == 400
+        ms.release(600)
+        assert ms.free_bytes == 1000
+
+    def test_over_allocation(self):
+        ms = MemorySpace(1000)
+        ms.reserve(900)
+        with pytest.raises(MemoryError):
+            ms.reserve(200)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpace(100).reserve(-1)
+
+    def test_release_floor_at_zero(self):
+        ms = MemorySpace(100)
+        ms.release(50)
+        assert ms.allocated_bytes == 0
+
+    def test_device_capacity_enforced_via_alloc(self):
+        from repro import mem
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        free = dev.mem.free_bytes
+        with pytest.raises(MemoryError):
+            mem.alloc(dev, free // 8 + 1024)
+
+
+class TestSimClock:
+    def test_advance_and_reset(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        dev.reset_sim_time()
+        dev.advance_sim_time(1.5)
+        dev.advance_sim_time(0.5)
+        assert dev.sim_time_s == 2.0
+        dev.reset_sim_time()
+        assert dev.sim_time_s == 0.0
+
+    def test_no_backwards_time(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        with pytest.raises(DeviceError):
+            dev.advance_sim_time(-1.0)

@@ -1,0 +1,166 @@
+"""Hardware models: Table 3 registry, spec validation, cache model."""
+
+import pytest
+
+from repro.hardware import (
+    AccessPattern,
+    CacheLevel,
+    CacheModel,
+    HardwareSpec,
+    TABLE3_KEYS,
+    all_machines,
+    host_machine,
+    machine,
+    machine_keys,
+    register_machine,
+    table3_rows,
+)
+
+
+class TestRegistry:
+    def test_five_paper_machines(self):
+        assert len(TABLE3_KEYS) == 5
+        for key in TABLE3_KEYS:
+            machine(key)
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError, match="known"):
+            machine("cray-1")
+
+    def test_paper_peaks_exact(self):
+        assert machine("amd-opteron-6276").peak_gflops_dp == 480.0
+        assert machine("intel-xeon-e5-2609").peak_gflops_dp == 150.0
+        assert machine("intel-xeon-e5-2630v3").peak_gflops_dp == 540.0
+        assert machine("nvidia-k20").peak_gflops_dp == 1170.0
+        assert machine("nvidia-k80").peak_gflops_dp == 2900.0
+
+    def test_paper_core_counts(self):
+        assert machine("amd-opteron-6276").device_count == 4
+        assert machine("amd-opteron-6276").cores_per_device == 16
+        assert machine("intel-xeon-e5-2609").cores_per_device == 4
+        assert machine("nvidia-k20").cores_per_device == 2496
+        assert machine("nvidia-k80").device_count == 2
+
+    def test_paper_clocks(self):
+        assert machine("amd-opteron-6276").clock_string() == "2.30 (3.20) GHz"
+        assert machine("intel-xeon-e5-2609").clock_string() == "2.40 GHz"
+        assert machine("nvidia-k80").clock_string() == "0.56 (0.88) GHz"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(KeyError):
+            register_machine(machine("nvidia-k20"))
+
+    def test_replace_allowed(self):
+        spec = machine("nvidia-k20")
+        assert register_machine(spec, replace=True) is spec
+
+    def test_host_machine_present(self):
+        assert machine("host").kind == "cpu"
+        assert host_machine().cores_per_device >= 1
+
+    def test_all_machines_sorted(self):
+        assert [m.key for m in all_machines()] == machine_keys()
+
+    def test_xeon_phi_future_work_model(self):
+        """The paper's future-work target exists as a model but is not
+        part of Table 3."""
+        phi = machine("intel-xeon-phi-5110p")
+        assert phi.kind == "cpu"
+        assert phi.cores_per_device == 60
+        assert phi.simd_dp_lanes == 8
+        assert phi.key not in TABLE3_KEYS
+
+    def test_table3_rows_shape(self):
+        rows = table3_rows()
+        assert len(rows) == 5
+        assert rows[0]["Vendor"] == "AMD"
+        assert rows[4]["Th. double peak performance"] == "2x1450 GFLOPS"
+        assert rows[2]["Number of cores per device"] == "8 (16 hyper-threads)"
+
+
+class TestSpecValidation:
+    def _base(self, **kw):
+        d = dict(
+            key="t", vendor="v", architecture="a", kind="cpu",
+            device_count=1, cores_per_device=4, clock_ghz=2.0,
+            turbo_ghz=None, release="now", peak_gflops_dp=100.0,
+            global_mem_bandwidth_gbs=50.0,
+        )
+        d.update(kw)
+        return HardwareSpec(**d)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            self._base(kind="tpu")
+
+    def test_gpu_needs_sms(self):
+        with pytest.raises(ValueError):
+            self._base(kind="gpu")
+        self._base(kind="gpu", sm_count=2)
+
+    def test_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            self._base(peak_gflops_dp=0.0)
+
+    def test_derived_quantities(self):
+        s = self._base(device_count=2, cores_per_device=8)
+        assert s.total_cores == 16
+        assert s.device_peak_gflops_dp == 50.0
+        assert s.flops_per_cycle_per_core == pytest.approx(100.0 / (16 * 2.0))
+
+    def test_cache_level_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1024, -1.0, 1.0)
+
+    def test_cache_lookup(self):
+        spec = machine("intel-xeon-e5-2630v3")
+        assert spec.cache_level("L2").size_bytes == 256 * 1024
+        with pytest.raises(KeyError):
+            spec.cache_level("L9")
+
+
+class TestCacheModel:
+    def setup_method(self):
+        self.model = CacheModel(machine("intel-xeon-e5-2630v3"))
+
+    def test_smallest_fitting_level_serves(self):
+        assert self.model.serving_level(16 * 1024).name == "L1"
+        assert self.model.serving_level(128 * 1024).name == "L2"
+        assert self.model.serving_level(4 << 20).name == "L3"
+
+    def test_oversized_goes_to_dram(self):
+        assert self.model.serving_level(1 << 30) is None
+        est = self.model.bandwidth(1 << 30)
+        assert est.level_name == "global"
+        assert est.raw_bandwidth_gbs == 136.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.serving_level(-1)
+
+    def test_pattern_ordering(self):
+        """contiguous >= tiled > strided > random, at any level."""
+        ws = 1 << 30
+        bw = {
+            p: self.model.bandwidth(ws, p).effective_bandwidth_gbs
+            for p in AccessPattern
+        }
+        assert bw[AccessPattern.CONTIGUOUS] >= bw[AccessPattern.TILED]
+        assert bw[AccessPattern.TILED] > bw[AccessPattern.STRIDED]
+        assert bw[AccessPattern.STRIDED] > bw[AccessPattern.RANDOM]
+
+    def test_strided_is_line_ratio(self):
+        """One double per 64-byte line -> 1/8 efficiency."""
+        est = self.model.bandwidth(1 << 30, AccessPattern.STRIDED)
+        assert est.efficiency == 0.125
+
+    def test_transfer_time(self):
+        t = self.model.line_transfer_time_s(136e9, AccessPattern.CONTIGUOUS)
+        assert t == pytest.approx(1.0)
+
+    def test_gpu_shared_level(self):
+        gm = CacheModel(machine("nvidia-k80"))
+        lvl = gm.serving_level(4 * 1024)
+        assert lvl.name == "shared"

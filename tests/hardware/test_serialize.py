@@ -1,0 +1,73 @@
+"""Machine-model JSON round-trips and registry loading."""
+
+import json
+
+import pytest
+
+from repro.hardware import (
+    load_machine,
+    machine,
+    save_machine,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.hardware.registry import TABLE3_KEYS
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("key", TABLE3_KEYS)
+    def test_every_paper_machine_roundtrips(self, key):
+        spec = machine(key)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = machine("nvidia-k80")
+        path = save_machine(spec, str(tmp_path / "k80.json"))
+        loaded = load_machine(path)
+        assert loaded == spec
+
+    def test_json_is_plain(self, tmp_path):
+        path = save_machine(machine("intel-xeon-e5-2609"), str(tmp_path / "m.json"))
+        data = json.load(open(path))
+        assert data["peak_gflops_dp"] == 150.0
+        assert isinstance(data["caches"], list)
+
+    def test_dict_source(self):
+        d = spec_to_dict(machine("amd-opteron-6276"))
+        assert load_machine(d) == machine("amd-opteron-6276")
+
+
+class TestValidationThroughLoad:
+    def test_bad_values_rejected(self):
+        d = spec_to_dict(machine("nvidia-k20"))
+        d["peak_gflops_dp"] = -1.0
+        with pytest.raises(ValueError):
+            spec_from_dict(d)
+
+    def test_bad_cache_rejected(self):
+        d = spec_to_dict(machine("nvidia-k20"))
+        d["caches"][0]["size_bytes"] = 0
+        with pytest.raises(ValueError):
+            spec_from_dict(d)
+
+
+class TestRegistryIntegration:
+    def test_register_and_retarget(self, tmp_path):
+        d = spec_to_dict(machine("intel-xeon-e5-2630v3"))
+        d["key"] = "my-test-node"
+        d["cores_per_device"] = 12
+        path = tmp_path / "node.json"
+        json.dump(d, open(path, "w"))
+        spec = load_machine(str(path), register=True)
+        assert machine("my-test-node") is spec
+
+        from repro.acc import AccCpuOmp2Blocks
+
+        acc = AccCpuOmp2Blocks.for_machine("my-test-node")
+        assert acc.platform().spec.cores_per_device == 12
+
+    def test_duplicate_registration_guard(self):
+        d = spec_to_dict(machine("nvidia-k20"))
+        with pytest.raises(KeyError):
+            load_machine(d, register=True)
+        load_machine(d, register=True, replace=True)  # explicit override

@@ -1,0 +1,167 @@
+"""Paper traceability: each code listing of Sec. 3.4, executed.
+
+Every listing in the paper's API walk-through has a direct counterpart
+here, written to match the listing's structure as closely as Python
+allows — the reproduction's claim that the *interface* survived the
+port, not just the semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccGpuCudaSim,
+    QueueNonBlocking,
+    Vec,
+    WorkDivMembers,
+    create_task_kernel,
+    enqueue,
+    fn_acc,
+    get_dev_by_idx,
+    get_idx,
+    get_work_div,
+    map_idx,
+    mem,
+)
+from repro.core import Grid, Threads
+from repro.queue import wait
+
+
+class TestListing1_KernelSkeleton:
+    """A kernel is a class implementing operator() with the accelerator
+    as first parameter, marked accelerator-callable."""
+
+    def test_skeleton_executes(self):
+        ran = []
+
+        class Kernel:
+            @fn_acc  # ALPAKA_FN_ACC
+            def __call__(self, acc, data):
+                ran.append(type(acc).__name__)
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        queue = QueueNonBlocking(dev)
+        buf = mem.alloc(dev, 1)
+        wd = WorkDivMembers.make(1, 1, 1)
+        enqueue(queue, create_task_kernel(AccCpuSerial, wd, Kernel(), buf))
+        wait(queue)
+        assert ran == ["Accelerator"]
+        queue.destroy()
+
+
+class TestListing2_WorkDivision:
+    """Vec<Dim2>(1,1) elements, (1,1) threads, (8,16) blocks."""
+
+    def test_extents(self):
+        elements_per_thread = Vec(1, 1)
+        threads_per_block = Vec(1, 1)
+        blocks_per_grid = Vec(8, 16)
+        wd = WorkDivMembers(
+            blocks_per_grid, threads_per_block, elements_per_thread
+        )
+        # "the grid has an extent of 128"
+        assert wd.block_count == 128
+        assert wd.block_thread_count == 1
+        assert wd.thread_elem_count == 1
+
+
+class TestListing3_IndexRetrieval:
+    """Global n-dim thread index + extent, linearised via mapIdx."""
+
+    def test_linearised_global_index(self):
+        seen = {}
+
+        @fn_acc
+        def kernel(acc, out):
+            g_t_idx = get_idx(acc, Grid, Threads)
+            g_t_extent = get_work_div(acc, Grid, Threads)
+            lin_idx = map_idx(1, g_t_idx, g_t_extent)
+            out[lin_idx[0]] = 1.0
+            seen[tuple(g_t_idx)] = lin_idx[0]
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        queue = QueueNonBlocking(dev)
+        out = mem.alloc(dev, 12)
+        wd = WorkDivMembers.make(Vec(3, 4), Vec(1, 1), Vec(1, 1))
+        enqueue(queue, create_task_kernel(AccCpuSerial, wd, kernel, out))
+        wait(queue)
+        # Every thread hit a distinct linear slot; all slots covered.
+        assert np.all(out.as_numpy() == 1.0)
+        assert len(set(seen.values())) == 12
+        queue.destroy()
+
+
+class TestListing4_Memory:
+    """Dim2 uint32 buffers of extent (10, 10); host -> device copy."""
+
+    def test_alloc_and_copy(self):
+        host_dev = get_dev_by_idx(AccCpuSerial, 0)
+        acc_dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        queue = QueueNonBlocking(acc_dev)
+
+        extents = Vec(10, 10)
+        host_buf = mem.alloc(host_dev, extents, dtype=np.uint32)
+        dev_buf = mem.alloc(acc_dev, extents, dtype=np.uint32)
+
+        host_buf.as_numpy()[:] = np.arange(100, dtype=np.uint32).reshape(10, 10)
+        mem.copy(queue, dev_buf, host_buf, extents)
+        wait(queue)
+
+        back = np.zeros((10, 10), dtype=np.uint32)
+        mem.copy(queue, back, dev_buf)
+        wait(queue)
+        np.testing.assert_array_equal(back, host_buf.as_numpy())
+        queue.destroy()
+
+
+class TestListing5_FullExecution:
+    """The complete host flow: Dim/Size aliases, accelerator + stream
+    types, DevMan device selection, work division 256x16x1, executor
+    creation, enqueue."""
+
+    def test_full_flow(self):
+        class Kernel:
+            @fn_acc
+            def __call__(self, acc, counter):
+                i = get_idx(acc, Grid, Threads)[0]
+                acc.atomic_add(counter, 0, 1.0)
+
+        Acc = AccCpuSerial  # acc::AccCpuSerial<Dim1, size_t>
+        Stream = QueueNonBlocking  # stream::StreamCpuAsync
+
+        dev_acc = get_dev_by_idx(Acc, 0)  # DevMan<Acc>::getDevByIdx(0)
+        stream = Stream(dev_acc)
+
+        # 256 blocks x 16 threads x 1 element -- the serial back-end
+        # caps blocks at one thread, so the listing's division maps to
+        # the block level (Table 2), preserving the total work.
+        work_div = WorkDivMembers.make(256 * 16, 1, 1)
+        kernel = Kernel()
+        counter = mem.alloc(dev_acc, 1)
+        exec_task = create_task_kernel(Acc, work_div, kernel, counter)
+        enqueue(stream, exec_task)
+        wait(stream)
+        assert counter.as_numpy()[0] == 256 * 16
+        stream.destroy()
+
+    def test_same_flow_on_cuda_sim_with_listing_division(self):
+        class Kernel:
+            @fn_acc
+            def __call__(self, acc, counter):
+                acc.atomic_add(counter, 0, 1.0)
+
+        Acc = AccGpuCudaSim
+        dev_acc = get_dev_by_idx(Acc, 0)
+        stream = QueueNonBlocking(dev_acc)
+        # The CUDA back-end takes the listing's division literally
+        # (we shrink 256 blocks to 8 to keep the functional run quick).
+        work_div = WorkDivMembers.make(8, 16, 1)
+        counter = mem.alloc(dev_acc, 1)
+        enqueue(stream, create_task_kernel(Acc, work_div, Kernel(), counter))
+        wait(stream)
+        out = np.zeros(1)
+        mem.copy(stream, out, counter)
+        wait(stream)
+        assert out[0] == 128
+        stream.destroy()

@@ -1,0 +1,145 @@
+"""Integration: the paper's central claims, end to end.
+
+* one kernel source runs on every back-end and yields identical results
+  (single source / testability),
+* retargeting is one line (the accelerator type),
+* CPU and GPU back-ends cooperate in one program (heterogeneity),
+* memory never crosses spaces implicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuOmp2Blocks,
+    AccGpuCudaSim,
+    MemorySpaceError,
+    QueueBlocking,
+    QueueNonBlocking,
+    accelerator,
+    accelerator_names,
+    create_task_kernel,
+    divide_work,
+    get_dev_by_idx,
+    get_dev_count,
+    mem,
+)
+from repro.core.element import grid_strided_spans
+from repro.core.kernel import fn_acc
+
+
+class SaxpbyKernel:
+    """A kernel with several scalar args and two buffers."""
+
+    @fn_acc
+    def __call__(self, acc, n, a, b, x, y):
+        for span in grid_strided_spans(acc, n):
+            y[span] = a * x[span] + b * y[span]
+
+
+def run_pipeline(acc_type, n=512):
+    """The full host-side lifecycle of Listing 4 + Listing 5."""
+    dev = get_dev_by_idx(acc_type, 0)
+    queue = QueueBlocking(dev)
+    x_h = np.linspace(0.0, 1.0, n)
+    y_h = np.linspace(1.0, 2.0, n)
+    x = mem.alloc(dev, n)
+    y = mem.alloc(dev, n)
+    mem.copy(queue, x, x_h)
+    mem.copy(queue, y, y_h)
+    props = acc_type.get_acc_dev_props(dev)
+    wd = divide_work(n, props, acc_type.mapping_strategy, thread_elems=32)
+    queue.enqueue(
+        create_task_kernel(acc_type, wd, SaxpbyKernel(), n, 2.0, 3.0, x, y)
+    )
+    out = np.empty(n)
+    mem.copy(queue, out, y)
+    x.free()
+    y.free()
+    return out, 2.0 * x_h + 3.0 * y_h
+
+
+class TestSingleSource:
+    def test_every_backend_bitwise_identical(self):
+        results = {}
+        for name in accelerator_names():
+            out, expected = run_pipeline(accelerator(name))
+            np.testing.assert_allclose(out, expected, err_msg=name)
+            results[name] = out
+        ref = results["AccCpuSerial"]
+        for name, out in results.items():
+            np.testing.assert_array_equal(out, ref, err_msg=name)
+
+    def test_retarget_is_one_line(self):
+        """The whole pipeline is a function of the accelerator type
+        alone — the literal form of the paper's one-line claim."""
+        for acc_name in ("AccCpuSerial", "AccGpuCudaSim"):
+            out, expected = run_pipeline(accelerator(acc_name))
+            np.testing.assert_allclose(out, expected)
+
+
+class TestHeterogeneity:
+    def test_cpu_and_gpu_concurrently(self):
+        n = 6000
+        x_h = np.arange(n, dtype=np.float64)
+        workers = [(AccCpuOmp2Blocks, get_dev_by_idx(AccCpuOmp2Blocks, 0))]
+        for i in range(get_dev_count(AccGpuCudaSim)):
+            workers.append((AccGpuCudaSim, get_dev_by_idx(AccGpuCudaSim, i)))
+        bounds = np.linspace(0, n, len(workers) + 1).astype(int)
+        kernel = SaxpbyKernel()
+        live = []
+        for (acc, dev), lo, hi in zip(workers, bounds[:-1], bounds[1:]):
+            m = int(hi - lo)
+            q = QueueNonBlocking(dev)
+            x = mem.alloc(dev, m)
+            y = mem.alloc(dev, m)
+            mem.copy(q, x, x_h[lo:hi])
+            mem.memset(q, y, 1.0)
+            props = acc.get_acc_dev_props(dev)
+            wd = divide_work(m, props, acc.mapping_strategy, thread_elems=64)
+            q.enqueue(create_task_kernel(acc, wd, kernel, m, 2.0, 1.0, x, y))
+            live.append((q, y, lo, hi))
+        result = np.empty(n)
+        for q, y, lo, hi in live:
+            part = np.empty(hi - lo)
+            mem.copy(q, part, y)
+            q.wait()
+            result[lo:hi] = part
+            q.destroy()
+        np.testing.assert_allclose(result, 2.0 * x_h + 1.0)
+
+
+class TestMemoryModel:
+    def test_no_implicit_migration(self):
+        """Device results are invisible on the host until copied."""
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        buf = mem.alloc(dev, 16)
+        mem.memset(q, buf, 5.0)
+        with pytest.raises(MemorySpaceError):
+            buf.as_numpy()
+        host = np.zeros(16)
+        mem.copy(q, host, buf)
+        assert np.all(host == 5.0)
+
+    def test_data_structure_agnostic(self):
+        """Kernel arguments are plain arrays: the same kernel handles
+        any dtype/layout the user chooses."""
+
+        @fn_acc
+        def negate(acc, n, data):
+            for span in grid_strided_spans(acc, n):
+                data[span] = -data[span]
+
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        q = QueueBlocking(dev)
+        for dtype in (np.float64, np.float32, np.int64):
+            buf = mem.alloc(dev, 32, dtype=dtype)
+            host = np.arange(32, dtype=dtype)
+            mem.copy(q, buf, host)
+            props = AccCpuOmp2Blocks.get_acc_dev_props(dev)
+            wd = divide_work(
+                32, props, AccCpuOmp2Blocks.mapping_strategy, thread_elems=8
+            )
+            q.enqueue(create_task_kernel(AccCpuOmp2Blocks, wd, negate, 32, buf))
+            np.testing.assert_array_equal(buf.as_numpy(), -host)

@@ -1,0 +1,109 @@
+"""The public differential-testing API (repro.testing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import fn_acc
+from repro.core.element import grid_strided_spans
+from repro.kernels import AxpyElementsKernel
+from repro.testing import BackendReport, run_on_all_backends
+
+
+class TestRunOnAllBackends:
+    def test_axpy_consistent_everywhere(self, rng):
+        n = 300
+        x, y = rng.random(n), rng.random(n)
+        report = run_on_all_backends(
+            AxpyElementsKernel(),
+            args=(n, 2.0),
+            arrays={"x": x, "y": y},
+            thread_elems=32,
+        )
+        assert len(report.backends) == 7
+        report.assert_consistent()  # bitwise
+        np.testing.assert_allclose(
+            report.results["AccCpuSerial"]["y"], 2.0 * x + y
+        )
+
+    def test_backend_subset(self, rng):
+        n = 64
+        report = run_on_all_backends(
+            AxpyElementsKernel(),
+            args=(n, 1.0),
+            arrays={"x": rng.random(n), "y": rng.random(n)},
+            backends=["AccCpuSerial", "AccGpuCudaSim"],
+        )
+        assert report.backends == ["AccCpuSerial", "AccGpuCudaSim"]
+        report.assert_consistent()
+
+    def test_detects_divergence(self, rng):
+        """A back-end-dependent kernel is caught."""
+
+        @fn_acc
+        def cheat(acc, n, out):
+            for span in grid_strided_spans(acc, n):
+                # Result depends on the back-end's warp size.
+                out[span] = float(acc.warp_size)
+
+        n = 32
+        report = run_on_all_backends(
+            cheat, args=(n,), arrays={"out": np.zeros(n)},
+            backends=["AccCpuSerial", "AccGpuCudaSim"],
+        )
+        with pytest.raises(AssertionError):
+            report.assert_consistent()
+
+    def test_tolerant_comparison(self, rng):
+        """Tolerances accept atomics-reordered float sums."""
+        report = BackendReport()
+        report.results["AccCpuSerial"] = {"x": np.array([1.0])}
+        report.results["other"] = {"x": np.array([1.0 + 1e-13])}
+        with pytest.raises(AssertionError):
+            report.assert_consistent()
+        report.assert_consistent(rtol=1e-10)
+
+    def test_requires_extent_or_arrays(self):
+        @fn_acc
+        def k(acc):
+            pass
+
+        with pytest.raises(ValueError):
+            run_on_all_backends(k)
+
+    def test_missing_reference_reported(self):
+        report = BackendReport()
+        report.results["only-this"] = {"x": np.zeros(1)}
+        with pytest.raises(AssertionError, match="reference"):
+            report.assert_consistent()
+
+
+class TestBitwiseAtomics:
+    def test_bitwise_atomic_ops_on_acc(self):
+        from repro import (
+            AccGpuCudaSim,
+            QueueBlocking,
+            WorkDivMembers,
+            create_task_kernel,
+            get_dev_by_idx,
+            mem,
+        )
+
+        @fn_acc
+        def k(acc, out):
+            acc.atomic_or(out, 0, 0b0101)
+            acc.atomic_and(out, 1, 0b0011)
+            acc.atomic_xor(out, 2, 0b1111)
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        buf = mem.alloc(dev, 3, dtype=np.int64)
+        host = np.array([0b1010, 0b0110, 0b1010], dtype=np.int64)
+        mem.copy(q, buf, host)
+        q.enqueue(
+            create_task_kernel(
+                AccGpuCudaSim, WorkDivMembers.make(1, 1, 1), k, buf
+            )
+        )
+        out = np.zeros(3, dtype=np.int64)
+        mem.copy(q, out, buf)
+        np.testing.assert_array_equal(out, [0b1111, 0b0010, 0b0101])

@@ -1,0 +1,48 @@
+"""AXPY kernels: characteristics and reference (execution covered in
+tests/acc/test_backends_axpy.py)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import AccessPattern
+from repro.kernels import (
+    AxpyElementsKernel,
+    AxpyKernel,
+    axpy_reference,
+)
+from repro.core.workdiv import WorkDivMembers
+
+
+class TestReference:
+    def test_value(self, rng):
+        x, y = rng.random(10), rng.random(10)
+        np.testing.assert_allclose(axpy_reference(2.0, x, y), 2.0 * x + y)
+
+    def test_does_not_mutate(self, rng):
+        x, y = rng.random(10), rng.random(10)
+        y0 = y.copy()
+        axpy_reference(2.0, x, y)
+        np.testing.assert_array_equal(y, y0)
+
+
+class TestCharacteristics:
+    def test_scalar_kernel(self):
+        wd = WorkDivMembers.make(1024, 1, 1)
+        c = AxpyKernel().characteristics(wd, 1024, 2.0, None, None)
+        assert c.flops == 2048.0
+        assert c.total_bytes == 24 * 1024
+        assert c.thread_access_pattern is AccessPattern.STRIDED
+        assert not c.vector_friendly
+
+    def test_element_kernel(self):
+        wd = WorkDivMembers.make(8, 1, 128)
+        c = AxpyElementsKernel().characteristics(wd, 1024, 2.0, None, None)
+        assert c.thread_access_pattern is AccessPattern.CONTIGUOUS
+        assert c.vector_friendly
+
+    def test_both_same_work(self):
+        wd = WorkDivMembers.make(1024, 1, 1)
+        a = AxpyKernel().characteristics(wd, 1024, 2.0, None, None)
+        b = AxpyElementsKernel().characteristics(wd, 1024, 2.0, None, None)
+        assert a.flops == b.flops
+        assert a.total_bytes == b.total_bytes

@@ -1,0 +1,234 @@
+"""DGEMM kernels: correctness on all applicable back-ends + characteristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import accelerator
+from repro.core.errors import KernelError
+from repro.hardware import AccessPattern
+from repro.kernels import (
+    GemmCudaStyleKernel,
+    GemmOmpStyleKernel,
+    GemmTilingKernel,
+    dgemm_reference,
+    dgemm_rows_host,
+    gemm_workdiv_cuda,
+    gemm_workdiv_omp,
+    gemm_workdiv_tiling,
+)
+
+
+def problem(rng, n):
+    return rng.random((n, n)), rng.random((n, n)), rng.random((n, n))
+
+
+class TestWorkDivFactories:
+    def test_cuda_shape(self):
+        wd = gemm_workdiv_cuda(100, 16)
+        assert wd.grid_block_extent == (7, 7)
+        assert wd.block_thread_extent == (16, 16)
+        assert wd.thread_elem_extent == (1, 1)
+
+    def test_omp_shape(self):
+        wd = gemm_workdiv_omp(100, 32)
+        assert wd.grid_block_extent == (4,)
+        assert wd.block_thread_count == 1
+
+    def test_tiling_shape(self):
+        wd = gemm_workdiv_tiling(128, 4, 8)
+        assert wd.grid_block_extent == (4, 4)
+        assert wd.thread_elem_extent == (8, 8)
+
+
+class TestCudaStyleKernel:
+    def test_explicit_signature(self, sync_acc, rng):
+        from repro import QueueBlocking, create_task_kernel, get_dev_by_idx, mem
+
+        n = 17
+        A, B, C = problem(rng, n)
+        expected = dgemm_reference(2.0, A, B, 0.5, C)
+        dev = get_dev_by_idx(sync_acc, 0)
+        q = QueueBlocking(dev)
+        bufs = []
+        for h in (A, B, C):
+            b = mem.alloc(dev, (n, n))
+            mem.copy(q, b, h)
+            bufs.append(b)
+        cap = sync_acc.get_acc_dev_props(dev).block_thread_count_max
+        wd = gemm_workdiv_cuda(n, 4 if cap >= 16 else 2)
+        q.enqueue(
+            create_task_kernel(
+                sync_acc, wd, GemmCudaStyleKernel(),
+                n, 2.0, bufs[0], bufs[1], 0.5, bufs[2],
+            )
+        )
+        out = np.empty((n, n))
+        mem.copy(q, out, bufs[2])
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_requires_square_block(self, rng):
+        from repro import AccGpuCudaSim, QueueBlocking, create_task_kernel
+        from repro import get_dev_by_idx, mem
+        from repro.core.workdiv import WorkDivMembers
+
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        b = mem.alloc(dev, (4, 4))
+        wd = WorkDivMembers.make((1, 1), (2, 4), (1, 1))
+        with pytest.raises(KernelError):
+            q.enqueue(
+                create_task_kernel(
+                    AccGpuCudaSim, wd, GemmCudaStyleKernel(),
+                    4, 1.0, b, b, 0.0, b,
+                )
+            )
+
+    def test_characteristics(self):
+        k = GemmCudaStyleKernel()
+        wd = gemm_workdiv_cuda(1024, 16)
+        c = k.characteristics(wd, 1024)
+        assert c.flops == pytest.approx(2 * 1024**3, rel=0.01)
+        assert c.on_chip_read_bytes == 16.0 * 1024**3
+        assert c.thread_access_pattern is AccessPattern.TILED
+        assert not c.vector_friendly
+        assert c.abstraction_overhead_fraction > 0
+        assert c.block_sync_generations == 2 * 64 * 64 * 64
+
+    def test_native_variant_has_no_overhead(self):
+        wd = gemm_workdiv_cuda(256, 16)
+        native = GemmCudaStyleKernel(native=True).characteristics(wd, 256)
+        assert native.abstraction_overhead_fraction == 0.0
+        assert native.extra_api_calls == 0
+
+
+class TestOmpStyleKernel:
+    @pytest.mark.parametrize("backend", ["AccCpuSerial", "AccCpuOmp2Blocks"])
+    def test_correct(self, backend, rng):
+        from repro import QueueBlocking, create_task_kernel, get_dev_by_idx, mem
+
+        acc = accelerator(backend)
+        n = 23
+        A, B, C = problem(rng, n)
+        expected = dgemm_reference(1.5, A, B, -0.5, C)
+        dev = get_dev_by_idx(acc, 0)
+        q = QueueBlocking(dev)
+        bufs = []
+        for h in (A, B, C):
+            b = mem.alloc(dev, (n, n))
+            mem.copy(q, b, h)
+            bufs.append(b)
+        q.enqueue(
+            create_task_kernel(
+                acc, wd := gemm_workdiv_omp(n, 5), GemmOmpStyleKernel(),
+                n, 1.5, bufs[0], bufs[1], -0.5, bufs[2],
+            )
+        )
+        np.testing.assert_allclose(bufs[2].as_numpy(), expected, rtol=1e-12)
+
+    def test_host_function_matches_kernel_semantics(self, rng):
+        n = 40
+        A, B, C = problem(rng, n)
+        C2 = C.copy()
+        dgemm_rows_host(1.5, A, B, 0.25, C2, rows_per_chunk=7)
+        np.testing.assert_allclose(C2, dgemm_reference(1.5, A, B, 0.25, C))
+
+    def test_characteristics_spill(self):
+        wd = gemm_workdiv_omp(4096, 64)
+        c = GemmOmpStyleKernel().characteristics(wd, 4096)
+        assert c.spill_read_bytes == 8.0 * 4096**3
+        assert c.vector_friendly
+        assert c.abstraction_overhead_fraction == 0.0  # gcc elides
+
+
+class TestTilingKernel:
+    CONFIGS = [
+        ("AccGpuCudaSim", 4, 2),
+        ("AccCpuSerial", 1, 8),
+        ("AccCpuOmp2Blocks", 1, 8),
+        ("AccCpuOmp2Threads", 2, 4),
+        ("AccCpuThreads", 2, 4),
+        ("AccCpuFibers", 2, 4),
+    ]
+
+    @pytest.mark.parametrize("backend,bt,v", CONFIGS)
+    def test_correct_everywhere(self, backend, bt, v, rng):
+        from repro import QueueBlocking, create_task_kernel, get_dev_by_idx, mem
+
+        acc = accelerator(backend)
+        n = 19  # ragged against every tile size used
+        A, B, C = problem(rng, n)
+        expected = dgemm_reference(1.0, A, B, 2.0, C)
+        dev = get_dev_by_idx(acc, 0)
+        q = QueueBlocking(dev)
+        bufs = []
+        for h in (A, B, C):
+            buf = mem.alloc(dev, (n, n))
+            mem.copy(q, buf, h)
+            bufs.append(buf)
+        q.enqueue(
+            create_task_kernel(
+                acc, gemm_workdiv_tiling(n, bt, v), GemmTilingKernel(),
+                n, 1.0, bufs[0], bufs[1], 2.0, bufs[2],
+            )
+        )
+        out = np.empty((n, n))
+        mem.copy(q, out, bufs[2])
+        np.testing.assert_allclose(out, expected, rtol=1e-11, err_msg=backend)
+
+    @given(n=st.integers(2, 33), bt=st.sampled_from([1, 2]), v=st.sampled_from([2, 4]))
+    @settings(max_examples=12, deadline=None)
+    def test_property_sizes(self, n, bt, v):
+        from repro import AccCpuSerial, QueueBlocking, create_task_kernel
+        from repro import get_dev_by_idx, mem
+
+        if bt > 1:
+            acc = accelerator("AccCpuThreads")
+        else:
+            acc = AccCpuSerial
+        rng = np.random.default_rng(n)
+        A, B, C = problem(rng, n)
+        expected = dgemm_reference(1.0, A, B, 0.0, C)
+        dev = get_dev_by_idx(acc, 0)
+        q = QueueBlocking(dev)
+        bufs = []
+        for h in (A, B, C):
+            buf = mem.alloc(dev, (n, n))
+            mem.copy(q, buf, h)
+            bufs.append(buf)
+        q.enqueue(
+            create_task_kernel(
+                acc, gemm_workdiv_tiling(n, bt, v), GemmTilingKernel(),
+                n, 1.0, bufs[0], bufs[1], 0.0, bufs[2],
+            )
+        )
+        out = np.empty((n, n))
+        mem.copy(q, out, bufs[2])
+        np.testing.assert_allclose(out, expected, rtol=1e-11)
+        for buf in bufs:
+            buf.free()
+
+    def test_register_blocking_reduces_on_chip_traffic(self):
+        wd1 = gemm_workdiv_tiling(1024, 16, 1)
+        wd2 = gemm_workdiv_tiling(1024, 16, 2)
+        c1 = GemmTilingKernel().characteristics(wd1, 1024)
+        c2 = GemmTilingKernel().characteristics(wd2, 1024)
+        assert c2.on_chip_read_bytes < c1.on_chip_read_bytes
+
+    def test_register_cap(self):
+        """Element extents beyond the register cap stop reducing
+        per-FMA traffic."""
+        wd128 = gemm_workdiv_tiling(4096, 1, 128)
+        wd8 = gemm_workdiv_tiling(4096, 1, 8)
+        c128 = GemmTilingKernel().characteristics(wd128, 4096)
+        c8 = GemmTilingKernel().characteristics(wd8, 4096)
+        assert c128.on_chip_read_bytes == c8.on_chip_read_bytes
+
+    def test_bigger_tiles_cut_dram_traffic(self):
+        small = GemmTilingKernel().characteristics(
+            gemm_workdiv_tiling(1024, 16, 1), 1024
+        )
+        big = GemmTilingKernel().characteristics(
+            gemm_workdiv_tiling(1024, 16, 4), 1024
+        )
+        assert big.global_read_bytes < small.global_read_bytes

@@ -1,0 +1,75 @@
+"""Histogram kernel: privatized shared bins + global atomic merge."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    QueueBlocking,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import HistogramKernel, histogram_reference
+
+
+def run_hist(acc_name, x, bins=16, lo=0.0, hi=1.0, wd=None):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    n = len(x)
+    xb = mem.alloc(dev, n)
+    hb = mem.alloc(dev, bins)
+    mem.copy(q, xb, x)
+    mem.memset(q, hb, 0.0)
+    if wd is None:
+        if acc.supports_block_sync:
+            wd = WorkDivMembers.make(4, 4, -(-n // 16))
+        else:
+            wd = WorkDivMembers.make(8, 1, -(-n // 8))
+    q.enqueue(
+        create_task_kernel(acc, wd, HistogramKernel(), n, lo, hi, bins, xb, hb)
+    )
+    out = np.zeros(bins)
+    mem.copy(q, out, hb)
+    return out
+
+
+class TestHistogram:
+    @pytest.mark.parametrize(
+        "backend",
+        ["AccCpuSerial", "AccCpuOmp2Blocks", "AccCpuThreads", "AccGpuCudaSim"],
+    )
+    def test_matches_numpy(self, backend, rng):
+        x = rng.random(2000) * 0.999  # strictly inside [0, 1)
+        got = run_hist(backend, x)
+        np.testing.assert_array_equal(got, histogram_reference(x, 16, 0.0, 1.0))
+
+    def test_total_count_conserved(self, rng):
+        x = rng.random(777)
+        got = run_hist("AccCpuOmp2Blocks", x, bins=7)
+        assert got.sum() == 777
+
+    def test_out_of_range_clamps(self):
+        x = np.array([-5.0, 0.5, 20.0])
+        got = run_hist("AccCpuSerial", x, bins=4)
+        assert got[0] == 1 and got[-1] == 1 and got[2] == 1
+
+    def test_custom_range(self, rng):
+        x = rng.uniform(-3.0, 3.0, 1000) * 0.999
+        got = run_hist("AccCpuSerial", x, bins=12, lo=-3.0, hi=3.0)
+        np.testing.assert_array_equal(
+            got, histogram_reference(x, 12, -3.0, 3.0)
+        )
+
+    def test_uniform_data_spreads(self, rng):
+        x = rng.random(16_000) * 0.999
+        got = run_hist("AccCpuSerial", x, bins=8)
+        assert got.min() > 1600  # roughly uniform
+
+    def test_grid_smaller_than_data(self, rng):
+        x = rng.random(500) * 0.999
+        wd = WorkDivMembers.make(2, 1, 50)  # covers 100; grid-stride
+        got = run_hist("AccCpuSerial", x, wd=wd)
+        np.testing.assert_array_equal(got, histogram_reference(x, 16, 0.0, 1.0))

@@ -1,0 +1,92 @@
+"""Reductions: shared-memory tree + atomics, across back-ends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    QueueBlocking,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import DotKernel, SumReduceKernel, sum_reference
+
+
+def run_reduce(acc_name, kernel, wd, n, *host_arrays):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    bufs = []
+    for h in host_arrays:
+        b = mem.alloc(dev, h.shape[0])
+        mem.copy(q, b, h)
+        bufs.append(b)
+    out = mem.alloc(dev, 1)
+    mem.memset(q, out, 0.0)
+    q.enqueue(create_task_kernel(acc, wd, kernel, n, *bufs, out))
+    res = np.zeros(1)
+    mem.copy(q, res, out)
+    return res[0]
+
+
+class TestSumReduce:
+    @pytest.mark.parametrize(
+        "backend,wd",
+        [
+            ("AccGpuCudaSim", WorkDivMembers.make(4, 16, 8)),
+            ("AccCpuThreads", WorkDivMembers.make(2, 8, 32)),
+            ("AccCpuFibers", WorkDivMembers.make(2, 8, 32)),
+            ("AccCpuOmp2Threads", WorkDivMembers.make(2, 8, 32)),
+        ],
+    )
+    def test_matches_reference(self, backend, wd, rng):
+        x = rng.random(512)
+        got = run_reduce(backend, SumReduceKernel(), wd, 512, x)
+        assert got == pytest.approx(sum_reference(x), rel=1e-12)
+
+    def test_non_power_of_two_block(self, rng):
+        x = rng.random(100)
+        wd = WorkDivMembers.make(2, 7, 8)
+        got = run_reduce("AccCpuThreads", SumReduceKernel(), wd, 100, x)
+        assert got == pytest.approx(x.sum(), rel=1e-12)
+
+    def test_extent_smaller_than_grid(self, rng):
+        x = rng.random(10)
+        wd = WorkDivMembers.make(4, 8, 4)  # grid covers 128 >> 10
+        got = run_reduce("AccGpuCudaSim", SumReduceKernel(), wd, 10, x)
+        assert got == pytest.approx(x.sum(), rel=1e-12)
+
+    @given(n=st.integers(1, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_any_extent(self, n):
+        x = np.random.default_rng(n).random(n)
+        wd = WorkDivMembers.make(2, 4, 8)
+        got = run_reduce("AccCpuFibers", SumReduceKernel(), wd, n, x)
+        assert got == pytest.approx(x.sum(), rel=1e-12)
+
+
+class TestDot:
+    @pytest.mark.parametrize(
+        "backend",
+        ["AccCpuSerial", "AccCpuOmp2Blocks", "AccGpuCudaSim"],
+    )
+    def test_matches_numpy(self, backend, rng):
+        n = 333
+        x, y = rng.random(n), rng.random(n)
+        acc = accelerator(backend)
+        if acc.supports_block_sync:
+            wd = WorkDivMembers.make(4, 8, 16)
+        else:
+            wd = WorkDivMembers.make(16, 1, 32)
+        got = run_reduce(backend, DotKernel(), wd, n, x, y)
+        assert got == pytest.approx(float(x @ y), rel=1e-12)
+
+    def test_empty_extent_gives_zero(self, rng):
+        # All threads out of range: atomics never fire beyond 0.0 adds.
+        x, y = rng.random(8), rng.random(8)
+        wd = WorkDivMembers.make(1, 1, 8)
+        got = run_reduce("AccCpuSerial", DotKernel(), wd, 8, x, y)
+        assert got == pytest.approx(float(x @ y))

@@ -1,0 +1,99 @@
+"""Bitonic sort: barrier-heavy cooperative kernel across back-ends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import QueueBlocking, accelerator, get_dev_by_idx, mem
+from repro.kernels import BitonicSortKernel, sort_chunks
+
+
+def run_sort(acc_name, x, chunk=32, block_threads=None):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    n = len(x)
+    buf = mem.alloc(dev, n)
+    mem.copy(q, buf, x)
+    sort_chunks(acc, q, buf, n, chunk=chunk, block_threads=block_threads)
+    out = np.empty(n)
+    mem.copy(q, out, buf)
+    buf.free()
+    return out
+
+
+def chunkwise_sorted(x, chunk):
+    out = x.copy()
+    for c in range(0, len(x), chunk):
+        out[c : c + chunk] = np.sort(x[c : c + chunk])
+    return out
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize(
+        "backend,bt",
+        [
+            ("AccCpuSerial", 1),
+            ("AccCpuOmp2Blocks", 1),
+            ("AccGpuCudaSim", 8),
+            ("AccCpuThreads", 4),
+            ("AccCpuFibers", 4),
+        ],
+    )
+    def test_sorts_on_every_backend(self, backend, bt, rng):
+        x = rng.random(128)
+        out = run_sort(backend, x, chunk=32, block_threads=bt)
+        np.testing.assert_array_equal(out, chunkwise_sorted(x, 32))
+
+    def test_ragged_tail(self, rng):
+        """A tail shorter than the chunk sorts via +inf padding."""
+        x = rng.random(70)
+        out = run_sort("AccCpuSerial", x, chunk=64)
+        np.testing.assert_array_equal(out, chunkwise_sorted(x, 64))
+
+    def test_duplicates_and_negatives(self, rng):
+        x = np.repeat(rng.standard_normal(8), 4)
+        rng.shuffle(x)
+        out = run_sort("AccCpuSerial", x, chunk=32)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_already_sorted(self):
+        x = np.arange(64.0)
+        np.testing.assert_array_equal(run_sort("AccCpuSerial", x, 64), x)
+
+    def test_reverse_sorted(self):
+        x = np.arange(64.0)[::-1].copy()
+        np.testing.assert_array_equal(
+            run_sort("AccCpuSerial", x, 64), np.arange(64.0)
+        )
+
+    def test_non_power_of_two_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSortKernel(chunk=48)
+
+    def test_thread_count_independent(self, rng):
+        """The network's result is identical for any thread count —
+        the data-independent control flow property."""
+        x = rng.random(64)
+        outs = [
+            run_sort("AccGpuCudaSim", x, chunk=64, block_threads=bt)
+            for bt in (1, 2, 8)
+        ]
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(outs[1], outs[2])
+
+    @given(n=st.integers(1, 200), chunk=st.sampled_from([16, 32, 64]))
+    @settings(max_examples=12, deadline=None)
+    def test_any_length(self, n, chunk):
+        x = np.random.default_rng(n).random(n)
+        out = run_sort("AccCpuSerial", x, chunk=chunk)
+        np.testing.assert_array_equal(out, chunkwise_sorted(x, chunk))
+
+    def test_characteristics(self):
+        from repro.core.workdiv import WorkDivMembers
+
+        k = BitonicSortKernel(chunk=64)
+        wd = WorkDivMembers.make(4, 8, 8)
+        c = k.characteristics(wd, 256, None)
+        assert c.block_sync_generations > 4  # many barrier generations
+        assert not c.vector_friendly

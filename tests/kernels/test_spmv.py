@@ -1,0 +1,96 @@
+"""CSR SpMV: conversion, kernel correctness, scipy cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import QueueBlocking, accelerator, get_dev_by_idx, mem
+from repro.core.kernel import create_task_kernel
+from repro.core.workdiv import WorkDivMembers
+from repro.kernels.spmv import CsrSpmvKernel, csr_from_dense, spmv_reference
+
+
+def random_sparse(rng, rows, cols, density=0.2):
+    dense = rng.random((rows, cols))
+    dense[rng.random((rows, cols)) > density] = 0.0
+    return dense
+
+
+def run_spmv(acc_name, dense, x, rows_per_thread=4):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    values, col_idx, row_ptr = csr_from_dense(dense)
+    n_rows = dense.shape[0]
+    bufs = []
+    for host in (values, col_idx, row_ptr, x):
+        b = mem.alloc(dev, max(len(host), 1), dtype=host.dtype)
+        if len(host):
+            mem.copy(q, b, host)
+        bufs.append(b)
+    y = mem.alloc(dev, n_rows)
+    blocks = max(1, -(-n_rows // rows_per_thread))
+    wd = WorkDivMembers.make(blocks, 1, rows_per_thread)
+    q.enqueue(
+        create_task_kernel(acc, wd, CsrSpmvKernel(), n_rows, *bufs, y)
+    )
+    out = np.empty(n_rows)
+    mem.copy(q, out, y)
+    return out
+
+
+class TestCsrConversion:
+    def test_roundtrip_against_scipy(self, rng):
+        from scipy import sparse
+
+        dense = random_sparse(rng, 12, 9)
+        values, col_idx, row_ptr = csr_from_dense(dense)
+        sp = sparse.csr_matrix(dense)
+        np.testing.assert_array_equal(values, sp.data)
+        np.testing.assert_array_equal(col_idx, sp.indices)
+        np.testing.assert_array_equal(row_ptr, sp.indptr)
+
+    def test_empty_rows(self):
+        dense = np.zeros((3, 4))
+        dense[1, 2] = 5.0
+        values, col_idx, row_ptr = csr_from_dense(dense)
+        np.testing.assert_array_equal(row_ptr, [0, 0, 1, 1])
+
+
+class TestKernel:
+    @pytest.mark.parametrize(
+        "backend", ["AccCpuSerial", "AccCpuOmp2Blocks", "AccGpuCudaSim"]
+    )
+    def test_matches_dense(self, backend, rng):
+        dense = random_sparse(rng, 20, 15)
+        x = rng.random(15)
+        got = run_spmv(backend, dense, x)
+        np.testing.assert_allclose(got, spmv_reference(dense, x), rtol=1e-12)
+
+    def test_zero_matrix(self, rng):
+        dense = np.zeros((6, 6))
+        got = run_spmv("AccCpuSerial", dense, rng.random(6))
+        np.testing.assert_array_equal(got, np.zeros(6))
+
+    def test_identity(self, rng):
+        x = rng.random(8)
+        got = run_spmv("AccCpuSerial", np.eye(8), x)
+        np.testing.assert_allclose(got, x)
+
+    @given(rows=st.integers(1, 25), cols=st.integers(1, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_property_shapes(self, rows, cols):
+        rng = np.random.default_rng(rows * 31 + cols)
+        dense = random_sparse(rng, rows, cols, density=0.3)
+        x = rng.random(cols)
+        got = run_spmv("AccCpuSerial", dense, x)
+        np.testing.assert_allclose(got, dense @ x, rtol=1e-12, atol=1e-14)
+
+    def test_characteristics_random_pattern(self):
+        from repro.hardware import AccessPattern
+
+        k = CsrSpmvKernel()
+        wd = WorkDivMembers.make(4, 1, 4)
+        c = k.characteristics(wd, 16, np.zeros(40), None, None, None, None)
+        assert c.thread_access_pattern is AccessPattern.RANDOM
+        assert c.flops == 80.0

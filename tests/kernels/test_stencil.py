@@ -1,0 +1,82 @@
+"""2-d Jacobi stencil: correctness, boundaries, physics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    QueueBlocking,
+    Vec,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import Jacobi2DKernel, jacobi_reference_step
+
+
+def run_step(acc_name, grid, c, elems=(4, 4)):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    h, w = grid.shape
+    src = mem.alloc(dev, (h, w))
+    dst = mem.alloc(dev, (h, w))
+    mem.copy(q, src, grid)
+    blocks = Vec(h, w).ceil_div(Vec(*elems))
+    wd = WorkDivMembers.make(blocks, Vec(1, 1), Vec(*elems))
+    q.enqueue(create_task_kernel(acc, wd, Jacobi2DKernel(), h, w, c, src, dst))
+    out = np.empty((h, w))
+    mem.copy(q, out, dst)
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", ["AccCpuSerial", "AccCpuOmp2Blocks"])
+    def test_matches_reference(self, backend, rng):
+        grid = rng.random((13, 21))
+        out = run_step(backend, grid, 0.15)
+        np.testing.assert_allclose(out, jacobi_reference_step(grid, 0.15))
+
+    @pytest.mark.parametrize("elems", [(1, 1), (2, 8), (16, 16), (5, 3)])
+    def test_any_element_box(self, elems, rng):
+        grid = rng.random((17, 17))
+        out = run_step("AccCpuSerial", grid, 0.1, elems)
+        np.testing.assert_allclose(out, jacobi_reference_step(grid, 0.1))
+
+    def test_boundary_is_copied(self, rng):
+        grid = rng.random((9, 9))
+        out = run_step("AccCpuSerial", grid, 0.2)
+        np.testing.assert_array_equal(out[0, :], grid[0, :])
+        np.testing.assert_array_equal(out[-1, :], grid[-1, :])
+        np.testing.assert_array_equal(out[:, 0], grid[:, 0])
+        np.testing.assert_array_equal(out[:, -1], grid[:, -1])
+
+    @given(h=st.integers(3, 20), w=st.integers(3, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_property_shapes(self, h, w):
+        grid = np.random.default_rng(h * 100 + w).random((h, w))
+        out = run_step("AccCpuSerial", grid, 0.1)
+        np.testing.assert_allclose(out, jacobi_reference_step(grid, 0.1))
+
+
+class TestPhysics:
+    def test_uniform_field_is_fixed_point(self):
+        grid = np.full((8, 8), 3.0)
+        out = run_step("AccCpuSerial", grid, 0.25)
+        np.testing.assert_array_equal(out, grid)
+
+    def test_diffusion_smooths(self, rng):
+        """Interior variance never grows (diffusion is dissipative)."""
+        grid = rng.random((16, 16))
+        out = grid
+        for _ in range(5):
+            out = run_step("AccCpuSerial", out, 0.2)
+        assert out[1:-1, 1:-1].var() < grid[1:-1, 1:-1].var()
+
+    def test_maximum_principle(self, rng):
+        grid = rng.random((12, 12)) * 100
+        out = run_step("AccCpuSerial", grid, 0.2)
+        assert out.max() <= grid.max() + 1e-12
+        assert out.min() >= grid.min() - 1e-12

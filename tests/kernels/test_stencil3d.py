@@ -1,0 +1,85 @@
+"""3-d Jacobi: the unrestricted-dimensionality claim end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    QueueBlocking,
+    Vec,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import Jacobi3DKernel, jacobi3d_reference_step
+
+
+def run_step(acc_name, grid, c, elems=(2, 3, 4)):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    d, h, w = grid.shape
+    src = mem.alloc(dev, (d, h, w))
+    dst = mem.alloc(dev, (d, h, w))
+    mem.copy(q, src, grid)
+    blocks = Vec(d, h, w).ceil_div(Vec(*elems))
+    wd = WorkDivMembers.make(blocks, Vec(1, 1, 1), Vec(*elems))
+    q.enqueue(
+        create_task_kernel(acc, wd, Jacobi3DKernel(), d, h, w, c, src, dst)
+    )
+    out = np.empty((d, h, w))
+    mem.copy(q, out, dst)
+    for b in (src, dst):
+        b.free()
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", ["AccCpuSerial", "AccCpuOmp2Blocks"])
+    def test_matches_reference(self, backend, rng):
+        g = rng.random((5, 7, 9))
+        np.testing.assert_allclose(
+            run_step(backend, g, 0.1), jacobi3d_reference_step(g, 0.1)
+        )
+
+    @pytest.mark.parametrize(
+        "elems", [(1, 1, 1), (2, 2, 2), (5, 7, 9), (3, 1, 4)]
+    )
+    def test_any_element_box(self, elems, rng):
+        g = rng.random((5, 7, 9))
+        np.testing.assert_allclose(
+            run_step("AccCpuSerial", g, 0.1, elems),
+            jacobi3d_reference_step(g, 0.1),
+        )
+
+    def test_faces_copied(self, rng):
+        g = rng.random((4, 5, 6))
+        out = run_step("AccCpuSerial", g, 0.2)
+        np.testing.assert_array_equal(out[0], g[0])
+        np.testing.assert_array_equal(out[-1], g[-1])
+        np.testing.assert_array_equal(out[:, 0, :], g[:, 0, :])
+        np.testing.assert_array_equal(out[:, :, -1], g[:, :, -1])
+
+    @given(
+        d=st.integers(3, 8), h=st.integers(3, 8), w=st.integers(3, 8)
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_shapes(self, d, h, w):
+        g = np.random.default_rng(d * 64 + h * 8 + w).random((d, h, w))
+        np.testing.assert_allclose(
+            run_step("AccCpuSerial", g, 0.1), jacobi3d_reference_step(g, 0.1)
+        )
+
+
+class TestPhysics:
+    def test_uniform_fixed_point(self):
+        g = np.full((4, 4, 4), 2.5)
+        np.testing.assert_array_equal(run_step("AccCpuSerial", g, 0.15), g)
+
+    def test_maximum_principle(self, rng):
+        g = rng.random((6, 6, 6)) * 50
+        out = run_step("AccCpuSerial", g, 0.15)
+        assert out.max() <= g.max() + 1e-12
+        assert out.min() >= g.min() - 1e-12

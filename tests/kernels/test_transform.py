@@ -1,0 +1,81 @@
+"""Elementwise kernels: fill/iota/scale/map across back-ends."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    QueueBlocking,
+    accelerator,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.kernels import FillKernel, IotaKernel, MapKernel, ScaleKernel
+
+
+def run(acc_name, kernel, n, *args, in_array=None, elems=16):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    from repro import divide_work
+
+    props = acc.get_acc_dev_props(dev)
+    wd = divide_work(n, props, acc.mapping_strategy, thread_elems=elems)
+    bufs = []
+    if in_array is not None:
+        b = mem.alloc(dev, n)
+        mem.copy(q, b, in_array)
+        bufs.append(b)
+    out = mem.alloc(dev, n)
+    q.enqueue(create_task_kernel(acc, wd, kernel, n, *args, *bufs, out))
+    res = np.empty(n)
+    mem.copy(q, res, out)
+    return res
+
+
+class TestFill:
+    def test_fill(self, any_acc):
+        res = run(any_acc.name, FillKernel(), 100, 7.5)
+        assert np.all(res == 7.5)
+
+
+class TestIota:
+    def test_iota(self, any_acc):
+        res = run(any_acc.name, IotaKernel(), 101, 5.0)
+        np.testing.assert_array_equal(res, 5.0 + np.arange(101))
+
+
+class TestScale:
+    def test_scale(self, rng):
+        x = rng.random(64)
+        res = run("AccCpuSerial", ScaleKernel(), 64, 3.0, in_array=x)
+        np.testing.assert_allclose(res, 3.0 * x)
+
+
+class TestMap:
+    def test_captured_function(self, rng):
+        x = rng.random(64)
+        res = run("AccCpuOmp2Blocks", MapKernel(np.sqrt), 64, in_array=x)
+        np.testing.assert_allclose(res, np.sqrt(x))
+
+    def test_kernel_state_is_functor_state(self, rng):
+        """Two MapKernel instances with different functions coexist."""
+        x = rng.random(32)
+        a = run("AccCpuSerial", MapKernel(np.exp), 32, in_array=x)
+        b = run("AccCpuSerial", MapKernel(np.log1p), 32, in_array=x)
+        np.testing.assert_allclose(a, np.exp(x))
+        np.testing.assert_allclose(b, np.log1p(x))
+
+    def test_characteristics_exist(self):
+        from repro.core.workdiv import WorkDivMembers
+
+        wd = WorkDivMembers.make(4, 1, 16)
+        for k, args in (
+            (FillKernel(), (64, 0.0, None)),
+            (IotaKernel(), (64, 0.0, None)),
+            (ScaleKernel(), (64, 1.0, None, None)),
+            (MapKernel(np.sqrt), (64, None, None)),
+        ):
+            c = k.characteristics(wd, *args)
+            assert c.vector_friendly
+            assert c.flops >= 0

@@ -1,0 +1,82 @@
+"""Matrix transpose: both variants, every back-end shape, model pricing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import QueueBlocking, accelerator, get_dev_by_idx, mem
+from repro.core.kernel import create_task_kernel
+from repro.hardware import machine
+from repro.kernels.transpose import (
+    TransposeNaiveKernel,
+    TransposeTiledKernel,
+    transpose_workdiv,
+)
+from repro.perfmodel import predict_time
+
+
+def run_transpose(acc_name, a, kernel, tile=8):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    n = a.shape[0]
+    inp = mem.alloc(dev, (n, n))
+    out = mem.alloc(dev, (n, n))
+    mem.copy(q, inp, a)
+    q.enqueue(
+        create_task_kernel(acc, transpose_workdiv(n, tile), kernel, n, inp, out)
+    )
+    res = np.empty((n, n))
+    mem.copy(q, res, out)
+    return res
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "backend", ["AccCpuSerial", "AccCpuOmp2Blocks", "AccGpuCudaSim"]
+    )
+    @pytest.mark.parametrize(
+        "kernel", [TransposeNaiveKernel(), TransposeTiledKernel()]
+    )
+    def test_transpose(self, backend, kernel, rng):
+        a = rng.random((20, 20))  # ragged against tile 8
+        np.testing.assert_array_equal(
+            run_transpose(backend, a, kernel), a.T
+        )
+
+    @given(n=st.integers(1, 40), tile=st.sampled_from([4, 8, 16]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_shapes(self, n, tile):
+        a = np.random.default_rng(n).random((n, n))
+        got = run_transpose("AccCpuSerial", a, TransposeTiledKernel(), tile)
+        np.testing.assert_array_equal(got, a.T)
+
+    def test_involution(self, rng):
+        a = rng.random((16, 16))
+        once = run_transpose("AccCpuSerial", a, TransposeTiledKernel())
+        twice = run_transpose("AccCpuSerial", once, TransposeTiledKernel())
+        np.testing.assert_array_equal(twice, a)
+
+
+class TestModelPricing:
+    def test_tiled_beats_naive_on_gpu(self):
+        """The coalescing story in numbers: same bytes, different
+        patterns, the tiled variant is modeled markedly faster."""
+        k80 = machine("nvidia-k80")
+        n = 8192
+        wd = transpose_workdiv(n, 32)
+        t_naive = predict_time(
+            k80, "gpu", wd, TransposeNaiveKernel().characteristics(wd, n), "both"
+        ).seconds
+        t_tiled = predict_time(
+            k80, "gpu", wd, TransposeTiledKernel().characteristics(wd, n), "both"
+        ).seconds
+        assert t_naive > 3 * t_tiled
+
+    def test_both_memory_bound(self):
+        k80 = machine("nvidia-k80")
+        n = 8192
+        wd = transpose_workdiv(n, 32)
+        for k in (TransposeNaiveKernel(), TransposeTiledKernel()):
+            p = predict_time(k80, "gpu", wd, k.characteristics(wd, n), "both")
+            assert p.bound in ("dram", "on_chip"), (type(k).__name__, p.bound)

@@ -1,0 +1,83 @@
+"""Accelerator math table: scalar/vector duality and dispatch seam."""
+
+import numpy as np
+import pytest
+
+from repro import AccCpuSerial, QueueBlocking, WorkDivMembers, create_task_kernel
+from repro import fn_acc, get_dev_by_idx, mem
+from repro.math import DEFAULT_MATH, MathOps
+
+
+class TestDuality:
+    """Every op accepts scalars and arrays — the property that lets one
+    kernel source serve the scalar and the vector element path."""
+
+    @pytest.mark.parametrize(
+        "name,x",
+        [
+            ("sqrt", 4.0), ("rsqrt", 4.0), ("exp", 0.5), ("log", 2.0),
+            ("sin", 0.3), ("cos", 0.3), ("tan", 0.3), ("abs", -2.0),
+            ("floor", 1.7), ("ceil", 1.2), ("erf", 0.5),
+        ],
+    )
+    def test_unary(self, name, x):
+        op = getattr(DEFAULT_MATH, name)
+        scalar = op(x)
+        vector = op(np.full(5, x))
+        assert vector.shape == (5,)
+        np.testing.assert_allclose(vector, scalar)
+
+    @pytest.mark.parametrize(
+        "name,args",
+        [("pow", (2.0, 3.0)), ("atan2", (1.0, 2.0)), ("min", (1.0, 2.0)),
+         ("max", (1.0, 2.0)), ("fmod", (7.0, 3.0))],
+    )
+    def test_binary(self, name, args):
+        op = getattr(DEFAULT_MATH, name)
+        scalar = op(*args)
+        vector = op(*(np.full(4, a) for a in args))
+        np.testing.assert_allclose(vector, scalar)
+
+    def test_fma(self):
+        assert DEFAULT_MATH.fma(2.0, 3.0, 4.0) == 10.0
+        np.testing.assert_allclose(
+            DEFAULT_MATH.fma(np.arange(3.0), 2.0, 1.0), [1.0, 3.0, 5.0]
+        )
+
+    def test_clamp(self):
+        assert DEFAULT_MATH.clamp(5.0, 0.0, 2.0) == 2.0
+        np.testing.assert_array_equal(
+            DEFAULT_MATH.clamp(np.array([-1.0, 0.5, 3.0]), 0.0, 1.0),
+            [0.0, 0.5, 1.0],
+        )
+
+    def test_known_values(self):
+        assert DEFAULT_MATH.sqrt(9.0) == 3.0
+        np.testing.assert_allclose(DEFAULT_MATH.exp(0.0), 1.0)
+        np.testing.assert_allclose(DEFAULT_MATH.erf(0.0), 0.0)
+        np.testing.assert_allclose(DEFAULT_MATH.rsqrt(4.0), 0.5)
+
+
+class TestDispatchSeam:
+    def test_kernel_uses_acc_math(self):
+        """Kernels reach math through the accelerator; a back-end (or
+        test) can substitute its own table."""
+
+        @fn_acc
+        def k(acc, out):
+            out[0] = acc.math.sqrt(16.0)
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        out = mem.alloc(dev, 1)
+        q.enqueue(create_task_kernel(AccCpuSerial, WorkDivMembers.make(1, 1, 1), k, out))
+        assert out.as_numpy()[0] == 4.0
+
+    def test_table_substitution(self):
+        class FastMath(MathOps):
+            @staticmethod
+            def sqrt(x):
+                return x * 0 + 1.0  # deliberately wrong, observable
+
+        assert FastMath().sqrt(25.0) == 1.0
+        assert MathOps().sqrt(25.0) == 5.0

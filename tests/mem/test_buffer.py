@@ -1,0 +1,129 @@
+"""Buffers: allocation, pitch, residency enforcement, lifetime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import AccCpuSerial, AccGpuCudaSim, get_dev_by_idx, mem
+from repro.core.errors import MemorySpaceError
+from repro.core.vec import Vec
+from repro.mem.alignment import OPTIMAL_ALIGNMENT_BYTES, pitch_bytes, pitch_elements
+
+
+@pytest.fixture
+def cpu():
+    return get_dev_by_idx(AccCpuSerial, 0)
+
+
+@pytest.fixture
+def gpu():
+    return get_dev_by_idx(AccGpuCudaSim, 0)
+
+
+class TestAlignment:
+    def test_pitch_rounds_up(self):
+        # 10 doubles = 80 B -> 128 B = 16 doubles.
+        assert pitch_elements(10, np.float64) == 16
+        assert pitch_bytes(10, np.float64) == 128
+
+    def test_exact_multiple_unchanged(self):
+        assert pitch_elements(16, np.float64) == 16
+
+    def test_float32(self):
+        # 10 floats = 40 B -> 64 B = 16 floats.
+        assert pitch_elements(10, np.float32) == 16
+
+    def test_zero_row(self):
+        assert pitch_elements(0, np.float64) == 0
+
+    def test_odd_itemsize_falls_back(self):
+        dt = np.dtype([("a", np.uint8, 3)])  # 3-byte records
+        assert pitch_elements(10, dt) == 10
+
+    @given(st.integers(1, 10_000))
+    def test_pitch_invariants(self, n):
+        p = pitch_elements(n, np.float64)
+        assert p >= n
+        assert (p * 8) % OPTIMAL_ALIGNMENT_BYTES == 0
+        assert p - n < OPTIMAL_ALIGNMENT_BYTES // 8
+
+
+class TestAllocation:
+    def test_1d_unpitched(self, cpu):
+        buf = mem.alloc(cpu, 100)
+        assert buf.extent == Vec(100)
+        assert buf.pitch_elems == 100
+        assert buf.as_numpy().shape == (100,)
+
+    def test_2d_pitched(self, cpu):
+        buf = mem.alloc(cpu, (10, 10))
+        assert buf.pitch_elems == 16
+        assert buf.nbytes == 10 * 16 * 8
+        assert buf.logical_nbytes == 800
+        assert buf.as_numpy().shape == (10, 10)
+
+    def test_unpitched_option(self, cpu):
+        buf = mem.alloc(cpu, (10, 10), pitched=False)
+        assert buf.pitch_elems == 10
+
+    def test_dtype(self, cpu):
+        buf = mem.alloc(cpu, 8, dtype=np.int32)
+        assert buf.as_numpy().dtype == np.int32
+
+    def test_zero_initialised(self, cpu):
+        assert np.all(mem.alloc(cpu, (5, 5)).as_numpy() == 0)
+
+    def test_accounting(self, cpu):
+        before = cpu.mem.allocated_bytes
+        buf = mem.alloc(cpu, (100, 100))
+        assert cpu.mem.allocated_bytes == before + buf.nbytes
+        buf.free()
+        assert cpu.mem.allocated_bytes == before
+
+    def test_alloc_like(self, cpu, gpu):
+        host = mem.alloc(cpu, (7, 9), dtype=np.float32)
+        dev = mem.alloc_like(gpu, host)
+        assert dev.extent == host.extent
+        assert dev.dtype == host.dtype
+        assert dev.dev is gpu
+
+
+class TestResidency:
+    def test_host_access_to_device_memory_raises(self, gpu):
+        buf = mem.alloc(gpu, 16)
+        with pytest.raises(MemorySpaceError):
+            buf.as_numpy()
+
+    def test_host_access_to_host_memory_ok(self, cpu):
+        mem.alloc(cpu, 16).as_numpy()
+
+    def test_kernel_array_checks_device(self, cpu, gpu):
+        buf = mem.alloc(cpu, 16)
+        with pytest.raises(MemorySpaceError):
+            buf.kernel_array(gpu)
+        assert buf.kernel_array(cpu).shape == (16,)
+
+
+class TestLifetime:
+    def test_use_after_free(self, cpu):
+        buf = mem.alloc(cpu, 8)
+        buf.free()
+        with pytest.raises(MemorySpaceError):
+            buf.as_numpy()
+
+    def test_double_free_idempotent(self, cpu):
+        buf = mem.alloc(cpu, 8)
+        buf.free()
+        buf.free()
+        assert buf.freed
+
+    def test_context_manager(self, cpu):
+        with mem.alloc(cpu, 8) as buf:
+            assert not buf.freed
+        assert buf.freed
+
+    def test_logical_view_is_view(self, cpu):
+        """as_numpy returns a live view, not a copy."""
+        buf = mem.alloc(cpu, (4, 4))
+        buf.as_numpy()[2, 3] = 7.0
+        assert buf.as_numpy()[2, 3] == 7.0

@@ -1,0 +1,157 @@
+"""Deep copies and memset: every direction, pitch handling, validation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccGpuCudaSim,
+    QueueBlocking,
+    get_dev_by_idx,
+    mem,
+)
+from repro.core.errors import ExtentError, MemorySpaceError
+from repro.core.vec import Vec
+from repro.mem.copy import PCIE_BANDWIDTH_GBS
+
+
+@pytest.fixture
+def cpu():
+    return get_dev_by_idx(AccCpuSerial, 0)
+
+
+@pytest.fixture
+def gpu():
+    return get_dev_by_idx(AccGpuCudaSim, 0)
+
+
+@pytest.fixture
+def q(cpu):
+    return QueueBlocking(cpu)
+
+
+@pytest.fixture
+def gq(gpu):
+    return QueueBlocking(gpu)
+
+
+class TestDirections:
+    def test_host_array_to_device_and_back(self, gpu, gq, rng):
+        data = rng.random((6, 7))
+        buf = mem.alloc(gpu, (6, 7))
+        mem.copy(gq, buf, data)
+        out = np.zeros((6, 7))
+        mem.copy(gq, out, buf)
+        np.testing.assert_array_equal(out, data)
+
+    def test_buffer_to_buffer_same_device(self, cpu, q, rng):
+        data = rng.random(32)
+        a = mem.alloc(cpu, 32)
+        b = mem.alloc(cpu, 32)
+        mem.copy(q, a, data)
+        mem.copy(q, b, a)
+        np.testing.assert_array_equal(b.as_numpy(), data)
+
+    def test_device_to_device_across_dies(self, gq, rng):
+        d0 = get_dev_by_idx(AccGpuCudaSim, 0)
+        d1 = get_dev_by_idx(AccGpuCudaSim, 1)
+        data = rng.random(16)
+        a = mem.alloc(d0, 16)
+        b = mem.alloc(d1, 16)
+        mem.copy(gq, a, data)
+        mem.copy(gq, b, a)
+        out = np.zeros(16)
+        mem.copy(gq, out, b)
+        np.testing.assert_array_equal(out, data)
+
+    def test_host_to_host_numpy_rejected(self, q):
+        with pytest.raises(MemorySpaceError):
+            mem.copy(q, np.zeros(4), np.ones(4))
+
+
+class TestPitchedCopies:
+    def test_pitched_2d_roundtrip(self, gpu, gq, rng):
+        """The pitch padding never leaks into the logical contents."""
+        data = rng.random((5, 10))  # 10 doubles -> pitch 16
+        buf = mem.alloc(gpu, (5, 10))
+        assert buf.pitch_elems == 16
+        mem.copy(gq, buf, data)
+        out = np.full((5, 10), -1.0)
+        mem.copy(gq, out, buf)
+        np.testing.assert_array_equal(out, data)
+
+    def test_partial_extent_copy(self, cpu, q, rng):
+        data = rng.random((8, 8))
+        buf = mem.alloc(cpu, (8, 8))
+        mem.copy(q, buf, data, extent=(3, 5))
+        got = buf.as_numpy()
+        np.testing.assert_array_equal(got[:3, :5], data[:3, :5])
+        assert np.all(got[3:, :] == 0) and np.all(got[:, 5:] == 0)
+
+    def test_extent_defaults_to_overlap(self, cpu, q, rng):
+        small = rng.random((3, 3))
+        big = mem.alloc(cpu, (5, 5))
+        mem.copy(q, big, small)
+        np.testing.assert_array_equal(big.as_numpy()[:3, :3], small)
+
+
+class TestValidation:
+    def test_extent_too_large(self, cpu, q):
+        buf = mem.alloc(cpu, (4, 4))
+        with pytest.raises(ExtentError):
+            mem.copy(q, buf, np.zeros((4, 4)), extent=(5, 4))
+
+    def test_dtype_mismatch(self, cpu, q):
+        buf = mem.alloc(cpu, 8, dtype=np.float64)
+        with pytest.raises(ExtentError):
+            mem.copy(q, buf, np.zeros(8, dtype=np.float32))
+
+    def test_dim_mismatch(self, cpu, q):
+        buf = mem.alloc(cpu, (4, 4))
+        with pytest.raises(ExtentError):
+            mem.copy(q, buf, np.zeros(16))
+
+
+class TestMemset:
+    def test_full_fill(self, gpu, gq):
+        buf = mem.alloc(gpu, (4, 6))
+        mem.memset(gq, buf, 3.5)
+        out = np.zeros((4, 6))
+        mem.copy(gq, out, buf)
+        assert np.all(out == 3.5)
+
+    def test_partial_fill(self, cpu, q):
+        buf = mem.alloc(cpu, 10)
+        mem.memset(q, buf, 1.0, extent=4)
+        got = buf.as_numpy()
+        assert np.all(got[:4] == 1.0) and np.all(got[4:] == 0.0)
+
+    def test_extent_checked(self, cpu, q):
+        buf = mem.alloc(cpu, 10)
+        with pytest.raises(ExtentError):
+            mem.memset(q, buf, 1.0, extent=11)
+
+
+class TestTransferModeling:
+    def test_cross_space_copy_advances_sim_clock(self, gpu, gq):
+        gpu.reset_sim_time()
+        n = 1 << 20
+        buf = mem.alloc(gpu, n)
+        mem.copy(gq, buf, np.zeros(n))
+        expected = n * 8 / (PCIE_BANDWIDTH_GBS * 1e9)
+        assert abs(gpu.sim_time_s - expected) < 1e-9
+
+    def test_on_device_copy_costs_no_transfer_time(self, gpu, gq):
+        a = mem.alloc(gpu, 1024)
+        b = mem.alloc(gpu, 1024)
+        gpu.reset_sim_time()
+        mem.copy(gq, b, a)
+        assert gpu.sim_time_s == 0.0
+
+    def test_task_reusable(self, cpu, q, rng):
+        data = rng.random(8)
+        buf = mem.alloc(cpu, 8)
+        task = mem.copy(q, buf, data)
+        buf.as_numpy()[:] = 0
+        q.enqueue(task)  # re-run the same copy task
+        np.testing.assert_array_equal(buf.as_numpy(), data)

@@ -1,0 +1,87 @@
+"""Property-based tests of the memory subsystem (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AccCpuSerial, AccGpuCudaSim, QueueBlocking, get_dev_by_idx, mem
+
+shapes_1d = st.integers(1, 300)
+shapes_2d = st.tuples(st.integers(1, 20), st.integers(1, 40))
+dtypes = st.sampled_from([np.float64, np.float32, np.int64, np.int32])
+
+
+def _roundtrip(dev, data):
+    q = QueueBlocking(dev)
+    buf = mem.alloc(dev, data.shape, dtype=data.dtype)
+    mem.copy(q, buf, data)
+    out = np.empty_like(data)
+    mem.copy(q, out, buf)
+    buf.free()
+    return out
+
+
+class TestRoundtrips:
+    @given(n=shapes_1d, dtype=dtypes)
+    @settings(max_examples=30, deadline=None)
+    def test_1d_host_device_roundtrip(self, n, dtype):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        data = (np.arange(n) * 7 % 13).astype(dtype)
+        np.testing.assert_array_equal(_roundtrip(dev, data), data)
+
+    @given(shape=shapes_2d, dtype=dtypes)
+    @settings(max_examples=30, deadline=None)
+    def test_2d_pitched_roundtrip(self, shape, dtype):
+        """Pitch padding must never corrupt any shape/dtype combo."""
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        data = (np.arange(np.prod(shape)).reshape(shape) % 251).astype(dtype)
+        np.testing.assert_array_equal(_roundtrip(dev, data), data)
+
+    @given(
+        shape=shapes_2d,
+        off_r=st.integers(0, 5),
+        off_c=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_subview_roundtrip(self, shape, off_r, off_c):
+        h, w = shape[0] + off_r + 1, shape[1] + off_c + 1
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        data = np.random.default_rng(h * w).random(shape)
+        buf = mem.alloc(dev, (h, w))
+        view = mem.sub_view(buf, (off_r, off_c), shape)
+        mem.copy(q, view, data)
+        np.testing.assert_array_equal(view.as_numpy(), data)
+        # Bytes outside the window stay zero.
+        full = buf.as_numpy()
+        assert full[:off_r, :].sum() == 0.0
+        assert full[:, :off_c].sum() == 0.0
+        buf.free()
+
+    @given(n=st.integers(1, 100), k=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_extent_preserves_tail(self, n, k):
+        k = min(k, n)
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        buf = mem.alloc(dev, n)
+        mem.memset(q, buf, 9.0)
+        if k:
+            mem.copy(q, buf, np.zeros(n), extent=k)
+        got = buf.as_numpy()
+        assert np.all(got[:k] == 0.0)
+        assert np.all(got[k:] == 9.0)
+        buf.free()
+
+
+class TestAccounting:
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_alloc_free_balances(self, sizes):
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        before = dev.mem.allocated_bytes
+        bufs = [mem.alloc(dev, (s, s)) for s in sizes]
+        assert dev.mem.allocated_bytes == before + sum(b.nbytes for b in bufs)
+        for b in bufs:
+            b.free()
+        assert dev.mem.allocated_bytes == before

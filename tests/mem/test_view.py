@@ -1,0 +1,139 @@
+"""Sub-views: geometry, copies between windows, kernel arguments."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuOmp2Blocks,
+    AccCpuSerial,
+    AccGpuCudaSim,
+    QueueBlocking,
+    WorkDivMembers,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    mem,
+)
+from repro.core.element import grid_strided_spans
+from repro.core.errors import ExtentError, MemorySpaceError
+
+
+@pytest.fixture
+def cpu():
+    return get_dev_by_idx(AccCpuSerial, 0)
+
+
+@pytest.fixture
+def q(cpu):
+    return QueueBlocking(cpu)
+
+
+class TestGeometry:
+    def test_window_contents(self, cpu, q, rng):
+        data = rng.random((6, 8))
+        buf = mem.alloc(cpu, (6, 8))
+        mem.copy(q, buf, data)
+        v = mem.sub_view(buf, (1, 2), (3, 4))
+        np.testing.assert_array_equal(v.as_numpy(), data[1:4, 2:6])
+
+    def test_view_is_live(self, cpu, q, rng):
+        buf = mem.alloc(cpu, (4, 4))
+        v = mem.sub_view(buf, (0, 0), (2, 2))
+        buf.as_numpy()[1, 1] = 9.0
+        assert v.as_numpy()[1, 1] == 9.0
+
+    def test_out_of_bounds_rejected(self, cpu):
+        buf = mem.alloc(cpu, (4, 4))
+        with pytest.raises(ExtentError):
+            mem.sub_view(buf, (2, 2), (3, 3))
+
+    def test_nested_views_compose(self, cpu, q, rng):
+        data = rng.random((8, 8))
+        buf = mem.alloc(cpu, (8, 8))
+        mem.copy(q, buf, data)
+        outer = mem.sub_view(buf, (2, 2), (5, 5))
+        inner = outer.sub_view((1, 1), (2, 2))
+        np.testing.assert_array_equal(inner.as_numpy(), data[3:5, 3:5])
+
+    def test_residency_enforced(self):
+        gpu = get_dev_by_idx(AccGpuCudaSim, 0)
+        buf = mem.alloc(gpu, (4, 4))
+        v = mem.sub_view(buf, (0, 0), (2, 2))
+        with pytest.raises(MemorySpaceError):
+            v.as_numpy()
+
+
+class TestViewCopies:
+    def test_window_to_window(self, cpu, q, rng):
+        """Tile scatter: copy a window of A into a window of B."""
+        a_h = rng.random((8, 8))
+        a = mem.alloc(cpu, (8, 8))
+        b = mem.alloc(cpu, (8, 8))
+        mem.copy(q, a, a_h)
+        mem.copy(q, mem.sub_view(b, (4, 4), (3, 3)), mem.sub_view(a, (1, 1), (3, 3)))
+        got = b.as_numpy()
+        np.testing.assert_array_equal(got[4:7, 4:7], a_h[1:4, 1:4])
+        assert got[0, 0] == 0.0
+
+    def test_halo_exchange_pattern(self, q, rng):
+        """The multi-device idiom: copy an edge strip between the
+        isolated memories of the two simulated K80 dies."""
+        d0 = get_dev_by_idx(AccGpuCudaSim, 0)
+        d1 = get_dev_by_idx(AccGpuCudaSim, 1)
+        left = mem.alloc(d0, (4, 6))
+        right = mem.alloc(d1, (4, 6))
+        src = rng.random((4, 6))
+        mem.copy(q, left, src)
+        # Right domain's left halo column <- left domain's right edge.
+        mem.copy(
+            q,
+            mem.sub_view(right, (0, 0), (4, 1)),
+            mem.sub_view(left, (0, 5), (4, 1)),
+        )
+        out = np.zeros((4, 6))
+        mem.copy(q, out, right)
+        np.testing.assert_array_equal(out[:, 0], src[:, 5])
+
+    def test_view_to_host_array(self, cpu, q, rng):
+        data = rng.random((5, 5))
+        buf = mem.alloc(cpu, (5, 5))
+        mem.copy(q, buf, data)
+        out = np.zeros((2, 2))
+        mem.copy(q, out, mem.sub_view(buf, (3, 3), (2, 2)))
+        np.testing.assert_array_equal(out, data[3:5, 3:5])
+
+    def test_pitched_buffer_views(self, cpu, q, rng):
+        """Views respect the pitch: a 10-wide row is padded to 16."""
+        data = rng.random((6, 10))
+        buf = mem.alloc(cpu, (6, 10))
+        assert buf.pitch_elems == 16
+        mem.copy(q, buf, data)
+        v = mem.sub_view(buf, (2, 7), (3, 3))
+        np.testing.assert_array_equal(v.as_numpy(), data[2:5, 7:10])
+
+
+class TestViewsAsKernelArgs:
+    def test_kernel_sees_window_only(self, rng):
+        @fn_acc
+        def double(acc, n, data):
+            for span in grid_strided_spans(acc, n):
+                data[span] *= 2.0
+
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        q = QueueBlocking(dev)
+        host = rng.random((4, 10))
+        buf = mem.alloc(dev, (4, 10))
+        mem.copy(q, buf, host)
+        # Double only row 2, columns 3..8 (flattened as a 1-d window).
+        view = mem.sub_view(buf, (2, 3), (1, 5))
+        wd = WorkDivMembers.make(1, 1, 8)
+
+        @fn_acc
+        def double2d(acc, rows, view_arr):
+            view_arr[:, :] *= 2.0
+
+        q.enqueue(create_task_kernel(AccCpuOmp2Blocks, wd, double2d, 1, view))
+        got = buf.as_numpy()
+        expected = host.copy()
+        expected[2, 3:8] *= 2.0
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,50 @@
+"""Roofline curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.workdiv import WorkDivMembers
+from repro.hardware import AccessPattern, machine
+from repro.perfmodel import (
+    KernelCharacteristics,
+    place_kernel,
+    roofline_envelope,
+)
+
+K80 = machine("nvidia-k80")
+
+
+class TestEnvelope:
+    def test_monotone_then_flat(self):
+        pts = roofline_envelope(K80, "gpu")
+        ys = [y for _, y in pts]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == 1450.0  # saturates at device peak
+
+    def test_memory_slope(self):
+        pts = roofline_envelope(K80, "gpu", np.array([0.1, 1.0]))
+        # In the bandwidth regime, gflops = AI * BW.
+        assert pts[0][1] == pytest.approx(0.1 * 240.0)
+        assert pts[1][1] == pytest.approx(240.0)
+
+    def test_cpu_envelope(self):
+        hsw = machine("intel-xeon-e5-2630v3")
+        pts = roofline_envelope(hsw, "cpu")
+        assert pts[-1][1] == 540.0
+
+
+class TestPlacement:
+    def test_point_below_envelope(self):
+        wd = WorkDivMembers.make(4096, 256, 1)
+        chars = KernelCharacteristics(
+            flops=2e12,
+            global_read_bytes=1e10,
+            global_write_bytes=1e9,
+            working_set_bytes=4096,
+            thread_access_pattern=AccessPattern.TILED,
+            vector_friendly=False,
+        )
+        pt = place_kernel(K80, "gpu", wd, chars)
+        ceiling = min(1450.0, pt.arithmetic_intensity * 240.0)
+        assert 0 < pt.attained_gflops <= ceiling * 1.001
+        assert pt.bound in ("compute", "dram", "on_chip", "sync", "overhead")

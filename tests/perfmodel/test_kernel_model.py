@@ -1,0 +1,87 @@
+"""Kernel characteristics: validation and pattern translation."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.hardware import AccessPattern
+from repro.perfmodel import KernelCharacteristics, device_effective_pattern
+
+
+def chars(**kw):
+    d = dict(
+        flops=1e9,
+        global_read_bytes=1e6,
+        global_write_bytes=1e6,
+        working_set_bytes=4096,
+        thread_access_pattern=AccessPattern.TILED,
+        vector_friendly=True,
+    )
+    d.update(kw)
+    return KernelCharacteristics(**d)
+
+
+class TestValidation:
+    def test_valid(self):
+        c = chars()
+        assert c.total_bytes == 2e6
+        assert c.arithmetic_intensity == pytest.approx(500.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("flops", -1.0),
+            ("global_read_bytes", -1.0),
+            ("working_set_bytes", -1),
+            ("launches", 0),
+            ("spill_read_bytes", -1.0),
+            ("on_chip_read_bytes", -1.0),
+            ("block_sync_generations", -1.0),
+            ("abstraction_overhead_fraction", -0.1),
+            ("extra_api_calls", -1),
+            ("issue_efficiency", 0.0),
+            ("issue_efficiency", 1.5),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ModelError):
+            chars(**{field: value})
+
+    def test_zero_traffic_intensity(self):
+        c = chars(global_read_bytes=0.0, global_write_bytes=0.0)
+        assert c.arithmetic_intensity == float("inf")
+
+    def test_with_overhead(self):
+        c = chars().with_overhead(0.05, 3)
+        assert c.abstraction_overhead_fraction == 0.05
+        assert c.extra_api_calls == 3
+        assert c.flops == chars().flops  # everything else preserved
+
+
+class TestPatternTranslation:
+    def test_cpu_identity(self):
+        for p in AccessPattern:
+            assert device_effective_pattern(p, "cpu") is p
+
+    def test_gpu_swaps_strided_contiguous(self):
+        assert (
+            device_effective_pattern(AccessPattern.STRIDED, "gpu")
+            is AccessPattern.CONTIGUOUS
+        )
+        assert (
+            device_effective_pattern(AccessPattern.CONTIGUOUS, "gpu")
+            is AccessPattern.STRIDED
+        )
+
+    def test_gpu_keeps_tiled_random(self):
+        assert (
+            device_effective_pattern(AccessPattern.TILED, "gpu")
+            is AccessPattern.TILED
+        )
+        assert (
+            device_effective_pattern(AccessPattern.RANDOM, "gpu")
+            is AccessPattern.RANDOM
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ModelError):
+            device_effective_pattern(AccessPattern.TILED, "fpga")

@@ -1,0 +1,201 @@
+"""Roofline model: resource derivation, ceilings, monotonicity laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ModelError
+from repro.core.workdiv import WorkDivMembers
+from repro.hardware import AccessPattern, machine
+from repro.perfmodel import (
+    KernelCharacteristics,
+    machine_resources,
+    predict_time,
+)
+
+K80 = machine("nvidia-k80")
+HSW = machine("intel-xeon-e5-2630v3")
+
+
+def chars(**kw):
+    d = dict(
+        flops=2e12,
+        global_read_bytes=1e9,
+        global_write_bytes=1e8,
+        working_set_bytes=4096,
+        thread_access_pattern=AccessPattern.TILED,
+        vector_friendly=True,
+    )
+    d.update(kw)
+    return KernelCharacteristics(**d)
+
+
+GPU_WD = WorkDivMembers.make(4096, 256, 1)
+CPU_WD = WorkDivMembers.make(4096, 1, 128)
+
+
+class TestMachineResources:
+    def test_gpu_gets_one_device(self):
+        r = machine_resources(K80, "gpu")
+        assert r.peak_gflops == 1450.0
+        assert r.dram_bandwidth_gbs == 240.0
+        assert r.cores == 2496
+
+    def test_cpu_gets_whole_machine(self):
+        r = machine_resources(HSW, "cpu")
+        assert r.peak_gflops == 540.0
+        assert r.cores == 16
+
+    def test_kind_mismatch(self):
+        with pytest.raises(ModelError):
+            machine_resources(K80, "cpu")
+        with pytest.raises(ModelError):
+            machine_resources(HSW, "gpu")
+
+
+class TestCeilings:
+    def test_compute_bound_kernel(self):
+        p = predict_time(K80, "gpu", GPU_WD, chars(), "both")
+        assert p.bound == "compute"
+        assert p.seconds >= p.compute_seconds
+        assert 0 < p.fraction_of_peak <= 1.0
+
+    def test_dram_bound_kernel(self):
+        c = chars(flops=1e9, global_read_bytes=1e12, working_set_bytes=1 << 34)
+        p = predict_time(K80, "gpu", GPU_WD, c, "both")
+        assert p.bound == "dram"
+
+    def test_on_chip_ceiling_binds_dgemm_like(self):
+        c = chars(on_chip_read_bytes=16e12)  # 16 B per FMA
+        p = predict_time(K80, "gpu", GPU_WD, c, "both")
+        assert p.bound == "on_chip"
+        # The ~20%-of-peak signature (paper Fig. 9 mechanism).
+        assert 0.05 < p.fraction_of_peak < 0.35
+
+    def test_spill_traffic_used_when_cache_overflows(self):
+        fits = chars(global_read_bytes=1e9, spill_read_bytes=1e12,
+                     working_set_bytes=1024)
+        spills = chars(global_read_bytes=1e9, spill_read_bytes=1e12,
+                       working_set_bytes=1 << 34)
+        t_fit = predict_time(HSW, "cpu", CPU_WD, fits, "blocks").dram_seconds
+        t_spill = predict_time(HSW, "cpu", CPU_WD, spills, "blocks").dram_seconds
+        assert t_spill > 100 * t_fit
+
+    def test_sync_cost_cpu_vs_gpu(self):
+        c = chars(block_sync_generations=1e6)
+        wd = WorkDivMembers.make(1024, 64, 1)
+        cpu_sync = predict_time(HSW, "cpu", wd, c, "threads").sync_seconds
+        gpu_sync = predict_time(K80, "gpu", wd, c, "both").sync_seconds
+        assert cpu_sync > 50 * gpu_sync
+
+
+class TestGpuEfficiency:
+    def test_single_thread_blocks_waste_warps(self):
+        lone = WorkDivMembers.make(4096, 1, 1)
+        full = WorkDivMembers.make(128, 256, 1)
+        t_lone = predict_time(K80, "gpu", lone, chars(), "both").seconds
+        t_full = predict_time(K80, "gpu", full, chars(), "both").seconds
+        assert t_lone > 20 * t_full  # ~32x warp waste
+
+    def test_small_grids_underoccupy(self):
+        tiny = WorkDivMembers.make(2, 64, 1)
+        big = WorkDivMembers.make(4096, 64, 1)
+        t_tiny = predict_time(K80, "gpu", tiny, chars(), "both").seconds
+        t_big = predict_time(K80, "gpu", big, chars(), "both").seconds
+        assert t_tiny > t_big
+
+    def test_occupancy_saturates(self):
+        big = WorkDivMembers.make(4096, 256, 1)
+        bigger = WorkDivMembers.make(8192, 256, 1)
+        t1 = predict_time(K80, "gpu", big, chars(), "both").seconds
+        t2 = predict_time(K80, "gpu", bigger, chars(), "both").seconds
+        assert t1 == pytest.approx(t2)
+
+
+class TestCpuEfficiency:
+    def test_parallel_scope_ladder(self):
+        """none <= blocks utilisation for a many-block division."""
+        c = chars()
+        t_serial = predict_time(HSW, "cpu", CPU_WD, c, "none").seconds
+        t_blocks = predict_time(HSW, "cpu", CPU_WD, c, "blocks").seconds
+        assert t_serial > 10 * t_blocks  # 16 cores idle vs busy
+
+    def test_scalar_pays_simd_penalty(self):
+        vec = chars(vector_friendly=True)
+        scal = chars(vector_friendly=False)
+        t_vec = predict_time(HSW, "cpu", CPU_WD, vec, "blocks").seconds
+        t_scal = predict_time(HSW, "cpu", CPU_WD, scal, "blocks").seconds
+        assert t_scal > t_vec
+
+    def test_vector_math_library_keeps_lanes(self):
+        lib = chars(uses_vector_math_library=True)
+        autovec = chars(uses_vector_math_library=False)
+        t_lib = predict_time(HSW, "cpu", CPU_WD, lib, "blocks").seconds
+        t_auto = predict_time(HSW, "cpu", CPU_WD, autovec, "blocks").seconds
+        assert t_lib < t_auto
+
+    def test_no_fma_machine_skips_contraction_penalty(self):
+        snb = machine("intel-xeon-e5-2609")
+        p_snb = predict_time(snb, "cpu", CPU_WD, chars(), "blocks")
+        p_hsw = predict_time(HSW, "cpu", CPU_WD, chars(), "blocks")
+        assert p_snb.factors["fma_eff"] == 1.0
+        assert p_hsw.factors["fma_eff"] == 0.5
+
+    def test_unknown_scope(self):
+        with pytest.raises(ModelError):
+            predict_time(HSW, "cpu", CPU_WD, chars(), "warps")
+
+
+class TestOverheads:
+    def test_abstraction_fraction_gpu_only(self):
+        base = chars()
+        wrapped = base.with_overhead(0.05, 0)
+        t_gpu_n = predict_time(K80, "gpu", GPU_WD, base, "both").seconds
+        t_gpu_w = predict_time(K80, "gpu", GPU_WD, wrapped, "both").seconds
+        assert t_gpu_w == pytest.approx(t_gpu_n * 1.05, rel=1e-3)
+        t_cpu_n = predict_time(HSW, "cpu", CPU_WD, base, "blocks").seconds
+        t_cpu_w = predict_time(HSW, "cpu", CPU_WD, wrapped, "blocks").seconds
+        assert t_cpu_w == pytest.approx(t_cpu_n)  # gcc elides it
+
+    def test_launch_overhead_additive(self):
+        c = chars(flops=1.0, global_read_bytes=1.0, global_write_bytes=0.0,
+                  launches=100)
+        p = predict_time(K80, "gpu", GPU_WD, c, "both")
+        assert p.overhead_seconds == pytest.approx(100 * 5e-6)
+
+    def test_issue_efficiency_scales_compute(self):
+        fast = chars(issue_efficiency=1.0)
+        slow = chars(issue_efficiency=0.5)
+        t_f = predict_time(K80, "gpu", GPU_WD, fast, "both").compute_seconds
+        t_s = predict_time(K80, "gpu", GPU_WD, slow, "both").compute_seconds
+        assert t_s == pytest.approx(2 * t_f)
+
+
+class TestMonotonicityLaws:
+    @given(
+        flops=st.floats(1e6, 1e14),
+        scale=st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=25)
+    def test_more_flops_never_faster(self, flops, scale):
+        a = chars(flops=flops)
+        b = chars(flops=flops * scale)
+        ta = predict_time(K80, "gpu", GPU_WD, a, "both").seconds
+        tb = predict_time(K80, "gpu", GPU_WD, b, "both").seconds
+        assert tb >= ta
+
+    @given(bytes_=st.floats(1e3, 1e13), scale=st.floats(1.1, 10.0))
+    @settings(max_examples=25)
+    def test_more_traffic_never_faster(self, bytes_, scale):
+        a = chars(global_read_bytes=bytes_, working_set_bytes=1 << 34)
+        b = chars(global_read_bytes=bytes_ * scale, working_set_bytes=1 << 34)
+        ta = predict_time(HSW, "cpu", CPU_WD, a, "blocks").seconds
+        tb = predict_time(HSW, "cpu", CPU_WD, b, "blocks").seconds
+        assert tb >= ta
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=25)
+    def test_time_always_positive(self, blocks):
+        wd = WorkDivMembers.make(blocks, 1, 16)
+        p = predict_time(HSW, "cpu", wd, chars(), "blocks")
+        assert p.seconds > 0
+        assert p.gflops >= 0

@@ -1,0 +1,58 @@
+"""Event sim-time stamps (cudaEventElapsedTime analogue)."""
+
+import pytest
+
+from repro import AccGpuCudaSim, get_dev_by_idx
+from repro.core.errors import QueueError
+from repro.queue import Event, QueueBlocking, elapsed_sim_time
+
+
+@pytest.fixture
+def gpu():
+    return get_dev_by_idx(AccGpuCudaSim, 0)
+
+
+class TestSimTimeStamps:
+    def test_stamps_bracket_modeled_work(self, gpu):
+        import numpy as np
+
+        from repro import mem
+
+        q = QueueBlocking(gpu)
+        start = Event(gpu)
+        stop = Event(gpu)
+        start.record(q)
+        # A host->device copy advances the simulated clock (PCIe model).
+        buf = mem.alloc(gpu, 1 << 16)
+        mem.copy(q, buf, np.zeros(1 << 16))
+        stop.record(q)
+        dt = elapsed_sim_time(start, stop)
+        expected = (1 << 16) * 8 / (8.0 * 1e9)
+        assert dt == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_elapsed_without_work(self, gpu):
+        q = QueueBlocking(gpu)
+        a, b = Event(gpu), Event(gpu)
+        a.record(q)
+        b.record(q)
+        assert elapsed_sim_time(a, b) == 0.0
+
+    def test_unfired_event_rejected(self, gpu):
+        fired = Event(gpu)
+        QueueBlocking(gpu)
+        unfired = Event(gpu)
+        fired.record(QueueBlocking(gpu))
+        with pytest.raises(QueueError):
+            elapsed_sim_time(fired, unfired)
+
+    def test_cross_device_rejected(self, gpu):
+        other = get_dev_by_idx(AccGpuCudaSim, 1)
+        a = Event(gpu)
+        b = Event(other)
+        a.record(QueueBlocking(gpu))
+        b.record(QueueBlocking(other))
+        with pytest.raises(QueueError):
+            elapsed_sim_time(a, b)
+
+    def test_stamp_property_none_before_fire(self, gpu):
+        assert Event(gpu).sim_time_at_fire is None

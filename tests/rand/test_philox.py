@@ -1,0 +1,128 @@
+"""Philox counter-based RNG: determinism, independence, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rand import PhiloxRng, philox4x32
+
+
+class TestBijection:
+    def test_shape_handling(self):
+        out = philox4x32(np.zeros((5, 4), dtype=np.uint32), np.zeros(2, dtype=np.uint32))
+        assert out.shape == (5, 4)
+        out1 = philox4x32(np.zeros(4, dtype=np.uint32), np.zeros(2, dtype=np.uint32))
+        assert out1.shape == (1, 4)
+
+    def test_bad_lanes(self):
+        with pytest.raises(ValueError):
+            philox4x32(np.zeros((1, 3), dtype=np.uint32), np.zeros(2, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            philox4x32(np.zeros((1, 4), dtype=np.uint32), np.zeros(3, dtype=np.uint32))
+
+    def test_deterministic(self):
+        c = np.arange(8, dtype=np.uint32).reshape(2, 4)
+        k = np.array([1, 2], dtype=np.uint32)
+        np.testing.assert_array_equal(philox4x32(c, k), philox4x32(c, k))
+
+    def test_counter_sensitivity(self):
+        """Adjacent counters produce unrelated blocks (avalanche)."""
+        k = np.array([0, 0], dtype=np.uint32)
+        a = philox4x32(np.array([[0, 0, 0, 0]], dtype=np.uint32), k)
+        b = philox4x32(np.array([[1, 0, 0, 0]], dtype=np.uint32), k)
+        # Hamming distance of the 128-bit outputs near 64.
+        bits = np.unpackbits(
+            (a ^ b).view(np.uint8)
+        )
+        assert 30 <= bits.sum() <= 98
+
+    def test_key_sensitivity(self):
+        c = np.array([[5, 6, 7, 8]], dtype=np.uint32)
+        a = philox4x32(c, np.array([0, 0], dtype=np.uint32))
+        b = philox4x32(c, np.array([1, 0], dtype=np.uint32))
+        assert not np.array_equal(a, b)
+
+    def test_rounds_parameter(self):
+        c = np.array([[1, 2, 3, 4]], dtype=np.uint32)
+        k = np.array([9, 9], dtype=np.uint32)
+        assert not np.array_equal(
+            philox4x32(c, k, rounds=7), philox4x32(c, k, rounds=10)
+        )
+
+
+class TestPhiloxRng:
+    def test_reproducible_streams(self):
+        a = PhiloxRng(seed=1, subsequence=5).uniform(100)
+        b = PhiloxRng(seed=1, subsequence=5).uniform(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = PhiloxRng(seed=1, subsequence=0).uniform(1000)
+        b = PhiloxRng(seed=1, subsequence=1).uniform(1000)
+        assert not np.array_equal(a, b)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_seed_changes_stream(self):
+        a = PhiloxRng(seed=1).uniform(100)
+        b = PhiloxRng(seed=2).uniform(100)
+        assert not np.array_equal(a, b)
+
+    def test_sequential_draws_continue(self):
+        r1 = PhiloxRng(seed=3)
+        first = r1.uniform(10)
+        second = r1.uniform(10)
+        both = PhiloxRng(seed=3).uniform(20)
+        np.testing.assert_array_equal(np.concatenate([first, second]), both)
+
+    def test_range_and_moments(self):
+        u = PhiloxRng(seed=7).uniform(200_000)
+        assert np.all((u >= 0.0) & (u < 1.0))
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+
+    def test_uniformity_chi2(self):
+        from scipy import stats
+
+        u = PhiloxRng(seed=11).uniform(100_000)
+        counts, _ = np.histogram(u, bins=50, range=(0, 1))
+        chi2 = ((counts - 2000.0) ** 2 / 2000.0).sum()
+        # 49 dof: p=0.001 critical value ~ 85.4
+        assert chi2 < stats.chi2.ppf(0.999, 49)
+
+    def test_normal_moments(self):
+        z = PhiloxRng(seed=13).normal(200_000)
+        assert abs(z.mean()) < 0.01
+        assert abs(z.std() - 1.0) < 0.01
+        assert abs(((z - z.mean()) ** 3).mean()) < 0.05  # skew ~ 0
+
+    def test_integers(self):
+        ints = PhiloxRng(seed=17).integers(3, 9, 10_000)
+        assert ints.min() >= 3 and ints.max() < 9
+        counts = np.bincount(ints - 3, minlength=6)
+        assert counts.min() > 1300  # roughly uniform over 6 values
+
+    def test_integers_validation(self):
+        with pytest.raises(ValueError):
+            PhiloxRng(0).integers(5, 5, 10)
+
+    def test_zero_and_negative_draws(self):
+        assert PhiloxRng(0).uniform(0).size == 0
+        with pytest.raises(ValueError):
+            PhiloxRng(0).uniform(-1)
+
+    def test_large_subsequence(self):
+        """Subsequences above 2^32 still give distinct streams."""
+        a = PhiloxRng(seed=1, subsequence=(1 << 40) + 3).uniform(50)
+        b = PhiloxRng(seed=1, subsequence=3).uniform(50)
+        assert not np.array_equal(a, b)
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        sub=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 64),
+    )
+    @settings(max_examples=25)
+    def test_draws_always_in_range(self, seed, sub, n):
+        u = PhiloxRng(seed, sub).uniform(n)
+        assert u.shape == (n,)
+        assert np.all((u >= 0.0) & (u < 1.0))

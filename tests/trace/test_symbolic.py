@@ -1,0 +1,178 @@
+"""Symbolic tracing: value types, FMA contraction, guards, arrays."""
+
+import pytest
+
+from repro.core.errors import TraceError
+from repro.trace import IRBuilder, SymArray, SymFloat, SymInt, TraceContext
+
+
+@pytest.fixture
+def ctx():
+    return TraceContext("t")
+
+
+def opcodes(ctx):
+    return ctx.b.opcode_stream()
+
+
+class TestIRBuilder:
+    def test_register_classes(self):
+        b = IRBuilder()
+        assert b.new_reg("r") == "%r1"
+        assert b.new_reg("r") == "%r2"
+        assert b.new_reg("fd") == "%fd1"
+        assert b.new_reg("rd") == "%rd1"
+        assert b.new_reg("p") == "%p1"
+
+    def test_unknown_class(self):
+        with pytest.raises(TraceError):
+            IRBuilder().new_reg("x")
+
+    def test_text_rendering(self):
+        b = IRBuilder()
+        b.emit("mov.u32", "%r1", "%tid.x")
+        b.emit("st.global.f64", None, "%rd1", "%fd1")
+        b.emit("ld.global.f64", "%fd2", "%rd2")
+        txt = b.to_text()
+        assert "mov.u32 %r1, %tid.x;" in txt
+        assert "st.global.f64 [%rd1], %fd1;" in txt
+        assert "ld.global.f64 %fd2, [%rd2];" in txt
+
+    def test_predicated_branch_rendering(self):
+        b = IRBuilder()
+        b.emit("bra", None, "BB1", predicate="%p1")
+        assert "@%p1 bra BB1;" in b.to_text()
+
+
+class TestIntOps:
+    def test_mul_add_emit(self, ctx):
+        a = ctx.int_value(3)
+        b = ctx.int_value(4)
+        c = a * b + a
+        assert isinstance(c, SymInt)
+        assert "mul.lo.s32" in opcodes(ctx)
+        assert "add.s32" in opcodes(ctx)
+
+    def test_mad(self, ctx):
+        a, b, c = (ctx.int_value(i) for i in (1, 2, 3))
+        d = a.mad(b, c)
+        assert isinstance(d, SymInt)
+        assert opcodes(ctx)[-1] == "mad.lo.s32"
+
+    def test_literal_coercion(self, ctx):
+        a = ctx.int_value(3)
+        _ = a + 7
+        assert opcodes(ctx).count("mov.u32") >= 2  # both literals
+
+
+class TestFmaContraction:
+    def test_product_plus_value_is_fma(self, ctx):
+        a, x, y = (ctx.float_value(v) for v in (2.0, 3.0, 4.0))
+        r = a * x + y
+        assert isinstance(r, SymFloat)
+        ops = opcodes(ctx)
+        assert "fma.rn.f64" in ops
+        assert "mul.f64" not in ops  # contracted, not materialised
+
+    def test_value_plus_product_is_fma(self, ctx):
+        a, x, y = (ctx.float_value(v) for v in (2.0, 3.0, 4.0))
+        r = y + a * x
+        ops = opcodes(ctx)
+        assert "fma.rn.f64" in ops and "mul.f64" not in ops
+
+    def test_lone_product_materialises(self, ctx):
+        a, x = ctx.float_value(2.0), ctx.float_value(3.0)
+        p = a * x
+        _ = p / ctx.float_value(1.0)
+        assert "mul.f64" in opcodes(ctx)
+
+    def test_product_plus_product(self, ctx):
+        a, b, c, d = (ctx.float_value(v) for v in (1, 2, 3, 4))
+        _ = a * b + c * d
+        ops = opcodes(ctx)
+        # One product materialises, the other contracts.
+        assert ops.count("mul.f64") == 1
+        assert ops.count("fma.rn.f64") == 1
+
+    def test_plain_add_sub_div(self, ctx):
+        x, y = ctx.float_value(1.0), ctx.float_value(2.0)
+        _ = x + y
+        _ = x - y
+        _ = x / y
+        ops = opcodes(ctx)
+        assert "add.f64" in ops and "sub.f64" in ops and "div.rn.f64" in ops
+
+
+class TestGuard:
+    def test_if_emits_negated_setp_and_branch(self, ctx):
+        i, n = ctx.int_value(0), ctx.int_value(10)
+        if i < n:
+            taken = True
+        assert taken
+        ops = opcodes(ctx)
+        assert "setp.ge.s32" in ops  # negated lt
+        assert "bra" in ops
+
+    def test_exit_label_emitted_at_finish(self, ctx):
+        i, n = ctx.int_value(0), ctx.int_value(10)
+        if i < n:
+            pass
+        b = ctx.finish()
+        assert b.instructions[-1].op == "label"
+
+    @pytest.mark.parametrize(
+        "cond,negated",
+        [("__lt__", "setp.ge.s32"), ("__le__", "setp.gt.s32"),
+         ("__gt__", "setp.le.s32"), ("__ge__", "setp.lt.s32")],
+    )
+    def test_negation_table(self, ctx, cond, negated):
+        i, n = ctx.int_value(0), ctx.int_value(10)
+        bool(getattr(i, cond)(n))
+        assert negated in opcodes(ctx)
+
+
+class TestSymArray:
+    def test_load_sequence(self, ctx):
+        arr = SymArray(ctx, ctx.b.new_param("rd"), "x")
+        i = ctx.int_value(0)
+        v = arr[i]
+        assert isinstance(v, SymFloat)
+        ops = opcodes(ctx)
+        for op in ("cvta.to.global.u64", "mul.wide.s32", "add.s64", "ld.global.f64"):
+            assert op in ops
+
+    def test_const_array_uses_nc(self, ctx):
+        arr = SymArray(ctx, ctx.b.new_param("rd"), "x", const=True)
+        _ = arr[ctx.int_value(0)]
+        assert "ld.global.nc.f64" in opcodes(ctx)
+
+    def test_offset_shared_between_arrays(self, ctx):
+        """The index*8 offset is computed once (as nvcc does)."""
+        x = SymArray(ctx, ctx.b.new_param("rd"), "x")
+        y = SymArray(ctx, ctx.b.new_param("rd"), "y")
+        i = ctx.int_value(0)
+        _ = x[i]
+        _ = y[i]
+        assert opcodes(ctx).count("mul.wide.s32") == 1
+
+    def test_address_reused_for_store(self, ctx):
+        y = SymArray(ctx, ctx.b.new_param("rd"), "y")
+        i = ctx.int_value(0)
+        v = y[i]
+        y[i] = v
+        ops = opcodes(ctx)
+        assert ops.count("add.s64") == 1  # same address register
+        assert "st.global.f64" in ops
+
+    def test_store_materialises_product(self, ctx):
+        y = SymArray(ctx, ctx.b.new_param("rd"), "y")
+        a, b = ctx.float_value(2.0), ctx.float_value(3.0)
+        y[ctx.int_value(0)] = a * b
+        assert "mul.f64" in opcodes(ctx)
+
+    def test_concrete_index_rejected(self, ctx):
+        x = SymArray(ctx, ctx.b.new_param("rd"), "x")
+        with pytest.raises(TraceError):
+            _ = x[3]
+        with pytest.raises(TraceError):
+            x[3] = 1.0

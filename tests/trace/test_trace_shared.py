@@ -1,0 +1,65 @@
+"""Tracing of shared memory and block barriers (tiled-kernel support)."""
+
+import pytest
+
+from repro.core import Block, Grid, Threads, fn_acc, get_idx
+from repro.core.errors import TraceError
+from repro.trace import trace_alpaka_kernel
+from repro.trace.acc import SymSharedArray, TraceAcc
+from repro.trace.symbolic import TraceContext
+
+SPECS = [("int", "n"), ("float", "alpha"), ("array", "x"), ("array", "y")]
+
+
+@fn_acc
+def mini_tiled(acc, n, alpha, x, y):
+    i = get_idx(acc, Grid, Threads)[0]
+    ti = get_idx(acc, Block, Threads)[0]
+    tile = acc.shared_mem("tile", (16,))
+    if i < n:
+        tile[ti] = x[i]
+        acc.sync_block_threads()
+        y[i] = alpha * tile[ti] + y[i]
+
+
+class TestSharedTracing:
+    def test_shared_opcodes_present(self):
+        ir = trace_alpaka_kernel(mini_tiled, SPECS)
+        ops = ir.opcode_stream()
+        assert "st.shared.f64" in ops
+        assert "ld.shared.f64" in ops
+        assert "bar.sync" in ops
+
+    def test_barrier_between_store_and_load(self):
+        """The trace preserves program order: store, barrier, load."""
+        ir = trace_alpaka_kernel(mini_tiled, SPECS)
+        ops = ir.opcode_stream()
+        assert ops.index("st.shared.f64") < ops.index("bar.sync")
+        assert ops.index("bar.sync") < ops.index("ld.shared.f64")
+
+    def test_shared_address_reused(self):
+        """tile[ti] store and load share one address computation."""
+        ir = trace_alpaka_kernel(mini_tiled, SPECS)
+        text = ir.to_text()
+        st_line = next(l for l in text.splitlines() if "st.shared" in l)
+        ld_line = next(l for l in text.splitlines() if "ld.shared" in l)
+        addr_st = st_line.split("[")[1].split("]")[0]
+        addr_ld = ld_line.split("[")[1].split("]")[0]
+        assert addr_st == addr_ld
+
+    def test_same_name_same_array(self):
+        ctx = TraceContext()
+        acc = TraceAcc(ctx)
+        a = acc.shared_mem("s", (8,))
+        b = acc.shared_mem("s", (8,))
+        assert a is b
+
+    def test_value_flows_into_fma(self):
+        ir = trace_alpaka_kernel(mini_tiled, SPECS)
+        assert "fma.rn.f64" in ir.opcode_stream()
+
+    def test_concrete_index_rejected(self):
+        ctx = TraceContext()
+        arr = SymSharedArray(ctx, "s")
+        with pytest.raises(TraceError):
+            arr[0]
