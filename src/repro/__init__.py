@@ -29,7 +29,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from . import acc, atomic, core, dev, hardware, math, mem
-from . import perfmodel, queue, rand, testing, trace
+from . import perfmodel, queue, rand, runtime, testing, trace
 from .acc import (
     AccCpuFibers,
     AccOmp4TargetSim,
@@ -41,6 +41,7 @@ from .acc import (
     accelerator,
     accelerator_names,
     all_accelerators,
+    execution_strategies,
 )
 from .core import (
     AccDevProps,
@@ -72,20 +73,37 @@ from .core import (
 )
 from .dev import PlatformCpu, PlatformCudaSim, get_dev_by_idx, get_dev_count
 from .mem import alloc, alloc_like, copy, memset
-from .queue import Event, QueueBlocking, QueueNonBlocking, enqueue, wait
+from .queue import (
+    Event,
+    QueueBlocking,
+    QueueNonBlocking,
+    enqueue,
+    enqueue_after,
+    wait,
+)
+from .runtime import (
+    CountingObserver,
+    ExecutionObserver,
+    LaunchPlan,
+    clear_plan_cache,
+    observe,
+    plan_cache_info,
+    register_observer,
+    unregister_observer,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
     # subpackages
-    "acc", "atomic", "core", "dev", "hardware",
-    "math", "mem", "perfmodel", "queue", "rand", "testing", "trace",
+    "acc", "atomic", "core", "dev", "hardware", "math", "mem",
+    "perfmodel", "queue", "rand", "runtime", "testing", "trace",
     # accelerators
     "AccCpuSerial", "AccCpuOmp2Blocks", "AccCpuOmp2Threads", "AccCpuThreads",
     "AccCpuFibers", "AccGpuCudaSim", "AccOmp4TargetSim",
     "accelerator", "accelerator_names",
-    "all_accelerators",
+    "all_accelerators", "execution_strategies",
     # core
     "Vec", "WorkDivMembers", "MappingStrategy", "divide_work", "AccDevProps",
     "Grid", "Block", "Thread", "Blocks", "Threads", "Elems",
@@ -100,4 +118,9 @@ __all__ = [
     "alloc", "alloc_like", "copy", "memset",
     # queues
     "QueueBlocking", "QueueNonBlocking", "Event", "enqueue", "wait",
+    "enqueue_after",
+    # launch runtime
+    "LaunchPlan", "clear_plan_cache", "plan_cache_info",
+    "ExecutionObserver", "CountingObserver",
+    "register_observer", "unregister_observer", "observe",
 ]

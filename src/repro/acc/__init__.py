@@ -17,6 +17,7 @@ from .registry import (
     accelerator_names,
     all_accelerators,
     cpu_accelerators,
+    execution_strategies,
     sync_capable_accelerators,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "accelerator_names",
     "all_accelerators",
     "cpu_accelerators",
+    "execution_strategies",
     "sync_capable_accelerators",
 ]

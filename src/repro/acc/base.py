@@ -264,6 +264,12 @@ class AcceleratorType:
     metadata and a classmethod executor.  This mirrors alpaka, where the
     accelerator is a template parameter and its instances exist only
     inside kernels.
+
+    A back-end's execution strategy is the *declarative* pair
+    ``(block_schedule, thread_execute)`` (paper Sec. 3.3's mapping):
+    the launch runtime (:mod:`repro.runtime`) reads it when building a
+    :class:`~repro.runtime.plan.LaunchPlan`; back-ends carry no pool or
+    dispatch logic of their own.
     """
 
     #: Human-readable back-end name, e.g. "AccCpuSerial".
@@ -279,6 +285,13 @@ class AcceleratorType:
     #: (OpenMP-thread, C++11 threads), or "both" (CUDA).  Consumed by
     #: the performance model to derive device utilisation.
     parallel_scope: str = "none"
+    #: How the runtime schedules *blocks*: "sequential" (caller's
+    #: thread, C order) or "pooled" (chunked over the per-device pool).
+    block_schedule: str = "sequential"
+    #: How *threads inside a block* execute: "single" (exactly one),
+    #: "preemptive" (one OS thread each, real barrier) or "cooperative"
+    #: (fibers, deterministic round-robin).
+    thread_execute: str = "single"
 
     def __init__(self):  # pragma: no cover - defensive
         raise TypeError(
@@ -298,4 +311,8 @@ class AcceleratorType:
 
     @classmethod
     def execute(cls, task, device: Device) -> None:
-        raise NotImplementedError
+        """Run ``task`` on ``device`` through the unified runtime
+        (Task → Plan → Execute); see :func:`repro.runtime.launch`."""
+        from ..runtime import launch
+
+        launch(task, device)

@@ -33,14 +33,8 @@ from ..core.vec import Vec
 from ..core.workdiv import MappingStrategy
 from ..dev.device import Device
 from ..dev.platform import PlatformCpu
+from ..runtime.scheduler import resolve_max_block_workers
 from .base import AcceleratorType
-from .engine import (
-    run_block_cooperative,
-    run_block_preemptive,
-    run_block_single_thread,
-    run_grid,
-)
-from .timing import advance_modeled_time
 
 __all__ = [
     "AccCpu",
@@ -63,9 +57,10 @@ class AccCpu(AcceleratorType):
     #: subclass cache for for_machine()
     _machine_variants: Dict[str, Type["AccCpu"]] = {}
 
-    # block scheduling knobs fixed by each concrete back-end
-    parallel_blocks = False
-    block_runner = staticmethod(run_block_single_thread)
+    # execution strategy declared per concrete back-end; the runtime
+    # composes (block_schedule, thread_execute) into the launch plan
+    block_schedule = "sequential"
+    thread_execute = "single"
     block_thread_limit = 1
 
     @classmethod
@@ -75,6 +70,11 @@ class AccCpu(AcceleratorType):
     @classmethod
     def get_acc_dev_props(cls, dev: Device) -> AccDevProps:
         spec = dev.spec
+        workers = (
+            resolve_max_block_workers()
+            if cls.block_schedule == "pooled"
+            else 1
+        )
         return AccDevProps(
             multi_processor_count=spec.cores_per_device,
             grid_block_extent_max=Vec.all(3, _HUGE),
@@ -84,19 +84,8 @@ class AccCpu(AcceleratorType):
             shared_mem_size_bytes=spec.shared_mem_per_block_bytes,
             warp_size=1,
             global_mem_size_bytes=spec.global_mem_bytes,
+            max_block_workers=workers,
         )
-
-    @classmethod
-    def execute(cls, task, device: Device) -> None:
-        props = cls.get_acc_dev_props(device)
-        run_grid(
-            task,
-            device,
-            props,
-            cls.block_runner,
-            parallel_blocks=cls.parallel_blocks,
-        )
-        advance_modeled_time(task, device, cls.kind)
 
     @classmethod
     def for_machine(cls, machine_key: str) -> Type["AccCpu"]:
@@ -126,8 +115,8 @@ class AccCpuSerial(AccCpu):
     mapping_strategy = MappingStrategy.BLOCK_LEVEL
     supports_block_sync = False
     parallel_scope = "none"
-    parallel_blocks = False
-    block_runner = staticmethod(run_block_single_thread)
+    block_schedule = "sequential"
+    thread_execute = "single"
     block_thread_limit = 1
 
 
@@ -144,8 +133,8 @@ class AccCpuOmp2Blocks(AccCpu):
     mapping_strategy = MappingStrategy.BLOCK_LEVEL
     supports_block_sync = False
     parallel_scope = "blocks"
-    parallel_blocks = True
-    block_runner = staticmethod(run_block_single_thread)
+    block_schedule = "pooled"
+    thread_execute = "single"
     block_thread_limit = 1
 
 
@@ -159,8 +148,8 @@ class AccCpuOmp2Threads(AccCpu):
     mapping_strategy = MappingStrategy.THREAD_LEVEL
     supports_block_sync = True
     parallel_scope = "threads"
-    parallel_blocks = False
-    block_runner = staticmethod(run_block_preemptive)
+    block_schedule = "sequential"
+    thread_execute = "preemptive"
     block_thread_limit = 64
 
 
@@ -171,8 +160,8 @@ class AccCpuThreads(AccCpu):
     mapping_strategy = MappingStrategy.THREAD_LEVEL
     supports_block_sync = True
     parallel_scope = "threads"
-    parallel_blocks = False
-    block_runner = staticmethod(run_block_preemptive)
+    block_schedule = "sequential"
+    thread_execute = "preemptive"
     block_thread_limit = 128
 
 
@@ -189,6 +178,8 @@ class AccCpuFibers(AccCpu):
     mapping_strategy = MappingStrategy.THREAD_LEVEL
     supports_block_sync = True
     parallel_scope = "none"
-    parallel_blocks = False
-    block_runner = staticmethod(run_block_cooperative)
+    #: Sequential block order + cooperative fibers = fully deterministic
+    #: interleaving; the runtime must never pool-schedule this back-end.
+    block_schedule = "sequential"
+    thread_execute = "cooperative"
     block_thread_limit = 128

@@ -21,7 +21,7 @@ split is the point of the substitution).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from ..core.properties import AccDevProps
 from ..core.vec import Vec
@@ -29,8 +29,6 @@ from ..core.workdiv import MappingStrategy
 from ..dev.device import Device
 from ..dev.platform import PlatformCudaSim
 from .base import AcceleratorType
-from .engine import run_block_preemptive, run_grid
-from .timing import advance_modeled_time
 
 __all__ = ["AccGpuCudaSim"]
 
@@ -43,6 +41,11 @@ class AccGpuCudaSim(AcceleratorType):
     mapping_strategy = MappingStrategy.THREAD_LEVEL
     supports_block_sync = True
     parallel_scope = "both"
+    # Functional execution runs blocks sequentially (real threads only
+    # inside a block, for __syncthreads); device concurrency is what the
+    # performance model captures, not the host simulation.
+    block_schedule = "sequential"
+    thread_execute = "preemptive"
     machine_key: str = "nvidia-k80"
     _machine_variants: Dict[str, Type["AccGpuCudaSim"]] = {}
 
@@ -65,12 +68,6 @@ class AccGpuCudaSim(AcceleratorType):
             warp_size=spec.warp_size,
             global_mem_size_bytes=spec.global_mem_bytes,
         )
-
-    @classmethod
-    def execute(cls, task, device: Device) -> None:
-        props = cls.get_acc_dev_props(device)
-        run_grid(task, device, props, run_block_preemptive, parallel_blocks=False)
-        advance_modeled_time(task, device, cls.kind)
 
     @classmethod
     def for_machine(cls, machine_key: str) -> Type["AccGpuCudaSim"]:

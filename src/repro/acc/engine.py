@@ -15,18 +15,20 @@ A back-end is the composition of two choices (paper Sec. 3.3's mapping):
     (boost::fibers back-end).  Execution is deterministic round-robin,
     which makes it the back-end of choice for debugging race-like
     behaviour — same as in alpaka.
+
+Block-level scheduling (sequential vs. chunked worker-pool dispatch)
+lives in :mod:`repro.runtime.scheduler`; this module only provides the
+thread-level runners the runtime composes into launch plans.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, Optional, Tuple
 
-from ..core.errors import KernelError, SharedMemError
+from ..core.errors import KernelError
 from ..core.vec import Vec
-from ..core.workdiv import validate_work_div
 from ..dev.device import Device
 from ..mem.buf import Buffer
 from ..mem.view import ViewSubView
@@ -40,34 +42,6 @@ __all__ = [
     "run_block_cooperative",
     "run_grid",
 ]
-
-#: Upper bound on concurrently scheduled block workers; beyond this the
-#: host's thread-creation overhead dominates any concurrency benefit.
-MAX_BLOCK_WORKERS = 16
-
-_block_pool: Optional[ThreadPoolExecutor] = None
-_block_pool_lock = threading.Lock()
-
-
-def _shared_block_pool() -> ThreadPoolExecutor:
-    """The persistent block-worker pool.
-
-    OpenMP runtimes keep their worker threads alive between parallel
-    regions; re-creating a pool per kernel launch would charge thread
-    start-up to every launch and show up as (false) abstraction overhead
-    in the Fig. 5 measurement.  Sized to the host, shared by all
-    OpenMP-block launches, torn down with the process.
-    """
-    global _block_pool
-    with _block_pool_lock:
-        if _block_pool is None:
-            import os
-
-            workers = min(MAX_BLOCK_WORKERS, max(2, os.cpu_count() or 1))
-            _block_pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="alpaka-omp"
-            )
-        return _block_pool
 
 
 def unwrap_args(args: Tuple, device: Device) -> Tuple:
@@ -264,7 +238,7 @@ def run_block_cooperative(
 
 
 # ---------------------------------------------------------------------------
-# Grid scheduler
+# Legacy grid entry point
 # ---------------------------------------------------------------------------
 
 
@@ -272,57 +246,43 @@ def run_grid(
     task,
     device: Device,
     props,
-    block_runner: Callable[[GridContext, Vec, Callable, Tuple], None],
+    block_runner: Optional[Callable[[GridContext, Vec, Callable, Tuple], None]] = None,
     *,
     parallel_blocks: bool = False,
 ) -> None:
-    """Run every block of ``task``'s grid on ``device``.
+    """Deprecated launch entry point; use :func:`repro.runtime.launch`.
 
-    ``parallel_blocks`` schedules blocks over a worker pool (the
-    OpenMP-block strategy); otherwise blocks run sequentially in the
-    caller — grids are independent of each other and blocks within a
-    grid are independent by the model's contract (paper Sec. 3.2.2), so
-    either order is legal.
+    Kept for source compatibility with pre-runtime callers.  When
+    ``block_runner`` is None (or matches the back-end's declared
+    strategy) the launch goes through the cached plan pipeline; an
+    explicit foreign runner builds a one-off plan so old ad-hoc callers
+    keep their exact semantics, minus the per-block future dispatch.
     """
-    wd = task.work_div
-    validate_work_div(wd, props)
-    shared_dyn = getattr(task, "shared_mem_bytes", 0)
-    if shared_dyn > props.shared_mem_size_bytes:
-        raise SharedMemError(
-            f"dynamic shared memory request of {shared_dyn} B exceeds the "
-            f"device limit of {props.shared_mem_size_bytes} B"
+    from .. import runtime
+    from ..runtime.plan import build_plan
+    from ..runtime.scheduler import scheduler_for
+
+    plan = runtime.get_plan(task, device)
+    if block_runner is not None and block_runner is not plan.block_runner:
+        plan = build_plan(task, device)
+        plan.block_runner = block_runner
+        plan.schedule = (
+            "pooled"
+            if parallel_blocks and task.work_div.block_count > 1
+            else "sequential"
         )
     grid = GridContext(
         device,
-        wd,
-        props.for_dim(wd.dim),
-        unwrap_args(task.args, device),
-        shared_mem_bytes=shared_dyn,
+        plan.work_div,
+        plan.props,
+        plan.unwrap_args(task.args),
+        shared_mem_bytes=plan.shared_mem_bytes,
     )
     device.note_kernel_launch()
-
-    block_indices = iter_indices(wd.grid_block_extent)
-    if not parallel_blocks or wd.block_count == 1:
-        for bidx in block_indices:
-            _run_one(block_runner, grid, bidx, task)
-        return
-
-    pool = _shared_block_pool()
-    futures = [
-        pool.submit(_run_one, block_runner, grid, bidx, task)
-        for bidx in block_indices
-    ]
-    for fut in futures:
-        fut.result()  # re-raises the first failure
-
-
-def _run_one(block_runner, grid: GridContext, bidx: Vec, task) -> None:
+    plan.launches += 1
+    runtime.notify_launch_begin(plan, task, device)
     try:
-        block_runner(grid, bidx, task.kernel, grid.args)
-    except KernelError:
-        raise
-    except BaseException as exc:  # noqa: BLE001
-        kname = getattr(task.kernel, "__name__", type(task.kernel).__name__)
-        raise KernelError(
-            f"kernel {kname!r} failed in block {bidx!r}"
-        ) from exc
+        sched = scheduler_for(device, plan.schedule)
+        sched.dispatch(plan, grid, plan.block_indices, task)
+    finally:
+        runtime.notify_launch_end(plan, task, device)

@@ -32,9 +32,8 @@ from ..core.workdiv import MappingStrategy
 from ..dev.device import Device
 from ..dev.platform import Platform
 from ..hardware.registry import machine
+from ..runtime.scheduler import resolve_max_block_workers
 from .base import AcceleratorType
-from .engine import run_block_preemptive, run_grid
-from .timing import advance_modeled_time
 
 __all__ = ["PlatformOmpTarget", "AccOmp4TargetSim"]
 
@@ -66,6 +65,8 @@ class AccOmp4TargetSim(AcceleratorType):
     mapping_strategy = MappingStrategy.THREAD_LEVEL
     supports_block_sync = True
     parallel_scope = "both"  # teams AND threads execute concurrently
+    block_schedule = "pooled"  # teams distribute -> per-device pool
+    thread_execute = "preemptive"  # parallel for -> OS threads
     machine_key: str = "intel-xeon-phi-5110p"
     _machine_variants: Dict[str, Type["AccOmp4TargetSim"]] = {}
 
@@ -87,15 +88,8 @@ class AccOmp4TargetSim(AcceleratorType):
             shared_mem_size_bytes=spec.shared_mem_per_block_bytes,
             warp_size=1,
             global_mem_size_bytes=spec.global_mem_bytes,
+            max_block_workers=resolve_max_block_workers(),
         )
-
-    @classmethod
-    def execute(cls, task, device: Device) -> None:
-        props = cls.get_acc_dev_props(device)
-        run_grid(
-            task, device, props, run_block_preemptive, parallel_blocks=True
-        )
-        advance_modeled_time(task, device, cls.kind)
 
     @classmethod
     def for_machine(cls, machine_key: str) -> Type["AccOmp4TargetSim"]:

@@ -9,7 +9,7 @@ by name.  The registry also drives the Table 2 bench and the
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, Tuple, Type
 
 from .base import AcceleratorType
 from .cpu import (
@@ -28,6 +28,7 @@ __all__ = [
     "all_accelerators",
     "cpu_accelerators",
     "sync_capable_accelerators",
+    "execution_strategies",
 ]
 
 _REGISTRY: Dict[str, Type[AcceleratorType]] = {
@@ -69,3 +70,15 @@ def cpu_accelerators() -> List[Type[AcceleratorType]]:
 def sync_capable_accelerators() -> List[Type[AcceleratorType]]:
     """Back-ends whose blocks may hold more than one thread."""
     return [a for a in all_accelerators() if a.supports_block_sync]
+
+
+def execution_strategies() -> Dict[str, Tuple[str, str]]:
+    """Every back-end's declarative ``(block_schedule, thread_execute)``
+    pair — the strategy the launch runtime resolves into a scheduler
+    and a block runner (see ``repro.runtime``).  The registry-level
+    view of how each back-end maps the paper's parallelisation
+    hierarchy onto the host."""
+    return {
+        name: (acc.block_schedule, acc.thread_execute)
+        for name, acc in sorted(_REGISTRY.items())
+    }

@@ -13,7 +13,7 @@ from .figures import (
     table2_rows,
     table3_rows,
 )
-from .harness import measure_wall, sim_time_of, write_report
+from .harness import launch_stats, measure_wall, sim_time_of, write_report
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -29,5 +29,6 @@ __all__ = [
     "table3_rows",
     "measure_wall",
     "sim_time_of",
+    "launch_stats",
     "write_report",
 ]

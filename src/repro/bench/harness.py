@@ -2,8 +2,10 @@
 
 Shared plumbing for the ``benchmarks/`` suite: wall-clock measurement
 for the host-measured comparisons, simulated-clock capture for the
-modeled comparisons, and output capture so each bench writes the table
-it regenerates next to printing it.
+modeled comparisons, runtime instrumentation capture (via the real
+:mod:`repro.runtime.instrument` hooks, not callable wrapping), and
+output capture so each bench writes the table it regenerates next to
+printing it.
 """
 
 from __future__ import annotations
@@ -11,12 +13,12 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Callable, Iterator, List
 
 __all__ = [
     "measure_wall",
     "sim_time_of",
+    "launch_stats",
     "write_report",
     "REPORT_DIR_ENV",
 ]
@@ -53,6 +55,21 @@ def sim_time_of(device) -> Iterator[List[float]]:
     start = device.sim_time_s
     yield out
     out[0] = device.sim_time_s - start
+
+
+@contextmanager
+def launch_stats() -> Iterator["CountingObserver"]:
+    """Count runtime events (launches, blocks, copies, plan-cache hits)
+    over a ``with`` block through the execution-observer hooks::
+
+        with launch_stats() as stats:
+            enqueue(queue, task)
+        print(stats.plan_cache_hit_rate)
+    """
+    from ..runtime import CountingObserver, observe
+
+    with observe(CountingObserver()) as obs:
+        yield obs
 
 
 def write_report(name: str, text: str) -> str:

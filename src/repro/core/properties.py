@@ -8,7 +8,7 @@ back-end computes an :class:`AccDevProps` for each of its devices
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .vec import Vec
 
@@ -41,6 +41,10 @@ class AccDevProps:
         1 for CPU back-ends; the element level models CPU SIMD instead).
     global_mem_size_bytes:
         Device global memory capacity; allocation beyond it fails.
+    max_block_workers:
+        Resolved host-side block-worker cap for pool-scheduling
+        back-ends (``REPRO_MAX_BLOCK_WORKERS``); 1 on back-ends whose
+        blocks run sequentially in the caller.
     """
 
     multi_processor_count: int
@@ -51,6 +55,7 @@ class AccDevProps:
     shared_mem_size_bytes: int
     warp_size: int = 1
     global_mem_size_bytes: int = 1 << 34
+    max_block_workers: int = 1
 
     def __post_init__(self):
         if self.multi_processor_count < 1:
@@ -59,6 +64,8 @@ class AccDevProps:
             raise ValueError("block_thread_count_max must be >= 1")
         if self.warp_size < 1:
             raise ValueError("warp_size must be >= 1")
+        if self.max_block_workers < 1:
+            raise ValueError("max_block_workers must be >= 1")
 
     @property
     def dim(self) -> int:
@@ -89,4 +96,5 @@ class AccDevProps:
             shared_mem_size_bytes=self.shared_mem_size_bytes,
             warp_size=self.warp_size,
             global_mem_size_bytes=self.global_mem_size_bytes,
+            max_block_workers=self.max_block_workers,
         )

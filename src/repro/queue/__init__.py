@@ -1,6 +1,12 @@
 """Queues (streams) and events."""
 
-from .event import Event, elapsed_sim_time, record, wait_queue_for
+from .event import (
+    Event,
+    elapsed_sim_time,
+    enqueue_after,
+    record,
+    wait_queue_for,
+)
 from .queue import Queue, QueueBlocking, QueueNonBlocking, enqueue, wait
 
 __all__ = [
@@ -13,4 +19,5 @@ __all__ = [
     "record",
     "elapsed_sim_time",
     "wait_queue_for",
+    "enqueue_after",
 ]

@@ -10,13 +10,19 @@ can run simultaneously and still be coordinated (Sec. 3.1).
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Callable, List, Optional
 
 from ..core.errors import QueueError
 from ..dev.device import Device
 from .queue import Queue
 
-__all__ = ["Event", "record", "wait_queue_for", "elapsed_sim_time"]
+__all__ = [
+    "Event",
+    "record",
+    "wait_queue_for",
+    "enqueue_after",
+    "elapsed_sim_time",
+]
 
 
 class Event:
@@ -32,6 +38,7 @@ class Event:
         self._record_count = 0
         self._fired_count = 0
         self._sim_time_at_fire: Optional[float] = None
+        self._fire_callbacks: List[Callable[[], None]] = []
 
     # -- task protocol: an Event can be enqueued directly ---------------
 
@@ -39,7 +46,14 @@ class Event:
         with self._cv:
             self._fired_count += 1
             self._sim_time_at_fire = device.sim_time_s
+            callbacks, self._fire_callbacks = self._fire_callbacks, []
             self._cv.notify_all()
+        # One-shot callbacks run outside the lock: a callback typically
+        # grabs another queue's condition variable (the wait-gate wakeup
+        # path), and nesting the two would invert lock order against
+        # workers that query this event while holding their queue lock.
+        for cb in callbacks:
+            cb()
 
     # -- host-side API ----------------------------------------------------
 
@@ -72,6 +86,27 @@ class Event:
             return self._fired_count >= self._record_count
 
     @property
+    def record_count(self) -> int:
+        with self._cv:
+            return self._record_count
+
+    @property
+    def fired_count(self) -> int:
+        with self._cv:
+            return self._fired_count
+
+    def add_fire_callback(self, fn: Callable[[], None]) -> None:
+        """Invoke ``fn`` (once) at the next fire.
+
+        The wait-gate wakeup hook behind ``Queue.enqueue_after``.
+        Duplicate registrations (by equality, covering re-created bound
+        methods) collapse to one; callbacks are cleared at each fire.
+        """
+        with self._cv:
+            if fn not in self._fire_callbacks:
+                self._fire_callbacks.append(fn)
+
+    @property
     def sim_time_at_fire(self) -> Optional[float]:
         """The device's simulated clock when the event last fired —
         the reproduction's analogue of ``cudaEventElapsedTime``
@@ -98,8 +133,15 @@ def record(event: Event, queue: Queue) -> Event:
 def wait_queue_for(queue: Queue, event: Event) -> None:
     """Make ``queue`` wait for ``event`` before running later tasks.
 
-    Implemented by enqueuing a task that blocks the queue's worker on
-    the event; on a blocking queue this blocks the host, which is the
-    correct degenerate behaviour.
+    Alias of :func:`enqueue_after` (kept for the paper-era spelling).
+    Non-blocking queues park no OS thread on the dependency; on a
+    blocking queue this blocks the host, which is the correct
+    degenerate behaviour.
     """
-    queue.enqueue(lambda: event.wait())
+    queue.enqueue_after(event)
+
+
+def enqueue_after(queue: Queue, event: Event) -> None:
+    """Free-function spelling of ``queue.enqueue_after(event)``:
+    cross-queue dependency without a host-side ``wait()`` barrier."""
+    queue.enqueue_after(event)

@@ -23,6 +23,7 @@ from typing import Callable, Optional, Protocol, Union
 
 from ..core.errors import KernelError, QueueError
 from ..dev.device import Device
+from ..runtime.instrument import notify_queue_drain
 
 __all__ = ["Queue", "QueueBlocking", "QueueNonBlocking", "enqueue", "wait"]
 
@@ -52,6 +53,18 @@ class Queue:
             raise QueueError("enqueue on a destroyed queue")
         runnable = self._as_runnable(task)
         self._submit(runnable)
+
+    def enqueue_after(self, event) -> None:
+        """Defer all later-enqueued tasks until ``event`` has fired.
+
+        The cross-queue dependency primitive: queue B continues only
+        after queue A reaches the event, with no host-side ``wait()``
+        barrier.  On a blocking queue this degenerates to blocking the
+        host (the caller *is* the worker).
+        """
+        if self._destroyed:
+            raise QueueError("enqueue_after on a destroyed queue")
+        self._submit(lambda: event.wait())
 
     def wait(self) -> None:
         """Block the host until all enqueued work has completed."""
@@ -93,10 +106,39 @@ class QueueBlocking(Queue):
 
     def _submit(self, runnable: Callable[[], None]) -> None:
         runnable()
+        notify_queue_drain(self)  # a blocking queue drains at every task
 
     def wait(self) -> None:
         # Everything already ran at enqueue time.
         return
+
+
+class _WaitGate:
+    """An in-queue dependency marker: later tasks run only once the
+    gated event's record (at gate creation time) has fired.
+
+    The queue worker does not block an OS thread on the event — it goes
+    back to sleeping on the queue's condition variable and is woken by
+    the event's fire callback, so deep multi-queue pipelines cost no
+    parked threads.
+    """
+
+    __slots__ = ("event", "target")
+
+    def __init__(self, event):
+        self.event = event
+        # A never-recorded event is complete by definition (CUDA
+        # semantics); otherwise wait for the record current at gate
+        # creation, not any later re-record.
+        self.target = event.record_count
+
+    def is_open(self) -> bool:
+        return self.event.fired_count >= self.target
+
+    def arm(self, notify: Callable[[], None]) -> None:
+        # Registration is deduplicated by the event; fire callbacks are
+        # one-shot, so re-arming on every worker wakeup is cheap.
+        self.event.add_fire_callback(notify)
 
 
 class QueueNonBlocking(Queue):
@@ -122,16 +164,51 @@ class QueueNonBlocking(Queue):
         )
         self._worker.start()
 
+    def _next_runnable(self) -> Optional[Callable[[], None]]:
+        """Worker-side: the next task to run, or None on shutdown.
+
+        Blocks (on the condition variable) while the queue is empty or
+        the head is a closed :class:`_WaitGate`.
+        """
+        with self._cv:
+            while True:
+                if self._tasks:
+                    head = self._tasks[0]
+                    if isinstance(head, _WaitGate):
+                        if head.is_open():
+                            self._tasks.popleft()
+                            self._pending -= 1
+                            if self._pending == 0:
+                                self._cv.notify_all()
+                            continue
+                        head.arm(self._notify_worker)
+                        # Re-check: the fire may have raced the arm —
+                        # callbacks registered after a fire never run.
+                        if head.is_open():
+                            continue
+                        self._cv.wait()
+                        continue
+                    return self._tasks.popleft()
+                if self._shutdown:
+                    return None
+                self._cv.wait()
+
+    def _notify_worker(self) -> None:
+        with self._cv:
+            self._cv.notify_all()
+
     def _run(self) -> None:
         while True:
-            with self._cv:
-                while not self._tasks and not self._shutdown:
-                    self._cv.wait()
-                if self._shutdown and not self._tasks:
-                    return
-                runnable = self._tasks.popleft()
+            runnable = self._next_runnable()
+            if runnable is None:
+                return
             try:
-                if self._error is None:
+                # Poison check under the lock: without it a task could
+                # observe a stale None and start after a sibling already
+                # failed, breaking the in-order error contract.
+                with self._cv:
+                    poisoned = self._error is not None
+                if not poisoned:
                     runnable()
             except BaseException as exc:  # noqa: BLE001 - reported on wait
                 with self._cv:
@@ -139,7 +216,10 @@ class QueueNonBlocking(Queue):
             finally:
                 with self._cv:
                     self._pending -= 1
+                    drained = self._pending == 0
                     self._cv.notify_all()
+                if drained:
+                    notify_queue_drain(self)
 
     def _raise_pending_error(self) -> None:
         if self._error is not None:
@@ -153,6 +233,21 @@ class QueueNonBlocking(Queue):
             self._raise_pending_error()
             self._pending += 1
             self._tasks.append(runnable)
+            self._cv.notify_all()
+
+    def enqueue_after(self, event) -> None:
+        """Non-blocking cross-queue dependency: tasks enqueued after
+        this call wait for ``event`` without occupying the worker in a
+        host-side ``wait()``."""
+        if self._destroyed:
+            raise QueueError("enqueue_after on a destroyed queue")
+        self._submit_gate(_WaitGate(event))
+
+    def _submit_gate(self, gate: _WaitGate) -> None:
+        with self._cv:
+            self._raise_pending_error()
+            self._pending += 1
+            self._tasks.append(gate)
             self._cv.notify_all()
 
     def wait(self) -> None:

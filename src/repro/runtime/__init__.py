@@ -1,0 +1,124 @@
+"""The unified launch runtime: Task → Plan → Execute.
+
+Every back-end routes kernel launches through :func:`launch`:
+
+1. **Task** — the inert :class:`~repro.core.kernel.KernelTask` built by
+   ``create_task_kernel`` (unchanged public API);
+2. **Plan** — :mod:`repro.runtime.plan` resolves (or rebuilds) a
+   :class:`LaunchPlan` carrying the validated work division, projected
+   device properties, chosen thread-level runner and block-level
+   schedule, with an LRU cache so repeated launches skip validation;
+3. **Execute** — :mod:`repro.runtime.scheduler` dispatches the blocks,
+   sequentially or chunked over a persistent per-device worker pool.
+
+Instrumentation (:mod:`repro.runtime.instrument`) observes every stage;
+back-ends declare their strategy pair declaratively::
+
+    class AccCpuOmp2Blocks(AccCpu):
+        block_schedule = "pooled"      # blocks over the device pool
+        thread_execute = "single"      # one thread per block
+
+and never touch pool or validation logic themselves.
+"""
+
+from __future__ import annotations
+
+from .instrument import (
+    CountingObserver,
+    ExecutionObserver,
+    notify_block,
+    notify_copy,
+    notify_launch_begin,
+    notify_launch_end,
+    notify_plan_cache,
+    notify_queue_drain,
+    observe,
+    observers,
+    register_observer,
+    unregister_observer,
+)
+from .plan import (
+    PLAN_CACHE_MAXSIZE,
+    LaunchPlan,
+    build_plan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_info,
+)
+from .scheduler import (
+    MAX_BLOCK_WORKERS,
+    MAX_BLOCK_WORKERS_ENV,
+    PooledScheduler,
+    Scheduler,
+    SequentialScheduler,
+    chunk_indices,
+    resolve_max_block_workers,
+    scheduler_for,
+    shutdown_schedulers,
+)
+
+__all__ = [
+    "launch",
+    # plan
+    "LaunchPlan",
+    "build_plan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "PLAN_CACHE_MAXSIZE",
+    # scheduler
+    "Scheduler",
+    "SequentialScheduler",
+    "PooledScheduler",
+    "scheduler_for",
+    "shutdown_schedulers",
+    "chunk_indices",
+    "resolve_max_block_workers",
+    "MAX_BLOCK_WORKERS",
+    "MAX_BLOCK_WORKERS_ENV",
+    # instrumentation
+    "ExecutionObserver",
+    "CountingObserver",
+    "register_observer",
+    "unregister_observer",
+    "observers",
+    "observe",
+    "notify_launch_begin",
+    "notify_launch_end",
+    "notify_block",
+    "notify_copy",
+    "notify_queue_drain",
+    "notify_plan_cache",
+]
+
+
+def launch(task, device) -> "LaunchPlan":
+    """Run ``task``'s grid on ``device`` through the runtime pipeline.
+
+    Returns the (possibly cached) :class:`LaunchPlan` that executed, so
+    callers can inspect scheduling decisions.  This is the single entry
+    point behind every back-end's ``execute``; the legacy
+    ``repro.acc.engine.run_grid`` delegates here.
+    """
+    from ..acc.base import GridContext
+    from ..acc.timing import advance_modeled_time
+
+    plan = get_plan(task, device)
+    args = plan.unwrap_args(task.args)
+    grid = GridContext(
+        device,
+        plan.work_div,
+        plan.props,
+        args,
+        shared_mem_bytes=plan.shared_mem_bytes,
+    )
+    device.note_kernel_launch()
+    plan.launches += 1
+    notify_launch_begin(plan, task, device)
+    try:
+        sched = scheduler_for(device, plan.schedule)
+        sched.dispatch(plan, grid, plan.block_indices, task)
+        advance_modeled_time(task, device, plan.acc_type.kind)
+    finally:
+        notify_launch_end(plan, task, device)
+    return plan

@@ -1,0 +1,221 @@
+"""Execution instrumentation: observer hooks threaded through the runtime.
+
+Every interesting runtime transition — a launch starting or finishing, a
+block being dispatched, a copy executing, a queue draining, a launch
+plan hitting or missing the cache — is announced to the registered
+:class:`ExecutionObserver` instances.  The bench harness and the trace
+layer consume these hooks instead of wrapping user callables, so
+instrumentation costs nothing when nothing is registered (each notify
+helper returns immediately on the empty-observer fast path).
+
+Observers are process-global and thread-safe to register from any
+thread; notifications may arrive from scheduler worker threads, so
+observer implementations must be thread-safe themselves
+(:class:`CountingObserver` is).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+__all__ = [
+    "ExecutionObserver",
+    "CountingObserver",
+    "register_observer",
+    "unregister_observer",
+    "observers",
+    "observe",
+    "notify_launch_begin",
+    "notify_launch_end",
+    "notify_block",
+    "notify_copy",
+    "notify_queue_drain",
+    "notify_plan_cache",
+]
+
+
+class ExecutionObserver:
+    """Protocol for runtime instrumentation (all hooks optional no-ops).
+
+    Subclass and override the hooks of interest; exceptions raised by an
+    observer propagate to the launch/copy/wait that triggered them, so
+    observers should only raise when they *mean* to fail the run (e.g. a
+    test asserting an invariant at every block).
+    """
+
+    def on_launch_begin(self, plan, task, device) -> None:
+        """A kernel launch is about to dispatch its blocks."""
+
+    def on_launch_end(self, plan, task, device) -> None:
+        """All blocks of a launch have completed (or one failed)."""
+
+    def on_block(self, plan, block_idx) -> None:
+        """One block is about to execute (called from worker threads)."""
+
+    def on_copy(self, task, device) -> None:
+        """A memory copy/memset task executed on ``device``."""
+
+    def on_queue_drain(self, queue) -> None:
+        """A queue's pending work count reached zero."""
+
+    def on_plan_cache(self, plan, hit: bool) -> None:
+        """A launch plan was resolved: ``hit`` tells cached vs built."""
+
+
+_lock = threading.Lock()
+_observers: Tuple[ExecutionObserver, ...] = ()
+
+
+def register_observer(obs: ExecutionObserver) -> ExecutionObserver:
+    """Attach ``obs`` to the global hook chain; returns it for chaining."""
+    global _observers
+    with _lock:
+        if obs not in _observers:
+            _observers = _observers + (obs,)
+    return obs
+
+
+def unregister_observer(obs: ExecutionObserver) -> None:
+    """Detach ``obs`` (idempotent)."""
+    global _observers
+    with _lock:
+        _observers = tuple(o for o in _observers if o is not obs)
+
+
+def observers() -> Tuple[ExecutionObserver, ...]:
+    """Snapshot of the currently registered observers."""
+    return _observers
+
+
+@contextmanager
+def observe(obs: ExecutionObserver) -> Iterator[ExecutionObserver]:
+    """Register ``obs`` for the duration of a ``with`` block::
+
+        with observe(CountingObserver()) as stats:
+            enqueue(queue, task)
+        assert stats.launches == 1
+    """
+    register_observer(obs)
+    try:
+        yield obs
+    finally:
+        unregister_observer(obs)
+
+
+# ---------------------------------------------------------------------------
+# Notification fan-out (hot path: first line bails when unobserved)
+# ---------------------------------------------------------------------------
+
+
+def notify_launch_begin(plan, task, device) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_launch_begin(plan, task, device)
+
+
+def notify_launch_end(plan, task, device) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_launch_end(plan, task, device)
+
+
+def notify_block(plan, block_idx) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_block(plan, block_idx)
+
+
+def notify_copy(task, device) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_copy(task, device)
+
+
+def notify_queue_drain(queue) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_queue_drain(queue)
+
+
+def notify_plan_cache(plan, hit: bool) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_plan_cache(plan, hit)
+
+
+class CountingObserver(ExecutionObserver):
+    """Thread-safe event counters — the bench harness's workhorse.
+
+    ``plan_cache_hit_rate`` is the fraction of launches whose plan came
+    out of the LRU cache, the quantity the launch-overhead bench
+    reports.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.launches = 0
+        self.blocks = 0
+        self.copies = 0
+        self.queue_drains = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.per_backend: Dict[str, int] = {}
+
+    def on_launch_begin(self, plan, task, device) -> None:
+        with self._lock:
+            self.launches += 1
+            name = plan.acc_type.name
+            self.per_backend[name] = self.per_backend.get(name, 0) + 1
+
+    def on_block(self, plan, block_idx) -> None:
+        with self._lock:
+            self.blocks += 1
+
+    def on_copy(self, task, device) -> None:
+        with self._lock:
+            self.copies += 1
+
+    def on_queue_drain(self, queue) -> None:
+        with self._lock:
+            self.queue_drains += 1
+
+    def on_plan_cache(self, plan, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.plan_cache_hits + self.plan_cache_misses
+            return self.plan_cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "launches": self.launches,
+                "blocks": self.blocks,
+                "copies": self.copies,
+                "queue_drains": self.queue_drains,
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+            }
+
+    def __repr__(self) -> str:
+        return f"CountingObserver({self.snapshot()!r})"

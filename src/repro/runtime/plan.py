@@ -1,0 +1,222 @@
+"""Launch plans: the "Plan" stage of the Task→Plan→Execute pipeline.
+
+Binding a kernel task to a device used to re-derive everything on every
+launch — work-division validation, device-property projection, shared
+memory checks, block-runner selection.  A :class:`LaunchPlan` captures
+all of that once; an LRU cache keyed on
+``(back-end, kernel, work-div, device, shared-mem)`` lets repeated
+launches of the same configuration skip straight to block dispatch —
+the retuning loop of Matthes et al. (arXiv:1706.10086) relaunches one
+kernel across work divisions thousands of times, and the plan cache is
+what makes each relaunch O(dispatch) instead of O(validation).
+
+Cache observability: every resolution announces itself through
+:func:`repro.runtime.instrument.notify_plan_cache`, and the module
+keeps global hit/miss counters (:func:`plan_cache_info`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.errors import SharedMemError
+from ..core.properties import AccDevProps
+from ..core.vec import Vec
+from ..core.workdiv import WorkDivMembers, validate_work_div
+from .instrument import notify_plan_cache
+
+__all__ = [
+    "LaunchPlan",
+    "get_plan",
+    "build_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "PLAN_CACHE_MAXSIZE",
+]
+
+#: Upper bound on cached plans; least-recently-used entries evict first.
+PLAN_CACHE_MAXSIZE = 512
+
+
+def _thread_runners() -> Dict[str, Callable]:
+    # Imported lazily: engine imports nothing from runtime, but keeping
+    # the import out of module scope lets `repro.acc` load first.
+    from ..acc.engine import (
+        run_block_cooperative,
+        run_block_preemptive,
+        run_block_single_thread,
+    )
+
+    return {
+        "single": run_block_single_thread,
+        "preemptive": run_block_preemptive,
+        "cooperative": run_block_cooperative,
+    }
+
+
+@dataclass
+class LaunchPlan:
+    """Everything about a launch that does not change between launches.
+
+    Built once per ``(back-end, kernel, work-div, device, shared-mem)``
+    configuration and reused; holds no per-launch state except counters.
+    """
+
+    acc_type: type
+    kernel: Callable
+    work_div: WorkDivMembers
+    device: object
+    #: Device properties already projected onto the work-div's dim.
+    props: AccDevProps
+    #: Thread-level executor (single / preemptive / cooperative).
+    block_runner: Callable
+    #: Block-level strategy key ("sequential" / "pooled").
+    schedule: str
+    shared_mem_bytes: int
+    #: Materialised block index list (C order), shared by all launches.
+    block_indices: Tuple[Vec, ...] = ()
+    #: How many launches have executed through this plan.
+    launches: int = 0
+    #: Whether this plan instance was served from the cache at least once.
+    served_from_cache: bool = False
+    _args_src: Optional[tuple] = field(default=None, repr=False)
+    _args_unwrapped: Optional[tuple] = field(default=None, repr=False)
+
+    def unwrap_args(self, args: tuple) -> tuple:
+        """Device-side argument tuple for ``args``.
+
+        Memoised on the identity of the host-side tuple: re-enqueueing
+        the same (frozen) :class:`~repro.core.kernel.KernelTask` reuses
+        the unwrapped arguments and their residency checks.
+        """
+        if args is self._args_src:
+            return self._args_unwrapped  # type: ignore[return-value]
+        from ..acc.engine import unwrap_args
+
+        unwrapped = unwrap_args(args, self.device)
+        self._args_src = args
+        self._args_unwrapped = unwrapped
+        return unwrapped
+
+    def describe(self) -> str:
+        kname = getattr(self.kernel, "__name__", type(self.kernel).__name__)
+        return (
+            f"LaunchPlan({self.acc_type.__name__}, kernel={kname}, "
+            f"{self.work_div}, dev={self.device!r}, "
+            f"schedule={self.schedule}, launches={self.launches})"
+        )
+
+
+def build_plan(task, device) -> LaunchPlan:
+    """Validate and assemble a fresh plan for ``task`` on ``device``."""
+    acc_type = task.acc_type
+    wd = task.work_div
+    props = acc_type.get_acc_dev_props(device)
+    validate_work_div(wd, props)
+    shared_dyn = getattr(task, "shared_mem_bytes", 0)
+    if shared_dyn > props.shared_mem_size_bytes:
+        raise SharedMemError(
+            f"dynamic shared memory request of {shared_dyn} B exceeds the "
+            f"device limit of {props.shared_mem_size_bytes} B"
+        )
+    runners = _thread_runners()
+    thread_execute = getattr(acc_type, "thread_execute", "single")
+    try:
+        block_runner = runners[thread_execute]
+    except KeyError:
+        raise ValueError(
+            f"{acc_type.__name__}.thread_execute={thread_execute!r} "
+            f"unknown; known: {sorted(runners)}"
+        ) from None
+    schedule = getattr(acc_type, "block_schedule", "sequential")
+    # A one-block grid gains nothing from pool dispatch; plan it out.
+    if wd.block_count == 1:
+        schedule = "sequential"
+    from ..acc.engine import iter_indices
+
+    return LaunchPlan(
+        acc_type=acc_type,
+        kernel=task.kernel,
+        work_div=wd,
+        device=device,
+        props=props.for_dim(wd.dim),
+        block_runner=block_runner,
+        schedule=schedule,
+        shared_mem_bytes=shared_dyn,
+        block_indices=tuple(iter_indices(wd.grid_block_extent)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# LRU plan cache
+# ---------------------------------------------------------------------------
+
+_cache: "OrderedDict[tuple, LaunchPlan]" = OrderedDict()
+_cache_lock = threading.Lock()
+_hits = 0
+_misses = 0
+
+
+def _key(task, device) -> tuple:
+    # Kernel identity, not equality: the plan holds a strong reference
+    # to the kernel, so the id stays valid while the entry lives.
+    return (
+        task.acc_type,
+        id(task.kernel),
+        task.work_div,
+        device.uid,
+        getattr(task, "shared_mem_bytes", 0),
+    )
+
+
+def get_plan(task, device) -> LaunchPlan:
+    """The cached-or-built plan for ``task`` on ``device``.
+
+    Announces the resolution to observers (``on_plan_cache``) and keeps
+    the global hit/miss counters current.  Validation errors raise here
+    — a plan that would fail at dispatch is never cached.
+    """
+    global _hits, _misses
+    key = _key(task, device)
+    with _cache_lock:
+        plan = _cache.get(key)
+        if plan is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            plan.served_from_cache = True
+    if plan is not None:
+        notify_plan_cache(plan, True)
+        return plan
+
+    plan = build_plan(task, device)
+    with _cache_lock:
+        _misses += 1
+        _cache[key] = plan
+        _cache.move_to_end(key)
+        while len(_cache) > PLAN_CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    notify_plan_cache(plan, False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and zero the hit/miss counters."""
+    global _hits, _misses
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """``{"hits": ..., "misses": ..., "size": ..., "maxsize": ...}``."""
+    with _cache_lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "size": len(_cache),
+            "maxsize": PLAN_CACHE_MAXSIZE,
+        }

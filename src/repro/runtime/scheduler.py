@@ -1,0 +1,224 @@
+"""Per-device block schedulers (the Plan's "Execute" stage).
+
+A scheduler owns how a launch's blocks reach the hardware:
+
+* :class:`SequentialScheduler` — blocks run in the caller's thread, in
+  C order.  The strategy of the serial, thread-parallel and fiber
+  back-ends (their parallelism, if any, lives *inside* the block), and
+  the one that keeps the fiber back-end's deterministic interleaving.
+* :class:`PooledScheduler` — blocks are distributed over a persistent
+  per-device worker pool in **chunks** of ``ceil(blocks / workers)``,
+  so a grid of 10⁴ blocks costs ``workers`` executor submissions, not
+  10⁴ — the OpenMP ``schedule(static)`` strategy, replacing the old
+  one-future-per-block dispatch through a module-global pool.
+
+Pools are per *device* (keyed on ``Device.uid``), mirroring how an
+OpenMP runtime pins one thread team per target: two devices launching
+concurrently no longer contend for one pool's queue.  The worker cap is
+``REPRO_MAX_BLOCK_WORKERS`` (default :data:`MAX_BLOCK_WORKERS`),
+resolved once per pool and exposed through the back-end's device
+properties (``AccDevProps.max_block_workers``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import KernelError
+from ..core.vec import Vec
+from .instrument import notify_block, observers
+
+__all__ = [
+    "MAX_BLOCK_WORKERS",
+    "MAX_BLOCK_WORKERS_ENV",
+    "resolve_max_block_workers",
+    "Scheduler",
+    "SequentialScheduler",
+    "PooledScheduler",
+    "scheduler_for",
+    "shutdown_schedulers",
+    "chunk_indices",
+]
+
+#: Default upper bound on concurrently scheduled block workers; beyond
+#: this the host's thread-switch overhead dominates any concurrency
+#: benefit.  Override per process with ``REPRO_MAX_BLOCK_WORKERS``.
+MAX_BLOCK_WORKERS = 16
+
+#: Environment variable overriding :data:`MAX_BLOCK_WORKERS`.
+MAX_BLOCK_WORKERS_ENV = "REPRO_MAX_BLOCK_WORKERS"
+
+
+def resolve_max_block_workers() -> int:
+    """The worker cap a new pool will use.
+
+    ``REPRO_MAX_BLOCK_WORKERS`` is authoritative when set (clamped to
+    >= 1; deliberate oversubscription is a valid experiment).  The
+    default is :data:`MAX_BLOCK_WORKERS` bounded by the host's core
+    count.
+    """
+    raw = os.environ.get(MAX_BLOCK_WORKERS_ENV)
+    if raw is not None:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"{MAX_BLOCK_WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+    return min(MAX_BLOCK_WORKERS, max(2, os.cpu_count() or 1))
+
+
+def chunk_indices(indices: Sequence[Vec], workers: int) -> List[Sequence[Vec]]:
+    """Partition block indices into at most ``workers`` contiguous
+    chunks of ``ceil(len / workers)`` blocks (OpenMP static schedule)."""
+    n = len(indices)
+    if n == 0:
+        return []
+    size = -(-n // max(1, workers))
+    return [indices[i : i + size] for i in range(0, n, size)]
+
+
+def _run_block(plan, grid, bidx: Vec, task, observed: bool) -> None:
+    if observed:
+        notify_block(plan, bidx)
+    try:
+        plan.block_runner(grid, bidx, task.kernel, grid.args)
+    except KernelError:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - wrapped for the launcher
+        kname = getattr(task.kernel, "__name__", type(task.kernel).__name__)
+        raise KernelError(
+            f"kernel {kname!r} failed in block {bidx!r}"
+        ) from exc
+
+
+class Scheduler:
+    """Base block scheduler bound to one device."""
+
+    #: Declarative key back-ends use to select this scheduler.
+    schedule = "abstract"
+
+    def __init__(self, device):
+        self.device = device
+
+    @property
+    def worker_count(self) -> int:
+        """Concurrent block workers this scheduler drives (1 = caller)."""
+        return 1
+
+    def dispatch(self, plan, grid, block_indices: Sequence[Vec], task) -> None:
+        """Run every block of the launch; returns when all completed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} on {self.device.name}>"
+
+
+class SequentialScheduler(Scheduler):
+    """Blocks execute in the caller's thread, in C index order."""
+
+    schedule = "sequential"
+
+    def dispatch(self, plan, grid, block_indices, task) -> None:
+        observed = bool(observers())
+        for bidx in block_indices:
+            _run_block(plan, grid, bidx, task, observed)
+
+
+class PooledScheduler(Scheduler):
+    """Blocks execute on a persistent per-device pool, chunked.
+
+    The pool outlives launches (OpenMP keeps its team alive between
+    parallel regions; charging thread start-up to every launch would
+    show up as false abstraction overhead in the Fig. 5 measurement)
+    and is torn down with the process or via
+    :func:`shutdown_schedulers`.
+    """
+
+    schedule = "pooled"
+
+    def __init__(self, device):
+        super().__init__(device)
+        self._workers = resolve_max_block_workers()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._workers,
+            thread_name_prefix=f"alpaka-blk-{device.uid}",
+        )
+
+    @property
+    def worker_count(self) -> int:
+        return self._workers
+
+    def dispatch(self, plan, grid, block_indices, task) -> None:
+        observed = bool(observers())
+        chunks = chunk_indices(block_indices, self._workers)
+        if len(chunks) <= 1:
+            for bidx in block_indices:
+                _run_block(plan, grid, bidx, task, observed)
+            return
+
+        def run_chunk(chunk: Sequence[Vec]) -> None:
+            for bidx in chunk:
+                _run_block(plan, grid, bidx, task, observed)
+
+        futures = [self._pool.submit(run_chunk, c) for c in chunks]
+        error = None
+        for fut in futures:
+            try:
+                fut.result()
+            except BaseException as exc:  # noqa: BLE001 - first one wins
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_schedulers: Dict[Tuple[int, str], Scheduler] = {}
+_schedulers_lock = threading.Lock()
+
+_SCHEDULER_TYPES: Dict[str, type] = {
+    SequentialScheduler.schedule: SequentialScheduler,
+    PooledScheduler.schedule: PooledScheduler,
+}
+
+
+def scheduler_for(device, schedule: str) -> Scheduler:
+    """The cached scheduler of kind ``schedule`` for ``device``.
+
+    One scheduler (and hence one pool) exists per (device, kind) for
+    the life of the process.
+    """
+    try:
+        cls = _SCHEDULER_TYPES[schedule]
+    except KeyError:
+        raise ValueError(
+            f"unknown block schedule {schedule!r}; "
+            f"known: {sorted(_SCHEDULER_TYPES)}"
+        ) from None
+    key = (device.uid, schedule)
+    sched = _schedulers.get(key)
+    if sched is None:
+        with _schedulers_lock:
+            sched = _schedulers.get(key)
+            if sched is None:
+                sched = cls(device)
+                _schedulers[key] = sched
+    return sched
+
+
+def shutdown_schedulers() -> None:
+    """Tear down all cached schedulers (tests; process exit does this
+    implicitly through daemon pool threads)."""
+    with _schedulers_lock:
+        scheds = list(_schedulers.values())
+        _schedulers.clear()
+    for s in scheds:
+        shutdown = getattr(s, "shutdown", None)
+        if shutdown is not None:
+            shutdown()

@@ -1,0 +1,111 @@
+"""Execution timeline tracing via the runtime's instrumentation hooks.
+
+Where the rest of :mod:`repro.trace` captures *what code* a kernel
+turns into (symbolic PTX-like streams), this module captures *what the
+runtime did*: an ordered record of launches, blocks, copies and queue
+drains, attributed to back-end and device.  It consumes the real
+:class:`repro.runtime.instrument.ExecutionObserver` hooks — no user
+callable is wrapped, so tracing changes nothing about how kernels run.
+
+Typical use::
+
+    with trace_execution() as tl:
+        enqueue(queue, task)
+        wait(queue)
+    print(tl.render())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..runtime.instrument import ExecutionObserver, observe
+
+__all__ = ["TimelineEvent", "TimelineObserver", "trace_execution"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One runtime transition on the recorded timeline."""
+
+    #: "launch_begin" | "launch_end" | "block" | "copy" | "queue_drain"
+    kind: str
+    #: Host wall-clock seconds relative to the observer's creation.
+    t: float
+    #: Back-end name for launches/blocks, device/queue repr otherwise.
+    what: str
+    #: Optional detail (work-div for launches, block index for blocks).
+    detail: str = ""
+
+
+@dataclass
+class TimelineObserver(ExecutionObserver):
+    """Records runtime events with relative host timestamps.
+
+    Block events can be torrential on large grids; ``record_blocks``
+    keeps them opt-in.
+    """
+
+    record_blocks: bool = False
+    events: List[TimelineEvent] = field(default_factory=list)
+    _t0: float = field(default_factory=time.perf_counter)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def _emit(self, kind: str, what: str, detail: str = "") -> None:
+        ev = TimelineEvent(kind, time.perf_counter() - self._t0, what, detail)
+        with self._lock:
+            self.events.append(ev)
+
+    def on_launch_begin(self, plan, task, device) -> None:
+        self._emit(
+            "launch_begin",
+            plan.acc_type.name,
+            f"{plan.work_div} schedule={plan.schedule} dev={device.name}",
+        )
+
+    def on_launch_end(self, plan, task, device) -> None:
+        self._emit("launch_end", plan.acc_type.name)
+
+    def on_block(self, plan, block_idx) -> None:
+        if self.record_blocks:
+            self._emit("block", plan.acc_type.name, repr(block_idx))
+
+    def on_copy(self, task, device) -> None:
+        self._emit("copy", type(task).__name__, repr(task))
+
+    def on_queue_drain(self, queue) -> None:
+        self._emit("queue_drain", repr(queue))
+
+    # -- queries ---------------------------------------------------------
+
+    def launches(self) -> List[TimelineEvent]:
+        return [e for e in self.events if e.kind == "launch_begin"]
+
+    def span(self, index: int = 0) -> Optional[float]:
+        """Wall seconds between the ``index``-th launch_begin and its
+        matching launch_end (None while still in flight)."""
+        begins = [e for e in self.events if e.kind == "launch_begin"]
+        ends = [e for e in self.events if e.kind == "launch_end"]
+        if index >= len(begins) or index >= len(ends):
+            return None
+        return ends[index].t - begins[index].t
+
+    def render(self) -> str:
+        """Human-readable timeline, one event per line."""
+        lines = [
+            f"{e.t * 1e3:10.3f} ms  {e.kind:<12} {e.what}"
+            + (f"  [{e.detail}]" if e.detail else "")
+            for e in self.events
+        ]
+        return "\n".join(lines)
+
+
+@contextmanager
+def trace_execution(record_blocks: bool = False) -> Iterator[TimelineObserver]:
+    """Record a runtime timeline for the duration of a ``with`` block."""
+    with observe(TimelineObserver(record_blocks=record_blocks)) as tl:
+        yield tl

@@ -1,4 +1,4 @@
-"""The shared OpenMP-block worker pool under concurrent launches."""
+"""Per-device block-worker pools under concurrent launches."""
 
 import threading
 
@@ -7,6 +7,7 @@ import pytest
 
 from repro import (
     AccCpuOmp2Blocks,
+    QueueBlocking,
     QueueNonBlocking,
     WorkDivMembers,
     create_task_kernel,
@@ -14,13 +15,24 @@ from repro import (
     get_dev_by_idx,
     mem,
 )
-from repro.acc.engine import _shared_block_pool
 from repro.core.element import grid_strided_spans
+from repro.runtime.scheduler import PooledScheduler, scheduler_for
 
 
-class TestSharedPool:
-    def test_pool_is_singleton(self):
-        assert _shared_block_pool() is _shared_block_pool()
+class TestPerDevicePool:
+    def test_scheduler_is_cached_per_device(self):
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        a = scheduler_for(dev, "pooled")
+        b = scheduler_for(dev, "pooled")
+        assert a is b
+        assert isinstance(a, PooledScheduler)
+        assert a.worker_count >= 1
+
+    def test_sequential_and_pooled_are_distinct(self):
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        assert scheduler_for(dev, "pooled") is not scheduler_for(
+            dev, "sequential"
+        )
 
     def test_concurrent_launches_share_pool_safely(self):
         """Two non-blocking queues launching block-parallel kernels at
@@ -61,7 +73,6 @@ class TestSharedPool:
         def good(acc, out):
             acc.atomic_add(out, 0, 1.0)
 
-        from repro import QueueBlocking
         from repro.core.errors import KernelError
 
         q = QueueBlocking(dev)
@@ -75,12 +86,9 @@ class TestSharedPool:
 
     def test_many_blocks_complete_through_bounded_pool(self):
         """More blocks than pool workers: all still execute exactly
-        once."""
+        once (chunked dispatch covers the whole grid)."""
         dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
-        from repro import QueueBlocking
         from repro.core import Blocks, Grid, get_idx
-
-        hits = np.zeros(500)
 
         @fn_acc
         def mark(acc, data):
@@ -93,3 +101,27 @@ class TestSharedPool:
         q.enqueue(create_task_kernel(AccCpuOmp2Blocks, wd, mark, buf))
         assert np.all(buf.as_numpy() == 1.0)
         buf.free()
+
+    def test_chunked_dispatch_uses_multiple_workers(self):
+        """A large grid actually spreads over more than one pool
+        thread (not serialised through a single chunk)."""
+        import time
+
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        threads_seen = set()
+        lock = threading.Lock()
+
+        @fn_acc
+        def snoop(acc):
+            # Slow enough that the chunks' lifetimes overlap, forcing
+            # the pool to put them on distinct workers.
+            time.sleep(0.002)
+            with lock:
+                threads_seen.add(threading.get_ident())
+
+        q = QueueBlocking(dev)
+        wd = WorkDivMembers.make(32, 1, 1)
+        q.enqueue(create_task_kernel(AccCpuOmp2Blocks, wd, snoop))
+        workers = scheduler_for(dev, "pooled").worker_count
+        if workers > 1:
+            assert len(threads_seen) > 1

@@ -103,3 +103,24 @@ class TestForMachine:
         b = AccCpuSerial.for_machine("amd-opteron-6276")
         assert a is not b
         assert a.parallel_scope != b.parallel_scope
+
+
+class TestExecutionStrategies:
+    def test_every_backend_declares_a_pair(self):
+        from repro import accelerator_names, execution_strategies
+
+        strategies = execution_strategies()
+        assert sorted(strategies) == accelerator_names()
+        for schedule, execute in strategies.values():
+            assert schedule in ("sequential", "pooled")
+            assert execute in ("single", "preemptive", "cooperative")
+
+    def test_known_pairs(self):
+        from repro import execution_strategies
+
+        s = execution_strategies()
+        assert s["AccCpuSerial"] == ("sequential", "single")
+        assert s["AccCpuOmp2Blocks"] == ("pooled", "single")
+        assert s["AccCpuFibers"] == ("sequential", "cooperative")
+        assert s["AccGpuCudaSim"] == ("sequential", "preemptive")
+        assert s["AccOmp4TargetSim"] == ("pooled", "preemptive")

@@ -1,0 +1,176 @@
+"""ExecutionObserver hooks: registration, notification, counters."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuOmp2Blocks,
+    AccCpuSerial,
+    AccGpuCudaSim,
+    CountingObserver,
+    ExecutionObserver,
+    QueueBlocking,
+    QueueNonBlocking,
+    WorkDivMembers,
+    clear_plan_cache,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    mem,
+    observe,
+    register_observer,
+    unregister_observer,
+)
+from repro.runtime.instrument import observers
+
+
+@fn_acc
+def _noop(acc):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestRegistration:
+    def test_observe_context_registers_and_removes(self):
+        obs = CountingObserver()
+        assert obs not in observers()
+        with observe(obs):
+            assert obs in observers()
+        assert obs not in observers()
+
+    def test_register_is_idempotent(self):
+        obs = CountingObserver()
+        register_observer(obs)
+        register_observer(obs)
+        try:
+            assert observers().count(obs) == 1
+        finally:
+            unregister_observer(obs)
+        assert obs not in observers()
+
+
+class TestLaunchHooks:
+    def test_launch_and_block_counts(self):
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(6, 1, 1), _noop)
+        with observe(CountingObserver()) as stats:
+            q.enqueue(task)
+            q.enqueue(task)
+        assert stats.launches == 2
+        assert stats.blocks == 12
+        assert stats.per_backend == {"AccCpuSerial": 2}
+
+    def test_plan_cache_counters_via_observer(self):
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(2, 1, 1), _noop)
+        with observe(CountingObserver()) as stats:
+            for _ in range(5):
+                q.enqueue(task)
+        assert stats.plan_cache_misses == 1
+        assert stats.plan_cache_hits == 4
+        assert stats.plan_cache_hit_rate == pytest.approx(0.8)
+
+    def test_launch_end_fires_even_on_kernel_failure(self):
+        from repro.core.errors import KernelError
+
+        @fn_acc
+        def bad(acc):
+            raise RuntimeError("boom")
+
+        ends = []
+
+        class EndWatcher(ExecutionObserver):
+            def on_launch_end(self, plan, task, device):
+                ends.append(plan.acc_type.name)
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        with observe(EndWatcher()):
+            with pytest.raises(KernelError):
+                q.enqueue(
+                    create_task_kernel(
+                        AccCpuSerial, WorkDivMembers.make(1, 1, 1), bad
+                    )
+                )
+        assert ends == ["AccCpuSerial"]
+
+    def test_block_hook_sees_every_block_of_pooled_launch(self):
+        seen = []
+
+        class BlockWatcher(ExecutionObserver):
+            def on_block(self, plan, block_idx):
+                seen.append(block_idx)
+
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        q = QueueBlocking(dev)
+        with observe(BlockWatcher()):
+            q.enqueue(
+                create_task_kernel(
+                    AccCpuOmp2Blocks, WorkDivMembers.make(40, 1, 1), _noop
+                )
+            )
+        assert len(seen) == 40
+        assert len(set(tuple(b) for b in seen)) == 40
+
+
+class TestCopyAndQueueHooks:
+    def test_copy_and_memset_notify(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        buf = mem.alloc(dev, 16)
+        with observe(CountingObserver()) as stats:
+            mem.memset(q, buf, 0.0)
+            mem.copy(q, buf, np.ones(16))
+            out = np.zeros(16)
+            mem.copy(q, out, buf)
+        assert stats.copies == 3
+        buf.free()
+
+    def test_nonblocking_queue_drain_notifies(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueNonBlocking(dev)
+        with observe(CountingObserver()) as stats:
+            for _ in range(3):
+                q.enqueue(lambda: None)
+            q.wait()
+        assert stats.queue_drains >= 1
+        q.destroy()
+
+    def test_bench_harness_launch_stats(self):
+        from repro.bench import launch_stats
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(3, 1, 1), _noop)
+        with launch_stats() as stats:
+            q.enqueue(task)
+            q.enqueue(task)
+        assert stats.launches == 2
+        assert stats.plan_cache_hits == 1
+
+    def test_timeline_observer_records_ordered_events(self):
+        from repro.trace import trace_execution
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(2, 1, 1), _noop)
+        buf = mem.alloc(dev, 4)
+        with trace_execution(record_blocks=True) as tl:
+            q.enqueue(task)
+            mem.memset(q, buf, 1.0)
+        kinds = [e.kind for e in tl.events]
+        assert kinds[0] == "launch_begin"
+        assert kinds.count("block") == 2
+        assert "launch_end" in kinds
+        assert "copy" in kinds
+        assert tl.span(0) is not None and tl.span(0) >= 0.0
+        assert "AccCpuSerial" in tl.render()
+        buf.free()
