@@ -29,7 +29,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from . import acc, atomic, core, dev, hardware, math, mem
-from . import perfmodel, queue, rand, runtime, testing, trace
+from . import perfmodel, queue, rand, runtime, testing, trace, tuning
 from .acc import (
     AccCpuFibers,
     AccOmp4TargetSim,
@@ -42,10 +42,12 @@ from .acc import (
     accelerator_names,
     all_accelerators,
     execution_strategies,
+    mapping_strategies,
 )
 from .core import (
     AccDevProps,
     AlpakaError,
+    AutoWorkDiv,
     Block,
     Blocks,
     Elems,
@@ -91,6 +93,7 @@ from .runtime import (
     register_observer,
     unregister_observer,
 )
+from .tuning import TuningCache, TuningResult, autotune, default_cache
 
 __version__ = "1.0.0"
 
@@ -98,14 +101,15 @@ __all__ = [
     "__version__",
     # subpackages
     "acc", "atomic", "core", "dev", "hardware", "math", "mem",
-    "perfmodel", "queue", "rand", "runtime", "testing", "trace",
+    "perfmodel", "queue", "rand", "runtime", "testing", "trace", "tuning",
     # accelerators
     "AccCpuSerial", "AccCpuOmp2Blocks", "AccCpuOmp2Threads", "AccCpuThreads",
     "AccCpuFibers", "AccGpuCudaSim", "AccOmp4TargetSim",
     "accelerator", "accelerator_names",
-    "all_accelerators", "execution_strategies",
+    "all_accelerators", "execution_strategies", "mapping_strategies",
     # core
-    "Vec", "WorkDivMembers", "MappingStrategy", "divide_work", "AccDevProps",
+    "Vec", "WorkDivMembers", "AutoWorkDiv", "MappingStrategy",
+    "divide_work", "AccDevProps",
     "Grid", "Block", "Thread", "Blocks", "Threads", "Elems",
     "get_idx", "get_work_div", "map_idx",
     "element_box", "element_slice", "independent_elements",
@@ -123,4 +127,6 @@ __all__ = [
     "LaunchPlan", "clear_plan_cache", "plan_cache_info",
     "ExecutionObserver", "CountingObserver",
     "register_observer", "unregister_observer", "observe",
+    # autotuning
+    "autotune", "TuningResult", "TuningCache", "default_cache",
 ]

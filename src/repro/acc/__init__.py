@@ -18,6 +18,7 @@ from .registry import (
     all_accelerators,
     cpu_accelerators,
     execution_strategies,
+    mapping_strategies,
     sync_capable_accelerators,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "all_accelerators",
     "cpu_accelerators",
     "execution_strategies",
+    "mapping_strategies",
     "sync_capable_accelerators",
 ]

@@ -268,7 +268,7 @@ def run_grid(
         plan.block_runner = block_runner
         plan.schedule = (
             "pooled"
-            if parallel_blocks and task.work_div.block_count > 1
+            if parallel_blocks and plan.work_div.block_count > 1
             else "sequential"
         )
     grid = GridContext(

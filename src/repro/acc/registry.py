@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Type
 
+from ..core.workdiv import MappingStrategy
 from .base import AcceleratorType
 from .cpu import (
     AccCpuFibers,
@@ -29,6 +30,7 @@ __all__ = [
     "cpu_accelerators",
     "sync_capable_accelerators",
     "execution_strategies",
+    "mapping_strategies",
 ]
 
 _REGISTRY: Dict[str, Type[AcceleratorType]] = {
@@ -70,6 +72,14 @@ def cpu_accelerators() -> List[Type[AcceleratorType]]:
 def sync_capable_accelerators() -> List[Type[AcceleratorType]]:
     """Back-ends whose blocks may hold more than one thread."""
     return [a for a in all_accelerators() if a.supports_block_sync]
+
+
+def mapping_strategies() -> Dict[str, MappingStrategy]:
+    """Every back-end's preferred Table 2 mapping — the starting point
+    the work-division autotuner (:mod:`repro.tuning`) searches from."""
+    return {
+        name: acc.mapping_strategy for name, acc in sorted(_REGISTRY.items())
+    }
 
 
 def execution_strategies() -> Dict[str, Tuple[str, str]]:

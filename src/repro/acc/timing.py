@@ -1,6 +1,14 @@
-"""Modeled-time hook for kernel execution.
+"""Timing: the shared warmup/repeat measurement loop and the
+modeled-time hook for kernel execution.
 
-The reproduction runs every kernel *functionally* on the host.  For the
+:func:`measure` is the *one* warmup-then-repeat timing loop of the
+library.  The benchmark harness (:func:`repro.bench.measure_wall`) and
+the work-division autotuner (:mod:`repro.tuning.measure`) both delegate
+here, so "how we time things" — warmup first, best-of-N, monotonic
+clock — is defined exactly once.
+
+:func:`advance_modeled_time` is the simulated-clock hook: the
+reproduction runs every kernel *functionally* on the host, and for the
 performance figures it additionally advances the device's simulated
 clock by the time the launch would have taken on the modeled machine —
 but only when the kernel opts in by describing itself: a kernel class
@@ -16,27 +24,66 @@ DESIGN.md.
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 from ..core.errors import ModelError
 from ..dev.device import Device
 
-__all__ = ["advance_modeled_time"]
+__all__ = ["measure", "advance_modeled_time"]
 
 
-def advance_modeled_time(task, device: Device, backend_kind: str) -> float:
+def measure(
+    fn: Callable[[], None],
+    *,
+    warmup: int = 1,
+    repeat: int = 3,
+) -> float:
+    """Best-of-``repeat`` wall seconds of ``fn`` after ``warmup`` calls.
+
+    Minimum (not mean) is the right statistic for timing comparisons:
+    noise is strictly additive, so the fastest observation is the
+    closest to the true cost.  ``warmup`` calls run first and are not
+    timed (plan caches fill, pools spin up, branch predictors settle).
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def advance_modeled_time(
+    task, device: Device, backend_kind: str, work_div=None
+) -> float:
     """Advance ``device``'s simulated clock for ``task``; returns the
-    modeled seconds (0.0 when the kernel does not describe itself)."""
+    modeled seconds (0.0 when the kernel does not describe itself).
+
+    ``work_div`` overrides ``task.work_div`` — the runtime passes the
+    plan's *resolved* division so tasks carrying a deferred
+    :class:`~repro.core.workdiv.AutoWorkDiv` are modeled with the
+    concrete division they actually executed under.
+    """
     describe = getattr(task.kernel, "characteristics", None)
     if describe is None:
         return 0.0
     from ..perfmodel.roofline import predict_time
 
-    chars = describe(task.work_div, *task.args)
+    wd = work_div if work_div is not None else task.work_div
+    chars = describe(wd, *task.args)
     if chars is None:
         return 0.0
     predicted = predict_time(
         device.spec,
         backend_kind,
-        task.work_div,
+        wd,
         chars,
         parallel_scope=getattr(task.acc_type, "parallel_scope", "none"),
     )

@@ -11,9 +11,10 @@ printing it.
 from __future__ import annotations
 
 import os
-import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, List
+
+from ..acc.timing import measure
 
 __all__ = [
     "measure_wall",
@@ -30,17 +31,12 @@ REPORT_DIR_ENV = "REPRO_BENCH_REPORT_DIR"
 def measure_wall(fn: Callable[[], None], repeat: int = 3, warmup: int = 1) -> float:
     """Best-of-``repeat`` wall time of ``fn`` after ``warmup`` calls.
 
-    Minimum (not mean) is the right statistic for overhead comparisons:
-    noise is strictly additive.
+    Thin alias of the library's shared timing loop
+    (:func:`repro.acc.timing.measure`) kept under the bench-facing name;
+    the autotuner uses the same loop, so benchmarks and tuning measure
+    identically.
     """
-    for _ in range(warmup):
-        fn()
-    best = float("inf")
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    return measure(fn, warmup=warmup, repeat=repeat)
 
 
 @contextmanager

@@ -51,6 +51,7 @@ from .kernel import (
 from .properties import AccDevProps
 from .vec import Dim1, Dim2, Dim3, Dim4, Vec, as_vec, vec1, vec2, vec3
 from .workdiv import (
+    AutoWorkDiv,
     MappingStrategy,
     WorkDivMembers,
     divide_work,
@@ -64,7 +65,8 @@ __all__ = [
     "Origin", "Unit", "Grid", "Block", "Thread", "Blocks", "Threads", "Elems",
     "get_idx", "get_work_div", "map_idx", "linearize", "delinearize",
     # workdiv
-    "WorkDivMembers", "MappingStrategy", "divide_work", "validate_work_div",
+    "WorkDivMembers", "AutoWorkDiv", "MappingStrategy", "divide_work",
+    "validate_work_div",
     # kernel
     "KernelTask", "create_task_kernel", "fn_acc", "fn_host", "fn_host_acc",
     "is_acc_callable",

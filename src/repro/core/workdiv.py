@@ -11,6 +11,13 @@ Besides the explicit :class:`WorkDivMembers`, this module implements the
 automatic divider :func:`divide_work` realising the predefined mappings
 of paper Table 2, and :func:`validate_work_div` which enforces device
 limits (:class:`~repro.core.properties.AccDevProps`).
+
+The third strategy, :attr:`MappingStrategy.AUTO`, defers the choice to
+the work-division autotuner (:mod:`repro.tuning`): a previously measured
+winner is served from the persistent tuning cache, and the Table 2
+heuristic is the fallback when nothing has been tuned yet.
+:class:`AutoWorkDiv` is the task-level spelling of the same deferral —
+a placeholder the launch runtime resolves at plan time.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from .vec import Vec, as_vec
 
 __all__ = [
     "WorkDivMembers",
+    "AutoWorkDiv",
     "MappingStrategy",
     "divide_work",
     "validate_work_div",
@@ -144,10 +152,49 @@ class MappingStrategy(enum.Enum):
       block, parallelism across blocks, data parallelism in the element
       level (OpenMP-block and Sequential rows: grid = N/V, block = 1,
       element = V).
+    * ``AUTO`` — let the autotuner (:mod:`repro.tuning`) choose: serve a
+      measured winner from the tuning cache when one exists, fall back
+      to the back-end's Table 2 heuristic otherwise.  The search itself
+      runs only through an explicit :func:`repro.tuning.autotune` call,
+      never implicitly at launch time.
     """
 
     THREAD_LEVEL = "thread-level"
     BLOCK_LEVEL = "block-level"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class AutoWorkDiv:
+    """A deferred work division: "cover ``extent``, choose the split later".
+
+    Tasks created with an ``AutoWorkDiv`` instead of concrete
+    :class:`WorkDivMembers` are resolved by the launch runtime at plan
+    time (:func:`repro.tuning.resolve_work_div`): a tuned division from
+    the persistent cache when available, the Table 2 heuristic
+    otherwise.  The placeholder is hashable and carries the problem
+    extent, so the launch-plan cache distinguishes deferred launches of
+    different problem sizes.
+    """
+
+    extent: Vec
+
+    def __post_init__(self):
+        ext = self.extent
+        if not isinstance(ext, Vec):
+            object.__setattr__(self, "extent", as_vec(ext))
+            ext = self.extent
+        if any(c <= 0 for c in ext):
+            raise InvalidWorkDiv(
+                f"auto work division needs a positive extent, got {ext!r}"
+            )
+
+    @property
+    def dim(self) -> int:
+        return self.extent.dim
+
+    def __str__(self) -> str:
+        return f"AutoWorkDiv(extent={self.extent!r})"
 
 
 def divide_work(
@@ -157,6 +204,9 @@ def divide_work(
     *,
     block_threads: Union[int, Sequence[int], Vec, None] = None,
     thread_elems: Union[int, Sequence[int], Vec, None] = None,
+    kernel=None,
+    acc_type=None,
+    device=None,
 ) -> WorkDivMembers:
     """Compute a valid work division covering ``extent`` elements.
 
@@ -166,14 +216,40 @@ def divide_work(
 
     * thread-level:  grid = ceil(N / (B*V)), block = B, element = V
     * block-level:   grid = ceil(N / V),     block = 1, element = V
+    * auto:          defer to :func:`repro.tuning.auto_divide` (tuned
+      winner from the persistent cache, Table 2 heuristic fallback)
 
-    ``B`` defaults to the device's maximum block size (clamped per
-    axis); ``V`` defaults to 1.  The result is validated against
-    ``props``; all divisions cover at least ``extent`` (they may
-    overhang, kernels guard with an in-bounds test exactly as on CUDA).
+    ``B`` defaults to the largest block the device allows, filled from
+    the fastest axis outward; ``V`` defaults to 1 but grows per axis
+    when the resulting grid would exceed a per-axis device grid limit
+    (degenerate shapes such as a 1-wide fast dimension push every block
+    onto one slow axis).  The result is validated against ``props``; all
+    divisions cover at least ``extent`` (they may overhang, kernels
+    guard with an in-bounds test exactly as on CUDA).
+
+    ``kernel`` / ``acc_type`` / ``device`` are only consulted by the
+    ``AUTO`` strategy, which uses them to look up a previously tuned
+    division; the Table 2 strategies ignore them.
     """
+    if strategy is MappingStrategy.AUTO:
+        from ..tuning import auto_divide
+
+        return auto_divide(
+            extent,
+            props,
+            kernel=kernel,
+            acc_type=acc_type,
+            device=device,
+            block_threads=block_threads,
+            thread_elems=thread_elems,
+        )
+
     ext = as_vec(extent)
-    ext.assert_positive("problem extent")
+    if any(c <= 0 for c in ext):
+        raise InvalidWorkDiv(
+            f"problem extent must be positive, got {ext!r}; a zero-sized "
+            "launch has no valid work division (skip the launch instead)"
+        )
     dim = ext.dim
     p = props.for_dim(dim)
 
@@ -194,6 +270,9 @@ def divide_work(
         else:
             b = _default_block_extent(ext, v, p)
 
+    if thread_elems is None:
+        v = _grow_elems_to_fit_grid(ext, b, v, p)
+
     grid = ext.ceil_div(b * v).max(1)
     wd = WorkDivMembers(grid, b, v)
     validate_work_div(wd, p)
@@ -201,19 +280,46 @@ def divide_work(
 
 
 def _default_block_extent(extent: Vec, elems: Vec, props: AccDevProps) -> Vec:
-    """Pick a block extent: as large as the device allows along the
-    fastest axis, 1 elsewhere, clamped so the block is not larger than
-    the per-thread-decimated problem."""
+    """Pick a block extent: fill the device's thread budget starting at
+    the fastest axis, spilling leftover capacity onto slower axes, each
+    axis clamped to its device limit and to the per-thread-decimated
+    problem.  Spilling is what keeps degenerate shapes (1-wide fast
+    dimensions) from mapping the whole problem onto grid blocks alone.
+    """
     dim = extent.dim
     work = extent.ceil_div(elems)
     b = Vec.ones(dim)
-    fast = dim - 1
-    limit = min(
-        props.block_thread_extent_max[fast],
-        props.block_thread_count_max,
-    )
-    b = b.with_component(fast, max(1, min(limit, work[fast])))
+    budget = props.block_thread_count_max
+    for axis in range(dim - 1, -1, -1):
+        if budget <= 1:
+            break
+        take = max(1, min(props.block_thread_extent_max[axis], budget, work[axis]))
+        b = b.with_component(axis, take)
+        budget //= take
     return b
+
+
+def _grow_elems_to_fit_grid(
+    extent: Vec, block: Vec, elems: Vec, props: AccDevProps
+) -> Vec:
+    """Grow the element extent per axis until the implied grid respects
+    the device's per-axis grid limits.
+
+    Only called when the caller left ``thread_elems`` to the divider: a
+    degenerate extent (e.g. ``(2**20, 1)`` against a 65535-block axis
+    limit) would otherwise produce a grid that
+    :func:`validate_work_div` must reject.
+    """
+    grid = extent.ceil_div(block * elems).max(1)
+    gmax = props.grid_block_extent_max
+    vmax = props.thread_elem_extent_max
+    for axis in range(extent.dim):
+        if grid[axis] > gmax[axis]:
+            need = -(-extent[axis] // (block[axis] * gmax[axis]))
+            elems = elems.with_component(
+                axis, min(max(elems[axis], need), vmax[axis])
+            )
+    return elems
 
 
 def validate_work_div(wd: WorkDivMembers, props: AccDevProps) -> None:

@@ -8,6 +8,7 @@ from .roofline import (
     MachineResources,
     PredictedTime,
     machine_resources,
+    predict_launch_seconds,
     predict_time,
 )
 
@@ -17,6 +18,7 @@ __all__ = [
     "PredictedTime",
     "MachineResources",
     "predict_time",
+    "predict_launch_seconds",
     "machine_resources",
     "RooflinePoint",
     "roofline_envelope",

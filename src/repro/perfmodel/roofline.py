@@ -44,7 +44,13 @@ from ..hardware.cache import AccessPattern, CacheModel
 from ..hardware.specs import HardwareSpec
 from .kernel_model import KernelCharacteristics, device_effective_pattern
 
-__all__ = ["PredictedTime", "predict_time", "MachineResources", "machine_resources"]
+__all__ = [
+    "PredictedTime",
+    "predict_time",
+    "predict_launch_seconds",
+    "MachineResources",
+    "machine_resources",
+]
 
 #: Seconds per kernel launch (driver + runtime queueing).
 LAUNCH_OVERHEAD_S = {"gpu": 5e-6, "cpu": 2e-6}
@@ -294,3 +300,36 @@ def predict_time(
         peak_gflops=res.peak_gflops,
         factors=factors,
     )
+
+
+def predict_launch_seconds(
+    kernel, acc_type, device, wd: WorkDivMembers, args=()
+):
+    """Predicted seconds for one launch of ``kernel`` under ``wd``, or
+    ``None`` when the model has nothing to say.
+
+    The hint interface of the work-division autotuner
+    (:mod:`repro.tuning`): self-describing kernels (those implementing
+    ``characteristics(work_div, *args)``) get a roofline prediction the
+    search strategies use to prune and order candidates; anything that
+    goes wrong — no ``characteristics`` method, the kernel declining a
+    division, a model error — yields ``None`` rather than an exception,
+    because a missing hint must never abort a tuning run.
+    """
+    describe = getattr(kernel, "characteristics", None)
+    if describe is None:
+        return None
+    try:
+        chars = describe(wd, *args)
+        if chars is None:
+            return None
+        predicted = predict_time(
+            device.spec,
+            acc_type.kind,
+            wd,
+            chars,
+            parallel_scope=getattr(acc_type, "parallel_scope", "none"),
+        )
+    except Exception:
+        return None
+    return predicted.seconds

@@ -118,7 +118,7 @@ def launch(task, device) -> "LaunchPlan":
     try:
         sched = scheduler_for(device, plan.schedule)
         sched.dispatch(plan, grid, plan.block_indices, task)
-        advance_modeled_time(task, device, plan.acc_type.kind)
+        advance_modeled_time(task, device, plan.acc_type.kind, plan.work_div)
     finally:
         notify_launch_end(plan, task, device)
     return plan

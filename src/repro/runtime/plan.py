@@ -25,7 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..core.errors import SharedMemError
 from ..core.properties import AccDevProps
 from ..core.vec import Vec
-from ..core.workdiv import WorkDivMembers, validate_work_div
+from ..core.workdiv import AutoWorkDiv, WorkDivMembers, validate_work_div
 from .instrument import notify_plan_cache
 
 __all__ = [
@@ -111,9 +111,21 @@ class LaunchPlan:
 
 
 def build_plan(task, device) -> LaunchPlan:
-    """Validate and assemble a fresh plan for ``task`` on ``device``."""
+    """Validate and assemble a fresh plan for ``task`` on ``device``.
+
+    A task carrying an :class:`~repro.core.workdiv.AutoWorkDiv` is
+    resolved here against the autotuning cache (tuned division when one
+    is known for this kernel/device/extent, the back-end's heuristic
+    otherwise) — plan-time resolution never measures.  The deferred
+    division is hashable, so the plan cache distinguishes AUTO launches
+    of different extents and each resolves exactly once.
+    """
     acc_type = task.acc_type
     wd = task.work_div
+    if isinstance(wd, AutoWorkDiv):
+        from ..tuning import resolve_work_div
+
+        wd = resolve_work_div(task, device)
     props = acc_type.get_acc_dev_props(device)
     validate_work_div(wd, props)
     shared_dyn = getattr(task, "shared_mem_bytes", 0)

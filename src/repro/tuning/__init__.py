@@ -1,0 +1,330 @@
+"""repro.tuning — work-division autotuning with a persistent cache.
+
+Matthes, Widera, Zenker et al. (arXiv:1706.10086) show that the best
+work division for a kernel is a property of the *(kernel, architecture,
+problem-shape)* triple, found empirically once and reused.  This
+subsystem reproduces that workflow on the simulated back-ends:
+
+* :func:`autotune` — search the valid division space of a kernel on an
+  accelerator/device for a problem extent, measure candidates through
+  the real Task→Plan→Execute runtime, persist the winner in a JSON
+  cache keyed on kernel identity, back-end, device fingerprint and
+  bucketed extent.
+* ``divide_work(extent, props, MappingStrategy.AUTO, ...)`` — the
+  transparent entry point: returns the cached tuned division when one
+  exists, else the Table 2 heuristic preferred by the back-end.
+* :class:`~repro.core.workdiv.AutoWorkDiv` — a deferred division that a
+  :class:`~repro.core.kernel.KernelTask` may carry instead of concrete
+  extents; the launch runtime resolves it against the cache at plan
+  time (:func:`resolve_work_div`), so applications can opt into tuned
+  divisions without restructuring their launch code.
+
+Resolution never measures: plan-time lookups are cache-or-heuristic
+only.  Measurement happens only inside an explicit :func:`autotune`
+call, which is where the cost is paid once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..core.errors import InvalidWorkDiv
+from ..core.properties import AccDevProps
+from ..core.vec import Vec, as_vec
+from ..core.workdiv import (
+    AutoWorkDiv,
+    MappingStrategy,
+    WorkDivMembers,
+    divide_work,
+    validate_work_div,
+)
+from .cache import (
+    CachedResult,
+    TuningCache,
+    default_cache,
+    default_cache_path,
+    device_fingerprint,
+    kernel_id,
+    reset_default_cache,
+    TUNING_CACHE_ENV,
+)
+from .measure import MeasuredTime, measure_division, measure_task
+from .search import (
+    SEARCH_STRATEGIES,
+    SearchResult,
+    Trial,
+    run_search,
+)
+from .space import (
+    MAX_TOTAL_ELEMS,
+    candidate_divisions,
+    default_division,
+    seed_divisions,
+)
+
+__all__ = [
+    "autotune",
+    "auto_divide",
+    "resolve_work_div",
+    "TuningResult",
+    "AutoWorkDiv",
+    # space
+    "candidate_divisions",
+    "default_division",
+    "seed_divisions",
+    "MAX_TOTAL_ELEMS",
+    # search
+    "run_search",
+    "SEARCH_STRATEGIES",
+    "SearchResult",
+    "Trial",
+    # measure
+    "measure_division",
+    "measure_task",
+    "MeasuredTime",
+    # cache
+    "TuningCache",
+    "CachedResult",
+    "default_cache",
+    "reset_default_cache",
+    "default_cache_path",
+    "device_fingerprint",
+    "kernel_id",
+    "TUNING_CACHE_ENV",
+]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one :func:`autotune` call."""
+
+    work_div: WorkDivMembers
+    seconds: float
+    #: True when the result came from the cache (zero launches spent).
+    from_cache: bool
+    #: "modeled" or "wall" — which clock produced ``seconds``.
+    source: str
+    #: Search strategy used ("cache" for a hit).
+    strategy: str
+    #: How many candidate divisions were measured.
+    measurements: int
+    #: Total kernel launches the tuning run spent.
+    launches: int
+    #: Candidates skipped via performance-model pruning.
+    pruned: int
+    #: The cache key the result is stored under.
+    cache_key: str
+    #: Every measured (division, seconds) pair, in measurement order.
+    trials: Tuple[Trial, ...] = field(default_factory=tuple)
+
+
+def _valid_for(wd: WorkDivMembers, props: AccDevProps) -> bool:
+    try:
+        validate_work_div(wd, props.for_dim(wd.dim))
+    except InvalidWorkDiv:
+        return False
+    return True
+
+
+def autotune(
+    kernel,
+    acc_type,
+    extent: Union[int, Sequence[int], Vec],
+    args: Tuple = (),
+    *,
+    device=None,
+    strategy: str = "exhaustive",
+    budget: Optional[int] = None,
+    warmup: int = 1,
+    repeat: int = 3,
+    cache: Optional[TuningCache] = None,
+    save: bool = True,
+    force: bool = False,
+    shared_mem_bytes: int = 0,
+    max_total_elems: int = MAX_TOTAL_ELEMS,
+    max_block_threads: Optional[int] = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Find (or recall) the fastest work division for ``kernel`` on
+    ``acc_type`` covering ``extent``.
+
+    A cache hit returns immediately with zero kernel launches (observe
+    it via ``from_cache`` or the runtime's ``CountingObserver``); pass
+    ``force=True`` to re-measure regardless.  Otherwise every strategy
+    measures the Table 2 seed divisions plus its share of the candidate
+    space, so the result can only tie or beat the default heuristic.
+
+    ``budget`` caps the number of measured candidates (``strategy=
+    "random"`` plus a small budget is the cheap CI configuration);
+    ``max_block_threads`` shrinks the *generated* space — useful on the
+    functionally simulated GPU where every modeled thread is a host
+    thread — while the seeds stay exempt.  ``args`` must be the real
+    kernel arguments: candidates are executed, not just validated.
+    """
+    ext = as_vec(extent)
+    if device is None:
+        from ..dev.manager import get_dev_by_idx
+
+        device = get_dev_by_idx(acc_type)
+    if cache is None:
+        cache = default_cache()
+
+    props = acc_type.get_acc_dev_props(device).for_dim(ext.dim)
+    key = TuningCache.key(kernel, acc_type, device, ext)
+
+    if not force:
+        hit = cache.get(kernel, acc_type, device, ext)
+        if hit is not None and _valid_for(hit.work_div, props):
+            return TuningResult(
+                work_div=hit.work_div,
+                seconds=hit.seconds,
+                from_cache=True,
+                source=hit.source,
+                strategy="cache",
+                measurements=0,
+                launches=0,
+                pruned=0,
+                cache_key=key,
+            )
+
+    candidates = candidate_divisions(
+        ext,
+        props,
+        max_total_elems=max_total_elems,
+        max_block_threads=max_block_threads,
+    )
+    n_seeds = len(seed_divisions(ext, props))
+
+    from ..perfmodel import predict_launch_seconds
+
+    predicted: Dict[WorkDivMembers, float] = {}
+    for wd in candidates:
+        p = predict_launch_seconds(kernel, acc_type, device, wd, args)
+        if p is not None:
+            predicted[wd] = p
+
+    measured: Dict[WorkDivMembers, MeasuredTime] = {}
+
+    def objective(wd: WorkDivMembers) -> float:
+        try:
+            mt = measure_division(
+                kernel,
+                acc_type,
+                device,
+                wd,
+                args,
+                shared_mem_bytes=shared_mem_bytes,
+                warmup=warmup,
+                repeat=repeat,
+            )
+        except Exception:
+            # A division the kernel itself rejects (shared memory
+            # overflow, shape assumptions...) scores infinitely slow
+            # rather than aborting the search.
+            return float("inf")
+        measured[wd] = mt
+        return mt.seconds
+
+    result = run_search(
+        strategy,
+        candidates,
+        objective,
+        seeds=n_seeds,
+        budget=budget,
+        seed=seed,
+        predicted=predicted or None,
+    )
+
+    best = result.best
+    best_mt = measured[best.work_div]
+    entry = CachedResult(
+        work_div=best.work_div,
+        seconds=best.seconds,
+        strategy=result.strategy,
+        source=best_mt.source,
+    )
+    cache.put(kernel, acc_type, device, ext, entry)
+    if save:
+        cache.save()
+
+    return TuningResult(
+        work_div=best.work_div,
+        seconds=best.seconds,
+        from_cache=False,
+        source=best_mt.source,
+        strategy=result.strategy,
+        measurements=result.measurements,
+        launches=sum(mt.launches for mt in measured.values()),
+        pruned=result.pruned,
+        cache_key=key,
+        trials=tuple(result.trials),
+    )
+
+
+def auto_divide(
+    extent: Union[int, Sequence[int], Vec],
+    props: AccDevProps,
+    *,
+    kernel=None,
+    acc_type=None,
+    device=None,
+    block_threads=None,
+    thread_elems=None,
+    cache: Optional[TuningCache] = None,
+) -> WorkDivMembers:
+    """The division behind ``MappingStrategy.AUTO``: tuned when known,
+    heuristic otherwise — never a measurement.
+
+    When ``kernel`` and ``acc_type`` identify a cache entry for this
+    device (default device of ``acc_type`` when omitted) and the entry
+    is still valid against ``props``, it wins.  Otherwise the back-end's
+    preferred Table 2 mapping is used (falling back to thread-level when
+    the device supports multi-thread blocks, block-level when not), with
+    explicit ``block_threads`` / ``thread_elems`` overrides honoured.
+    """
+    ext = as_vec(extent)
+    if kernel is not None and acc_type is not None:
+        if device is None:
+            from ..dev.manager import get_dev_by_idx
+
+            device = get_dev_by_idx(acc_type)
+        store = cache if cache is not None else default_cache()
+        hit = store.get(kernel, acc_type, device, ext)
+        if hit is not None and _valid_for(hit.work_div, props.for_dim(ext.dim)):
+            return hit.work_div
+
+    if acc_type is not None:
+        mapping = acc_type.mapping_strategy
+    elif props.for_dim(ext.dim).block_thread_count_max > 1:
+        mapping = MappingStrategy.THREAD_LEVEL
+    else:
+        mapping = MappingStrategy.BLOCK_LEVEL
+    return divide_work(
+        ext,
+        props,
+        mapping,
+        block_threads=block_threads,
+        thread_elems=thread_elems,
+    )
+
+
+def resolve_work_div(task, device) -> WorkDivMembers:
+    """Resolve a task's :class:`~repro.core.workdiv.AutoWorkDiv` into a
+    concrete division at plan time (cache-or-heuristic, never measuring).
+
+    Called by :func:`repro.runtime.plan.build_plan`; tasks carrying a
+    concrete :class:`~repro.core.workdiv.WorkDivMembers` pass through
+    untouched.
+    """
+    wd = task.work_div
+    if not isinstance(wd, AutoWorkDiv):
+        return wd
+    props = task.acc_type.get_acc_dev_props(device)
+    return auto_divide(
+        wd.extent,
+        props,
+        kernel=task.kernel,
+        acc_type=task.acc_type,
+        device=device,
+    )

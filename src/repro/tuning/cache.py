@@ -1,0 +1,298 @@
+"""Persistent autotuning results: tuned once, fast everywhere after.
+
+The cache maps ``kernel id | accelerator | device fingerprint |
+bucketed extent`` to the winning :class:`~repro.core.workdiv.WorkDivMembers`
+and its measured seconds.  It is a small JSON file — human-readable,
+diffable, shippable with an application — whose location defaults to
+``.repro-tuning-cache.json`` in the working directory and is overridden
+by the ``REPRO_TUNING_CACHE`` environment variable.
+
+Keys are deliberately coarse on the extent axis: extents bucket to the
+next power of two per dimension, because the best division is a
+property of the *shape class* of a problem, not of each individual
+size (Matthes et al. 2017 tune per architecture, then reuse).  Keys are
+deliberately precise on the device axis: the fingerprint folds in the
+machine model's identity, core geometry and clock, so a cache produced
+on one modeled machine never misleads another.
+
+Corrupt or unreadable cache files are treated as empty (a tuner must
+never fail because a cache rotted); writes are atomic
+(write-temp-then-rename) so a crash mid-save cannot destroy earlier
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from ..core.vec import Vec, as_vec
+from ..core.workdiv import WorkDivMembers
+
+__all__ = [
+    "TUNING_CACHE_ENV",
+    "DEFAULT_CACHE_FILENAME",
+    "CACHE_FORMAT_VERSION",
+    "CachedResult",
+    "TuningCache",
+    "default_cache",
+    "reset_default_cache",
+    "default_cache_path",
+    "device_fingerprint",
+    "kernel_id",
+    "bucket_extent",
+]
+
+#: Environment variable overriding where the tuning cache lives.
+TUNING_CACHE_ENV = "REPRO_TUNING_CACHE"
+
+#: Default cache file, created in the current working directory.
+DEFAULT_CACHE_FILENAME = ".repro-tuning-cache.json"
+
+#: Bumped when the on-disk schema changes; mismatching files are
+#: treated as empty rather than misread.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_path() -> str:
+    """The resolved cache location: ``$REPRO_TUNING_CACHE`` when set,
+    else :data:`DEFAULT_CACHE_FILENAME` in the working directory."""
+    env = os.environ.get(TUNING_CACHE_ENV)
+    if env:
+        return env
+    return os.path.join(os.getcwd(), DEFAULT_CACHE_FILENAME)
+
+
+def kernel_id(kernel) -> str:
+    """A stable string identity for a kernel callable.
+
+    Functions key by qualified name; kernel *instances* key by their
+    class (two ``GemmTilingKernel()`` objects share tuning results —
+    the division depends on the algorithm, not the instance).
+    """
+    if not callable(kernel):
+        raise TypeError(f"kernel must be callable, got {kernel!r}")
+    target = kernel if hasattr(kernel, "__qualname__") else type(kernel)
+    module = getattr(target, "__module__", "?")
+    qualname = getattr(target, "__qualname__", target.__name__)
+    return f"{module}.{qualname}"
+
+
+def device_fingerprint(device) -> str:
+    """Identity of the hardware a measurement is valid for.
+
+    Folds the machine model's key, geometry and clock — enough that a
+    cache tuned against one modeled machine (or one host core count)
+    never serves another.
+    """
+    spec = device.spec
+    return (
+        f"{spec.key}:{spec.kind}:{spec.device_count}x{spec.cores_per_device}"
+        f"@{spec.clock_ghz:g}GHz"
+    )
+
+
+def bucket_extent(extent: Union[int, Sequence[int], Vec]) -> str:
+    """Round each extent component up to the next power of two.
+
+    The bucket is the cache's extent granularity: a division tuned for
+    a 1000-wide problem serves the whole (512, 1024] class.
+    """
+    ext = as_vec(extent)
+    comps = []
+    for c in ext:
+        p = 1
+        while p < c:
+            p *= 2
+        comps.append(str(p))
+    return "x".join(comps)
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One persisted tuning outcome."""
+
+    work_div: WorkDivMembers
+    seconds: float
+    #: Search strategy that produced the entry ("exhaustive", ...).
+    strategy: str
+    #: "modeled" (simulated clock) or "wall" (host clock).
+    source: str
+
+
+def _entry_to_dict(entry: CachedResult) -> dict:
+    wd = entry.work_div
+    return {
+        "grid": list(wd.grid_block_extent),
+        "block": list(wd.block_thread_extent),
+        "elems": list(wd.thread_elem_extent),
+        "seconds": entry.seconds,
+        "strategy": entry.strategy,
+        "source": entry.source,
+    }
+
+
+def _entry_from_dict(data: dict) -> CachedResult:
+    wd = WorkDivMembers(
+        Vec(*data["grid"]), Vec(*data["block"]), Vec(*data["elems"])
+    )
+    return CachedResult(
+        work_div=wd,
+        seconds=float(data["seconds"]),
+        strategy=str(data.get("strategy", "?")),
+        source=str(data.get("source", "?")),
+    )
+
+
+class TuningCache:
+    """JSON-backed map from tuning keys to winning work divisions.
+
+    Thread-safe; loads lazily on first access and tolerates a missing,
+    empty or corrupt file.  ``path=None`` resolves through
+    :func:`default_cache_path` *at each load/save*, so tests and users
+    can retarget via ``REPRO_TUNING_CACHE`` without rebuilding the
+    object.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._path = path
+        self._entries: Dict[str, CachedResult] = {}
+        self._loaded = False
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> str:
+        return self._path if self._path is not None else default_cache_path()
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def key(kernel, acc_type, device, extent) -> str:
+        return "|".join(
+            (
+                kernel_id(kernel),
+                acc_type.name,
+                device_fingerprint(device),
+                bucket_extent(extent),
+            )
+        )
+
+    # -- persistence ---------------------------------------------------
+
+    def _load_locked(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        try:
+            with open(self.path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("version") != CACHE_FORMAT_VERSION:
+            return
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            return
+        for key, raw in entries.items():
+            try:
+                self._entries[key] = _entry_from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                continue  # skip individually rotten entries
+
+    def save(self) -> str:
+        """Write the cache atomically; returns the path written."""
+        with self._lock:
+            self._load_locked()
+            payload = {
+                "version": CACHE_FORMAT_VERSION,
+                "entries": {
+                    k: _entry_to_dict(v)
+                    for k, v in sorted(self._entries.items())
+                },
+            }
+            path = self.path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".repro-tuning-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- access --------------------------------------------------------
+
+    def get(self, kernel, acc_type, device, extent) -> Optional[CachedResult]:
+        key = self.key(kernel, acc_type, device, extent)
+        with self._lock:
+            self._load_locked()
+            return self._entries.get(key)
+
+    def put(
+        self,
+        kernel,
+        acc_type,
+        device,
+        extent,
+        result: CachedResult,
+    ) -> str:
+        """Store ``result``; returns the key written (not yet saved —
+        call :meth:`save` to persist)."""
+        key = self.key(kernel, acc_type, device, extent)
+        with self._lock:
+            self._load_locked()
+            self._entries[key] = result
+        return key
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the file is untouched until
+        :meth:`save`)."""
+        with self._lock:
+            self._entries.clear()
+            self._loaded = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._load_locked()
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            self._load_locked()
+            return key in self._entries
+
+
+_default_cache: Optional[TuningCache] = None
+_default_cache_lock = threading.Lock()
+
+
+def default_cache() -> TuningCache:
+    """The process-wide cache instance backed by the default path."""
+    global _default_cache
+    with _default_cache_lock:
+        if _default_cache is None:
+            _default_cache = TuningCache()
+        return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide instance (tests switching
+    ``REPRO_TUNING_CACHE`` call this to re-resolve the path)."""
+    global _default_cache
+    with _default_cache_lock:
+        _default_cache = None

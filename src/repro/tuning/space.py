@@ -1,0 +1,198 @@
+"""Candidate work divisions: the search space of the autotuner.
+
+The space of a problem extent on a device is the cross product of
+
+* a **mapping** (paper Table 2: thread-level or block-level),
+* a **block extent** — power-of-two thread counts factored over the two
+  fastest axes (the axes the default divider fills), and
+* an **element extent** — power-of-two per-thread boxes over the same
+  axes, capped by ``max_total_elems``,
+
+pre-filtered through :func:`~repro.core.workdiv.validate_work_div`
+against the device's :class:`~repro.core.properties.AccDevProps`, so a
+search strategy never spends a measurement on a division the device
+would reject.  The library's own Table 2 heuristic divisions are always
+seeded into the space first: whatever the search does, the tuned result
+can only tie or beat the default (Matthes et al. 2017 make the same
+guarantee by including the reference configuration in every sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import InvalidWorkDiv
+from ..core.properties import AccDevProps
+from ..core.vec import Vec, as_vec
+from ..core.workdiv import (
+    MappingStrategy,
+    WorkDivMembers,
+    divide_work,
+    validate_work_div,
+)
+
+__all__ = [
+    "candidate_divisions",
+    "default_division",
+    "seed_divisions",
+    "MAX_TOTAL_ELEMS",
+]
+
+#: Default cap on the per-thread element count a candidate may use.
+MAX_TOTAL_ELEMS = 256
+
+
+def _pow2s_up_to(n: int) -> List[int]:
+    """``[1, 2, 4, ...]`` up to and including the largest power <= n."""
+    out = []
+    p = 1
+    while p <= n:
+        out.append(p)
+        p *= 2
+    return out
+
+
+def default_division(
+    extent: Union[int, Sequence[int], Vec],
+    props: AccDevProps,
+    mapping: MappingStrategy,
+) -> Optional[WorkDivMembers]:
+    """The library's Table 2 heuristic division for ``mapping``, or
+    ``None`` when the device cannot realise it (e.g. a thread-level
+    mapping on a 1-thread-per-block back-end is the same division as the
+    block-level one, never an error)."""
+    try:
+        return divide_work(extent, props, mapping)
+    except InvalidWorkDiv:
+        return None
+
+
+def seed_divisions(
+    extent: Union[int, Sequence[int], Vec], props: AccDevProps
+) -> List[WorkDivMembers]:
+    """The heuristic divisions every search measures first: the Table 2
+    mapping of each strategy the device supports, deduplicated."""
+    seeds: List[WorkDivMembers] = []
+    for mapping in (MappingStrategy.THREAD_LEVEL, MappingStrategy.BLOCK_LEVEL):
+        wd = default_division(extent, props, mapping)
+        if wd is not None and wd not in seeds:
+            seeds.append(wd)
+    return seeds
+
+
+def _block_shapes(
+    dim: int, total: int, props: AccDevProps, work: Vec
+) -> Iterator[Vec]:
+    """Block extents with ``total`` threads factored over the two
+    fastest axes (slower axes stay 1, matching the default divider)."""
+    fast = dim - 1
+    emitted = set()
+    for fast_threads in _pow2s_up_to(total):
+        rest = total // fast_threads
+        if fast_threads * rest != total:
+            continue
+        b = Vec.ones(dim).with_component(fast, fast_threads)
+        if dim >= 2:
+            b = b.with_component(fast - 1, rest)
+        elif rest != 1:
+            continue  # 1-d: all threads must sit on the only axis
+        if not all(
+            b[a] <= props.block_thread_extent_max[a] for a in range(dim)
+        ):
+            continue
+        # A block axis wider than the work along it only adds idle
+        # threads; the clamped shape is already in the space.
+        if not all(b[a] <= max(1, work[a]) for a in range(dim)):
+            continue
+        if b not in emitted:
+            emitted.add(b)
+            yield b
+
+
+def _elem_shapes(
+    dim: int,
+    extent: Vec,
+    props: AccDevProps,
+    max_total: int,
+) -> Iterator[Vec]:
+    """Per-thread element boxes: powers of two over the two fastest
+    axes, capped by the device limit, the extent and ``max_total``."""
+    fast = dim - 1
+    fast_cap = min(props.thread_elem_extent_max[fast], extent[fast], max_total)
+    slow_caps: List[int] = []
+    if dim >= 2:
+        slow = fast - 1
+        slow_caps = _pow2s_up_to(
+            min(props.thread_elem_extent_max[slow], extent[slow], max_total)
+        )
+    else:
+        slow_caps = [1]
+    emitted = set()
+    for fast_elems in _pow2s_up_to(fast_cap):
+        for slow_elems in slow_caps:
+            if fast_elems * slow_elems > max_total:
+                continue
+            v = Vec.ones(dim).with_component(fast, fast_elems)
+            if dim >= 2:
+                v = v.with_component(fast - 1, slow_elems)
+            if v not in emitted:
+                emitted.add(v)
+                yield v
+
+
+def candidate_divisions(
+    extent: Union[int, Sequence[int], Vec],
+    props: AccDevProps,
+    *,
+    mappings: Optional[Tuple[MappingStrategy, ...]] = None,
+    max_total_elems: int = MAX_TOTAL_ELEMS,
+    max_block_threads: Optional[int] = None,
+) -> List[WorkDivMembers]:
+    """Enumerate valid candidate divisions covering ``extent``.
+
+    The list starts with the Table 2 seed divisions
+    (:func:`seed_divisions`), followed by the enumerated space in
+    deterministic order; every entry passed
+    :func:`~repro.core.workdiv.validate_work_div` against ``props``.
+
+    ``max_block_threads`` optionally tightens the device's thread-count
+    limit — benchmarks on the functionally simulated GPU use it to keep
+    host-side execution affordable; the seeds are exempt, so the
+    default heuristic always stays in the space.
+    """
+    ext = as_vec(extent)
+    if any(c <= 0 for c in ext):
+        raise InvalidWorkDiv(
+            f"cannot enumerate divisions for non-positive extent {ext!r}"
+        )
+    dim = ext.dim
+    p = props.for_dim(dim)
+    if mappings is None:
+        mappings = (MappingStrategy.THREAD_LEVEL, MappingStrategy.BLOCK_LEVEL)
+
+    out: List[WorkDivMembers] = list(seed_divisions(ext, p))
+    seen = set(out)
+
+    thread_cap = p.block_thread_count_max
+    if max_block_threads is not None:
+        thread_cap = min(thread_cap, max_block_threads)
+
+    for mapping in mappings:
+        if mapping is MappingStrategy.BLOCK_LEVEL:
+            totals = [1]
+        else:
+            totals = _pow2s_up_to(thread_cap)
+        for total in totals:
+            for v in _elem_shapes(dim, ext, p, max_total_elems):
+                work = ext.ceil_div(v)
+                for b in _block_shapes(dim, total, p, work):
+                    grid = ext.ceil_div(b * v).max(1)
+                    try:
+                        wd = WorkDivMembers(grid, b, v)
+                        validate_work_div(wd, p)
+                    except InvalidWorkDiv:
+                        continue
+                    if wd not in seen:
+                        seen.add(wd)
+                        out.append(wd)
+    return out

@@ -162,3 +162,106 @@ class TestDivideWork:
         )
         assert wd.block_thread_count == 1
         assert wd.grid_elem_extent[0] >= n
+
+
+CUDA_SIM_PROPS = AccDevProps(
+    multi_processor_count=13,
+    grid_block_extent_max=Vec(65535, 65535, (1 << 31) - 1),
+    block_thread_extent_max=Vec(64, 1024, 1024),
+    thread_elem_extent_max=Vec.all(3, 1 << 20),
+    block_thread_count_max=1024,
+    shared_mem_size_bytes=48 * 1024,
+)
+
+
+class TestDivideWorkDegenerate:
+    """Regression: extents that used to produce divisions
+    ``validate_work_div`` rejects (zero extents raised the wrong error;
+    narrow 2-d extents overflowed the per-axis grid limit because the
+    default block filled only the fastest axis)."""
+
+    @pytest.mark.parametrize("extent", [0, (0,), (4, 0), (0, 0), (1, 0, 8)])
+    def test_zero_extent_raises_invalid_work_div(self, extent):
+        with pytest.raises(InvalidWorkDiv):
+            divide_work(extent, PROPS, MappingStrategy.THREAD_LEVEL)
+
+    @pytest.mark.parametrize(
+        "extent",
+        [
+            (1 << 20, 1),
+            (1 << 20, 2),
+            (70000, 3),
+            (1, 1 << 20),
+            (65536, 1),
+            (1 << 22, 1, 1),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "mapping", [MappingStrategy.THREAD_LEVEL, MappingStrategy.BLOCK_LEVEL]
+    )
+    def test_narrow_extents_validate_on_cuda_sim(self, extent, mapping):
+        props = CUDA_SIM_PROPS.for_dim(len(extent))
+        wd = divide_work(extent, props, mapping)
+        validate_work_div(wd, props)
+        # Full coverage of the problem.
+        for a in range(len(extent)):
+            assert wd.grid_elem_extent[a] >= extent[a]
+
+    @pytest.mark.parametrize("extent", [1, (1, 1), (1, 1, 1), (7, 1), (1, 7)])
+    def test_tiny_extents_all_mappings(self, extent):
+        for props in (PROPS, SERIAL_PROPS, CUDA_SIM_PROPS):
+            p = props.for_dim(len(extent) if not isinstance(extent, int) else 1)
+            for mapping in (
+                MappingStrategy.THREAD_LEVEL,
+                MappingStrategy.BLOCK_LEVEL,
+            ):
+                wd = divide_work(extent, p, mapping)
+                validate_work_div(wd, p)
+
+    @given(
+        h=st.integers(1, 1 << 21),
+        w=st.integers(1, 64),
+    )
+    def test_fuzz_2d_cuda_sim_always_valid(self, h, w):
+        props = CUDA_SIM_PROPS.for_dim(2)
+        for mapping in (
+            MappingStrategy.THREAD_LEVEL,
+            MappingStrategy.BLOCK_LEVEL,
+        ):
+            wd = divide_work((h, w), props, mapping)
+            validate_work_div(wd, props)
+            assert wd.grid_elem_extent[0] >= h
+            assert wd.grid_elem_extent[1] >= w
+
+
+class TestAutoWorkDiv:
+    def test_holds_extent_and_dim(self):
+        from repro.core.workdiv import AutoWorkDiv
+
+        a = AutoWorkDiv(Vec(8, 8))
+        assert a.extent == Vec(8, 8)
+        assert a.dim == 2
+
+    def test_coerces_sequences(self):
+        from repro.core.workdiv import AutoWorkDiv
+
+        assert AutoWorkDiv((4, 4)).extent == Vec(4, 4)
+        assert AutoWorkDiv(16).extent == Vec(16)
+
+    def test_rejects_nonpositive(self):
+        from repro.core.workdiv import AutoWorkDiv
+
+        with pytest.raises(InvalidWorkDiv):
+            AutoWorkDiv((4, 0))
+
+    def test_hashable_and_distinct_by_extent(self):
+        from repro.core.workdiv import AutoWorkDiv
+
+        a, b = AutoWorkDiv((8, 8)), AutoWorkDiv((16, 16))
+        assert a != b
+        assert len({a, b, AutoWorkDiv((8, 8))}) == 2
+
+    def test_auto_strategy_returns_concrete_division(self):
+        wd = divide_work((32, 32), PROPS, MappingStrategy.AUTO)
+        assert isinstance(wd, WorkDivMembers)
+        validate_work_div(wd, PROPS.for_dim(2))

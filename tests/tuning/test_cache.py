@@ -1,0 +1,165 @@
+"""Tuning cache: keys, persistence, tolerance of rot."""
+
+import json
+import os
+
+import pytest
+
+from repro import AccCpuSerial, AccGpuCudaSim, get_dev_by_idx
+from repro.core.workdiv import WorkDivMembers
+from repro.tuning import (
+    CachedResult,
+    TuningCache,
+    TUNING_CACHE_ENV,
+    default_cache,
+    default_cache_path,
+    reset_default_cache,
+)
+from repro.tuning.cache import bucket_extent, device_fingerprint, kernel_id
+
+
+def _kernel_a(acc):
+    pass
+
+
+def _kernel_b(acc):
+    pass
+
+
+class _KernelCls:
+    def __call__(self, acc):
+        pass
+
+
+WD = WorkDivMembers.make(4, 1, 8)
+ENTRY = CachedResult(work_div=WD, seconds=1.5e-6, strategy="exhaustive", source="modeled")
+
+
+class TestKeys:
+    def test_kernel_id_functions_differ(self):
+        assert kernel_id(_kernel_a) != kernel_id(_kernel_b)
+
+    def test_kernel_id_instances_share_class_identity(self):
+        assert kernel_id(_KernelCls()) == kernel_id(_KernelCls())
+        assert kernel_id(_KernelCls()) == kernel_id(_KernelCls)
+
+    def test_kernel_id_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            kernel_id(42)
+
+    def test_bucket_extent_next_pow2(self):
+        assert bucket_extent(1000) == "1024"
+        assert bucket_extent(1024) == "1024"
+        assert bucket_extent((3, 100)) == "4x128"
+        assert bucket_extent(1) == "1"
+
+    def test_same_bucket_same_key(self):
+        dev = get_dev_by_idx(AccCpuSerial)
+        k1 = TuningCache.key(_kernel_a, AccCpuSerial, dev, 513)
+        k2 = TuningCache.key(_kernel_a, AccCpuSerial, dev, 1024)
+        k3 = TuningCache.key(_kernel_a, AccCpuSerial, dev, 512)
+        assert k1 == k2
+        assert k1 != k3
+
+    def test_fingerprint_distinguishes_devices(self):
+        cpu = get_dev_by_idx(AccCpuSerial)
+        gpu = get_dev_by_idx(AccGpuCudaSim)
+        assert device_fingerprint(cpu) != device_fingerprint(gpu)
+
+    def test_key_distinguishes_backends(self):
+        cpu = get_dev_by_idx(AccCpuSerial)
+        gpu = get_dev_by_idx(AccGpuCudaSim)
+        assert TuningCache.key(_kernel_a, AccCpuSerial, cpu, 64) != TuningCache.key(
+            _kernel_a, AccGpuCudaSim, gpu, 64
+        )
+
+
+class TestPersistence:
+    def test_serialize_reload_hit(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(path)
+        cache.put(_kernel_a, AccCpuSerial, dev, 1000, ENTRY)
+        cache.save()
+
+        reloaded = TuningCache(path)
+        hit = reloaded.get(_kernel_a, AccCpuSerial, dev, 700)  # same bucket
+        assert hit is not None
+        assert hit.work_div == WD
+        assert hit.seconds == ENTRY.seconds
+        assert hit.strategy == "exhaustive"
+        assert hit.source == "modeled"
+
+    def test_miss_on_other_kernel_and_extent(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(path)
+        cache.put(_kernel_a, AccCpuSerial, dev, 1000, ENTRY)
+        assert cache.get(_kernel_b, AccCpuSerial, dev, 1000) is None
+        assert cache.get(_kernel_a, AccCpuSerial, dev, 4096) is None
+
+    def test_missing_file_is_empty(self, tmp_path):
+        cache = TuningCache(str(tmp_path / "absent.json"))
+        assert len(cache) == 0
+
+    def test_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{ not json !!!")
+        cache = TuningCache(str(path))
+        assert len(cache) == 0
+
+    def test_wrong_version_is_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"version": 999, "entries": {"k": {}}}))
+        assert len(TuningCache(str(path))) == 0
+
+    def test_rotten_entry_skipped_others_kept(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(path)
+        cache.put(_kernel_a, AccCpuSerial, dev, 64, ENTRY)
+        cache.save()
+        data = json.loads(open(path).read())
+        data["entries"]["bad|key"] = {"grid": "nonsense"}
+        open(path, "w").write(json.dumps(data))
+        reloaded = TuningCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(_kernel_a, AccCpuSerial, dev, 64) is not None
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(path)
+        cache.put(_kernel_a, AccCpuSerial, dev, 64, ENTRY)
+        cache.save()
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+        assert json.loads(open(path).read())["version"] >= 1
+
+    def test_clear_forgets_entries(self, tmp_path):
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(str(tmp_path / "c.json"))
+        cache.put(_kernel_a, AccCpuSerial, dev, 64, ENTRY)
+        cache.clear()
+        assert cache.get(_kernel_a, AccCpuSerial, dev, 64) is None
+
+
+class TestEnvOverride:
+    def test_env_var_moves_default_path(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "elsewhere" / "cache.json")
+        monkeypatch.setenv(TUNING_CACHE_ENV, target)
+        reset_default_cache()
+        assert default_cache_path() == target
+        assert default_cache().path == target
+
+    def test_default_path_in_cwd_without_env(self, monkeypatch):
+        monkeypatch.delenv(TUNING_CACHE_ENV, raising=False)
+        assert default_cache_path() == os.path.join(
+            os.getcwd(), ".repro-tuning-cache.json"
+        )
+
+    def test_default_cache_is_singleton(self):
+        assert default_cache() is default_cache()
+        reset_default_cache()
+        # A new instance after reset, still pointing at the env path.
+        assert default_cache() is default_cache()

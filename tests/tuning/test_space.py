@@ -1,0 +1,102 @@
+"""Candidate space: every emitted division is valid, everywhere."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import accelerator, accelerator_names, get_dev_by_idx
+from repro.core.errors import InvalidWorkDiv
+from repro.core.workdiv import MappingStrategy, validate_work_div
+from repro.tuning import candidate_divisions, default_division, seed_divisions
+
+
+def _props(acc, dim):
+    dev = get_dev_by_idx(acc, 0)
+    return acc.get_acc_dev_props(dev).for_dim(dim)
+
+
+class TestSeeds:
+    def test_seeds_are_table2_defaults(self, any_acc):
+        props = _props(any_acc, 1)
+        seeds = seed_divisions(1024, props)
+        assert seeds, "every back-end must have at least one seed"
+        for mapping in (
+            MappingStrategy.THREAD_LEVEL,
+            MappingStrategy.BLOCK_LEVEL,
+        ):
+            wd = default_division(1024, props, mapping)
+            if wd is not None:
+                assert wd in seeds
+
+    def test_seeds_deduplicate(self):
+        # On a 1-thread back-end both mappings collapse to the same
+        # division; the seed list must not repeat it.
+        acc = accelerator("AccCpuSerial")
+        props = _props(acc, 1)
+        seeds = seed_divisions(64, props)
+        assert len(seeds) == len(set(seeds))
+
+
+class TestCandidateValidity:
+    """The roundtrip property: space → validate never rejects."""
+
+    @pytest.mark.parametrize("extent", [1, 17, 1024, (8, 8), (100, 3), (5, 7, 9)])
+    def test_all_candidates_valid_for_all_backends(self, extent):
+        for name in accelerator_names():
+            acc = accelerator(name)
+            dim = len(extent) if isinstance(extent, tuple) else 1
+            props = _props(acc, dim)
+            cands = candidate_divisions(extent, props)
+            assert cands, (name, extent)
+            for wd in cands:
+                validate_work_div(wd, props)
+
+    def test_candidates_unique(self, any_acc):
+        props = _props(any_acc, 2)
+        cands = candidate_divisions((32, 32), props)
+        assert len(cands) == len(set(cands))
+
+    def test_seeds_lead_the_list(self, any_acc):
+        props = _props(any_acc, 2)
+        seeds = seed_divisions((32, 32), props)
+        cands = candidate_divisions((32, 32), props)
+        assert cands[: len(seeds)] == seeds
+
+    def test_max_block_threads_caps_generated_candidates(self, any_acc):
+        props = _props(any_acc, 2)
+        seeds = seed_divisions((64, 64), props)
+        cands = candidate_divisions((64, 64), props, max_block_threads=4)
+        for wd in cands:
+            if wd not in seeds:
+                assert wd.block_thread_count <= 4
+
+    def test_max_total_elems_caps_element_extents(self, any_acc):
+        props = _props(any_acc, 2)
+        seeds = seed_divisions((64, 64), props)
+        for wd in candidate_divisions((64, 64), props, max_total_elems=8):
+            if wd not in seeds:
+                assert wd.thread_elem_count <= 8
+
+    def test_nonpositive_extent_raises(self, any_acc):
+        props = _props(any_acc, 2)
+        with pytest.raises(InvalidWorkDiv):
+            candidate_divisions((0, 8), props)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        h=st.integers(1, 4096),
+        w=st.integers(1, 64),
+        name=st.sampled_from(accelerator_names()),
+    )
+    def test_property_roundtrip_fuzz(self, h, w, name):
+        """Arbitrary 2-d extents, every back-end: all candidates valid
+        and the space always covers the problem."""
+        acc = accelerator(name)
+        props = _props(acc, 2)
+        cands = candidate_divisions(
+            (h, w), props, max_total_elems=64, max_block_threads=16
+        )
+        assert cands
+        for wd in cands:
+            validate_work_div(wd, props)
+            assert wd.grid_elem_extent[0] >= h
+            assert wd.grid_elem_extent[1] >= w
