@@ -175,10 +175,19 @@ _misses = 0
 def _key(task, device) -> tuple:
     # Kernel identity, not equality: the plan holds a strong reference
     # to the kernel, so the id stays valid while the entry lives.
+    wd = task.work_div
+    if isinstance(wd, AutoWorkDiv):
+        # An AutoWorkDiv hashes by extent only, but what it resolves to
+        # depends on the tuning cache's contents; folding the cache
+        # generation into the key invalidates plans resolved before a
+        # tuning run stored (or dropped) a result.
+        from ..tuning.cache import tuning_generation
+
+        wd = (wd, tuning_generation())
     return (
         task.acc_type,
         id(task.kernel),
-        task.work_div,
+        wd,
         device.uid,
         getattr(task, "shared_mem_bytes", 0),
     )

@@ -119,12 +119,29 @@ class TuningResult:
     trials: Tuple[Trial, ...] = field(default_factory=tuple)
 
 
-def _valid_for(wd: WorkDivMembers, props: AccDevProps) -> bool:
+def _refit_for_extent(
+    wd: WorkDivMembers, ext: Vec, props: AccDevProps
+) -> Optional[WorkDivMembers]:
+    """Rebuild a cached division's grid so it covers ``ext``.
+
+    Cache keys bucket extents to the next power of two, so a hit may
+    have been tuned at a *smaller* extent in the same bucket — its
+    block-thread and thread-element extents transfer (they are what was
+    tuned), but its grid was sized with ``ceil_div`` against the
+    tuning-time extent and would under-cover the request.  Returns
+    ``None`` when the refitted division violates ``props`` (caller falls
+    back to the heuristic or re-measures).
+    """
+    if wd.dim != ext.dim:
+        return None
+    per_block = wd.block_thread_extent * wd.thread_elem_extent
+    grid = ext.ceil_div(per_block).max(1)
+    refit = WorkDivMembers(grid, wd.block_thread_extent, wd.thread_elem_extent)
     try:
-        validate_work_div(wd, props.for_dim(wd.dim))
+        validate_work_div(refit, props.for_dim(ext.dim))
     except InvalidWorkDiv:
-        return False
-    return True
+        return None
+    return refit
 
 
 def autotune(
@@ -175,9 +192,14 @@ def autotune(
 
     if not force:
         hit = cache.get(kernel, acc_type, device, ext)
-        if hit is not None and _valid_for(hit.work_div, props):
+        refit = (
+            _refit_for_extent(hit.work_div, ext, props)
+            if hit is not None
+            else None
+        )
+        if refit is not None:
             return TuningResult(
-                work_div=hit.work_div,
+                work_div=refit,
                 seconds=hit.seconds,
                 from_cache=True,
                 source=hit.source,
@@ -277,8 +299,10 @@ def auto_divide(
     heuristic otherwise — never a measurement.
 
     When ``kernel`` and ``acc_type`` identify a cache entry for this
-    device (default device of ``acc_type`` when omitted) and the entry
-    is still valid against ``props``, it wins.  Otherwise the back-end's
+    device (default device of ``acc_type`` when omitted), its tuned
+    block/element extents win, with the grid rebuilt to cover *this*
+    extent (hits serve a whole power-of-two bucket, so the stored grid
+    may have been sized for a smaller problem).  Otherwise the back-end's
     preferred Table 2 mapping is used (falling back to thread-level when
     the device supports multi-thread blocks, block-level when not), with
     explicit ``block_threads`` / ``thread_elems`` overrides honoured.
@@ -291,8 +315,10 @@ def auto_divide(
             device = get_dev_by_idx(acc_type)
         store = cache if cache is not None else default_cache()
         hit = store.get(kernel, acc_type, device, ext)
-        if hit is not None and _valid_for(hit.work_div, props.for_dim(ext.dim)):
-            return hit.work_div
+        if hit is not None:
+            refit = _refit_for_extent(hit.work_div, ext, props)
+            if refit is not None:
+                return refit
 
     if acc_type is not None:
         mapping = acc_type.mapping_strategy

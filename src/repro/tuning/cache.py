@@ -45,6 +45,7 @@ __all__ = [
     "device_fingerprint",
     "kernel_id",
     "bucket_extent",
+    "tuning_generation",
 ]
 
 #: Environment variable overriding where the tuning cache lives.
@@ -56,6 +57,27 @@ DEFAULT_CACHE_FILENAME = ".repro-tuning-cache.json"
 #: Bumped when the on-disk schema changes; mismatching files are
 #: treated as empty rather than misread.
 CACHE_FORMAT_VERSION = 1
+
+
+_generation = 0
+_generation_lock = threading.Lock()
+
+
+def tuning_generation() -> int:
+    """Monotonic counter bumped whenever any :class:`TuningCache` stores
+    or drops entries in this process.
+
+    The launch-plan cache folds it into its key for AUTO tasks, so plans
+    resolved before a tuning run cannot outlive the run and keep serving
+    the pre-tuning heuristic division.
+    """
+    return _generation
+
+
+def _bump_generation() -> None:
+    global _generation
+    with _generation_lock:
+        _generation += 1
 
 
 def default_cache_path() -> str:
@@ -72,14 +94,23 @@ def kernel_id(kernel) -> str:
 
     Functions key by qualified name; kernel *instances* key by their
     class (two ``GemmTilingKernel()`` objects share tuning results —
-    the division depends on the algorithm, not the instance).
+    the division depends on the algorithm, not the instance).  Lambdas
+    and nested functions all share qualnames like ``module.<lambda>`` /
+    ``outer.<locals>.inner``, so they additionally key by definition
+    site (file and first line) — distinct kernels must never serve each
+    other's tuned divisions.
     """
     if not callable(kernel):
         raise TypeError(f"kernel must be callable, got {kernel!r}")
     target = kernel if hasattr(kernel, "__qualname__") else type(kernel)
     module = getattr(target, "__module__", "?")
     qualname = getattr(target, "__qualname__", target.__name__)
-    return f"{module}.{qualname}"
+    ident = f"{module}.{qualname}"
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        code = getattr(target, "__code__", None)
+        if code is not None:
+            ident += f"@{code.co_filename}:{code.co_firstlineno}"
+    return ident
 
 
 def device_fingerprint(device) -> str:
@@ -257,6 +288,7 @@ class TuningCache:
         with self._lock:
             self._load_locked()
             self._entries[key] = result
+        _bump_generation()
         return key
 
     def clear(self) -> None:
@@ -265,6 +297,7 @@ class TuningCache:
         with self._lock:
             self._entries.clear()
             self._loaded = True
+        _bump_generation()
 
     def __len__(self) -> int:
         with self._lock:
@@ -296,3 +329,4 @@ def reset_default_cache() -> None:
     global _default_cache
     with _default_cache_lock:
         _default_cache = None
+    _bump_generation()

@@ -90,7 +90,10 @@ def _prune(
     cutoff = min(known) * prune_ratio
     kept = [wd for wd in tail if predicted.get(wd, 0.0) <= cutoff]
     pruned = len(tail) - len(kept)
-    kept.sort(key=lambda wd: predicted.get(wd, 0.0))
+    # Unpredicted candidates are never pruned, but sort after every
+    # model-ranked one — budgeted strategies should spend measurements
+    # where the model expects winners first.
+    kept.sort(key=lambda wd: predicted.get(wd, float("inf")))
     return head + kept, pruned
 
 

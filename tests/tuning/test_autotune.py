@@ -55,18 +55,19 @@ class TunableKernel:
 N = 512
 
 
-def _args(acc):
-    import numpy as np
-
+def _sized_args(acc, n):
     from repro import mem
-
-    dev = get_dev_by_idx(acc)
-    out = mem.alloc(dev, N)
-    q = QueueBlocking(dev)
     from repro.mem import memset
 
+    dev = get_dev_by_idx(acc)
+    out = mem.alloc(dev, n)
+    q = QueueBlocking(dev)
     memset(q, out, 0)
-    return dev, (N, out)
+    return dev, (n, out)
+
+
+def _args(acc):
+    return _sized_args(acc, N)
 
 
 class TestAutotune:
@@ -131,6 +132,23 @@ class TestAutotune:
         res = autotune(k, acc, 512, args, device=dev)
         assert res.from_cache
 
+    def test_cache_hit_refits_grid_to_requested_extent(self):
+        """A hit tuned at a smaller extent in the same bucket must not
+        serve its tuning-time grid verbatim — that grid under-covers the
+        larger request and elements past the tuned extent never run."""
+        acc = AccCpuSerial
+        k = TunableKernel()
+        dev, args = _sized_args(acc, 600)
+        tuned = autotune(k, acc, 600, args, device=dev, budget=4, strategy="random")
+        # 600 and 1000 share the (512, 1024] bucket.
+        res = autotune(k, acc, 1000, args, device=dev)
+        assert res.from_cache
+        assert res.work_div.grid_elem_extent[0] >= 1000
+        assert res.work_div.block_thread_extent == tuned.work_div.block_thread_extent
+        assert res.work_div.thread_elem_extent == tuned.work_div.thread_elem_extent
+        props = acc.get_acc_dev_props(dev).for_dim(1)
+        validate_work_div(res.work_div, props)
+
     def test_unknown_strategy_raises(self):
         acc = AccCpuSerial
         dev, args = _args(acc)
@@ -176,6 +194,16 @@ class TestAutoDivide:
         wd = auto_divide(N, props, kernel=k, acc_type=acc, device=dev)
         assert wd == tuned.work_div
 
+    def test_cache_hit_covers_larger_extent_in_same_bucket(self):
+        acc = AccCpuSerial
+        k = TunableKernel()
+        dev, args = _sized_args(acc, 600)
+        autotune(k, acc, 600, args, device=dev, budget=4, strategy="random")
+        props = acc.get_acc_dev_props(dev)
+        wd = auto_divide(1000, props, kernel=k, acc_type=acc, device=dev)
+        assert wd.grid_elem_extent[0] >= 1000
+        validate_work_div(wd, props.for_dim(1))
+
     def test_divide_work_auto_strategy(self, any_acc):
         dev = get_dev_by_idx(any_acc)
         props = any_acc.get_acc_dev_props(dev)
@@ -208,6 +236,39 @@ class TestAutoWorkDivLaunch:
         task = create_task_kernel(acc, AutoWorkDiv(N), k, *args)
         plan = get_plan(task, dev)
         assert plan.work_div == tuned.work_div
+
+    def test_auto_launch_covers_larger_extent_in_same_bucket(self):
+        """End-to-end regression: tuning at 600 then launching AUTO at
+        1000 (same pow2 bucket) must execute all 1000 elements."""
+        import numpy as np
+
+        from repro import mem
+
+        acc = AccCpuSerial
+        k = TunableKernel()
+        dev, args600 = _sized_args(acc, 600)
+        autotune(k, acc, 600, args600, device=dev, budget=4, strategy="random")
+        _, (n, out) = _sized_args(acc, 1000)
+        q = QueueBlocking(dev)
+        q.enqueue(create_task_kernel(acc, AutoWorkDiv(1000), k, n, out))
+        host = np.empty(1000)
+        mem.copy(q, host, out)
+        assert np.allclose(host, np.arange(1000) * 2.0)
+
+    def test_plan_cache_sees_fresh_tuning_results(self):
+        """A plan resolved before autotune() must not keep serving the
+        pre-tuning heuristic division afterwards."""
+        acc = AccCpuSerial
+        dev, args = _args(acc)
+        k = TunableKernel()
+        task = create_task_kernel(acc, AutoWorkDiv(N), k, *args)
+        props = acc.get_acc_dev_props(dev)
+        before = get_plan(task, dev)
+        assert before.work_div == divide_work(N, props, acc.mapping_strategy)
+        tuned = autotune(k, acc, N, args, device=dev, budget=4, strategy="random")
+        after = get_plan(task, dev)  # no clear_plan_cache() in between
+        assert after is not before
+        assert after.work_div == tuned.work_div
 
     def test_resolve_work_div_passthrough_for_concrete(self):
         acc = AccCpuSerial

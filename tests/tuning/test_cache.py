@@ -43,6 +43,28 @@ class TestKeys:
         assert kernel_id(_KernelCls()) == kernel_id(_KernelCls())
         assert kernel_id(_KernelCls()) == kernel_id(_KernelCls)
 
+    def test_kernel_id_lambdas_differ(self):
+        k1 = lambda acc: None  # noqa: E731
+        k2 = lambda acc: None  # noqa: E731
+        assert kernel_id(k1) != kernel_id(k2)
+
+    def test_kernel_id_nested_functions_differ(self):
+        def first():
+            def kern(acc):
+                pass
+
+            return kern
+
+        def second():
+            def kern(acc):
+                pass
+
+            return kern
+
+        assert kernel_id(first()) != kernel_id(second())
+        # The same definition site keeps a stable identity.
+        assert kernel_id(first()) == kernel_id(first())
+
     def test_kernel_id_rejects_non_callable(self):
         with pytest.raises(TypeError):
             kernel_id(42)

@@ -143,6 +143,20 @@ class TestPruning:
         assert res.pruned == 0
         assert res.measurements == 10
 
+    def test_unpredicted_candidates_measure_after_predicted(self):
+        """A budgeted search must spend its measurements on the
+        model-ranked candidates first, not on unpredicted ones."""
+        cands = _divisions(10)
+        predicted = {cands[7]: 1.0, cands[8]: 2.0}
+        measured = []
+
+        def obj(wd):
+            measured.append(wd)
+            return 1.0
+
+        exhaustive_search(cands, obj, budget=2, predicted=predicted)
+        assert measured == [cands[7], cands[8]]
+
 
 class TestDispatch:
     def test_known_strategies(self):
