@@ -29,7 +29,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from . import acc, atomic, core, dev, hardware, math, mem
-from . import perfmodel, queue, rand, runtime, testing, trace, tuning
+from . import perfmodel, queue, rand, runtime, sanitize, testing, trace, tuning
 from .acc import (
     AccCpuFibers,
     AccOmp4TargetSim,
@@ -101,7 +101,8 @@ __all__ = [
     "__version__",
     # subpackages
     "acc", "atomic", "core", "dev", "hardware", "math", "mem",
-    "perfmodel", "queue", "rand", "runtime", "testing", "trace", "tuning",
+    "perfmodel", "queue", "rand", "runtime", "sanitize", "testing", "trace",
+    "tuning",
     # accelerators
     "AccCpuSerial", "AccCpuOmp2Blocks", "AccCpuOmp2Threads", "AccCpuThreads",
     "AccCpuFibers", "AccGpuCudaSim", "AccOmp4TargetSim",

@@ -46,6 +46,7 @@ class GridContext:
         props: AccDevProps,
         args: Tuple,
         shared_mem_bytes: int = 0,
+        monitor=None,
     ):
         self.device = device
         self.work_div = work_div
@@ -53,6 +54,10 @@ class GridContext:
         self.args = args
         self.shared_mem_bytes = shared_mem_bytes
         self.atomics = AtomicDomain()
+        #: Sanitizer hook (:class:`repro.sanitize.monitor.SanitizeMonitor`)
+        #: or None.  When set, the engine announces thread begin/end,
+        #: barrier passage and shared allocations to it.
+        self.monitor = monitor
 
 
 class BlockContext:
@@ -73,14 +78,21 @@ class BlockContext:
         self._shared_lock = threading.Lock()
 
     def sync(self) -> None:
+        monitor = self.grid.monitor
         if self._sync is None:
             if self.grid.work_div.block_thread_count == 1:
-                return  # a lone thread is trivially synchronised
+                # A lone thread is trivially synchronised, but the
+                # barrier still separates its accesses into epochs.
+                if monitor is not None:
+                    monitor.on_sync(self)
+                return
             raise KernelError(
                 "sync_block_threads on a back-end without thread-level "
                 "parallelism support"
             )
         self._sync()
+        if monitor is not None:
+            monitor.on_sync(self)
 
     def shared_alloc(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Allocate-or-get a named shared array.
@@ -107,6 +119,11 @@ class BlockContext:
                     f"{limit - self._shared_bytes} B free of {limit} B"
                 )
             arr = np.zeros(shape, dtype=dt)
+            monitor = self.grid.monitor
+            if monitor is not None:
+                # One shadow wrapper per allocation, cached like the
+                # array itself so every thread records into one history.
+                arr = monitor.wrap_shared(name, arr, self)
             self._shared[name] = arr
             self._shared_bytes += nbytes
             return arr

@@ -64,13 +64,25 @@ class AtomicDomain:
     def _rmw(
         self, arr: np.ndarray, idx: Index, update: Callable[[np.generic], object]
     ):
-        """Generic read-modify-write; returns the old value."""
+        """Generic read-modify-write; returns the old value.
+
+        A sanitizer shadow array exposes ``__alpaka_atomic_ctx__``; the
+        read and write below run inside that context so its access
+        recorder marks them atomic (two atomics never race, paper
+        footnote 10's serialisation guarantee).
+        """
         if isinstance(idx, list):
             idx = tuple(idx)
+        atomic_ctx = getattr(arr, "__alpaka_atomic_ctx__", None)
         with self._lock_for(arr, idx):
-            old = arr[idx]
-            arr[idx] = update(old)
-            return old
+            if atomic_ctx is None:
+                old = arr[idx]
+                arr[idx] = update(old)
+                return old
+            with atomic_ctx():
+                old = arr[idx]
+                arr[idx] = update(old)
+                return old
 
     # -- CUDA-style atomic set ------------------------------------------
 

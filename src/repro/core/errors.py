@@ -18,9 +18,11 @@ __all__ = [
     "DeviceError",
     "QueueError",
     "KernelError",
+    "BarrierDivergenceError",
     "SharedMemError",
     "TraceError",
     "ModelError",
+    "SanitizerError",
 ]
 
 
@@ -69,6 +71,13 @@ class KernelError(AlpakaError, RuntimeError):
     """
 
 
+class BarrierDivergenceError(KernelError):
+    """Threads of one block diverged around ``sync_block_threads``: some
+    reached the barrier while siblings already exited (or took a
+    different number of barriers).  CUDA leaves this undefined; the
+    reproduction detects it instead of deadlocking."""
+
+
 class SharedMemError(AlpakaError, RuntimeError):
     """Block shared memory misuse: allocation outside a kernel, divergent
     allocation shapes between threads of one block, or exceeding the
@@ -81,3 +90,8 @@ class TraceError(AlpakaError, RuntimeError):
 
 class ModelError(AlpakaError, ValueError):
     """The performance model was given inconsistent characteristics."""
+
+
+class SanitizerError(AlpakaError, RuntimeError):
+    """The kernel sanitizer (:mod:`repro.sanitize`) found defects and was
+    asked to fail loudly (``SanitizerReport.raise_if_findings``)."""

@@ -96,7 +96,11 @@ class Device:
         )
         # Simulated wall clock, advanced by executors that model time
         # (the CUDA-sim back-end); CPU back-ends measure real time.
-        self._sim_time_s = 0.0
+        # Kept as integer femtoseconds so accumulation is exact: a
+        # float running sum would make `t1 - t0` deltas depend on the
+        # clock's magnitude (the same modeled launch measuring a
+        # last-bit-different time late in a long process).
+        self._sim_time_fs = 0
         self._sim_lock = threading.Lock()
         self.kernel_launch_count = 0
 
@@ -115,15 +119,22 @@ class Device:
         if seconds < 0:
             raise DeviceError("cannot advance simulated time backwards")
         with self._sim_lock:
-            self._sim_time_s += seconds
+            self._sim_time_fs += round(seconds * 1e15)
 
     @property
     def sim_time_s(self) -> float:
-        return self._sim_time_s
+        return self._sim_time_fs * 1e-15
+
+    @property
+    def sim_time_fs(self) -> int:
+        """The clock in integer femtoseconds — subtract two readings
+        for an exact interval (``sim_time_s`` floats lose the last bit
+        once the clock is large)."""
+        return self._sim_time_fs
 
     def reset_sim_time(self) -> None:
         with self._sim_lock:
-            self._sim_time_s = 0.0
+            self._sim_time_fs = 0
 
     # -- bookkeeping ------------------------------------------------------
 

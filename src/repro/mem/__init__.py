@@ -3,6 +3,7 @@
 from .alignment import OPTIMAL_ALIGNMENT_BYTES, pitch_bytes, pitch_elements
 from .buf import Buffer, alloc, alloc_like
 from .copy import PCIE_BANDWIDTH_GBS, TaskCopy, TaskMemset, copy, memset
+from .guard import UNGUARDED_ENV, GuardedArray, guard
 from .view import ViewSubView, sub_view
 
 __all__ = [
@@ -14,6 +15,9 @@ __all__ = [
     "TaskCopy",
     "TaskMemset",
     "ViewSubView",
+    "GuardedArray",
+    "guard",
+    "UNGUARDED_ENV",
     "sub_view",
     "pitch_elements",
     "pitch_bytes",

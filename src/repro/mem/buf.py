@@ -98,7 +98,9 @@ class Buffer:
         residency check of the offloading model.
         """
         device.require_resident(self)
-        return self._logical()
+        from .guard import guard
+
+        return guard(self._logical())
 
     def unsafe_backing(self) -> np.ndarray:
         """The padded backing array regardless of residency.

@@ -67,7 +67,10 @@ class ViewSubView:
 
     def kernel_array(self, device) -> np.ndarray:
         """The window a kernel on ``device`` works on (residency
-        checked); kernels may therefore take sub-views as arguments."""
+        checked); kernels may therefore take sub-views as arguments.
+        The window inherits the buffer's negative-index guard
+        (:mod:`repro.mem.guard`): slicing a
+        :class:`~repro.mem.guard.GuardedArray` stays guarded."""
         return self.buf.kernel_array(device)[self._box]
 
     def unsafe_backing(self) -> np.ndarray:

@@ -32,6 +32,7 @@ from .instrument import (
     notify_launch_end,
     notify_plan_cache,
     notify_queue_drain,
+    notify_sanitizer_report,
     observe,
     observers,
     register_observer,
@@ -89,6 +90,7 @@ __all__ = [
     "notify_copy",
     "notify_queue_drain",
     "notify_plan_cache",
+    "notify_sanitizer_report",
 ]
 
 
@@ -99,7 +101,19 @@ def launch(task, device) -> "LaunchPlan":
     callers can inspect scheduling decisions.  This is the single entry
     point behind every back-end's ``execute``; the legacy
     ``repro.acc.engine.run_grid`` delegates here.
+
+    When the sanitizer is active (``REPRO_SANITIZE=1`` or
+    :func:`repro.sanitize.enabled`), the launch detours through the
+    instrumented path — same plan, same observers, shadowed arguments —
+    and findings land in the session report.
     """
+    from ..sanitize import _state as _sanitize_state
+
+    if _sanitize_state.active():
+        from ..sanitize.runner import sanitized_launch
+
+        return sanitized_launch(task, device)
+
     from ..acc.base import GridContext
     from ..acc.timing import advance_modeled_time
 

@@ -33,6 +33,7 @@ __all__ = [
     "notify_copy",
     "notify_queue_drain",
     "notify_plan_cache",
+    "notify_sanitizer_report",
 ]
 
 
@@ -62,6 +63,11 @@ class ExecutionObserver:
 
     def on_plan_cache(self, plan, hit: bool) -> None:
         """A launch plan was resolved: ``hit`` tells cached vs built."""
+
+    def on_sanitizer_report(self, plan, record) -> None:
+        """A sanitized launch finished; ``record`` is its
+        :class:`repro.sanitize.report.LaunchRecord` (findings included,
+        possibly empty)."""
 
 
 _lock = threading.Lock()
@@ -155,6 +161,14 @@ def notify_plan_cache(plan, hit: bool) -> None:
         return
     for o in obs:
         o.on_plan_cache(plan, hit)
+
+
+def notify_sanitizer_report(plan, record) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_sanitizer_report(plan, record)
 
 
 class CountingObserver(ExecutionObserver):

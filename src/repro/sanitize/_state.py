@@ -1,0 +1,115 @@
+"""Process-wide sanitizer activation and report collection.
+
+Deliberately import-light: :func:`active` is consulted by
+:func:`repro.runtime.launch` on every kernel launch, so this module
+must not pull in numpy-heavy detector machinery.  Only the report
+dataclasses are imported.
+
+Activation has two sources, either of which routes launches through the
+instrumented path:
+
+* the ``REPRO_SANITIZE`` environment variable (non-empty ⇒ on) — the
+  zero-code-change entry for scripts and CI;
+* the :func:`enabled` context manager — the programmatic opt-in
+  ``testing.run_on_all_backends(sanitize=True)`` and the test-suite
+  use.
+
+``REPRO_SANITIZE_SEED`` selects a fuzzed (seeded, cooperative)
+schedule for environment-activated launches; without it launches run
+their back-end's declared deterministic runner.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .report import LaunchRecord, SanitizerReport
+
+__all__ = [
+    "SANITIZE_ENV",
+    "SANITIZE_SEED_ENV",
+    "active",
+    "env_seed",
+    "enabled",
+    "session_report",
+    "add_record",
+]
+
+#: Environment variable: any non-empty value sanitizes every launch.
+SANITIZE_ENV = "REPRO_SANITIZE"
+#: Environment variable: integer seed for fuzzed schedules (implies a
+#: seeded cooperative scheduler on sync-capable launches).
+SANITIZE_SEED_ENV = "REPRO_SANITIZE_SEED"
+
+_lock = threading.Lock()
+_forced = 0
+_collectors: List[SanitizerReport] = []
+_session = SanitizerReport(label="session")
+_env_session = SanitizerReport(label=f"{SANITIZE_ENV} session")
+_atexit_armed = False
+
+
+def active() -> bool:
+    """Should the runtime route launches through the sanitizer?"""
+    return _forced > 0 or bool(os.environ.get(SANITIZE_ENV))
+
+
+def env_seed() -> Optional[int]:
+    raw = os.environ.get(SANITIZE_SEED_ENV)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SANITIZE_SEED_ENV}={raw!r} is not an integer seed"
+        ) from None
+
+
+def session_report() -> SanitizerReport:
+    """Every sanitized launch of this process, in order."""
+    return _session
+
+
+def _print_session_at_exit() -> None:  # pragma: no cover - process teardown
+    if not _env_session.clean:
+        print(_env_session.render(), file=sys.stderr)
+
+
+def add_record(rec: LaunchRecord) -> None:
+    """File one sanitized launch with the session and active collectors."""
+    global _atexit_armed
+    with _lock:
+        _session.launches.append(rec)
+        for collector in _collectors:
+            collector.launches.append(rec)
+        if os.environ.get(SANITIZE_ENV):
+            # Environment-driven runs have no caller holding a report;
+            # collect separately and summarise on interpreter exit so
+            # findings cannot vanish.
+            _env_session.launches.append(rec)
+            if not _atexit_armed:
+                atexit.register(_print_session_at_exit)
+                _atexit_armed = True
+
+
+@contextmanager
+def enabled(label: str = "") -> Iterator[SanitizerReport]:
+    """Force-sanitize every launch inside the ``with`` block and collect
+    their records into the yielded :class:`SanitizerReport`."""
+    global _forced
+    report = SanitizerReport(label=label)
+    with _lock:
+        _forced += 1
+        _collectors.append(report)
+    try:
+        yield report
+    finally:
+        with _lock:
+            _forced -= 1
+            _collectors.remove(report)

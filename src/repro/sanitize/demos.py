@@ -1,0 +1,177 @@
+"""Seeded-buggy demo kernels proving the sanitizer detects real bugs.
+
+Two classics, each a one-line mutation of a shipped kernel:
+
+* :class:`RacyTiledGemmKernel` — the CUDA-programming-guide tiled GEMM
+  (:class:`repro.kernels.gemm.GemmCudaStyleKernel`) with the barrier
+  between the tile *load* and the tile *use* removed.  Every thread
+  writes its tile cell and immediately reads its whole tile row/column
+  — cells its siblings are still writing in the same epoch.  The
+  happens-before detector flags this deterministically on every
+  sync-capable back-end, under any schedule.
+* :class:`OffByOneStencilKernel` — a 3-point stencil whose neighbour
+  loads skip the boundary clamp: ``src[i - 1]`` at ``i == 0`` wraps
+  negative (a silent numpy wrap-around in an uninstrumented run!) and
+  ``src[i + 1]`` at ``i == n - 1`` runs out of bounds.
+
+:func:`run_demo` builds the buffers, stages the data and runs a demo
+under the sanitizer on any back-end; the CLI (``python -m
+repro.sanitize demos``) and the tutorial's "debugging a racy kernel"
+step drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.errors import KernelError
+from ..core.index import Block, Blocks, Grid, Threads, get_idx, get_work_div
+from ..core.kernel import create_task_kernel, fn_acc
+from ..core.workdiv import WorkDivMembers
+from ..dev.manager import get_dev_by_idx
+from ..queue.queue import QueueBlocking
+from .report import SanitizerReport
+from .runner import sanitize_task
+
+__all__ = [
+    "RacyTiledGemmKernel",
+    "OffByOneStencilKernel",
+    "DEMOS",
+    "run_demo",
+    "demo_backends",
+]
+
+
+class RacyTiledGemmKernel:
+    """Shared-memory tiled DGEMM with the load-use barrier *missing*.
+
+    Identical to :class:`~repro.kernels.gemm.GemmCudaStyleKernel`
+    except the ``sync_block_threads`` after the tile load is gone —
+    the textbook shared-memory race.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, alpha, A, B, beta, C):
+        ti = get_idx(acc, Block, Threads)
+        bi = get_idx(acc, Grid, Blocks)
+        ts = get_work_div(acc, Block, Threads)
+        if ts.dim != 2 or ts[0] != ts[1]:
+            raise KernelError(
+                f"RacyTiledGemmKernel needs a square 2-d thread block, got {ts!r}"
+            )
+        bt = ts[0]
+        row = bi[0] * bt + ti[0]
+        col = bi[1] * bt + ti[1]
+        s_a = acc.shared_mem("tileA", (bt, bt))
+        s_b = acc.shared_mem("tileB", (bt, bt))
+
+        accum = 0.0
+        for t in range(-(-n // bt)):
+            a_col = t * bt + ti[1]
+            b_row = t * bt + ti[0]
+            s_a[ti[0], ti[1]] = A[row, a_col] if (row < n and a_col < n) else 0.0
+            s_b[ti[0], ti[1]] = B[b_row, col] if (b_row < n and col < n) else 0.0
+            # BUG: missing acc.sync_block_threads() — siblings may still
+            # be writing the tile cells read below.
+            for k in range(bt):
+                accum += s_a[ti[0], k] * s_b[k, ti[1]]
+            acc.sync_block_threads()
+        if row < n and col < n:
+            C[row, col] = alpha * accum + beta * C[row, col]
+
+
+class OffByOneStencilKernel:
+    """3-point stencil whose neighbour loads skip the boundary clamp.
+
+    ``src[i - 1]`` at the left edge silently wraps to ``src[n - 1]`` in
+    an uninstrumented numpy run; ``src[i + 1]`` at the right edge reads
+    out of bounds.
+    """
+
+    @fn_acc
+    def __call__(self, acc, n, src, dst):
+        i = get_idx(acc, Grid, Threads)[0]
+        if i < n:
+            # BUG: no clamp at either boundary.
+            left = src[i - 1]
+            right = src[i + 1]
+            dst[i] = 0.5 * src[i] + 0.25 * (left + right)
+
+
+def _build_racy_gemm(acc_type, device, n: int = 8, tile: int = 4):
+    from .. import mem
+
+    queue = QueueBlocking(device)
+    rng = np.random.default_rng(0)
+    bufs = []
+    for host in (
+        rng.random((n, n)),
+        rng.random((n, n)),
+        np.zeros((n, n)),
+    ):
+        buf = mem.alloc(device, host.shape, dtype=host.dtype)
+        mem.copy(queue, buf, host)
+        bufs.append(buf)
+    A, B, C = bufs
+    blocks = -(-n // tile)
+    wd = WorkDivMembers.make((blocks, blocks), (tile, tile), (1, 1))
+    return create_task_kernel(
+        acc_type, wd, RacyTiledGemmKernel(), n, 1.0, A, B, 0.0, C
+    )
+
+
+def _build_oob_stencil(acc_type, device, n: int = 64):
+    from .. import mem
+
+    queue = QueueBlocking(device)
+    src = mem.alloc(device, n)
+    dst = mem.alloc(device, n)
+    mem.copy(queue, src, np.linspace(0.0, 1.0, n))
+    mem.memset(queue, dst, 0)
+    threads = 4 if acc_type.supports_block_sync else 1
+    blocks = -(-n // threads)
+    wd = WorkDivMembers.make(blocks, threads, 1)
+    return create_task_kernel(acc_type, wd, OffByOneStencilKernel(), n, src, dst)
+
+
+#: name -> (task builder, finding kinds the demo must produce)
+DEMOS = {
+    "racy-gemm": (_build_racy_gemm, ("data-race",)),
+    "oob-stencil": (_build_oob_stencil, ("negative-index", "out-of-bounds")),
+}
+
+
+def demo_backends(name: str) -> Iterable[str]:
+    """Back-ends a demo is meaningful on."""
+    from ..acc.registry import accelerator_names, sync_capable_accelerators
+
+    if name == "racy-gemm":
+        return tuple(a.name for a in sync_capable_accelerators())
+    return tuple(accelerator_names())
+
+
+def run_demo(
+    name: str,
+    backend: Optional[str] = None,
+    *,
+    seed: Optional[int] = None,
+    schedules: int = 1,
+) -> SanitizerReport:
+    """Run one seeded-buggy demo under the sanitizer; returns the report
+    (which is expected to be anything but clean)."""
+    from ..acc.registry import accelerator
+
+    try:
+        build, _expected = DEMOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown demo {name!r}; known: {sorted(DEMOS)}"
+        ) from None
+    if backend is None:
+        backend = next(iter(demo_backends(name)))
+    acc_type = accelerator(backend)
+    device = get_dev_by_idx(acc_type, 0)
+    task = build(acc_type, device)
+    return sanitize_task(task, device, seed=seed, schedules=schedules)

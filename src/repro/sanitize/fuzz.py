@@ -1,0 +1,64 @@
+"""Schedule fuzzing: seeded-random fiber interleavings.
+
+The cooperative engine (:func:`repro.acc.engine.run_block_cooperative`)
+runs exactly one fiber at a time and transfers control only at
+well-defined points — which makes interleavings *permutable*: replace
+the deterministic round-robin successor choice with a seeded RNG and
+every schedule the block can legally take becomes reachable, each one
+exactly reproducible from its seed.
+
+:func:`make_fuzzed_runner` builds a drop-in block runner that executes
+any block this way; the sanitizer's launch runner substitutes it for
+the back-end's declared runner (including the CUDA-sim back-end's
+preemptive one — fuzzing trades the "real threads" flavour for
+determinism, which is exactly what replaying a failing seed needs).
+Preemption points between barriers come from the monitor's
+``on_access`` hook, which yields the baton mid-kernel with probability
+``preempt_probability`` per recorded access.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..acc.engine import _FiberScheduler, run_block_cooperative
+
+__all__ = ["FuzzFiberScheduler", "make_fuzzed_runner"]
+
+
+class FuzzFiberScheduler(_FiberScheduler):
+    """A fiber scheduler whose every successor choice is drawn from a
+    seeded RNG instead of round-robin order."""
+
+    def __init__(self, n: int, rng: random.Random):
+        super().__init__(n)
+        self.rng = rng
+        # Randomise which fiber runs first, too.
+        self.current = rng.randrange(n) if n > 0 else 0
+
+    def _next_ready_locked(self, after: int) -> Optional[int]:
+        ready = [j for j, s in enumerate(self.state) if s == self.READY]
+        if not ready:
+            return None
+        return self.rng.choice(ready)
+
+
+def make_fuzzed_runner(rng: random.Random) -> Callable:
+    """A block runner executing every block as seeded-random fibers.
+
+    One shared ``rng`` drives all blocks of the launch; because only
+    one fiber ever runs at a time, the draw sequence — and therefore
+    the whole schedule — is a pure function of the seed.
+    """
+
+    def run_block_fuzzed(grid, block_idx, kernel, args) -> None:
+        run_block_cooperative(
+            grid,
+            block_idx,
+            kernel,
+            args,
+            scheduler_factory=lambda n: FuzzFiberScheduler(n, rng),
+        )
+
+    return run_block_fuzzed

@@ -1,0 +1,327 @@
+"""The access recorder: shadow state + happens-before conflict checks.
+
+**Model** (docs/MODEL.md has the long form).  Kernel threads are
+ordered only by two relations:
+
+* *program order* within one thread, and
+* *block barriers*: ``sync_block_threads`` is a block-wide rendezvous,
+  so every access a thread makes before barrier *k* happens-before
+  every access any thread of the same block makes after barrier *k*.
+
+The recorder assigns each thread an **epoch** — its count of completed
+barriers, advanced by the engine's sync hook — and checks, per root
+cell, each new access against the last recorded read/write *frame*:
+
+    two accesses conflict  ⇔  different threads
+                              ∧ at least one is a write
+                              ∧ not both atomic
+                              ∧ not separated by a barrier
+                                (same block ∧ earlier epoch)
+
+Accesses from different blocks are never barrier-ordered (alpaka has
+no grid-wide barrier inside a kernel), so any cross-block pair with a
+non-atomic write is a race.  Atomic accesses (marked by
+:class:`~repro.atomic.ops.AtomicDomain` through the shadow's atomic
+context) are serialised by definition and never conflict with each
+other.
+
+State per cell is one read frame and one write frame — (block, thread,
+epoch, site, atomic) with ``MANY`` collapsing multiple blocks/threads.
+Overwriting an older same-block frame is sound because concurrent
+same-block accesses always share an epoch (a thread cannot pass a
+barrier its siblings have not reached), and cross-block history is
+sticky via ``MANY``.  All checks are vectorised over the cell set of
+one access, so a whole-tile read costs one numpy pass, not one Python
+iteration per element.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .report import AccessSite, Finding
+
+__all__ = ["AccessRecorder", "TrackedArray", "NONE", "MANY"]
+
+NONE = -1  # no frame recorded
+MANY = -2  # multiple blocks/threads collapsed
+
+def _internal_files() -> frozenset:
+    """Files whose frames are recorder/engine plumbing, not kernel
+    code; the reported access site is the innermost frame outside
+    them."""
+    import inspect
+
+    from ..acc import base as _acc_base
+    from ..atomic import ops as _atomic_ops
+    from ..mem.guard import GuardedArray
+    from . import monitor as _monitor
+    from . import shadow as _shadow
+
+    files = {
+        __file__,
+        _acc_base.__file__,
+        _atomic_ops.__file__,
+        _shadow.__file__,
+        _monitor.__file__,
+        inspect.getfile(GuardedArray),
+    }
+    return frozenset(f for f in files if f)
+
+
+class TrackedArray:
+    """Recorder-side bookkeeping for one root array (kernel argument or
+    block-shared allocation): lazy per-cell read/write frames."""
+
+    __slots__ = (
+        "name", "scope", "shape", "size", "recorder",
+        "wb", "wt", "we", "ws", "wa",
+        "rb", "rt", "re", "rs", "ra",
+    )
+
+    def __init__(self, name: str, shape: Tuple[int, ...], recorder):
+        self.name = name
+        self.shape = tuple(shape)
+        self.size = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        self.recorder = recorder
+        self.wb = None  # write frames allocated on first access
+        self.rb = None
+
+    def _ensure_state(self) -> None:
+        if self.wb is None:
+            n = max(self.size, 1)
+            self.wb = np.full(n, NONE, dtype=np.int64)
+            self.wt = np.full(n, NONE, dtype=np.int64)
+            self.we = np.zeros(n, dtype=np.int64)
+            self.ws = np.zeros(n, dtype=np.int64)
+            self.wa = np.zeros(n, dtype=bool)
+            self.rb = np.full(n, NONE, dtype=np.int64)
+            self.rt = np.full(n, NONE, dtype=np.int64)
+            self.re = np.zeros(n, dtype=np.int64)
+            self.rs = np.zeros(n, dtype=np.int64)
+            self.ra = np.zeros(n, dtype=bool)
+
+    # Shadow arrays call these (they only know their tracked root).
+
+    def record(self, cells: np.ndarray, is_write: bool) -> None:
+        self.recorder.record(self, cells, is_write)
+
+    def record_index_finding(self, kind: str, is_write: bool, detail: str) -> None:
+        self.recorder.record_index_finding(self, kind, is_write, detail)
+
+
+class AccessRecorder:
+    """Collects accesses and findings for one sanitized launch."""
+
+    def __init__(self, work_div):
+        self.work_div = work_div
+        self.lock = threading.Lock()
+        #: Set right after construction by the launch runner.
+        self.monitor = None
+        self._tracked: List[TrackedArray] = []
+        self._sites: Dict[Tuple[str, int, str], int] = {}
+        self._site_list: List[AccessSite] = []
+        self._findings: Dict[tuple, Finding] = {}
+        self._skip_files = _internal_files()
+
+    # -- roots -----------------------------------------------------------
+
+    def track(self, name: str, base: np.ndarray, scope: str) -> TrackedArray:
+        ta = TrackedArray(name, base.shape, self)
+        ta.scope = scope
+        self._tracked.append(ta)
+        return ta
+
+    # -- findings --------------------------------------------------------
+
+    @property
+    def findings(self) -> List[Finding]:
+        return list(self._findings.values())
+
+    def add_finding(self, key: tuple, finding: Finding) -> None:
+        with self.lock:
+            self._merge_finding_locked(key, finding)
+
+    def _merge_finding_locked(self, key: tuple, finding: Finding) -> None:
+        existing = self._findings.get(key)
+        if existing is not None:
+            existing.count += finding.count
+        else:
+            self._findings[key] = finding
+
+    # -- source sites ----------------------------------------------------
+
+    def _capture_site(self) -> Optional[AccessSite]:
+        f = sys._getframe(2)
+        hops = 0
+        while f is not None and hops < 25:
+            if f.f_code.co_filename not in self._skip_files:
+                return AccessSite(
+                    f.f_code.co_filename, f.f_lineno, f.f_code.co_name
+                )
+            f = f.f_back
+            hops += 1
+        return None
+
+    def _site_id_locked(self, site: Optional[AccessSite]) -> int:
+        if site is None:
+            return 0
+        key = (site.filename, site.lineno, site.function)
+        sid = self._sites.get(key)
+        if sid is None:
+            self._site_list.append(site)
+            sid = len(self._site_list)  # ids start at 1; 0 = unknown
+            self._sites[key] = sid
+        return sid
+
+    def _site(self, sid: int) -> Optional[AccessSite]:
+        return self._site_list[sid - 1] if sid > 0 else None
+
+    def _unlin(self, lin: int, extent) -> Optional[Tuple[int, ...]]:
+        if lin < 0:
+            return None
+        return tuple(
+            int(v) for v in np.unravel_index(int(lin), tuple(extent))
+        )
+
+    # -- the hot path -----------------------------------------------------
+
+    def record_index_finding(
+        self, ta: TrackedArray, kind: str, is_write: bool, detail: str
+    ) -> None:
+        ctx = self.monitor.context()
+        site = self._capture_site()
+        with self.lock:
+            sid = self._site_id_locked(site)
+            key = (kind, ta.name, sid)
+            self._merge_finding_locked(
+                key,
+                Finding(
+                    kind=kind,
+                    array=ta.name,
+                    detail=("write " if is_write else "read ") + detail,
+                    block=self._unlin(ctx.block, self.work_div.grid_block_extent),
+                    thread=self._unlin(
+                        ctx.thread, self.work_div.block_thread_extent
+                    ),
+                    site=site,
+                ),
+            )
+
+    def record(self, ta: TrackedArray, cells: np.ndarray, is_write: bool) -> None:
+        ctx = self.monitor.context()
+        if ctx.block == NONE:
+            return  # access outside a sanitized kernel thread (staging)
+        b, t, e = ctx.block, ctx.thread, ctx.epoch
+        atomic = ctx.atomic > 0
+        site = self._capture_site()
+        with self.lock:
+            ta._ensure_state()
+            sid = self._site_id_locked(site)
+            wb = ta.wb[cells]
+            wt = ta.wt[cells]
+            we = ta.we[cells]
+            wa = ta.wa[cells]
+            # Ordered with the last write frame: same thread (program
+            # order) or same block at an earlier epoch (barrier).
+            w_ordered = (wb == b) & ((wt == t) | (we < e))
+            w_conflict = (wb != NONE) & ~w_ordered & ~(atomic & wa)
+            if is_write:
+                rb = ta.rb[cells]
+                rt = ta.rt[cells]
+                re = ta.re[cells]
+                ra = ta.ra[cells]
+                r_ordered = (rb == b) & ((rt == t) | (re < e))
+                r_conflict = (rb != NONE) & ~r_ordered & ~(atomic & ra)
+                if w_conflict.any():
+                    self._report_race_locked(
+                        ta, cells, w_conflict, "write", "write",
+                        ta.wb, ta.wt, ta.ws, b, t, sid,
+                    )
+                if r_conflict.any():
+                    self._report_race_locked(
+                        ta, cells, r_conflict, "write", "read",
+                        ta.rb, ta.rt, ta.rs, b, t, sid,
+                    )
+                self._update_frame_locked(
+                    ta.wb, ta.wt, ta.we, ta.ws, ta.wa,
+                    cells, b, t, e, sid, atomic,
+                )
+            else:
+                if w_conflict.any():
+                    self._report_race_locked(
+                        ta, cells, w_conflict, "read", "write",
+                        ta.wb, ta.wt, ta.ws, b, t, sid,
+                    )
+                self._update_frame_locked(
+                    ta.rb, ta.rt, ta.re, ta.rs, ta.ra,
+                    cells, b, t, e, sid, atomic,
+                )
+        self.monitor.on_access()
+
+    def _update_frame_locked(
+        self, fb, ft, fe, fs, fa, cells, b, t, e, sid, atomic
+    ) -> None:
+        pb = fb[cells]
+        m_none = pb == NONE
+        m_sameb = pb == b
+        m_new = m_none | (m_sameb & (fe[cells] < e))
+        m_same_epoch = m_sameb & ~m_new
+        m_cross = ~m_none & ~m_sameb  # other block or already MANY
+
+        if m_new.any():
+            idx = cells[m_new]
+            fb[idx] = b
+            ft[idx] = t
+            fe[idx] = e
+            fs[idx] = sid
+            fa[idx] = atomic
+        if m_same_epoch.any():
+            idx = cells[m_same_epoch]
+            ft[idx] = np.where(ft[idx] == t, t, MANY)
+            fa[idx] &= atomic
+        if m_cross.any():
+            idx = cells[m_cross]
+            fb[idx] = MANY
+            fa[idx] &= atomic
+
+    def _report_race_locked(
+        self, ta, cells, conflict, cur_kind, prev_kind,
+        fb, ft, fs, b, t, sid,
+    ) -> None:
+        first = cells[conflict][0]
+        prev_sid = int(fs[first])
+        prev_b = int(fb[first])
+        prev_t = int(ft[first])
+        wd = self.work_div
+        if prev_b == b:
+            prev_where = "another thread of the same block"
+        elif prev_b == MANY:
+            prev_where = "threads of multiple blocks"
+        else:
+            prev_where = "a thread of another block"
+        key = ("data-race", ta.name, cur_kind, prev_kind, sid, prev_sid)
+        finding = Finding(
+            kind="data-race",
+            array=ta.name,
+            detail=(
+                f"{cur_kind} races with unsynchronised {prev_kind} by "
+                f"{prev_where} (no barrier between them)"
+            ),
+            block=self._unlin(b, wd.grid_block_extent),
+            thread=self._unlin(t, wd.block_thread_extent),
+            cell=self._unlin(int(first), ta.shape),
+            site=self._site(sid),
+            other_thread=(
+                self._unlin(prev_t, wd.block_thread_extent)
+                if prev_t >= 0
+                else None
+            ),
+            other_site=self._site(prev_sid),
+            count=int(conflict.sum()),
+        )
+        self._merge_finding_locked(key, finding)

@@ -1,0 +1,191 @@
+"""Structured sanitizer output: findings, launch records, reports.
+
+Everything the detector layers (:mod:`repro.sanitize.recorder`,
+:mod:`repro.sanitize.monitor`) discover is normalised into
+:class:`Finding` values — kind, array, block/thread indices, and the
+Python source locations of the offending accesses — grouped per
+sanitized launch into :class:`LaunchRecord` and per session/run into
+:class:`SanitizerReport`.  Reports render to human-readable text
+(:meth:`SanitizerReport.render`) and can escalate to
+:class:`~repro.core.errors.SanitizerError` for CI-style hard failure.
+"""
+
+from __future__ import annotations
+
+import linecache
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SanitizerError
+
+__all__ = [
+    "AccessSite",
+    "Finding",
+    "LaunchRecord",
+    "SanitizerReport",
+    "FINDING_KINDS",
+]
+
+#: Every kind of defect the sanitizer reports.
+FINDING_KINDS = (
+    "data-race",
+    "out-of-bounds",
+    "negative-index",
+    "barrier-divergence",
+)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """A Python source location of one recorded access."""
+
+    filename: str
+    lineno: int
+    function: str
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.lineno} in {self.function}"
+
+    @property
+    def source_line(self) -> str:
+        return linecache.getline(self.filename, self.lineno).strip()
+
+
+@dataclass
+class Finding:
+    """One defect: what happened, where in the grid, where in the code.
+
+    Identical defects (same kind, array and site pair) hitting many
+    cells/threads collapse into one finding with ``count`` occurrences
+    — a racy tile load races on every cell, and one line of report per
+    cell helps nobody.
+    """
+
+    kind: str
+    array: str
+    detail: str
+    kernel: str = ""
+    backend: str = ""
+    #: Grid coordinates of the (current) access, when known.
+    block: Optional[Tuple[int, ...]] = None
+    thread: Optional[Tuple[int, ...]] = None
+    cell: Optional[Tuple[int, ...]] = None
+    site: Optional[AccessSite] = None
+    #: The conflicting access of a race: its thread and source site.
+    other_thread: Optional[Tuple[int, ...]] = None
+    other_site: Optional[AccessSite] = None
+    #: Schedule-fuzzing seed the finding surfaced under (replay handle).
+    seed: Optional[int] = None
+    count: int = 1
+
+    def describe(self) -> str:
+        where = []
+        if self.block is not None:
+            where.append(f"block {tuple(self.block)}")
+        if self.thread is not None:
+            where.append(f"thread {tuple(self.thread)}")
+        if self.cell is not None:
+            where.append(f"cell {tuple(self.cell)}")
+        lines = [
+            f"[{self.kind}] {self.array}: {self.detail}"
+            + (f" ({', '.join(where)})" if where else "")
+        ]
+        if self.site is not None:
+            lines.append(f"    at {self.site}")
+            src = self.site.source_line
+            if src:
+                lines.append(f"        {src}")
+        if self.other_site is not None:
+            other = f"    conflicts with access at {self.other_site}"
+            if self.other_thread is not None:
+                other += f" (thread {tuple(self.other_thread)})"
+            lines.append(other)
+            src = self.other_site.source_line
+            if src:
+                lines.append(f"        {src}")
+        if self.seed is not None:
+            lines.append(f"    schedule seed {self.seed} (replay with "
+                         f"REPRO_SANITIZE_SEED={self.seed})")
+        if self.count > 1:
+            lines.append(f"    x{self.count} occurrences (deduplicated)")
+        return "\n".join(lines)
+
+
+@dataclass
+class LaunchRecord:
+    """One sanitized kernel launch and everything found during it."""
+
+    kernel: str
+    backend: str
+    device: str
+    work_div: str
+    seed: Optional[int] = None
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class SanitizerReport:
+    """Findings of one sanitizer run (one or many launches/schedules)."""
+
+    label: str = ""
+    launches: List[LaunchRecord] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for rec in self.launches for f in rec.findings]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def failing_seeds(self) -> List[int]:
+        """Fuzz seeds whose schedule produced findings (for replay)."""
+        return sorted(
+            {
+                rec.seed
+                for rec in self.launches
+                if rec.findings and rec.seed is not None
+            }
+        )
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.kind] = out.get(f.kind, 0) + f.count
+        return out
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        head = "sanitizer report" + (f" [{self.label}]" if self.label else "")
+        lines = [head, "=" * len(head)]
+        if not self.launches:
+            lines.append("(no sanitized launches)")
+            return "\n".join(lines)
+        for rec in self.launches:
+            seed = f" seed={rec.seed}" if rec.seed is not None else ""
+            status = "clean" if rec.clean else f"{len(rec.findings)} finding(s)"
+            lines.append(
+                f"launch {rec.kernel} on {rec.backend} ({rec.work_div}){seed}"
+                f": {status}"
+            )
+            for f in rec.findings:
+                lines.append("  " + f.describe().replace("\n", "\n  "))
+        total = self.counts_by_kind()
+        if total:
+            summary = ", ".join(f"{k}: {n}" for k, n in sorted(total.items()))
+            lines.append(f"TOTAL {summary}")
+        else:
+            lines.append("TOTAL clean")
+        return "\n".join(lines)
+
+    def raise_if_findings(self) -> None:
+        """Escalate to :class:`SanitizerError` when anything was found."""
+        if not self.clean:
+            raise SanitizerError(
+                f"sanitizer found defects:\n{self.render()}"
+            )

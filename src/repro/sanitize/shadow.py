@@ -1,0 +1,275 @@
+"""Shadow arrays: numpy wrappers that report every kernel access.
+
+A :class:`ShadowArray` stands in for the array a kernel argument (or a
+block-shared allocation) unwraps to.  It forwards all data movement to
+the real array while telling the launch's
+:class:`~repro.sanitize.recorder.AccessRecorder` exactly *which root
+cells* were read or written — the information the happens-before race
+detector and the bounds checker run on.
+
+Cell attribution uses an **index map**: alongside the wrapped view the
+shadow carries an equally-shaped ``int64`` array whose values are flat
+indices into the root array.  Indexing the map with the kernel's key —
+whatever numpy indexing form it takes — yields precisely the root
+cells the access touches, so sub-views, strided slices, transposes and
+fancy indexing all attribute exactly.
+
+Semantics preserved:
+
+* **basic indexing** (ints/slices) returns another shadow *view* —
+  writes through it reach the root, and reads are recorded lazily when
+  the view's data is actually consumed;
+* **advanced indexing** (index/bool arrays) has numpy copy semantics,
+  so the read is recorded eagerly and a plain copy returned;
+* arithmetic/comparison/matmul operators, ``__array__`` and a
+  whitelist of read methods consume the view (recording the read) and
+  return plain numpy objects — kernels never accumulate nested
+  wrappers;
+* in-place operators record read+write and mutate the root.
+
+Out-of-bounds and negative indices record a finding and raise
+:class:`SanitizedAccessError` (an :class:`~repro.core.errors.ExtentError`)
+so the offending thread unwinds while the sanitized launch continues
+with the other blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import ExtentError
+from ..mem.guard import check_index_key
+
+__all__ = ["ShadowArray", "SanitizedAccessError"]
+
+
+class SanitizedAccessError(ExtentError):
+    """An out-of-bounds/negative access caught (and already recorded)
+    by the sanitizer; the runner treats it as a finding, not a crash."""
+
+
+def _is_basic_key(key) -> bool:
+    comps = key if type(key) is tuple else (key,)
+    return all(
+        isinstance(k, (int, np.integer, slice))
+        or k is Ellipsis
+        or k is None
+        for k in comps
+    )
+
+
+class ShadowArray:
+    """Recording proxy for one view of a tracked root array."""
+
+    __slots__ = ("_base", "_idxmap", "_tracked")
+
+    def __init__(self, base: np.ndarray, tracked, idxmap: np.ndarray):
+        self._base = base
+        self._tracked = tracked  # recorder-side root bookkeeping
+        self._idxmap = idxmap
+
+    @classmethod
+    def wrap_root(cls, base: np.ndarray, tracked) -> "ShadowArray":
+        idxmap = np.arange(base.size, dtype=np.int64).reshape(base.shape)
+        return cls(base, tracked, idxmap)
+
+    # -- metadata (no access recorded) ----------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._base.shape
+
+    @property
+    def dtype(self):
+        return self._base.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._base.ndim
+
+    @property
+    def size(self) -> int:
+        return self._base.size
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShadowArray of {self._tracked.name!r} "
+            f"shape={self._base.shape} dtype={self._base.dtype}>"
+        )
+
+    # -- recording helpers ----------------------------------------------
+
+    def _consume(self) -> np.ndarray:
+        """Record a read of every cell of this view; return plain data."""
+        self._tracked.record(self._idxmap.reshape(-1), False)
+        base = self._base
+        return base.view(np.ndarray) if type(base) is not np.ndarray else base
+
+    def _coerce(self, value):
+        return value._consume() if isinstance(value, ShadowArray) else value
+
+    def _coerce_key(self, key):
+        if isinstance(key, ShadowArray):
+            return key._consume()
+        if type(key) is tuple and any(
+            isinstance(k, ShadowArray) for k in key
+        ):
+            return tuple(self._coerce(k) for k in key)
+        return key
+
+    def _check_key(self, key, is_write: bool):
+        key = self._coerce_key(key)
+        try:
+            check_index_key(key)
+        except ExtentError as exc:
+            self._tracked.record_index_finding(
+                "negative-index", is_write, str(exc)
+            )
+            raise SanitizedAccessError(str(exc)) from None
+        return key
+
+    def _map_cells(self, key, is_write: bool):
+        try:
+            return self._idxmap[key]
+        except IndexError as exc:
+            detail = (
+                f"index {key!r} out of bounds for "
+                f"shape {self._base.shape}: {exc}"
+            )
+            self._tracked.record_index_finding("out-of-bounds", is_write, detail)
+            raise SanitizedAccessError(detail) from None
+
+    # -- element access ---------------------------------------------------
+
+    def __getitem__(self, key):
+        key = self._check_key(key, is_write=False)
+        cells = self._map_cells(key, is_write=False)
+        if isinstance(cells, np.ndarray) and cells.ndim > 0:
+            if _is_basic_key(key):
+                # A genuine numpy view: defer the read until consumed.
+                return ShadowArray(self._base[key], self._tracked, cells)
+            # Advanced indexing copies; record the read now.
+            self._tracked.record(cells.reshape(-1), False)
+            base = self._base[key]
+            return base.view(np.ndarray) if type(base) is not np.ndarray else base
+        # Scalar element.
+        self._tracked.record(np.asarray([cells], dtype=np.int64), False)
+        return self._base[key]
+
+    def __setitem__(self, key, value) -> None:
+        value = self._coerce(value)
+        key = self._check_key(key, is_write=True)
+        cells = self._map_cells(key, is_write=True)
+        if isinstance(cells, np.ndarray) and cells.ndim > 0:
+            self._tracked.record(cells.reshape(-1), True)
+        else:
+            self._tracked.record(np.asarray([cells], dtype=np.int64), True)
+        self._base[key] = value
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    # -- numpy interop -----------------------------------------------------
+
+    def __array__(self, dtype=None, **kwargs):
+        out = self._consume()
+        return np.asarray(out, dtype=dtype) if dtype is not None else out
+
+    @property
+    def T(self) -> "ShadowArray":
+        return ShadowArray(self._base.T, self._tracked, self._idxmap.T)
+
+    @property
+    def __alpaka_atomic_ctx__(self):
+        """Context manager marking accesses atomic; entered by
+        :meth:`repro.atomic.ops.AtomicDomain._rmw` around its RMW."""
+        return self._tracked.recorder.monitor.atomic_section
+
+    def fill(self, value) -> None:
+        self._tracked.record(self._idxmap.reshape(-1), True)
+        self._base.fill(value)
+
+
+def _binop(name: str):
+    def op(self, other):
+        a = self._consume()
+        return getattr(a, name)(self._coerce(other))
+
+    op.__name__ = name
+    return op
+
+
+def _ibinop(name: str):
+    inplace = getattr(np.ndarray, name)
+
+    def op(self, other):
+        other = self._coerce(other)
+        cells = self._idxmap.reshape(-1)
+        self._tracked.record(cells, False)
+        self._tracked.record(cells, True)
+        inplace(
+            self._base.view(np.ndarray)
+            if type(self._base) is not np.ndarray
+            else self._base,
+            other,
+        )
+        return self
+
+    op.__name__ = name
+    return op
+
+
+def _unop(name: str):
+    def op(self):
+        return getattr(self._consume(), name)()
+
+    op.__name__ = name
+    return op
+
+
+def _read_method(name: str):
+    def method(self, *args, **kwargs):
+        args = tuple(self._coerce(a) for a in args)
+        return getattr(self._consume(), name)(*args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+for _name in (
+    "__add__", "__radd__", "__sub__", "__rsub__",
+    "__mul__", "__rmul__", "__truediv__", "__rtruediv__",
+    "__floordiv__", "__rfloordiv__", "__mod__", "__rmod__",
+    "__pow__", "__rpow__", "__matmul__", "__rmatmul__",
+    "__and__", "__rand__", "__or__", "__ror__", "__xor__", "__rxor__",
+    "__lshift__", "__rlshift__", "__rshift__", "__rrshift__",
+    "__lt__", "__le__", "__gt__", "__ge__", "__eq__", "__ne__",
+):
+    setattr(ShadowArray, _name, _binop(_name))
+
+for _name in (
+    "__iadd__", "__isub__", "__imul__", "__itruediv__",
+    "__ifloordiv__", "__imod__", "__ipow__",
+    "__iand__", "__ior__", "__ixor__", "__ilshift__", "__irshift__",
+):
+    setattr(ShadowArray, _name, _ibinop(_name))
+
+for _name in ("__neg__", "__pos__", "__abs__", "__invert__",
+              "__float__", "__int__", "__bool__", "__complex__"):
+    setattr(ShadowArray, _name, _unop(_name))
+
+for _name in (
+    "sum", "mean", "std", "var", "min", "max", "prod", "any", "all",
+    "argmin", "argmax", "cumsum", "cumprod", "astype", "copy", "round",
+    "ravel", "reshape", "tolist", "item", "nonzero", "dot", "conj",
+    "clip", "repeat", "take", "searchsorted",
+):
+    setattr(ShadowArray, _name, _read_method(_name))
+
+del _name

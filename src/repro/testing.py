@@ -20,9 +20,12 @@ back — the full offloading lifecycle, once per registered accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .sanitize.report import SanitizerReport
 
 from . import mem
 from .acc.registry import accelerator, accelerator_names
@@ -40,6 +43,18 @@ class BackendReport:
 
     results: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
     reference_backend: str = "AccCpuSerial"
+    #: Per-back-end sanitizer reports (only when ``sanitize=True``).
+    sanitizer: Dict[str, "SanitizerReport"] = field(default_factory=dict)
+
+    def assert_sanitized(self) -> None:
+        """Raise unless ``sanitize=True`` ran and found nothing."""
+        if not self.sanitizer:
+            raise AssertionError(
+                "no sanitizer reports; pass sanitize=True to "
+                "run_on_all_backends"
+            )
+        for name, rep in sorted(self.sanitizer.items()):
+            rep.raise_if_findings()
 
     def assert_consistent(
         self, rtol: float = 0.0, atol: float = 0.0
@@ -81,6 +96,7 @@ def run_on_all_backends(
     extent: Optional[int] = None,
     thread_elems: int = 16,
     backends: Optional[Iterable[str]] = None,
+    sanitize: bool = False,
 ) -> BackendReport:
     """Execute ``kernel`` on every (or the given) back-ends.
 
@@ -89,6 +105,12 @@ def run_on_all_backends(
     division covers ``extent`` (default: the first array's length)
     using each back-end's preferred Table 2 mapping with
     ``thread_elems`` elements per thread.
+
+    With ``sanitize=True`` every launch runs under the kernel sanitizer
+    (:mod:`repro.sanitize`); the per-back-end reports land in
+    :attr:`BackendReport.sanitizer` and
+    :meth:`BackendReport.assert_sanitized` asserts they are clean —
+    differential testing and race/bounds checking in one sweep.
     """
     arrays = arrays or {}
     if extent is None:
@@ -111,9 +133,15 @@ def run_on_all_backends(
         wd = divide_work(
             extent, props, acc.mapping_strategy, thread_elems=thread_elems
         )
-        queue.enqueue(
-            create_task_kernel(acc, wd, kernel, *args, *bufs.values())
-        )
+        task = create_task_kernel(acc, wd, kernel, *args, *bufs.values())
+        if sanitize:
+            from .sanitize import enabled as _sanitize_enabled
+
+            with _sanitize_enabled(label=name) as san:
+                queue.enqueue(task)
+            report.sanitizer[name] = san
+        else:
+            queue.enqueue(task)
         gathered = {}
         for key, buf in bufs.items():
             out = np.empty_like(np.ascontiguousarray(arrays[key]))

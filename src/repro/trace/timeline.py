@@ -33,6 +33,7 @@ class TimelineEvent:
     """One runtime transition on the recorded timeline."""
 
     #: "launch_begin" | "launch_end" | "block" | "copy" | "queue_drain"
+    #: | "sanitize"
     kind: str
     #: Host wall-clock seconds relative to the observer's creation.
     t: float
@@ -79,6 +80,19 @@ class TimelineObserver(ExecutionObserver):
 
     def on_queue_drain(self, queue) -> None:
         self._emit("queue_drain", repr(queue))
+
+    def on_sanitizer_report(self, plan, record) -> None:
+        kinds = sorted({f.kind for f in record.findings})
+        self._emit(
+            "sanitize",
+            plan.acc_type.name,
+            f"{record.kernel}: "
+            + (
+                f"{len(record.findings)} finding(s) ({', '.join(kinds)})"
+                if record.findings
+                else "clean"
+            ),
+        )
 
     # -- queries ---------------------------------------------------------
 

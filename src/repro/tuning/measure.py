@@ -64,11 +64,14 @@ def measure_task(
         queue = QueueBlocking(device)
 
     # Warmup: fills the plan cache and, for self-describing kernels,
-    # reveals the modeled per-launch cost on the simulated clock.
-    sim0 = device.sim_time_s
+    # reveals the modeled per-launch cost on the simulated clock.  The
+    # interval is taken on the exact femtosecond counter: identical
+    # launches must measure identical seconds no matter how large the
+    # device clock has grown.
+    sim0 = device.sim_time_fs
     for _ in range(warmup):
         queue.enqueue(task)
-    modeled = (device.sim_time_s - sim0) / warmup
+    modeled = (device.sim_time_fs - sim0) * 1e-15 / warmup
 
     if modeled > 0.0:
         # Deterministic clock: the warmup launches already *are* the

@@ -1,0 +1,137 @@
+"""Preemptive-engine barrier semantics under errors and divergence.
+
+Regression suite for the dynamic-party block barrier: a sibling's
+failure must surface the *original* kernel exception (with thread and
+block context), never a raw ``threading.BrokenBarrierError``; and a
+thread exiting without syncing must release waiting siblings instead of
+deadlocking — the same contract the cooperative fiber engine pins in
+``test_fiber_divergence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Block,
+    QueueBlocking,
+    Threads,
+    WorkDivMembers,
+    accelerator,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+    get_idx,
+    mem,
+)
+from repro.core.errors import KernelError
+
+PREEMPTIVE = ["AccCpuThreads", "AccCpuOmp2Threads", "AccGpuCudaSim"]
+
+
+def _run(acc_name, kernel, n=4, threads=4):
+    acc = accelerator(acc_name)
+    dev = get_dev_by_idx(acc, 0)
+    q = QueueBlocking(dev)
+    out = mem.alloc(dev, n)
+    mem.memset(q, out, 0.0)
+    wd = WorkDivMembers.make(1, threads, 1)
+    q.enqueue(create_task_kernel(acc, wd, kernel, n, out))
+    host = np.zeros(n)
+    mem.copy(q, host, out)
+    return host
+
+
+class FailAtBarrierKernel:
+    """Thread 2 raises while its siblings wait at the barrier."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        if ti == 2:
+            raise ValueError("boom from thread 2")
+        acc.sync_block_threads()
+        out[ti] = 1.0
+
+
+class CatchAroundSyncKernel:
+    """User code wrapping sync in ``except Exception`` must never see
+    the engine's internal unwind signal."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        if ti == 0:
+            raise ValueError("boom")
+        try:
+            acc.sync_block_threads()
+            out[ti] = 1.0
+        except Exception:
+            out[ti] = -1.0
+
+
+class EarlyReturnKernel:
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        out[ti] = 1.0
+        if ti == 0:
+            return
+        acc.sync_block_threads()
+        out[ti] = 2.0
+
+
+@pytest.mark.parametrize("backend", PREEMPTIVE)
+class TestSiblingFailure:
+    def test_original_exception_with_context(self, backend):
+        with pytest.raises(KernelError) as exc_info:
+            _run(backend, FailAtBarrierKernel())
+        msg = str(exc_info.value)
+        assert "thread" in msg and "block" in msg
+        assert "FailAtBarrierKernel" in msg
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, ValueError)
+        assert "boom from thread 2" in str(cause)
+
+    def test_no_broken_barrier_error_anywhere(self, backend):
+        import threading
+
+        with pytest.raises(KernelError) as exc_info:
+            _run(backend, FailAtBarrierKernel())
+        exc = exc_info.value
+        seen = set()
+        while exc is not None and id(exc) not in seen:
+            seen.add(id(exc))
+            assert not isinstance(exc, threading.BrokenBarrierError)
+            exc = exc.__cause__ or exc.__context__
+
+    def test_user_except_never_sees_engine_unwind(self, backend):
+        with pytest.raises(KernelError):
+            _run(backend, CatchAroundSyncKernel())
+        # If the engine's unwind signal were an Exception, a sibling's
+        # handler would have swallowed it and written -1; the raise
+        # above (attributed to thread 0) is the observable contract.
+
+
+@pytest.mark.parametrize("backend", PREEMPTIVE)
+class TestDivergentExit:
+    def test_early_returner_releases_barrier(self, backend):
+        # Must complete (no deadlock, no exception), matching the
+        # cooperative back-ends' pinned semantics.
+        out = _run(backend, EarlyReturnKernel())
+        np.testing.assert_array_equal(out, [1.0, 2.0, 2.0, 2.0])
+
+    def test_all_but_one_exit_early(self, backend):
+        class K:
+            @fn_acc
+            def __call__(self, acc, n, out):
+                ti = get_idx(acc, Block, Threads)[0]
+                out[ti] = 1.0
+                if ti != 3:
+                    return
+                acc.sync_block_threads()
+                out[ti] = 2.0
+
+        out = _run(backend, K())
+        np.testing.assert_array_equal(out, [1.0, 1.0, 1.0, 2.0])

@@ -1,0 +1,49 @@
+"""Shared helpers for the sanitizer suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import QueueBlocking, create_task_kernel, get_dev_by_idx, mem
+
+
+class SanitizedRunner:
+    """Build a task from host arrays and run it under the sanitizer."""
+
+    def run(
+        self,
+        acc_type,
+        work_div,
+        kernel,
+        *scalars,
+        arrays=None,
+        seed=None,
+        schedules=1,
+    ):
+        from repro.sanitize import sanitize_task
+
+        arrays = arrays or {}
+        dev = get_dev_by_idx(acc_type, 0)
+        queue = QueueBlocking(dev)
+        bufs = {}
+        for name, host in arrays.items():
+            host = np.ascontiguousarray(host)
+            buf = mem.alloc(dev, host.shape, dtype=host.dtype)
+            mem.copy(queue, buf, host)
+            bufs[name] = buf
+        args = list(scalars) + [bufs[k] for k in arrays]
+        task = create_task_kernel(acc_type, work_div, kernel, *args)
+        report = sanitize_task(task, dev, seed=seed, schedules=schedules)
+        out = {}
+        for name, host in arrays.items():
+            res = np.empty_like(np.ascontiguousarray(host))
+            mem.copy(queue, res, bufs[name])
+            out[name] = res
+            bufs[name].free()
+        return report, out
+
+
+@pytest.fixture
+def san_runner():
+    return SanitizedRunner()

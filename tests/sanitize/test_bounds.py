@@ -1,0 +1,111 @@
+"""Out-of-bounds and negative-index detection through real launches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, Threads, WorkDivMembers, fn_acc, get_idx
+from repro.core.errors import ExtentError, KernelError
+
+
+class ReadPastEndKernel:
+    @fn_acc
+    def __call__(self, acc, n, src, dst):
+        i = get_idx(acc, Grid, Threads)[0]
+        if i < n:
+            dst[i] = src[i + 1]  # BUG at i == n-1
+
+
+class NegativeIndexKernel:
+    @fn_acc
+    def __call__(self, acc, n, src, dst):
+        i = get_idx(acc, Grid, Threads)[0]
+        if i < n:
+            dst[i] = src[i - 1]  # BUG at i == 0
+
+
+class TestSanitizedBounds:
+    def test_read_past_end_flagged(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, _ = san_runner.run(
+            any_acc, wd, ReadPastEndKernel(), 4,
+            arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+        )
+        oob = [f for f in report.findings if f.kind == "out-of-bounds"]
+        assert len(oob) == 1
+        assert oob[0].array == "src"
+        assert "index 4" in oob[0].detail
+
+    def test_negative_index_flagged(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, _ = san_runner.run(
+            any_acc, wd, NegativeIndexKernel(), 4,
+            arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+        )
+        neg = [f for f in report.findings if f.kind == "negative-index"]
+        assert len(neg) == 1
+        assert neg[0].array == "src"
+        assert neg[0].block == (0,)
+
+    def test_other_blocks_still_run(self, any_acc, san_runner):
+        # The faulting block aborts; every other block completes.
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, out = san_runner.run(
+            any_acc, wd, NegativeIndexKernel(), 4,
+            arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+        )
+        assert not report.clean
+        np.testing.assert_array_equal(out["dst"][1:], [0.0, 1.0, 2.0])
+
+    def test_in_bounds_clean(self, any_acc, san_runner):
+        class Clamped:
+            @fn_acc
+            def __call__(self, acc, n, src, dst):
+                i = get_idx(acc, Grid, Threads)[0]
+                if 0 < i < n - 1:
+                    dst[i] = src[i - 1] + src[i + 1]
+
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, _ = san_runner.run(
+            any_acc, wd, Clamped(), 4,
+            arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+        )
+        assert report.clean, report.render()
+
+
+class TestUnsanitizedGuard:
+    """Satellite: negative kernel indices are rejected even without the
+    sanitizer — numpy's wrap-around silently hides OOB bugs."""
+
+    def test_negative_index_raises_extent_error(self, any_acc, runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        with pytest.raises(KernelError) as exc_info:
+            runner.run(
+                any_acc, wd, NegativeIndexKernel(), 4,
+                arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+            )
+        cause = exc_info.value.__cause__
+        seen = set()
+        while cause is not None and id(cause) not in seen:
+            seen.add(id(cause))
+            if isinstance(cause, ExtentError):
+                break
+            cause = cause.__cause__
+        assert isinstance(cause, ExtentError)
+        assert "-1" in str(cause)
+
+    def test_positive_indexing_unaffected(self, any_acc, runner):
+        class Fine:
+            @fn_acc
+            def __call__(self, acc, n, src, dst):
+                i = get_idx(acc, Grid, Threads)[0]
+                if i < n:
+                    dst[i] = src[i] * 2.0
+
+        wd = WorkDivMembers.make(4, 1, 1)
+        out = runner.run(
+            any_acc, wd, Fine(), 4,
+            arrays={"src": np.arange(4.0), "dst": np.zeros(4)},
+        )
+        np.testing.assert_array_equal(out["dst"], [0.0, 2.0, 4.0, 6.0])

@@ -1,0 +1,58 @@
+"""The seeded-buggy demos must be flagged; shipped kernels must be clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitize.demos import DEMOS, demo_backends, run_demo
+from repro.sanitize.sweep import DEFAULT_SWEEP_BACKENDS, sweep_kernels
+
+
+class TestDemosFlagged:
+    @pytest.mark.parametrize("backend", ["AccCpuThreads", "AccCpuFibers"])
+    def test_racy_gemm_flagged_on_sync_backends(self, backend):
+        report = run_demo("racy-gemm", backend)
+        assert report.counts_by_kind().get("data-race", 0) > 0
+
+    def test_racy_gemm_flagged_on_fuzzed_cuda_sim(self):
+        report = run_demo("racy-gemm", "AccGpuCudaSim", seed=0, schedules=2)
+        assert report.counts_by_kind().get("data-race", 0) > 0
+        assert report.failing_seeds == [0, 1]
+
+    @pytest.mark.parametrize("backend", ["AccCpuSerial", "AccGpuCudaSim"])
+    def test_oob_stencil_flagged(self, backend):
+        report = run_demo("oob-stencil", backend)
+        counts = report.counts_by_kind()
+        assert counts.get("negative-index", 0) >= 1
+        assert counts.get("out-of-bounds", 0) >= 1
+
+    def test_demo_registry_backends(self):
+        for name in DEMOS:
+            assert list(demo_backends(name))
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(ValueError, match="unknown demo"):
+            run_demo("not-a-demo")
+
+
+class TestShippedKernelsClean:
+    def test_serial_sweep_clean(self):
+        report = sweep_kernels(["AccCpuSerial"])
+        assert report.clean, report.render()
+        assert len(report.launches) >= 15
+
+    def test_threads_sweep_subset_clean(self):
+        report = sweep_kernels(
+            ["AccCpuThreads"], only=["gemm", "reduce", "sort", "scan"]
+        )
+        assert report.clean, report.render()
+
+    @pytest.mark.slow
+    def test_default_backends_sweep_clean(self):
+        report = sweep_kernels(DEFAULT_SWEEP_BACKENDS)
+        assert report.clean, report.render()
+
+    @pytest.mark.slow
+    def test_fuzzed_cuda_sim_sweep_clean(self):
+        report = sweep_kernels(["AccGpuCudaSim"], seed=1)
+        assert report.clean, report.render()

@@ -1,0 +1,77 @@
+"""Barrier divergence: detected by the sanitizer, survived by engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Block, Threads, WorkDivMembers, fn_acc, get_idx
+
+
+class EarlyExitKernel:
+    """Thread 0 skips the barrier entirely; siblings sync once."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        out[ti] = 1.0
+        if ti == 0:
+            return
+        acc.sync_block_threads()
+        out[ti] = 2.0
+
+
+class UniformSyncKernel:
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        out[ti] = 1.0
+        acc.sync_block_threads()
+        out[ti] = 2.0
+
+
+class TestDivergence:
+    def test_divergent_sync_flagged(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, out = san_runner.run(
+            sync_acc, wd, EarlyExitKernel(), 4, arrays={"out": np.zeros(4)}
+        )
+        kinds = [f.kind for f in report.findings]
+        assert "barrier-divergence" in kinds
+        # The engines release the barrier on divergent exit (no deadlock,
+        # no exception): the block still completes.
+        np.testing.assert_array_equal(out["out"], [1.0, 2.0, 2.0, 2.0])
+
+    def test_divergence_finding_names_epochs(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, _ = san_runner.run(
+            sync_acc, wd, EarlyExitKernel(), 4, arrays={"out": np.zeros(4)}
+        )
+        div = [f for f in report.findings if f.kind == "barrier-divergence"]
+        assert len(div) == 1
+        assert "0 vs 1" in div[0].detail
+        assert div[0].block == (0,)
+
+    def test_uniform_sync_clean(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, out = san_runner.run(
+            sync_acc, wd, UniformSyncKernel(), 4, arrays={"out": np.zeros(4)}
+        )
+        assert report.clean, report.render()
+        np.testing.assert_array_equal(out["out"], np.full(4, 2.0))
+
+    def test_single_thread_blocks_never_diverge(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+
+        from repro import Grid
+
+        class OneThread:
+            @fn_acc
+            def __call__(self, acc, n, out):
+                out[get_idx(acc, Grid, Threads)[0]] = 1.0
+
+        report, _ = san_runner.run(
+            any_acc, wd, OneThread(), 4, arrays={"out": np.zeros(4)}
+        )
+        assert not [
+            f for f in report.findings if f.kind == "barrier-divergence"
+        ]

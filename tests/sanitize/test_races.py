@@ -1,0 +1,172 @@
+"""Race detection at the kernel level: racy/safe pairs per back-end."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Block, Grid, Threads, Vec, WorkDivMembers, fn_acc, get_idx
+from repro.core.index import Blocks
+from repro.sanitize import AccessRecorder, SanitizeMonitor, ShadowArray
+
+
+class MissingBarrierKernel:
+    """Each thread writes its shared slot, then reads a neighbour's slot
+    without an intervening barrier — the canonical shared-memory race."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        s = acc.shared_mem("t", (n,))
+        s[ti] = float(ti + 1)
+        out[ti] = s[(ti + 1) % n]
+
+
+class BarrierSeparatedKernel:
+    """The same exchange with the barrier in place — must stay clean."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        ti = get_idx(acc, Block, Threads)[0]
+        s = acc.shared_mem("t", (n,))
+        s[ti] = float(ti + 1)
+        acc.sync_block_threads()
+        out[ti] = s[(ti + 1) % n]
+
+
+class GlobalCollisionKernel:
+    """Every block writes the same global cell — a cross-block race on
+    any back-end (there is no grid-wide barrier inside a kernel)."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        bi = get_idx(acc, Grid, Blocks)[0]
+        out[0] = float(bi)
+
+
+class DisjointWritesKernel:
+    @fn_acc
+    def __call__(self, acc, n, out):
+        i = get_idx(acc, Grid, Threads)[0]
+        if i < n:
+            out[i] = float(i)
+
+
+class AtomicCounterKernel:
+    """Every thread atomically bumps one counter — never a race."""
+
+    @fn_acc
+    def __call__(self, acc, n, out):
+        acc.atomic_add(out, 0, 1.0)
+
+
+class TestSharedMemoryRaces:
+    def test_missing_barrier_flagged(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, _ = san_runner.run(
+            sync_acc, wd, MissingBarrierKernel(), 4,
+            arrays={"out": np.zeros(4)},
+        )
+        kinds = {f.kind for f in report.findings}
+        assert "data-race" in kinds
+
+    def test_barrier_separated_clean(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, out = san_runner.run(
+            sync_acc, wd, BarrierSeparatedKernel(), 4,
+            arrays={"out": np.zeros(4)},
+        )
+        assert report.clean, report.render()
+        np.testing.assert_array_equal(out["out"], [2.0, 3.0, 4.0, 1.0])
+
+    def test_race_names_shared_array_and_sites(self, sync_acc, san_runner):
+        wd = WorkDivMembers.make(1, 4, 1)
+        report, _ = san_runner.run(
+            sync_acc, wd, MissingBarrierKernel(), 4,
+            arrays={"out": np.zeros(4)},
+        )
+        races = [f for f in report.findings if f.kind == "data-race"]
+        assert any(f.array.startswith("shared[t]@block") for f in races)
+        assert any(
+            f.site is not None and f.other_site is not None for f in races
+        )
+
+
+class TestGlobalMemoryRaces:
+    def test_cross_block_collision_flagged(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, _ = san_runner.run(
+            any_acc, wd, GlobalCollisionKernel(), 4,
+            arrays={"out": np.zeros(1)},
+        )
+        assert {f.kind for f in report.findings} == {"data-race"}
+
+    def test_disjoint_writes_clean(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, out = san_runner.run(
+            any_acc, wd, DisjointWritesKernel(), 4,
+            arrays={"out": np.zeros(4)},
+        )
+        assert report.clean, report.render()
+        np.testing.assert_array_equal(out["out"], np.arange(4.0))
+
+    def test_atomic_updates_clean(self, any_acc, san_runner):
+        wd = WorkDivMembers.make(4, 1, 1)
+        report, out = san_runner.run(
+            any_acc, wd, AtomicCounterKernel(), 4,
+            arrays={"out": np.zeros(1)},
+        )
+        assert report.clean, report.render()
+        assert out["out"][0] == 4.0
+
+
+class _Blk:
+    def __init__(self, idx):
+        self.block_idx = idx
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    phase1=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7)), max_size=12
+    ),
+    phase2=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7), st.booleans()),
+        max_size=12,
+    ),
+)
+def test_barrier_separated_patterns_never_race(phase1, phase2):
+    """Property: any write pattern in phase 1 followed by a block-wide
+    barrier and any access pattern in phase 2 is race-free — unless
+    phase 2 itself collides."""
+    wd = WorkDivMembers.make(1, 4, 1)
+    rec = AccessRecorder(wd)
+    rec.monitor = SanitizeMonitor(rec)
+    base = np.zeros(8)
+    s = ShadowArray.wrap_root(base, rec.track("a", base, "global"))
+
+    p1_writers = {}  # cell -> set of threads
+    for thread, cell in phase1:
+        rec.monitor.thread_begin(_Blk(Vec(0)), Vec(thread))
+        s[cell] = 1.0
+        p1_writers.setdefault(cell, set()).add(thread)
+    # Block-wide barrier: every phase-2 access runs at epoch 1.
+    accesses = {}  # cell -> list of (thread, is_write)
+    for thread, cell, is_write in phase2:
+        rec.monitor.thread_begin(_Blk(Vec(0)), Vec(thread))
+        rec.monitor._tls.ctx.epoch = 1
+        if is_write:
+            s[cell] = 2.0
+        else:
+            _ = s[cell]
+        accesses.setdefault(cell, []).append((thread, is_write))
+
+    collide = any(len(ts) > 1 for ts in p1_writers.values()) or any(
+        t1 != t2 and (w1 or w2)
+        for pairs in accesses.values()
+        for i, (t1, w1) in enumerate(pairs)
+        for t2, w2 in pairs[i + 1 :]
+    )
+    if not collide:
+        assert rec.findings == [], [f.describe() for f in rec.findings]

@@ -1,0 +1,170 @@
+"""ShadowArray mechanics: recording, attribution, numpy interop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Vec, WorkDivMembers
+from repro.sanitize import AccessRecorder, SanitizeMonitor, ShadowArray
+from repro.sanitize.shadow import SanitizedAccessError
+
+
+class _Block:
+    def __init__(self, idx):
+        self.block_idx = idx
+
+
+def make_recorder(blocks=1, threads=4):
+    wd = WorkDivMembers.make(blocks, threads, 1)
+    rec = AccessRecorder(wd)
+    rec.monitor = SanitizeMonitor(rec)
+    return rec
+
+
+def enter_thread(rec, block=0, thread=0):
+    rec.monitor.thread_begin(_Block(Vec(block)), Vec(thread))
+
+
+def wrap(rec, base, name="a"):
+    return ShadowArray.wrap_root(base, rec.track(name, base, "global"))
+
+
+class TestMetadata:
+    def test_shape_dtype_len(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros((3, 5)))
+        assert s.shape == (3, 5)
+        assert s.dtype == np.float64
+        assert s.ndim == 2 and s.size == 15 and len(s) == 3
+
+    def test_asarray_matches_base(self):
+        rec = make_recorder()
+        base = np.arange(6.0)
+        enter_thread(rec)
+        assert np.array_equal(np.asarray(wrap(rec, base)), base)
+
+
+class TestRecording:
+    def test_same_thread_rw_is_clean(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(8))
+        enter_thread(rec, thread=0)
+        s[3] = 1.0
+        assert s[3] == 1.0
+        assert rec.findings == []
+
+    def test_write_write_same_epoch_races(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(8))
+        enter_thread(rec, thread=0)
+        s[3] = 1.0
+        enter_thread(rec, thread=1)
+        s[3] = 2.0
+        kinds = [f.kind for f in rec.findings]
+        assert kinds == ["data-race"]
+
+    def test_barrier_orders_accesses(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(8))
+        enter_thread(rec, thread=0)
+        s[3] = 1.0
+        rec.monitor.on_sync(None)
+        enter_thread(rec, thread=1)
+        rec.monitor._tls.ctx.epoch = 1  # sibling passed the same barrier
+        assert s[3] == 1.0
+        assert rec.findings == []
+
+    def test_view_attributes_to_root_cells(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros((4, 4)))
+        enter_thread(rec, thread=0)
+        row = s[2]          # lazy basic-index view
+        row[1] = 5.0        # writes root cell (2, 1)
+        enter_thread(rec, thread=1)
+        s[2, 1] = 6.0
+        assert len(rec.findings) == 1
+        assert rec.findings[0].cell == (2, 1)
+
+    def test_disjoint_cells_do_not_race(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(8))
+        enter_thread(rec, thread=0)
+        s[0] = 1.0
+        enter_thread(rec, thread=1)
+        s[1] = 2.0
+        assert rec.findings == []
+
+    def test_read_read_is_clean(self):
+        rec = make_recorder()
+        s = wrap(rec, np.arange(8.0))
+        enter_thread(rec, thread=0)
+        _ = s[2]
+        enter_thread(rec, thread=1)
+        _ = s[2]
+        assert rec.findings == []
+
+    def test_cross_block_write_write_races(self):
+        rec = make_recorder(blocks=2, threads=1)
+        s = wrap(rec, np.zeros(4))
+        rec.monitor.thread_begin(_Block(Vec(0)), Vec(0))
+        s[0] = 1.0
+        rec.monitor.thread_begin(_Block(Vec(1)), Vec(0))
+        s[0] = 2.0
+        assert [f.kind for f in rec.findings] == ["data-race"]
+
+    def test_atomic_accesses_do_not_race(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(4))
+        enter_thread(rec, thread=0)
+        with rec.monitor.atomic_section():
+            s[0] = s[0] + 1.0
+        enter_thread(rec, thread=1)
+        with rec.monitor.atomic_section():
+            s[0] = s[0] + 1.0
+        assert rec.findings == []
+
+    def test_iadd_keeps_inplace_semantics(self):
+        rec = make_recorder()
+        base = np.zeros(4)
+        s = wrap(rec, base)
+        enter_thread(rec)
+        s += 2.0
+        assert np.array_equal(base, np.full(4, 2.0))
+
+    def test_advanced_index_returns_plain_copy(self):
+        rec = make_recorder()
+        s = wrap(rec, np.arange(8.0))
+        enter_thread(rec)
+        picked = s[np.array([1, 3])]
+        assert type(picked) is np.ndarray
+        assert np.array_equal(picked, [1.0, 3.0])
+
+
+class TestIndexFindings:
+    def test_negative_index_flagged_and_raises(self):
+        rec = make_recorder()
+        s = wrap(rec, np.arange(8.0))
+        enter_thread(rec)
+        with pytest.raises(SanitizedAccessError):
+            _ = s[-1]
+        assert [f.kind for f in rec.findings] == ["negative-index"]
+
+    def test_out_of_bounds_flagged_and_raises(self):
+        rec = make_recorder()
+        s = wrap(rec, np.arange(8.0))
+        enter_thread(rec)
+        with pytest.raises(SanitizedAccessError):
+            s[8] = 1.0
+        assert [f.kind for f in rec.findings] == ["out-of-bounds"]
+
+    def test_finding_carries_source_site(self):
+        rec = make_recorder()
+        s = wrap(rec, np.zeros(4))
+        enter_thread(rec, thread=0)
+        s[1] = 1.0
+        enter_thread(rec, thread=1)
+        s[1] = 2.0
+        f = rec.findings[0]
+        assert f.site is not None and f.site.filename == __file__
+        assert "s[1] = 2.0" in (f.site.source_line or "")

@@ -66,6 +66,18 @@ class TestMeasureTask:
         s2 = measure_task(task, dev).seconds
         assert s1 == s2
 
+    def test_modeled_measurement_immune_to_clock_magnitude(self):
+        # Regression: with a float accumulator clock, the measured
+        # delta of identical launches drifted in the last bit once the
+        # shared device clock grew large (order-dependent test flake).
+        acc = AccCpuSerial
+        dev = get_dev_by_idx(acc)
+        task = create_task_kernel(acc, _wd(acc), _ModeledKernel())
+        baseline = measure_task(task, dev).seconds
+        for advance in (0.0931, 17.77, 123456.789):
+            dev.advance_sim_time(advance)
+            assert measure_task(task, dev).seconds == baseline
+
     def test_undescribed_kernel_falls_back_to_wall(self):
         acc = AccCpuSerial
         dev = get_dev_by_idx(acc)
