@@ -130,3 +130,32 @@ def test_launch_overhead(benchmark):
     assert (
         costs["AccCpuSerial"]["warm"] <= costs["AccCpuThreads"]["warm"] * 3
     )
+
+
+def test_telemetry_fast_path_when_unobserved():
+    """The telemetry guard, structural half: with no observer registered
+    the span helper must return the shared no-op singleton — one falsy
+    check, no allocation, no clock read — so an unobserved launch pays
+    nothing for the telemetry layer's existence."""
+    from repro.runtime.instrument import observers
+    from repro.telemetry.spans import NULL_SPAN, span
+
+    assert observers() == ()
+    assert span("launch") is NULL_SPAN
+    assert span("mem.copy", cat="mem") is NULL_SPAN
+    assert span("plan.build", cat="runtime", extra="attr") is NULL_SPAN
+
+
+def test_telemetry_overhead_bounded():
+    """The telemetry guard, measured half: warm launches with a
+    collector registered must stay within an order of magnitude of the
+    bare path (block timing + histogram updates cost something, but a
+    collector must never turn microsecond launches into millisecond
+    ones).  The unobserved band itself is asserted by
+    ``test_launch_overhead``."""
+    from repro import telemetry
+
+    bare = _warm_cost("AccCpuSerial")
+    with telemetry.collect():
+        observed = _warm_cost("AccCpuSerial")
+    assert observed < max(bare * 10, 2e-3), (bare, observed)

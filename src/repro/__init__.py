@@ -29,7 +29,8 @@ paper-vs-measured record of every table and figure.
 """
 
 from . import acc, atomic, core, dev, hardware, math, mem
-from . import perfmodel, queue, rand, runtime, sanitize, testing, trace, tuning
+from . import perfmodel, queue, rand, runtime, sanitize, telemetry, testing
+from . import trace, tuning
 from .acc import (
     AccCpuFibers,
     AccOmp4TargetSim,
@@ -95,14 +96,18 @@ from .runtime import (
 )
 from .tuning import TuningCache, TuningResult, autotune, default_cache
 
+# Zero-code observability: REPRO_TELEMETRY=1 installs the session
+# collector the moment the library is imported (no-op otherwise).
+telemetry.maybe_activate_from_env()
+
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
     # subpackages
     "acc", "atomic", "core", "dev", "hardware", "math", "mem",
-    "perfmodel", "queue", "rand", "runtime", "sanitize", "testing", "trace",
-    "tuning",
+    "perfmodel", "queue", "rand", "runtime", "sanitize", "telemetry",
+    "testing", "trace", "tuning",
     # accelerators
     "AccCpuSerial", "AccCpuOmp2Blocks", "AccCpuOmp2Threads", "AccCpuThreads",
     "AccCpuFibers", "AccGpuCudaSim", "AccOmp4TargetSim",

@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, List
 
 from ..acc.timing import measure
+from ..telemetry.spans import sim_interval, span
 
 __all__ = [
     "measure_wall",
@@ -34,9 +35,11 @@ def measure_wall(fn: Callable[[], None], repeat: int = 3, warmup: int = 1) -> fl
     Thin alias of the library's shared timing loop
     (:func:`repro.acc.timing.measure`) kept under the bench-facing name;
     the autotuner uses the same loop, so benchmarks and tuning measure
-    identically.
+    identically.  The whole warmup+repeat run is one ``bench.measure``
+    telemetry span.
     """
-    return measure(fn, warmup=warmup, repeat=repeat)
+    with span("bench.measure", cat="bench"):
+        return measure(fn, warmup=warmup, repeat=repeat)
 
 
 @contextmanager
@@ -46,11 +49,13 @@ def sim_time_of(device) -> Iterator[List[float]]:
         with sim_time_of(dev) as t:
             enqueue(...)
         elapsed = t[0]
+
+    Delegates to :func:`repro.telemetry.spans.sim_interval` — the one
+    simulated-clock snapshot shared with the autotuner's measurement
+    loop (exact femtosecond interval, immune to clock magnitude).
     """
-    out: List[float] = [0.0]
-    start = device.sim_time_s
-    yield out
-    out[0] = device.sim_time_s - start
+    with sim_interval(device) as out:
+        yield out
 
 
 @contextmanager

@@ -23,6 +23,7 @@ import numpy as np
 from ..core.errors import ExtentError, MemorySpaceError
 from ..core.vec import Vec, as_vec
 from ..runtime.instrument import notify_copy
+from ..telemetry.spans import span
 from .buf import Buffer
 from .view import ViewSubView
 
@@ -78,12 +79,13 @@ class TaskCopy:
     extent: Vec
 
     def execute(self, device) -> None:
-        dst_arr = _endpoint_array(self.dst)
-        src_arr = _endpoint_array(self.src)
-        box = _box(self.extent)
-        dst_arr[box] = src_arr[box]
-        self._advance_sim_clocks()
-        notify_copy(self, device)
+        with span("mem.copy", cat="mem", device=device):
+            dst_arr = _endpoint_array(self.dst)
+            src_arr = _endpoint_array(self.src)
+            box = _box(self.extent)
+            dst_arr[box] = src_arr[box]
+            self._advance_sim_clocks()
+            notify_copy(self, device)
 
     def _advance_sim_clocks(self) -> None:
         nbytes = self.extent.prod() * np.dtype(_endpoint_dtype(self.src)).itemsize
@@ -115,9 +117,10 @@ class TaskMemset:
     extent: Vec
 
     def execute(self, device) -> None:
-        arr = _endpoint_array(self.dst)
-        arr[_box(self.extent)] = self.value
-        notify_copy(self, device)
+        with span("mem.memset", cat="mem", device=device):
+            arr = _endpoint_array(self.dst)
+            arr[_box(self.extent)] = self.value
+            notify_copy(self, device)
 
 
 def _validate(dst: _Endpoint, src: _Endpoint, extent: Optional[Vec]) -> Vec:

@@ -24,6 +24,7 @@ from typing import Callable, Optional, Protocol, Union
 from ..core.errors import KernelError, QueueError
 from ..dev.device import Device
 from ..runtime.instrument import notify_queue_drain
+from ..telemetry.spans import span
 
 __all__ = ["Queue", "QueueBlocking", "QueueNonBlocking", "enqueue", "wait"]
 
@@ -251,10 +252,13 @@ class QueueNonBlocking(Queue):
             self._cv.notify_all()
 
     def wait(self) -> None:
-        with self._cv:
-            while self._pending > 0:
-                self._cv.wait()
-            self._raise_pending_error()
+        # The span captures host blocking time on device work — the
+        # quantity a pipeline architect wants per queue.
+        with span("queue.wait", cat="queue", device=self.dev):
+            with self._cv:
+                while self._pending > 0:
+                    self._cv.wait()
+                self._raise_pending_error()
 
     def destroy(self) -> None:
         if self._destroyed:

@@ -133,6 +133,17 @@ def launch(task, device) -> "LaunchPlan":
         sched = scheduler_for(device, plan.schedule)
         sched.dispatch(plan, grid, plan.block_indices, task)
         advance_modeled_time(task, device, plan.acc_type.kind, plan.work_div)
-    finally:
-        notify_launch_end(plan, task, device)
+    except BaseException:
+        # The kernel failure is the error the caller must see: observers
+        # are still told the launch ended, but an observer raising from
+        # on_launch_end here must not mask the original exception.
+        try:
+            notify_launch_end(plan, task, device)
+        except Exception:
+            pass
+        raise
+    # On a clean launch an observer exception propagates to the caller
+    # (observers only raise when they mean to fail the run); the
+    # dispatch already completed, so the scheduler pool stays usable.
+    notify_launch_end(plan, task, device)
     return plan

@@ -30,10 +30,14 @@ __all__ = [
     "notify_launch_begin",
     "notify_launch_end",
     "notify_block",
+    "notify_block_end",
     "notify_copy",
     "notify_queue_drain",
     "notify_plan_cache",
+    "notify_tuning_cache",
     "notify_sanitizer_report",
+    "notify_span_begin",
+    "notify_span_end",
 ]
 
 
@@ -55,6 +59,12 @@ class ExecutionObserver:
     def on_block(self, plan, block_idx) -> None:
         """One block is about to execute (called from worker threads)."""
 
+    def on_block_end(self, plan, block_idx, seconds: float) -> None:
+        """One block finished; ``seconds`` is its wall duration.
+
+        Timed only while observers are registered — the unobserved
+        dispatch path never reads the clock."""
+
     def on_copy(self, task, device) -> None:
         """A memory copy/memset task executed on ``device``."""
 
@@ -63,6 +73,17 @@ class ExecutionObserver:
 
     def on_plan_cache(self, plan, hit: bool) -> None:
         """A launch plan was resolved: ``hit`` tells cached vs built."""
+
+    def on_tuning_cache(self, kernel, acc_type, hit: bool) -> None:
+        """An ``AutoWorkDiv`` consulted the tuning cache (tuned division
+        served vs heuristic fallback)."""
+
+    def on_span_begin(self, span) -> None:
+        """A telemetry span opened (see :mod:`repro.telemetry.spans`)."""
+
+    def on_span_end(self, span) -> None:
+        """A telemetry span closed; ``span`` carries wall and modeled
+        durations plus its attributes."""
 
     def on_sanitizer_report(self, plan, record) -> None:
         """A sanitized launch finished; ``record`` is its
@@ -139,6 +160,14 @@ def notify_block(plan, block_idx) -> None:
         o.on_block(plan, block_idx)
 
 
+def notify_block_end(plan, block_idx, seconds: float) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_block_end(plan, block_idx, seconds)
+
+
 def notify_copy(task, device) -> None:
     obs = _observers
     if not obs:
@@ -163,12 +192,36 @@ def notify_plan_cache(plan, hit: bool) -> None:
         o.on_plan_cache(plan, hit)
 
 
+def notify_tuning_cache(kernel, acc_type, hit: bool) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_tuning_cache(kernel, acc_type, hit)
+
+
 def notify_sanitizer_report(plan, record) -> None:
     obs = _observers
     if not obs:
         return
     for o in obs:
         o.on_sanitizer_report(plan, record)
+
+
+def notify_span_begin(span) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_span_begin(span)
+
+
+def notify_span_end(span) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_span_end(span)
 
 
 class CountingObserver(ExecutionObserver):
@@ -187,6 +240,8 @@ class CountingObserver(ExecutionObserver):
         self.queue_drains = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.tuning_cache_hits = 0
+        self.tuning_cache_misses = 0
         self.per_backend: Dict[str, int] = {}
 
     def on_launch_begin(self, plan, task, device) -> None:
@@ -214,13 +269,26 @@ class CountingObserver(ExecutionObserver):
             else:
                 self.plan_cache_misses += 1
 
+    def on_tuning_cache(self, kernel, acc_type, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.tuning_cache_hits += 1
+            else:
+                self.tuning_cache_misses += 1
+
     @property
     def plan_cache_hit_rate(self) -> float:
         with self._lock:
             total = self.plan_cache_hits + self.plan_cache_misses
             return self.plan_cache_hits / total if total else 0.0
 
-    def snapshot(self) -> Dict[str, int]:
+    @property
+    def tuning_cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.tuning_cache_hits + self.tuning_cache_misses
+            return self.tuning_cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "launches": self.launches,
@@ -229,6 +297,11 @@ class CountingObserver(ExecutionObserver):
                 "queue_drains": self.queue_drains,
                 "plan_cache_hits": self.plan_cache_hits,
                 "plan_cache_misses": self.plan_cache_misses,
+                "tuning_cache_hits": self.tuning_cache_hits,
+                "tuning_cache_misses": self.tuning_cache_misses,
+                # A copy: mutating the snapshot must not touch the live
+                # counters.
+                "per_backend": dict(self.per_backend),
             }
 
     def __repr__(self) -> str:

@@ -120,6 +120,13 @@ def build_plan(task, device) -> LaunchPlan:
     division is hashable, so the plan cache distinguishes AUTO launches
     of different extents and each resolves exactly once.
     """
+    from ..telemetry.spans import span
+
+    with span("plan.build", cat="runtime"):
+        return _build_plan(task, device)
+
+
+def _build_plan(task, device) -> LaunchPlan:
     acc_type = task.acc_type
     wd = task.work_div
     if isinstance(wd, AutoWorkDiv):

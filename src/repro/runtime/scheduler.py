@@ -24,12 +24,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.errors import KernelError
 from ..core.vec import Vec
-from .instrument import notify_block, observers
+from .instrument import notify_block, notify_block_end, observers
 
 __all__ = [
     "MAX_BLOCK_WORKERS",
@@ -84,6 +85,7 @@ def chunk_indices(indices: Sequence[Vec], workers: int) -> List[Sequence[Vec]]:
 def _run_block(plan, grid, bidx: Vec, task, observed: bool) -> None:
     if observed:
         notify_block(plan, bidx)
+        t0 = time.perf_counter()
     try:
         plan.block_runner(grid, bidx, task.kernel, grid.args)
     except KernelError:
@@ -93,6 +95,10 @@ def _run_block(plan, grid, bidx: Vec, task, observed: bool) -> None:
         raise KernelError(
             f"kernel {kname!r} failed in block {bidx!r}"
         ) from exc
+    if observed:
+        # Block latency for the telemetry histograms; timed only while
+        # observed so the bare dispatch path never reads the clock.
+        notify_block_end(plan, bidx, time.perf_counter() - t0)
 
 
 class Scheduler:

@@ -126,23 +126,33 @@ def run_with_sanitizer(
         work_div=str(plan.work_div),
         seed=seed,
     )
+    from ..telemetry.spans import span
+
     device.note_kernel_launch()
     plan.launches += 1
     notify_launch_begin(plan, task, device)
     error = None
     try:
-        for bidx in plan.block_indices:
-            try:
-                runner(grid, bidx, task.kernel, grid.args)
-            except BaseException as exc:  # noqa: BLE001 - triaged below
-                monitor.skip_block(
-                    linearize(bidx, plan.work_div.grid_block_extent)
-                )
-                if _sanitized_cause(exc) is not None:
-                    continue  # already recorded as a finding
-                error = exc
-                break
-        advance_modeled_time(task, device, plan.acc_type.kind, plan.work_div)
+        with span(
+            "sanitize.launch",
+            cat="sanitize",
+            device=device,
+            kernel=record.kernel,
+        ):
+            for bidx in plan.block_indices:
+                try:
+                    runner(grid, bidx, task.kernel, grid.args)
+                except BaseException as exc:  # noqa: BLE001 - triaged below
+                    monitor.skip_block(
+                        linearize(bidx, plan.work_div.grid_block_extent)
+                    )
+                    if _sanitized_cause(exc) is not None:
+                        continue  # already recorded as a finding
+                    error = exc
+                    break
+            advance_modeled_time(
+                task, device, plan.acc_type.kind, plan.work_div
+            )
     finally:
         record.findings.extend(recorder.findings)
         record.findings.extend(monitor.divergence_findings(seed=seed))

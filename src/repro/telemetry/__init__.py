@@ -1,0 +1,125 @@
+"""repro.telemetry — metrics, span profiling and launch analytics.
+
+The always-available observability layer over the Task→Plan→Execute
+runtime: every launch, block, copy, queue drain, cache resolution and
+span reaches a :class:`TelemetryCollector` through the
+:class:`~repro.runtime.instrument.ExecutionObserver` hooks, lands in a
+metrics registry (counters / gauges / histograms with p50/p95/p99
+percentiles, labelled kernel × back-end × device) and in a trace
+buffer exportable as Chrome ``trace_event`` JSON (Perfetto /
+``chrome://tracing``) or Prometheus text.
+
+Three ways in:
+
+* **zero-code** — ``REPRO_TELEMETRY=1 python app.py`` prints the
+  report at exit; ``REPRO_TELEMETRY_EXPORT=trace.json`` also writes
+  the trace;
+* **programmatic** — ::
+
+      from repro import telemetry
+      with telemetry.collect() as t:
+          enqueue(queue, task)
+      print(t.render())
+
+* **CLI** — ``python -m repro.telemetry run|report|export``.
+
+When nothing collects, the hot path pays a single falsy check
+(guarded by ``benchmarks/bench_launch_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..runtime.instrument import observe
+from ._state import (
+    TELEMETRY_ENV,
+    TELEMETRY_EXPORT_ENV,
+    activate,
+    deactivate,
+    enabled,
+    export_to,
+    maybe_activate_from_env,
+    session_collector,
+)
+from .collector import TelemetryCollector, TraceEvent
+from .export import (
+    TraceValidationError,
+    to_chrome_trace,
+    to_prometheus,
+    validate_trace,
+    write_chrome_trace,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from .report import render, summary
+from .spans import NULL_SPAN, Span, sim_interval, span
+
+__all__ = [
+    # activation
+    "TELEMETRY_ENV",
+    "TELEMETRY_EXPORT_ENV",
+    "enabled",
+    "activate",
+    "deactivate",
+    "session_collector",
+    "maybe_activate_from_env",
+    "collect",
+    # collector
+    "TelemetryCollector",
+    "TraceEvent",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "registry",
+    "reset_registry",
+    # spans
+    "Span",
+    "span",
+    "sim_interval",
+    "NULL_SPAN",
+    # export / report
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus",
+    "validate_trace",
+    "TraceValidationError",
+    "export_to",
+    "render",
+    "summary",
+]
+
+
+@contextmanager
+def collect(
+    label: str = "",
+    record_blocks: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[TelemetryCollector]:
+    """Collect telemetry for the duration of a ``with`` block::
+
+        with telemetry.collect() as t:
+            enqueue(queue, task)
+        print(t.render())
+        trace = telemetry.to_chrome_trace(t)
+
+    The yielded collector records into its own private metrics registry
+    unless one is passed, so concurrent ``collect()`` blocks do not
+    bleed into each other.
+    """
+    collector = TelemetryCollector(
+        label=label, registry=registry, record_blocks=record_blocks
+    )
+    with observe(collector):
+        yield collector

@@ -1,0 +1,211 @@
+"""Exporters: Chrome ``trace_event`` JSON and Prometheus text format.
+
+Two wire formats, both consumed by standard tools:
+
+* :func:`to_chrome_trace` emits the Trace Event Format (the
+  ``traceEvents`` JSON object array) that Perfetto and
+  ``chrome://tracing`` load directly — spans and launches as complete
+  (``"X"``) slices, queue drains and sanitizer reports as instant
+  (``"i"``) markers;
+* :func:`to_prometheus` renders a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` in the Prometheus
+  text exposition format (``# HELP`` / ``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` histogram series).
+
+:func:`validate_trace` is the schema check the CI job and the test
+suite run against exported traces: it accepts exactly what the Trace
+Event Format requires, so a trace that validates here loads in
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Union
+
+from .collector import TelemetryCollector
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus",
+    "validate_trace",
+    "TraceValidationError",
+]
+
+#: ``pid`` every event carries — the library is single-process.
+TRACE_PID = 1
+
+_VALID_PHASES = {"X", "i", "B", "E", "M", "C"}
+
+
+class TraceValidationError(ValueError):
+    """An exported trace violates the Trace Event Format."""
+
+
+def to_chrome_trace(collector: TelemetryCollector) -> dict:
+    """The collector's events as a Trace Event Format object.
+
+    Returns the JSON-ready dict (``{"traceEvents": [...], ...}``);
+    serialise with :func:`json.dump` or :func:`write_chrome_trace`.
+    """
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": f"repro telemetry {collector.label}".strip()},
+        }
+    ]
+    for ev in list(collector.events):
+        entry = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": max(0.0, ev.ts),
+            "pid": TRACE_PID,
+            "tid": ev.tid,
+            "args": ev.args,
+        }
+        if ev.ph == "X":
+            entry["dur"] = max(0.0, ev.dur)
+        if ev.ph == "i":
+            entry["s"] = "t"  # instant scope: thread
+        events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.telemetry",
+            "dropped_events": collector.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(collector: TelemetryCollector, path: str) -> str:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
+    trace = to_chrome_trace(collector)
+    validate_trace(trace)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_trace(trace: Union[dict, str]) -> dict:
+    """Check ``trace`` (dict or JSON string) against the Trace Event
+    Format; returns the parsed dict or raises
+    :class:`TraceValidationError` naming the offending event."""
+    if isinstance(trace, str):
+        try:
+            trace = json.loads(trace)
+        except ValueError as exc:
+            raise TraceValidationError(f"not valid JSON: {exc}") from None
+    if not isinstance(trace, dict):
+        raise TraceValidationError(
+            f"top level must be an object, got {type(trace).__name__}"
+        )
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceValidationError("missing 'traceEvents' array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise TraceValidationError(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            raise TraceValidationError(f"{where}: bad phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise TraceValidationError(f"{where}: missing event name")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise TraceValidationError(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceValidationError(f"{where}: bad dur {dur!r}")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                raise TraceValidationError(
+                    f"{where}: {key} must be an integer"
+                )
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise TraceValidationError(f"{where}: args must be an object")
+    try:
+        json.dumps(trace)
+    except (TypeError, ValueError) as exc:
+        raise TraceValidationError(
+            f"trace is not JSON-serialisable: {exc}"
+        ) from None
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_str(labels, extra: Optional[dict] = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Metric names are emitted as registered (the runtime's counters
+    already follow the ``_total`` convention); histograms expand into
+    cumulative ``_bucket`` series plus ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        help_text = registry.help_of(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for inst in registry.instruments(name):
+            if isinstance(inst, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_labels_str(inst.labels)} {_fmt(inst.value)}"
+                )
+            elif isinstance(inst, Histogram):
+                cumulative = inst.cumulative_buckets()
+                for bound, count in cumulative:
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_str(inst.labels, {'le': _fmt(bound)})}"
+                        f" {count}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_str(inst.labels, {'le': '+Inf'})}"
+                    f" {inst.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_str(inst.labels)} {_fmt(inst.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_str(inst.labels)} {inst.count}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,189 @@
+"""The human-readable telemetry report.
+
+:func:`render` turns one
+:class:`~repro.telemetry.collector.TelemetryCollector` into the table
+an engineer reads to find the slow kernel: per kernel × back-end ×
+device launch counts, launch and block latency percentiles, occupancy,
+modeled-vs-wall skew, then the cache hit rates and a span summary.
+
+Formatting leans on the shared bench table renderer
+(:func:`repro.comparison.render.render_table`), so telemetry reports
+look like the paper-figure benches they sit next to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..comparison.render import render_table
+from .collector import TelemetryCollector
+from .metrics import Histogram
+
+__all__ = ["render", "summary"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds <= 0:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return "-" if rate is None else f"{rate * 100:.1f} %"
+
+
+def _find(collector, metric: str, **labels) -> Optional[object]:
+    for inst in collector.registry.instruments(metric):
+        have = dict(inst.labels)
+        if all(have.get(k) == v for k, v in labels.items()):
+            return inst
+    return None
+
+
+def _launch_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
+    rows = []
+    for kernel, backend, device in collector.kernels():
+        launches = _find(
+            collector, "repro_launches_total",
+            kernel=kernel, backend=backend, device=device,
+        )
+        launch_h = _find(
+            collector, "repro_launch_seconds",
+            kernel=kernel, backend=backend, device=device,
+        )
+        block_h = _find(
+            collector, "repro_block_seconds", kernel=kernel, backend=backend
+        )
+        occ = _find(
+            collector, "repro_occupancy_ratio",
+            kernel=kernel, backend=backend, device=device,
+        )
+        wall = _find(
+            collector, "repro_launch_wall_seconds_total",
+            kernel=kernel, backend=backend, device=device,
+        )
+        modeled = _find(
+            collector, "repro_launch_modeled_seconds_total",
+            kernel=kernel, backend=backend, device=device,
+        )
+        skew = "-"
+        if wall is not None and modeled is not None and wall.value > 0:
+            if modeled.value > 0:
+                skew = f"{modeled.value / wall.value:.2f}x"
+        row: Dict[str, object] = {
+            "kernel": kernel,
+            "backend": backend,
+            "launches": int(launches.value) if launches else 0,
+            "launch p50": _fmt_seconds(
+                launch_h.percentile(50) if launch_h else 0.0
+            ),
+        }
+        if isinstance(block_h, Histogram) and block_h.count:
+            q = block_h.quantiles()
+            row["block p50"] = _fmt_seconds(q["p50"])
+            row["block p95"] = _fmt_seconds(q["p95"])
+            row["block p99"] = _fmt_seconds(q["p99"])
+        else:
+            row["block p50"] = row["block p95"] = row["block p99"] = "-"
+        row["occupancy"] = (
+            f"{occ.mean * 100:.0f} %" if isinstance(occ, Histogram) and occ.count
+            else "-"
+        )
+        row["modeled/wall"] = skew
+        rows.append(row)
+    return rows
+
+
+def _span_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
+    rows = []
+    for inst in collector.registry.instruments("repro_span_seconds"):
+        if not isinstance(inst, Histogram) or not inst.count:
+            continue
+        labels = dict(inst.labels)
+        q = inst.quantiles()
+        rows.append(
+            {
+                "span": f"{labels.get('cat', '?')}/{labels.get('span', '?')}",
+                "count": inst.count,
+                "p50": _fmt_seconds(q["p50"]),
+                "p95": _fmt_seconds(q["p95"]),
+                "p99": _fmt_seconds(q["p99"]),
+                "total": _fmt_seconds(inst.sum),
+            }
+        )
+    rows.sort(key=lambda r: r["span"])
+    return rows
+
+
+def _counter_total(collector, metric: str) -> float:
+    return sum(inst.value for inst in collector.registry.instruments(metric))
+
+
+def summary(collector: TelemetryCollector) -> Dict[str, object]:
+    """The report's aggregates as a plain dict (programmatic access)."""
+    return {
+        "launches": int(_counter_total(collector, "repro_launches_total")),
+        "copies": int(_counter_total(collector, "repro_copies_total")),
+        "queue_drains": int(
+            _counter_total(collector, "repro_queue_drains_total")
+        ),
+        "sanitizer_findings": int(
+            _counter_total(collector, "repro_sanitizer_findings_total")
+        ),
+        "plan_cache_hit_rate": collector.plan_cache_hit_rate,
+        "tuning_cache_hit_rate": collector.tuning_cache_hit_rate,
+        "trace_events": len(collector.events),
+        "dropped_events": collector.dropped_events,
+    }
+
+
+def render(collector: TelemetryCollector) -> str:
+    """The full report: launch table, cache rates, span summary."""
+    parts: List[str] = []
+    title = "repro telemetry report"
+    if collector.label:
+        title += f" — {collector.label}"
+    parts.append(title)
+    parts.append("=" * len(title))
+
+    agg = summary(collector)
+    launch_rows = _launch_rows(collector)
+    if launch_rows:
+        parts.append("")
+        parts.append(
+            render_table(launch_rows, "Launches (per kernel x back-end)")
+        )
+    else:
+        parts.append("")
+        parts.append("No launches recorded.")
+
+    parts.append("")
+    parts.append(
+        f"plan-cache hit rate:   {_fmt_rate(agg['plan_cache_hit_rate'])}"
+    )
+    parts.append(
+        f"tuning-cache hit rate: {_fmt_rate(agg['tuning_cache_hit_rate'])}"
+    )
+    parts.append(
+        f"launches: {agg['launches']}   copies: {agg['copies']}   "
+        f"queue drains: {agg['queue_drains']}   "
+        f"sanitizer findings: {agg['sanitizer_findings']}"
+    )
+
+    span_rows = _span_rows(collector)
+    if span_rows:
+        parts.append("")
+        parts.append(render_table(span_rows, "Spans"))
+
+    if collector.dropped_events:
+        parts.append("")
+        parts.append(
+            f"WARNING: trace buffer full — {collector.dropped_events} "
+            f"event(s) dropped beyond the first {collector.max_events}; "
+            "the exported trace is incomplete."
+        )
+    return "\n".join(parts)

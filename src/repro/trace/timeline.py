@@ -41,6 +41,10 @@ class TimelineEvent:
     what: str
     #: Optional detail (work-div for launches, block index for blocks).
     detail: str = ""
+    #: The device's simulated clock (integer femtoseconds) at the
+    #: event, where a device was at hand — correlates the modeled
+    #: timeline with the wall one.  None for events without a device.
+    sim_time_fs: Optional[int] = None
 
 
 @dataclass
@@ -48,16 +52,29 @@ class TimelineObserver(ExecutionObserver):
     """Records runtime events with relative host timestamps.
 
     Block events can be torrential on large grids; ``record_blocks``
-    keeps them opt-in.
+    keeps them opt-in.  With ``record_sim_time`` (the default) every
+    event that has a device at hand also snapshots
+    :attr:`~repro.dev.device.Device.sim_time_fs`, so the modeled
+    timeline can be laid over the wall-clock one.
     """
 
     record_blocks: bool = False
+    record_sim_time: bool = True
     events: List[TimelineEvent] = field(default_factory=list)
     _t0: float = field(default_factory=time.perf_counter)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
-    def _emit(self, kind: str, what: str, detail: str = "") -> None:
-        ev = TimelineEvent(kind, time.perf_counter() - self._t0, what, detail)
+    def _emit(
+        self, kind: str, what: str, detail: str = "", device=None
+    ) -> None:
+        sim = (
+            device.sim_time_fs
+            if self.record_sim_time and device is not None
+            else None
+        )
+        ev = TimelineEvent(
+            kind, time.perf_counter() - self._t0, what, detail, sim
+        )
         with self._lock:
             self.events.append(ev)
 
@@ -66,33 +83,28 @@ class TimelineObserver(ExecutionObserver):
             "launch_begin",
             plan.acc_type.name,
             f"{plan.work_div} schedule={plan.schedule} dev={device.name}",
+            device=device,
         )
 
     def on_launch_end(self, plan, task, device) -> None:
-        self._emit("launch_end", plan.acc_type.name)
+        self._emit("launch_end", plan.acc_type.name, device=device)
 
     def on_block(self, plan, block_idx) -> None:
         if self.record_blocks:
             self._emit("block", plan.acc_type.name, repr(block_idx))
 
     def on_copy(self, task, device) -> None:
-        self._emit("copy", type(task).__name__, repr(task))
+        self._emit("copy", type(task).__name__, repr(task), device=device)
 
     def on_queue_drain(self, queue) -> None:
-        self._emit("queue_drain", repr(queue))
+        self._emit("queue_drain", repr(queue), device=queue.dev)
 
     def on_sanitizer_report(self, plan, record) -> None:
         kinds = sorted({f.kind for f in record.findings})
-        self._emit(
-            "sanitize",
-            plan.acc_type.name,
-            f"{record.kernel}: "
-            + (
-                f"{len(record.findings)} finding(s) ({', '.join(kinds)})"
-                if record.findings
-                else "clean"
-            ),
-        )
+        summary = f"findings={len(record.findings)}"
+        if kinds:
+            summary += f" ({', '.join(kinds)})"
+        self._emit("sanitize", plan.acc_type.name, f"{record.kernel}: {summary}")
 
     # -- queries ---------------------------------------------------------
 

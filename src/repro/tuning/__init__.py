@@ -307,6 +307,8 @@ def auto_divide(
     the device supports multi-thread blocks, block-level when not), with
     explicit ``block_threads`` / ``thread_elems`` overrides honoured.
     """
+    from ..runtime.instrument import notify_tuning_cache
+
     ext = as_vec(extent)
     if kernel is not None and acc_type is not None:
         if device is None:
@@ -318,7 +320,11 @@ def auto_divide(
         if hit is not None:
             refit = _refit_for_extent(hit.work_div, ext, props)
             if refit is not None:
+                notify_tuning_cache(kernel, acc_type, True)
                 return refit
+        # A stored winner whose division cannot be refit to this
+        # extent counts as a miss: the heuristic serves the launch.
+        notify_tuning_cache(kernel, acc_type, False)
 
     if acc_type is not None:
         mapping = acc_type.mapping_strategy

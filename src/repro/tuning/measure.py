@@ -28,6 +28,7 @@ from typing import Tuple
 from ..acc.timing import measure
 from ..core.kernel import create_task_kernel
 from ..core.workdiv import WorkDivMembers
+from ..telemetry.spans import sim_interval, span
 
 __all__ = ["MeasuredTime", "measure_division", "measure_task"]
 
@@ -63,25 +64,28 @@ def measure_task(
 
         queue = QueueBlocking(device)
 
-    # Warmup: fills the plan cache and, for self-describing kernels,
-    # reveals the modeled per-launch cost on the simulated clock.  The
-    # interval is taken on the exact femtosecond counter: identical
-    # launches must measure identical seconds no matter how large the
-    # device clock has grown.
-    sim0 = device.sim_time_fs
-    for _ in range(warmup):
-        queue.enqueue(task)
-    modeled = (device.sim_time_fs - sim0) * 1e-15 / warmup
+    with span("tuning.measure", cat="tuning", device=device):
+        # Warmup: fills the plan cache and, for self-describing kernels,
+        # reveals the modeled per-launch cost on the simulated clock.
+        # The shared telemetry helper reads the exact femtosecond
+        # counter: identical launches must measure identical seconds no
+        # matter how large the device clock has grown.
+        with sim_interval(device) as elapsed:
+            for _ in range(warmup):
+                queue.enqueue(task)
+        modeled = elapsed[0] / warmup
 
-    if modeled > 0.0:
-        # Deterministic clock: the warmup launches already *are* the
-        # measurement; repeating would add identical samples.
-        return MeasuredTime(seconds=modeled, source="modeled", launches=warmup)
+        if modeled > 0.0:
+            # Deterministic clock: the warmup launches already *are*
+            # the measurement; repeating would add identical samples.
+            return MeasuredTime(
+                seconds=modeled, source="modeled", launches=warmup
+            )
 
-    seconds = measure(lambda: queue.enqueue(task), warmup=0, repeat=repeat)
-    return MeasuredTime(
-        seconds=seconds, source="wall", launches=warmup + repeat
-    )
+        seconds = measure(lambda: queue.enqueue(task), warmup=0, repeat=repeat)
+        return MeasuredTime(
+            seconds=seconds, source="wall", launches=warmup + repeat
+        )
 
 
 def measure_division(

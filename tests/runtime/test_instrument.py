@@ -156,6 +156,24 @@ class TestCopyAndQueueHooks:
         assert stats.launches == 2
         assert stats.plan_cache_hits == 1
 
+    def test_counting_snapshot_includes_per_backend(self):
+        """Regression: snapshot() used to omit the per_backend split."""
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        q = QueueBlocking(dev)
+        task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(2, 1, 1), _noop)
+        with observe(CountingObserver()) as stats:
+            q.enqueue(task)
+            q.enqueue(task)
+        snap = stats.snapshot()
+        assert snap["per_backend"] == {"AccCpuSerial": 2}
+        assert snap["launches"] == 2
+        assert snap["tuning_cache_hits"] == 0
+        assert snap["tuning_cache_misses"] == 0
+        # The snapshot is a copy: mutating it must not touch the live
+        # counters.
+        snap["per_backend"]["AccCpuSerial"] = 99
+        assert stats.per_backend["AccCpuSerial"] == 2
+
     def test_timeline_observer_records_ordered_events(self):
         from repro.trace import trace_execution
 

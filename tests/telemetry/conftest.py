@@ -1,0 +1,39 @@
+"""Shared fixtures for the telemetry suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    QueueBlocking,
+    WorkDivMembers,
+    clear_plan_cache,
+    create_task_kernel,
+    fn_acc,
+    get_dev_by_idx,
+)
+
+
+@fn_acc
+def noop_kernel(acc):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture
+def serial_queue():
+    dev = get_dev_by_idx(AccCpuSerial, 0)
+    return QueueBlocking(dev)
+
+
+def make_noop_task(acc_type=AccCpuSerial, blocks=4):
+    return create_task_kernel(
+        acc_type, WorkDivMembers.make(blocks, 1, 1), noop_kernel
+    )

@@ -1,0 +1,103 @@
+"""``python -m repro.telemetry`` subcommands."""
+
+import json
+import sys
+
+import pytest
+
+from repro.telemetry.cli import main
+from repro.telemetry.export import validate_trace
+
+
+class TestReportCommand:
+    def test_report_prints_the_report(self, capsys):
+        assert main(["report", "--backend", "AccCpuSerial", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "repro telemetry report" in out
+        assert "GemmTilingKernel" in out
+        assert "AccCpuSerial" in out
+        assert "plan-cache hit rate" in out
+
+    def test_report_can_also_export(self, capsys, tmp_path):
+        trace = tmp_path / "report.json"
+        assert main(
+            ["report", "--backend", "AccCpuSerial", "--size", "16",
+             "--trace", str(trace)]
+        ) == 0
+        assert f"wrote {trace}" in capsys.readouterr().out
+        validate_trace(trace.read_text())
+
+
+class TestExportCommand:
+    def test_export_writes_trace_and_prom(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        rc = main(
+            ["export", "--backend", "AccCpuSerial", "--size", "16",
+             "--trace", str(trace), "--prom", str(prom)]
+        )
+        assert rc == 0
+        loaded = validate_trace(trace.read_text())
+        assert any(
+            e.get("cat") == "launch" for e in loaded["traceEvents"]
+        )
+        text = prom.read_text()
+        assert "repro_launches_total" in text
+        assert "repro_launch_seconds_bucket" in text
+        out = capsys.readouterr().out
+        assert "repro telemetry report" not in out
+
+    def test_export_without_paths_fails(self, capsys):
+        rc = main(["export", "--backend", "AccCpuSerial", "--size", "16"])
+        assert rc == 2
+        assert "nothing to write" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_executes_script_with_args(self, capsys, tmp_path):
+        out_file = tmp_path / "ran.json"
+        script = tmp_path / "workload.py"
+        script.write_text(
+            "import json, sys\n"
+            "from repro import (AccCpuSerial, QueueBlocking, WorkDivMembers,\n"
+            "                   create_task_kernel, fn_acc, get_dev_by_idx)\n"
+            "@fn_acc\n"
+            "def k(acc):\n"
+            "    pass\n"
+            "q = QueueBlocking(get_dev_by_idx(AccCpuSerial, 0))\n"
+            "q.enqueue(create_task_kernel(\n"
+            "    AccCpuSerial, WorkDivMembers.make(2, 1, 1), k))\n"
+            "with open(sys.argv[1], 'w') as fh:\n"
+            "    json.dump(sys.argv[1:], fh)\n"
+        )
+        rc = main(["run", str(script), str(out_file)])
+        assert rc == 0
+        assert json.loads(out_file.read_text()) == [str(out_file)]
+        out = capsys.readouterr().out
+        assert "repro telemetry report" in out
+        assert "k" in out
+
+    def test_run_restores_sys_argv(self, tmp_path, capsys):
+        script = tmp_path / "noop.py"
+        script.write_text("pass\n")
+        before = list(sys.argv)
+        assert main(["run", str(script)]) == 0
+        assert sys.argv == before
+
+    def test_run_unregisters_collector_on_script_error(self, tmp_path):
+        from repro.runtime.instrument import observers
+
+        script = tmp_path / "bad.py"
+        script.write_text("raise RuntimeError('boom')\n")
+        n_before = len(observers())
+        with pytest.raises(RuntimeError):
+            main(["run", str(script)])
+        assert len(observers()) == n_before
+
+
+class TestParser:
+    def test_missing_subcommand_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+        capsys.readouterr()

@@ -1,0 +1,126 @@
+"""Environment-driven activation: REPRO_TELEMETRY / REPRO_TELEMETRY_EXPORT."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import _state
+from repro.telemetry.export import validate_trace
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+WORKLOAD = """
+from repro import (AccCpuSerial, QueueBlocking, WorkDivMembers,
+                   create_task_kernel, fn_acc, get_dev_by_idx)
+
+@fn_acc
+def env_kernel(acc):
+    pass
+
+q = QueueBlocking(get_dev_by_idx(AccCpuSerial, 0))
+task = create_task_kernel(AccCpuSerial, WorkDivMembers.make(3, 1, 1), env_kernel)
+for _ in range(4):
+    q.enqueue(task)
+"""
+
+
+def _run(extra_env, code=WORKLOAD):
+    env = dict(os.environ)
+    env.pop("REPRO_TELEMETRY", None)
+    env.pop("REPRO_TELEMETRY_EXPORT", None)
+    env.update(extra_env)
+    env["PYTHONPATH"] = REPO_SRC
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+class TestSubprocessActivation:
+    def test_atexit_report_lands_on_stderr(self):
+        proc = _run({"REPRO_TELEMETRY": "1"})
+        assert proc.returncode == 0, proc.stderr
+        assert "repro telemetry report" in proc.stderr
+        assert "env_kernel" in proc.stderr
+        assert "plan-cache hit rate:   75.0 %" in proc.stderr
+
+    def test_disabled_means_silent(self):
+        proc = _run({})
+        assert proc.returncode == 0, proc.stderr
+        assert "repro telemetry report" not in proc.stderr
+
+    def test_export_env_writes_chrome_trace(self, tmp_path):
+        trace = tmp_path / "session.json"
+        proc = _run(
+            {"REPRO_TELEMETRY": "1", "REPRO_TELEMETRY_EXPORT": str(trace)}
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert f"telemetry export written to {trace}" in proc.stderr
+        loaded = validate_trace(trace.read_text())
+        launches = [
+            e for e in loaded["traceEvents"] if e.get("cat") == "launch"
+        ]
+        assert len(launches) == 4
+
+    def test_export_env_writes_prometheus(self, tmp_path):
+        prom = tmp_path / "session.prom"
+        proc = _run(
+            {"REPRO_TELEMETRY": "1", "REPRO_TELEMETRY_EXPORT": str(prom)}
+        )
+        assert proc.returncode == 0, proc.stderr
+        text = prom.read_text()
+        assert "# TYPE repro_launches_total counter" in text
+        assert 'kernel="env_kernel"' in text
+
+
+class TestInProcessActivation:
+    @pytest.fixture(autouse=True)
+    def clean_session(self):
+        telemetry.deactivate()
+        yield
+        telemetry.deactivate()
+
+    def test_enabled_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert not telemetry.enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert telemetry.enabled()
+
+    def test_maybe_activate_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert telemetry.maybe_activate_from_env() is None
+        assert telemetry.session_collector() is None
+
+    def test_activate_is_idempotent_and_registers(self):
+        from repro.runtime.instrument import observers
+
+        a = telemetry.activate(label="test-session")
+        b = telemetry.activate(label="ignored")
+        assert a is b
+        assert a is telemetry.session_collector()
+        assert a in observers()
+        assert a.registry is telemetry.registry()
+
+    def test_deactivate_unregisters(self):
+        from repro.runtime.instrument import observers
+
+        collector = telemetry.activate()
+        telemetry.deactivate()
+        assert telemetry.session_collector() is None
+        assert collector not in observers()
+
+    def test_export_to_picks_format_by_suffix(self, tmp_path, serial_queue):
+        from tests.telemetry.conftest import make_noop_task
+
+        with telemetry.collect() as t:
+            serial_queue.enqueue(make_noop_task())
+        trace_path = _state.export_to(t, str(tmp_path / "out.json"))
+        prom_path = _state.export_to(t, str(tmp_path / "out.prom"))
+        validate_trace(open(trace_path).read())
+        assert "repro_launches_total" in open(prom_path).read()

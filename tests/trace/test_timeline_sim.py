@@ -1,0 +1,91 @@
+"""TimelineObserver simulated-clock capture and sanitize detail."""
+
+import numpy as np
+
+from repro import (
+    AccGpuCudaSim,
+    QueueBlocking,
+    WorkDivMembers,
+    clear_plan_cache,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+    observe,
+)
+from repro.kernels.axpy import AxpyKernel
+from repro.trace import TimelineObserver, trace_execution
+
+
+def _axpy_task(dev, n=32):
+    q = QueueBlocking(dev)
+    x = mem.alloc(dev, n)
+    y = mem.alloc(dev, n)
+    mem.copy(q, x, np.ones(n))
+    mem.copy(q, y, np.ones(n))
+    task = create_task_kernel(
+        AccGpuCudaSim, WorkDivMembers.make(n, 1, 1), AxpyKernel(), n, 2.0, x, y
+    )
+    return q, task
+
+
+class TestSimTimeCapture:
+    def test_launch_events_carry_sim_time(self):
+        clear_plan_cache()
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q, task = _axpy_task(dev)
+        with trace_execution() as tl:
+            q.enqueue(task)
+        begin = next(e for e in tl.events if e.kind == "launch_begin")
+        end = next(e for e in tl.events if e.kind == "launch_end")
+        assert begin.sim_time_fs is not None
+        assert end.sim_time_fs is not None
+        # AxpyKernel describes its cost, so the modeled clock advanced.
+        assert end.sim_time_fs > begin.sim_time_fs
+
+    def test_copy_and_drain_events_carry_sim_time(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q = QueueBlocking(dev)
+        buf = mem.alloc(dev, 8)
+        with trace_execution() as tl:
+            mem.memset(q, buf, 0.0)
+        copy_ev = next(e for e in tl.events if e.kind == "copy")
+        assert copy_ev.sim_time_fs is not None
+        buf.free()
+
+    def test_record_sim_time_opt_out(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q, task = _axpy_task(dev)
+        with observe(TimelineObserver(record_sim_time=False)) as tl:
+            q.enqueue(task)
+        assert all(e.sim_time_fs is None for e in tl.events)
+
+    def test_block_events_have_no_device(self):
+        dev = get_dev_by_idx(AccGpuCudaSim, 0)
+        q, task = _axpy_task(dev)
+        with trace_execution(record_blocks=True) as tl:
+            q.enqueue(task)
+        blocks = [e for e in tl.events if e.kind == "block"]
+        assert blocks
+        assert all(e.sim_time_fs is None for e in blocks)
+
+
+class TestSanitizeDetail:
+    def test_sanitize_event_reports_finding_count(self):
+        from repro import AccCpuSerial
+        from repro.sanitize import sanitize_task
+
+        dev = get_dev_by_idx(AccCpuSerial, 0)
+        n = 8
+        q = QueueBlocking(dev)
+        x = mem.alloc(dev, n)
+        mem.copy(q, x, np.zeros(n))
+        task = create_task_kernel(
+            AccCpuSerial, WorkDivMembers.make(n, 1, 1),
+            AxpyKernel(), n, 1.0, x, x,
+        )
+        with observe(TimelineObserver()) as tl:
+            report = sanitize_task(task, dev)
+        ev = next(e for e in tl.events if e.kind == "sanitize")
+        assert f"findings={len(report.launches[0].findings)}" in ev.detail
+        assert ev.detail.startswith("AxpyKernel:")
+        x.free()
