@@ -132,6 +132,42 @@ def test_launch_overhead(benchmark):
     )
 
 
+def test_chunking_precomputed_in_plan():
+    """Warm launches must not re-partition block indices: the chunked
+    dispatch geometry is memoised on the cached ``LaunchPlan``
+    (``chunks_for``), and the pooled scheduler consults it rather than
+    re-running ``chunk_indices`` per dispatch."""
+    from repro.runtime import get_plan, resolve_max_block_workers
+
+    acc = accelerator("AccCpuOmp2Blocks")
+    dev = get_dev_by_idx(acc, 0)
+    queue = QueueBlocking(dev)
+    task = create_task_kernel(acc, WorkDivMembers.make(32, 1, 1), _empty)
+    queue.enqueue(task)
+    plan = get_plan(task, dev)
+    assert plan.schedule == "pooled"
+
+    workers = resolve_max_block_workers()
+    chunks = plan.chunks_for(workers)
+    bounds = plan.chunk_bounds_for(workers)
+    # Memoised: same objects on every consultation.
+    assert plan.chunks_for(workers) is chunks
+    assert plan.chunk_bounds_for(workers) is bounds
+    assert sum(len(c) for c in chunks) == 32
+    assert bounds[0][0] == 0 and bounds[-1][1] == 32
+
+    # And dispatch actually reads the memoised geometry: intercept the
+    # plan's accessor and relaunch.
+    consulted = []
+    orig = plan.chunks_for
+    plan.chunks_for = lambda w: (consulted.append(w), orig(w))[1]
+    try:
+        queue.enqueue(task)
+    finally:
+        plan.chunks_for = orig
+    assert consulted == [workers]
+
+
 def test_telemetry_fast_path_when_unobserved():
     """The telemetry guard, structural half: with no observer registered
     the span helper must return the shared no-op singleton — one falsy

@@ -309,6 +309,11 @@ class AcceleratorType:
     #: "preemptive" (one OS thread each, real barrier) or "cooperative"
     #: (fibers, deterministic round-robin).
     thread_execute: str = "single"
+    #: Whether the runtime may remap this back-end's block dispatch onto
+    #: the process pool (``REPRO_SCHEDULER=processes`` / tuning).  True
+    #: only for pooled back-ends whose blocks are single-thread — a
+    #: preemptive in-block barrier cannot span process boundaries.
+    supports_process_blocks: bool = False
 
     def __init__(self):  # pragma: no cover - defensive
         raise TypeError(

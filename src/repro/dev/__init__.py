@@ -1,7 +1,13 @@
 """Devices, platforms and the device manager (offloading model)."""
 
 from .device import Device, MemorySpace
-from .manager import get_dev_by_idx, get_dev_count, platform_of
+from .manager import (
+    device_workers,
+    get_dev_by_idx,
+    get_dev_count,
+    platform_of,
+    shutdown_device_workers,
+)
 from .platform import Platform, PlatformCpu, PlatformCudaSim
 
 __all__ = [
@@ -10,7 +16,9 @@ __all__ = [
     "Platform",
     "PlatformCpu",
     "PlatformCudaSim",
+    "device_workers",
     "get_dev_by_idx",
     "get_dev_count",
     "platform_of",
+    "shutdown_device_workers",
 ]

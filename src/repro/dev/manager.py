@@ -13,7 +13,13 @@ from ..core.errors import DeviceError
 from .device import Device
 from .platform import Platform
 
-__all__ = ["get_dev_by_idx", "get_dev_count", "platform_of"]
+__all__ = [
+    "get_dev_by_idx",
+    "get_dev_count",
+    "platform_of",
+    "device_workers",
+    "shutdown_device_workers",
+]
 
 
 def platform_of(acc_type) -> Platform:
@@ -36,3 +42,33 @@ def get_dev_by_idx(acc_type, idx: int = 0) -> Device:
 
 def get_dev_count(acc_type) -> int:
     return platform_of(acc_type).device_count
+
+
+# ---------------------------------------------------------------------------
+# Block-worker lifecycle
+# ---------------------------------------------------------------------------
+#
+# Worker pools (threads and spawned processes) belong to devices — one
+# pool per (device, schedule) — but live in the runtime layer.  These
+# wrappers give host code a device-centric view of that lifecycle
+# without importing runtime internals.
+
+
+def device_workers() -> dict:
+    """Live block-worker pools: ``{(device_uid, schedule): workers}``.
+
+    Reflects pools already created by launches; a device that has only
+    run sequentially (or not at all) has no entry.
+    """
+    from ..runtime.scheduler import _schedulers
+
+    return {key: sched.worker_count for key, sched in _schedulers.items()}
+
+
+def shutdown_device_workers() -> None:
+    """Tear down every device's block-worker pools (threads and worker
+    processes).  Safe to call at any time — the next launch lazily
+    recreates what it needs — and implied at interpreter exit."""
+    from ..runtime.scheduler import shutdown_schedulers
+
+    shutdown_schedulers()

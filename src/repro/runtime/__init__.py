@@ -49,11 +49,17 @@ from .plan import (
 from .scheduler import (
     MAX_BLOCK_WORKERS,
     MAX_BLOCK_WORKERS_ENV,
+    PROCESS_WORKERS_ENV,
+    SCHEDULER_ENV,
     PooledScheduler,
+    ProcessPoolScheduler,
     Scheduler,
     SequentialScheduler,
     chunk_indices,
+    current_worker_label,
     resolve_max_block_workers,
+    resolve_process_workers,
+    resolve_scheduler_override,
     scheduler_for,
     shutdown_schedulers,
 )
@@ -71,12 +77,18 @@ __all__ = [
     "Scheduler",
     "SequentialScheduler",
     "PooledScheduler",
+    "ProcessPoolScheduler",
     "scheduler_for",
     "shutdown_schedulers",
     "chunk_indices",
+    "current_worker_label",
     "resolve_max_block_workers",
+    "resolve_process_workers",
+    "resolve_scheduler_override",
     "MAX_BLOCK_WORKERS",
     "MAX_BLOCK_WORKERS_ENV",
+    "SCHEDULER_ENV",
+    "PROCESS_WORKERS_ENV",
     # instrumentation
     "ExecutionObserver",
     "CountingObserver",

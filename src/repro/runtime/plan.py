@@ -27,6 +27,7 @@ from ..core.properties import AccDevProps
 from ..core.vec import Vec
 from ..core.workdiv import AutoWorkDiv, WorkDivMembers, validate_work_div
 from .instrument import notify_plan_cache
+from .scheduler import chunk_indices, resolve_scheduler_override
 
 __all__ = [
     "LaunchPlan",
@@ -84,6 +85,41 @@ class LaunchPlan:
     served_from_cache: bool = False
     _args_src: Optional[tuple] = field(default=None, repr=False)
     _args_unwrapped: Optional[tuple] = field(default=None, repr=False)
+    #: worker count -> chunked block_indices; see :meth:`chunks_for`.
+    _chunks: Dict[int, list] = field(default_factory=dict, repr=False)
+    #: worker count -> linear (start, stop) bounds per chunk.
+    _chunk_bounds: Dict[int, Tuple[Tuple[int, int], ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def chunks_for(self, workers: int) -> list:
+        """``chunk_indices(block_indices, workers)``, memoised.
+
+        Chunking is pure geometry — same plan, same worker count, same
+        chunks — so the pooled schedulers read it here instead of
+        re-partitioning every warm launch.  (Benign race: two threads
+        may compute the same value once each.)
+        """
+        chunks = self._chunks.get(workers)
+        if chunks is None:
+            chunks = chunk_indices(self.block_indices, workers)
+            self._chunks[workers] = chunks
+        return chunks
+
+    def chunk_bounds_for(self, workers: int) -> Tuple[Tuple[int, int], ...]:
+        """Linear ``(start, stop)`` index bounds of each chunk — what
+        the process scheduler ships to workers instead of index lists
+        (workers rebuild the C-order list themselves)."""
+        bounds = self._chunk_bounds.get(workers)
+        if bounds is None:
+            pos = 0
+            out = []
+            for chunk in self.chunks_for(workers):
+                out.append((pos, pos + len(chunk)))
+                pos += len(chunk)
+            bounds = tuple(out)
+            self._chunk_bounds[workers] = bounds
+        return bounds
 
     def unwrap_args(self, args: tuple) -> tuple:
         """Device-side argument tuple for ``args``.
@@ -129,10 +165,17 @@ def build_plan(task, device) -> LaunchPlan:
 def _build_plan(task, device) -> LaunchPlan:
     acc_type = task.acc_type
     wd = task.work_div
+    tuned_sched = None
     if isinstance(wd, AutoWorkDiv):
-        from ..tuning import resolve_work_div
+        from ..tuning import resolve_work_div, tuned_schedule
 
+        auto_extent = wd.extent
         wd = resolve_work_div(task, device)
+        # A tuning run may have stored a winning block schedule next to
+        # the winning division; AUTO launches pick it up here.
+        tuned_sched = tuned_schedule(
+            task.kernel, acc_type, device, auto_extent
+        )
     props = acc_type.get_acc_dev_props(device)
     validate_work_div(wd, props)
     shared_dyn = getattr(task, "shared_mem_bytes", 0)
@@ -151,6 +194,23 @@ def _build_plan(task, device) -> LaunchPlan:
             f"unknown; known: {sorted(runners)}"
         ) from None
     schedule = getattr(acc_type, "block_schedule", "sequential")
+    if schedule == "pooled":
+        # Only pool-capable back-ends accept a different strategy:
+        # sequential back-ends' block order is semantic (fibers'
+        # determinism) and must survive any override.  Precedence:
+        # REPRO_SCHEDULER > tuned schedule > back-end default.
+        override = resolve_scheduler_override()
+        if override is not None:
+            schedule = override
+        elif tuned_sched is not None:
+            schedule = tuned_sched
+    if schedule == "processes" and not getattr(
+        acc_type, "supports_process_blocks", False
+    ):
+        # Multi-thread blocks (e.g. the simulated OMP4 target) cannot
+        # barrier across processes; the thread pool is the closest
+        # legal strategy.
+        schedule = "pooled"
     # A one-block grid gains nothing from pool dispatch; plan it out.
     if wd.block_count == 1:
         schedule = "sequential"
@@ -197,6 +257,10 @@ def _key(task, device) -> tuple:
         wd,
         device.uid,
         getattr(task, "shared_mem_bytes", 0),
+        # The env override changes what _build_plan resolves, so it is
+        # part of plan identity — flipping REPRO_SCHEDULER mid-process
+        # (the tuner's schedule sweep does) must miss, not poison.
+        resolve_scheduler_override(),
     )
 
 

@@ -113,7 +113,7 @@ class TelemetryCollector(ExecutionObserver):
         oversubscription shows as > 100 %).
         """
         workers = max(1, plan.props.max_block_workers)
-        if plan.schedule == "pooled":
+        if plan.schedule in ("pooled", "processes"):
             concurrent_blocks = min(len(plan.block_indices), workers)
         else:
             concurrent_blocks = 1
@@ -130,6 +130,7 @@ class TelemetryCollector(ExecutionObserver):
             "kernel": _kernel_name(plan.kernel),
             "backend": plan.acc_type.name,
             "device": device.name,
+            "schedule": plan.schedule,
         }
 
     # -- ExecutionObserver hooks ----------------------------------------
@@ -190,9 +191,16 @@ class TelemetryCollector(ExecutionObserver):
         )
 
     def on_block_end(self, plan, block_idx, seconds: float) -> None:
+        from ..runtime.scheduler import current_worker_label
+
+        # "p<i>" while the process scheduler replays its per-block
+        # timings; the executing thread's name otherwise (main thread
+        # for sequential dispatch, pool threads for threaded).
+        worker = current_worker_label() or threading.current_thread().name
         labels = {
             "kernel": _kernel_name(plan.kernel),
             "backend": plan.acc_type.name,
+            "worker": worker,
         }
         self.registry.histogram(
             "repro_block_seconds", "wall per-block latency", **labels

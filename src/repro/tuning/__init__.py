@@ -67,6 +67,7 @@ __all__ = [
     "autotune",
     "auto_divide",
     "resolve_work_div",
+    "tuned_schedule",
     "TuningResult",
     "AutoWorkDiv",
     # space
@@ -117,6 +118,11 @@ class TuningResult:
     cache_key: str
     #: Every measured (division, seconds) pair, in measurement order.
     trials: Tuple[Trial, ...] = field(default_factory=tuple)
+    #: Winning block schedule when ``tune_schedule=True`` compared
+    #: schedulers for the winning division; None otherwise.
+    schedule: Optional[str] = None
+    #: Wall seconds per compared schedule (empty unless tuned).
+    schedule_trials: Dict[str, float] = field(default_factory=dict)
 
 
 def _refit_for_extent(
@@ -162,6 +168,7 @@ def autotune(
     max_total_elems: int = MAX_TOTAL_ELEMS,
     max_block_threads: Optional[int] = None,
     seed: int = 0,
+    tune_schedule: bool = False,
 ) -> TuningResult:
     """Find (or recall) the fastest work division for ``kernel`` on
     ``acc_type`` covering ``extent``.
@@ -178,6 +185,13 @@ def autotune(
     functionally simulated GPU where every modeled thread is a host
     thread — while the seeds stay exempt.  ``args`` must be the real
     kernel arguments: candidates are executed, not just validated.
+
+    ``tune_schedule=True`` adds the block-scheduling strategy to the
+    candidate space: after the division search, the winning division is
+    wall-clock-measured under every strategy its back-end can run
+    (sequential / thread pool, plus the process pool when the back-end
+    declares ``supports_process_blocks``), and the winner is persisted
+    with the entry — AUTO launches then pick it up at plan time.
     """
     ext = as_vec(extent)
     if device is None:
@@ -192,6 +206,10 @@ def autotune(
 
     if not force:
         hit = cache.get(kernel, acc_type, device, ext)
+        # A hit without a stored schedule cannot answer a
+        # tune_schedule request; fall through and measure.
+        if hit is not None and tune_schedule and hit.schedule is None:
+            hit = None
         refit = (
             _refit_for_extent(hit.work_div, ext, props)
             if hit is not None
@@ -208,6 +226,7 @@ def autotune(
                 launches=0,
                 pruned=0,
                 cache_key=key,
+                schedule=hit.schedule,
             )
 
     candidates = candidate_divisions(
@@ -260,11 +279,39 @@ def autotune(
 
     best = result.best
     best_mt = measured[best.work_div]
+
+    best_schedule: Optional[str] = None
+    schedule_trials: Dict[str, float] = {}
+    schedule_launches = 0
+    if tune_schedule:
+        candidates_sched = _schedule_candidates(acc_type)
+        for sched in candidates_sched:
+            try:
+                mt = measure_division(
+                    kernel,
+                    acc_type,
+                    device,
+                    best.work_div,
+                    args,
+                    shared_mem_bytes=shared_mem_bytes,
+                    warmup=warmup,
+                    repeat=repeat,
+                    schedule=sched,
+                    clock="wall",
+                )
+            except Exception:
+                continue  # a strategy the launch rejects never wins
+            schedule_trials[sched] = mt.seconds
+            schedule_launches += mt.launches
+        if schedule_trials:
+            best_schedule = min(schedule_trials, key=schedule_trials.get)
+
     entry = CachedResult(
         work_div=best.work_div,
         seconds=best.seconds,
         strategy=result.strategy,
         source=best_mt.source,
+        schedule=best_schedule,
     )
     cache.put(kernel, acc_type, device, ext, entry)
     if save:
@@ -276,12 +323,31 @@ def autotune(
         from_cache=False,
         source=best_mt.source,
         strategy=result.strategy,
-        measurements=result.measurements,
-        launches=sum(mt.launches for mt in measured.values()),
+        measurements=result.measurements + len(schedule_trials),
+        launches=sum(mt.launches for mt in measured.values())
+        + schedule_launches,
         pruned=result.pruned,
         cache_key=key,
         trials=tuple(result.trials),
+        schedule=best_schedule,
+        schedule_trials=schedule_trials,
     )
+
+
+def _schedule_candidates(acc_type) -> Tuple[str, ...]:
+    """Block schedules ``acc_type`` can legally run.
+
+    Sequential back-ends (serial, fibers, the thread-level CPU
+    back-ends) offer no choice — their block order is semantic.  Pooled
+    back-ends choose between the caller's thread, the thread pool, and
+    — when single-thread blocks make it safe — the process pool.
+    """
+    if getattr(acc_type, "block_schedule", "sequential") != "pooled":
+        return ()
+    cands = ["sequential", "pooled"]
+    if getattr(acc_type, "supports_process_blocks", False):
+        cands.append("processes")
+    return tuple(cands)
 
 
 def auto_divide(
@@ -360,3 +426,18 @@ def resolve_work_div(task, device) -> WorkDivMembers:
         acc_type=task.acc_type,
         device=device,
     )
+
+
+def tuned_schedule(
+    kernel,
+    acc_type,
+    device,
+    extent,
+    cache: Optional[TuningCache] = None,
+) -> Optional[str]:
+    """The block schedule a tuning run stored for this configuration,
+    or None (back-end default).  A cache-only lookup — the plan layer
+    calls it when resolving AUTO launches, so it must never measure."""
+    store = cache if cache is not None else default_cache()
+    hit = store.get(kernel, acc_type, device, extent)
+    return hit.schedule if hit is not None else None

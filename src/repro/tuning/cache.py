@@ -153,11 +153,16 @@ class CachedResult:
     strategy: str
     #: "modeled" (simulated clock) or "wall" (host clock).
     source: str
+    #: Winning block-scheduling strategy ("sequential" / "pooled" /
+    #: "processes") when the tuning run compared schedulers
+    #: (``autotune(tune_schedule=True)``); None means "back-end
+    #: default" and keeps old cache files readable.
+    schedule: Optional[str] = None
 
 
 def _entry_to_dict(entry: CachedResult) -> dict:
     wd = entry.work_div
-    return {
+    data = {
         "grid": list(wd.grid_block_extent),
         "block": list(wd.block_thread_extent),
         "elems": list(wd.thread_elem_extent),
@@ -165,17 +170,22 @@ def _entry_to_dict(entry: CachedResult) -> dict:
         "strategy": entry.strategy,
         "source": entry.source,
     }
+    if entry.schedule is not None:
+        data["schedule"] = entry.schedule
+    return data
 
 
 def _entry_from_dict(data: dict) -> CachedResult:
     wd = WorkDivMembers(
         Vec(*data["grid"]), Vec(*data["block"]), Vec(*data["elems"])
     )
+    schedule = data.get("schedule")
     return CachedResult(
         work_div=wd,
         seconds=float(data["seconds"]),
         strategy=str(data.get("strategy", "?")),
         source=str(data.get("source", "?")),
+        schedule=str(schedule) if schedule is not None else None,
     )
 
 

@@ -22,8 +22,10 @@ Two clocks, chosen automatically per kernel:
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..acc.timing import measure
 from ..core.kernel import create_task_kernel
@@ -31,6 +33,30 @@ from ..core.workdiv import WorkDivMembers
 from ..telemetry.spans import sim_interval, span
 
 __all__ = ["MeasuredTime", "measure_division", "measure_task"]
+
+
+@contextmanager
+def _forced_schedule(schedule: Optional[str]):
+    """Pin ``REPRO_SCHEDULER`` for the duration of one measurement.
+
+    The launch-plan cache folds the override into its key, so plans
+    measured under a forced schedule never collide with plans of the
+    surrounding application.
+    """
+    if schedule is None:
+        yield
+        return
+    from ..runtime.scheduler import SCHEDULER_ENV
+
+    prev = os.environ.get(SCHEDULER_ENV)
+    os.environ[SCHEDULER_ENV] = schedule
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(SCHEDULER_ENV, None)
+        else:
+            os.environ[SCHEDULER_ENV] = prev
 
 
 @dataclass(frozen=True)
@@ -51,14 +77,21 @@ def measure_task(
     queue=None,
     warmup: int = 1,
     repeat: int = 3,
+    clock: str = "auto",
 ) -> MeasuredTime:
     """Measure one bound task on ``device`` (see module docstring).
 
     ``queue`` defaults to a fresh blocking queue on ``device``; pass
-    one to order measurements into existing device work.
+    one to order measurements into existing device work.  ``clock``:
+    ``"auto"`` prefers the modeled clock when the kernel advances it,
+    ``"wall"`` forces the host clock — the modeled clock derives from
+    the work division alone, so comparing *block schedulers* (whose
+    difference is purely host parallelism) must measure wall time.
     """
     if warmup < 1:
         raise ValueError(f"warmup must be >= 1, got {warmup}")
+    if clock not in ("auto", "wall"):
+        raise ValueError(f"clock must be 'auto' or 'wall', got {clock!r}")
     if queue is None:
         from ..queue import QueueBlocking
 
@@ -75,7 +108,7 @@ def measure_task(
                 queue.enqueue(task)
         modeled = elapsed[0] / warmup
 
-        if modeled > 0.0:
+        if modeled > 0.0 and clock == "auto":
             # Deterministic clock: the warmup launches already *are*
             # the measurement; repeating would add identical samples.
             return MeasuredTime(
@@ -99,12 +132,21 @@ def measure_division(
     queue=None,
     warmup: int = 1,
     repeat: int = 3,
+    schedule: Optional[str] = None,
+    clock: str = "auto",
 ) -> MeasuredTime:
     """Bind ``kernel`` to ``work_div`` and measure it — the autotuner's
-    objective function."""
+    objective function.
+
+    ``schedule`` pins the block-scheduling strategy for this measurement
+    (``"sequential"`` / ``"pooled"`` / ``"processes"``); the schedule
+    leg of the autotuner sweeps it with ``clock="wall"``.
+    """
     task = create_task_kernel(
         acc_type, work_div, kernel, *args, shared_mem_bytes=shared_mem_bytes
     )
-    return measure_task(
-        task, device, queue=queue, warmup=warmup, repeat=repeat
-    )
+    with _forced_schedule(schedule):
+        return measure_task(
+            task, device, queue=queue, warmup=warmup, repeat=repeat,
+            clock=clock,
+        )

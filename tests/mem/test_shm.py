@@ -1,0 +1,195 @@
+"""Shared-memory buffer backing (repro.mem.shm)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import mem
+from repro.acc.cpu import AccCpuSerial
+from repro.dev.manager import get_dev_by_idx
+from repro.mem.shm import (
+    SHM_BUFFERS_ENV,
+    SHM_NAME_PREFIX,
+    ShmArraySpec,
+    ShmBacking,
+    active_segment_names,
+    attach_array,
+    cleanup_all_segments,
+    release_worker_attachments,
+    shm_buffers_default,
+)
+
+
+@pytest.fixture
+def dev():
+    return get_dev_by_idx(AccCpuSerial)
+
+
+class TestShmBacking:
+    def test_create_zero_filled_and_registered(self):
+        b = ShmBacking((4, 8), np.float64)
+        try:
+            assert b.array.shape == (4, 8)
+            assert b.array.dtype == np.float64
+            assert np.all(b.array == 0.0)
+            assert b.name in active_segment_names()
+            assert b.name.startswith(f"{SHM_NAME_PREFIX}_{os.getpid()}_")
+        finally:
+            b.release()
+
+    def test_release_unlinks_and_deregisters(self):
+        b = ShmBacking((16,), np.int32)
+        name = b.name
+        b.release()
+        assert b.released
+        assert name not in active_segment_names()
+        if os.path.isdir("/dev/shm"):
+            assert name not in os.listdir("/dev/shm")
+
+    def test_release_idempotent(self):
+        b = ShmBacking((3,), np.float32)
+        b.release()
+        b.release()  # second call is a no-op, not an error
+
+    def test_degenerate_empty_extent(self):
+        b = ShmBacking((0,), np.float64)
+        try:
+            assert b.array.size == 0
+        finally:
+            b.release()
+
+    def test_spec_roundtrip(self):
+        b = ShmBacking((2, 10), np.float64)
+        try:
+            b.array[:] = np.arange(20.0).reshape(2, 10)
+            spec = b.spec(logical_last=7)
+            assert isinstance(spec, ShmArraySpec)
+            view = attach_array(spec)
+            assert view.shape == (2, 7)
+            assert np.array_equal(view, b.array[:, :7])
+            # Writes through the attachment alias the original pages.
+            view[1, 3] = -99.0
+            assert b.array[1, 3] == -99.0
+        finally:
+            release_worker_attachments()
+            b.release()
+
+    def test_attach_box_subview(self):
+        b = ShmBacking((6, 6), np.float64)
+        try:
+            b.array[:] = np.arange(36.0).reshape(6, 6)
+            spec = b.spec(logical_last=6)
+            boxed = ShmArraySpec(
+                name=spec.name,
+                shape=spec.shape,
+                dtype=spec.dtype,
+                logical_last=spec.logical_last,
+                box=((1, 3), (2, 4)),
+            )
+            view = attach_array(boxed)
+            assert view.shape == (3, 4)
+            assert np.array_equal(view, b.array[1:4, 2:6])
+        finally:
+            release_worker_attachments()
+            b.release()
+
+    def test_attachments_cached_per_segment(self):
+        b = ShmBacking((5,), np.float64)
+        try:
+            spec = b.spec(5)
+            v1 = attach_array(spec)
+            v2 = attach_array(spec)
+            assert v1.base is v2.base or v1 is v2
+            assert release_worker_attachments() == 1
+        finally:
+            b.release()
+
+    def test_cleanup_all_segments_sweeps(self):
+        before = len(active_segment_names())
+        backings = [ShmBacking((4,), np.float64) for _ in range(3)]
+        assert len(active_segment_names()) == before + 3
+        swept = cleanup_all_segments()
+        assert swept >= 3
+        assert active_segment_names() == []
+        assert all(b.released for b in backings)
+
+
+class TestBufferShm:
+    def test_default_is_private(self, dev):
+        buf = mem.alloc(dev, 16)
+        try:
+            assert not buf.is_shared
+            assert buf.shm_spec() is None
+        finally:
+            buf.free()
+
+    def test_opt_in_shared(self, dev):
+        buf = mem.alloc(dev, 16, shm=True)
+        try:
+            assert buf.is_shared
+            assert "shm" in repr(buf)
+            spec = buf.shm_spec()
+            assert spec is not None and spec.logical_last == 16
+        finally:
+            buf.free()
+        assert buf.shm_spec() is None
+
+    def test_env_flips_default(self, dev, monkeypatch):
+        monkeypatch.setenv(SHM_BUFFERS_ENV, "1")
+        assert shm_buffers_default()
+        buf = mem.alloc(dev, 8)
+        try:
+            assert buf.is_shared
+        finally:
+            buf.free()
+        # Per-call shm=False still wins over the env default.
+        buf = mem.alloc(dev, 8, shm=False)
+        try:
+            assert not buf.is_shared
+        finally:
+            buf.free()
+
+    def test_alloc_like_inherits_backing(self, dev):
+        shared = mem.alloc(dev, 8, shm=True)
+        private = mem.alloc(dev, 8)
+        try:
+            assert mem.alloc_like(dev, shared).is_shared
+            assert not mem.alloc_like(dev, private).is_shared
+        finally:
+            shared.free()
+            private.free()
+
+    def test_semantics_identical_to_private(self, dev):
+        """Pitch, logical slicing and kernel_array behave the same."""
+        a = mem.alloc(dev, (3, 5), shm=True)
+        b = mem.alloc(dev, (3, 5), shm=False)
+        try:
+            assert a.pitch_elems == b.pitch_elems
+            assert a.as_numpy().shape == b.as_numpy().shape
+            a.as_numpy()[:] = 7.0
+            assert np.all(a.as_numpy() == 7.0)
+        finally:
+            a.free()
+            b.free()
+
+    def test_free_unlinks_segment(self, dev):
+        buf = mem.alloc(dev, 32, shm=True)
+        name = buf.shm_spec().name
+        assert name in active_segment_names()
+        buf.free()
+        assert name not in active_segment_names()
+        if os.path.isdir("/dev/shm"):
+            assert name not in os.listdir("/dev/shm")
+
+    def test_pitched_2d_spec_carries_padding(self, dev):
+        buf = mem.alloc(dev, (4, 5), shm=True, pitched=True)
+        try:
+            spec = buf.shm_spec()
+            assert spec.shape == (4, buf.pitch_elems)
+            assert spec.logical_last == 5
+            view = attach_array(spec)
+            assert view.shape == (4, 5)
+        finally:
+            release_worker_attachments()
+            buf.free()

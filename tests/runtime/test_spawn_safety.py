@@ -1,0 +1,262 @@
+"""Spawn-safety: every kernel family survives the process boundary.
+
+The process-pool scheduler ships ``(kernel, work_div, args)`` to spawned
+workers via pickle.  These tests pin down the contract that makes that
+safe: every kernel in the library pickles under the spawn start method,
+representative kernels compute *bit-identical* results when their blocks
+run in worker processes, and unpicklable kernels (lambdas, closures)
+degrade to the thread pool rather than failing or corrupting results.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    QueueBlocking,
+    Vec,
+    WorkDivMembers,
+    clear_plan_cache,
+    create_task_kernel,
+    get_dev_by_idx,
+    mem,
+)
+from repro.acc.cpu import AccCpuOmp2Blocks
+from repro.kernels import (
+    AddOffsetsKernel,
+    AxpyElementsKernel,
+    AxpyKernel,
+    BitonicSortKernel,
+    BlockScanKernel,
+    CsrSpmvKernel,
+    DotKernel,
+    FillKernel,
+    GemmCudaStyleKernel,
+    GemmOmpStyleKernel,
+    GemmTilingKernel,
+    HistogramKernel,
+    IotaKernel,
+    Jacobi2DKernel,
+    Jacobi3DKernel,
+    MapKernel,
+    ScaleKernel,
+    SumReduceKernel,
+    TransposeNaiveKernel,
+    TransposeTiledKernel,
+    jacobi_reference_step,
+)
+from repro.runtime import get_plan, shutdown_schedulers
+from repro.runtime.procpool import marshal_launch, reset_worker_state
+from repro.runtime.scheduler import PROCESS_WORKERS_ENV, SCHEDULER_ENV
+
+#: One instance per kernel family exported by ``repro.kernels`` — the
+#: sweep below keeps this list honest against the library.
+KERNEL_INSTANCES = [
+    AxpyKernel(),
+    AxpyElementsKernel(),
+    GemmCudaStyleKernel(),
+    GemmOmpStyleKernel(),
+    GemmTilingKernel(),
+    HistogramKernel(),
+    SumReduceKernel(),
+    DotKernel(),
+    BlockScanKernel(),
+    AddOffsetsKernel(),
+    BitonicSortKernel(chunk=8),
+    CsrSpmvKernel(),
+    Jacobi2DKernel(),
+    Jacobi3DKernel(),
+    FillKernel(),
+    IotaKernel(),
+    ScaleKernel(),
+    MapKernel(np.sqrt),  # module-level callable: picklable captured state
+    TransposeNaiveKernel(),
+    TransposeTiledKernel(),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+    shutdown_schedulers()
+    reset_worker_state()
+
+
+@pytest.fixture
+def dev():
+    return get_dev_by_idx(AccCpuOmp2Blocks)
+
+
+class TestPickleSweep:
+    @pytest.mark.parametrize(
+        "kernel",
+        KERNEL_INSTANCES,
+        ids=[type(k).__name__ for k in KERNEL_INSTANCES],
+    )
+    def test_kernel_pickles_under_spawn(self, kernel):
+        """Spawn serialises with pickle; every library kernel must
+        round-trip and come back callable."""
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert type(clone) is type(kernel)
+        assert callable(clone)
+
+    def test_sweep_covers_every_exported_kernel_class(self):
+        """The instance list above must not silently fall behind the
+        library: every ``*Kernel`` name in ``repro.kernels.__all__``
+        appears exactly once."""
+        import repro.kernels as klib
+
+        exported = {n for n in klib.__all__ if n.endswith("Kernel")}
+        swept = {type(k).__name__ for k in KERNEL_INSTANCES}
+        assert swept == exported
+
+
+def _forced(monkeypatch, schedule, workers=2):
+    monkeypatch.setenv(SCHEDULER_ENV, schedule)
+    monkeypatch.setenv(PROCESS_WORKERS_ENV, str(workers))
+    clear_plan_cache()
+    shutdown_schedulers()
+
+
+class TestProcessIdentity:
+    """Representative kernels, bit-identical across the boundary."""
+
+    def _scale(self, dev):
+        n = 4096
+        x = mem.alloc(dev, n, shm=True)
+        out = mem.alloc(dev, n, shm=True)
+        x.as_numpy()[:] = np.arange(n, dtype=np.float64)
+        out.as_numpy()[:] = 0.0
+        wd = WorkDivMembers.make((8,), (1,), (n // 8,))
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, ScaleKernel(), n, 3.0, x, out
+        )
+        QueueBlocking(dev).enqueue(task)
+        result = out.as_numpy().copy()
+        schedule = get_plan(task, dev).schedule
+        x.free()
+        out.free()
+        return result, schedule
+
+    def _jacobi(self, dev):
+        h, w = 33, 47
+        rng = np.random.default_rng(5)
+        grid0 = rng.random((h, w))
+        src = mem.alloc(dev, (h, w), shm=True)
+        dst = mem.alloc(dev, (h, w), shm=True)
+        src.as_numpy()[:] = grid0
+        dst.as_numpy()[:] = 0.0
+        elems = Vec(4, 4)
+        blocks = Vec(h, w).ceil_div(elems)
+        wd = WorkDivMembers.make(blocks, Vec(1, 1), elems)
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, Jacobi2DKernel(), h, w, 0.15, src, dst
+        )
+        QueueBlocking(dev).enqueue(task)
+        result = dst.as_numpy().copy()
+        schedule = get_plan(task, dev).schedule
+        src.free()
+        dst.free()
+        return result, schedule, grid0
+
+    def _transpose(self, dev):
+        n = 96
+        rng = np.random.default_rng(9)
+        inp0 = rng.random((n, n))
+        inp = mem.alloc(dev, (n, n), shm=True)
+        out = mem.alloc(dev, (n, n), shm=True)
+        inp.as_numpy()[:] = inp0
+        out.as_numpy()[:] = 0.0
+        tile = 16
+        blocks = n // tile
+        wd = WorkDivMembers.make(
+            Vec(blocks, blocks), Vec(1, 1), Vec(tile, tile)
+        )
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, TransposeNaiveKernel(), n, inp, out
+        )
+        QueueBlocking(dev).enqueue(task)
+        result = out.as_numpy().copy()
+        schedule = get_plan(task, dev).schedule
+        inp.free()
+        out.free()
+        return result, schedule, inp0
+
+    def test_scale_bit_identical(self, dev, monkeypatch):
+        _forced(monkeypatch, "sequential")
+        seq, _ = self._scale(dev)
+        _forced(monkeypatch, "processes")
+        proc, schedule = self._scale(dev)
+        assert schedule == "processes"
+        assert np.array_equal(seq, proc)
+
+    def test_jacobi2d_bit_identical(self, dev, monkeypatch):
+        _forced(monkeypatch, "sequential")
+        seq, _, grid0 = self._jacobi(dev)
+        _forced(monkeypatch, "processes")
+        proc, schedule, _ = self._jacobi(dev)
+        assert schedule == "processes"
+        assert np.array_equal(seq, proc)
+        np.testing.assert_allclose(
+            proc, jacobi_reference_step(grid0, 0.15)
+        )
+
+    def test_transpose_bit_identical(self, dev, monkeypatch):
+        _forced(monkeypatch, "sequential")
+        seq, _, inp0 = self._transpose(dev)
+        _forced(monkeypatch, "processes")
+        proc, schedule, _ = self._transpose(dev)
+        assert schedule == "processes"
+        assert np.array_equal(seq, proc)
+        assert np.array_equal(proc, inp0.T)
+
+
+class TestUnpicklableFallback:
+    def test_lambda_map_falls_back_and_stays_correct(
+        self, dev, monkeypatch
+    ):
+        _forced(monkeypatch, "processes")
+        n = 512
+        x = mem.alloc(dev, n, shm=True)
+        out = mem.alloc(dev, n, shm=True)
+        x.as_numpy()[:] = np.arange(n, dtype=np.float64)
+        wd = WorkDivMembers.make((4,), (1,), (n // 4,))
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, MapKernel(lambda v: v * v + 1.0),
+            n, x, out,
+        )
+        plan = get_plan(task, dev)
+        state = marshal_launch(plan, task)
+        assert not state.eligible
+        assert "pickle" in state.reason
+        QueueBlocking(dev).enqueue(task)  # thread-pool fallback path
+        assert np.array_equal(
+            out.as_numpy(), np.arange(float(n)) ** 2 + 1.0
+        )
+        x.free()
+        out.free()
+
+    def test_closure_over_local_state_falls_back(self, dev, monkeypatch):
+        _forced(monkeypatch, "processes")
+        offsets = np.full(256, 7.0)
+
+        def shifted(v):
+            return v + offsets[: len(v)]
+
+        n = 256
+        x = mem.alloc(dev, n, shm=True)
+        out = mem.alloc(dev, n, shm=True)
+        x.as_numpy()[:] = np.arange(n, dtype=np.float64)
+        wd = WorkDivMembers.make((4,), (1,), (n // 4,))
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, MapKernel(shifted), n, x, out
+        )
+        state = marshal_launch(get_plan(task, dev), task)
+        assert not state.eligible
+        QueueBlocking(dev).enqueue(task)
+        assert np.array_equal(out.as_numpy(), np.arange(float(n)) + 7.0)
+        x.free()
+        out.free()
