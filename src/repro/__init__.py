@@ -28,7 +28,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import acc, atomic, core, dev, hardware, math, mem
+from . import acc, atomic, core, dev, graph, hardware, math, mem
 from . import perfmodel, queue, rand, runtime, sanitize, telemetry, testing
 from . import trace, tuning
 from .acc import (
@@ -75,6 +75,7 @@ from .core import (
     map_idx,
 )
 from .dev import PlatformCpu, PlatformCudaSim, get_dev_by_idx, get_dev_count
+from .graph import Graph, GraphError, Node
 from .mem import alloc, alloc_like, copy, memset
 from .queue import (
     Event,
@@ -105,7 +106,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # subpackages
-    "acc", "atomic", "core", "dev", "hardware", "math", "mem",
+    "acc", "atomic", "core", "dev", "graph", "hardware", "math", "mem",
     "perfmodel", "queue", "rand", "runtime", "sanitize", "telemetry",
     "testing", "trace", "tuning",
     # accelerators
@@ -129,6 +130,8 @@ __all__ = [
     # queues
     "QueueBlocking", "QueueNonBlocking", "Event", "enqueue", "wait",
     "enqueue_after",
+    # dataflow graphs
+    "Graph", "Node", "GraphError",
     # launch runtime
     "LaunchPlan", "clear_plan_cache", "plan_cache_info",
     "ExecutionObserver", "CountingObserver",

@@ -17,6 +17,7 @@ from .errors import (
     DeviceError,
     DimensionError,
     ExtentError,
+    GraphError,
     InvalidWorkDiv,
     KernelError,
     MemorySpaceError,
@@ -76,6 +77,6 @@ __all__ = [
     "AccDevProps",
     # errors
     "AlpakaError", "DimensionError", "InvalidWorkDiv", "MemorySpaceError",
-    "ExtentError", "DeviceError", "QueueError", "KernelError",
+    "ExtentError", "DeviceError", "QueueError", "GraphError", "KernelError",
     "SharedMemError", "TraceError", "ModelError",
 ]

@@ -17,6 +17,7 @@ __all__ = [
     "ExtentError",
     "DeviceError",
     "QueueError",
+    "GraphError",
     "KernelError",
     "BarrierDivergenceError",
     "SharedMemError",
@@ -62,6 +63,12 @@ class DeviceError(AlpakaError, RuntimeError):
 
 class QueueError(AlpakaError, RuntimeError):
     """Illegal queue operation (e.g. enqueuing into a destroyed queue)."""
+
+
+class GraphError(AlpakaError, RuntimeError):
+    """Illegal dataflow-graph construction or submission: a dependency
+    cycle, a kernel whose buffer arguments live on different devices, or
+    a node added to an already-submitted graph mid-flight."""
 
 
 class KernelError(AlpakaError, RuntimeError):

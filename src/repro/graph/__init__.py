@@ -1,0 +1,42 @@
+"""repro.graph — futurized dataflow graphs over the queue runtime.
+
+The record-then-submit layer on top of queues and events (the CUDA-graph
+analogue the paper's queue model anticipates)::
+
+    from repro.graph import Graph
+
+    g = Graph()
+    a = g.launch(Acc, wd, Sweep(), h, w, c, src, dst)   # Node (future)
+    b = g.copy(halo_dst, halo_src)                      # after `a`, inferred
+    c = g.launch(Acc, wd, Sweep(), h, w, c, dst, nxt).after(b)
+    g.submit()                                          # schedule + run
+    assert c.done
+
+Dependencies are inferred from buffer arguments (reader-after-writer,
+writer-after-any, region-precise through sub-views — see
+:mod:`repro.graph.infer`) and merged with explicit ``.after()`` edges.
+Submission schedules across one queue per device, overlapping copies
+with compute and sharding independent branches; single-device graphs
+replay through the whole-graph plan cache
+(:class:`repro.runtime.plan.GraphPlan`) at roughly the cost of a single
+warm launch (``benchmarks/bench_graph.py`` asserts the bound).
+"""
+
+from ..core.errors import GraphError
+from .executor import REPLAY_ENV, GraphExec, GraphRunStats
+from .graph import Graph
+from .infer import Access, access_of, classify_args, infer_edges
+from .node import Node
+
+__all__ = [
+    "Graph",
+    "Node",
+    "GraphExec",
+    "GraphRunStats",
+    "GraphError",
+    "Access",
+    "access_of",
+    "classify_args",
+    "infer_edges",
+    "REPLAY_ENV",
+]

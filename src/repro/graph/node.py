@@ -1,0 +1,122 @@
+"""Future-like node handles returned by :class:`repro.graph.Graph`.
+
+A node is created inert — recording it into a graph runs nothing.  It
+becomes a *future* once the graph is submitted: ``node.wait()`` blocks
+until the node's task completed on its device, ``node.done`` polls.
+Between recording and submission it is a handle for wiring explicit
+ordering (``node_b.after(node_a)``) on top of whatever edges the graph
+inferred from buffer arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.errors import GraphError
+
+__all__ = ["Node"]
+
+#: Node kinds a graph records.
+KINDS = ("kernel", "copy", "memset", "call")
+
+
+class Node:
+    """One unit of work recorded into a graph.
+
+    Attributes of interest to users: :attr:`index` (creation order),
+    :attr:`kind`, :attr:`label`, :attr:`device` (resolved at record
+    time), and after submission :attr:`done` / :meth:`wait` /
+    :attr:`duration` (wall seconds of the last run).
+    """
+
+    __slots__ = (
+        "graph",
+        "index",
+        "kind",
+        "task",
+        "device",
+        "label",
+        "reads",
+        "writes",
+        "explicit_deps",
+        "_done_event",
+        "duration",
+        "started_at",
+    )
+
+    def __init__(self, graph, index: int, kind: str, task, device, label: str,
+                 reads: Tuple, writes: Tuple):
+        if kind not in KINDS:
+            raise GraphError(f"unknown node kind {kind!r}")
+        self.graph = graph
+        self.index = index
+        self.kind = kind
+        self.task = task
+        self.device = device
+        self.label = label
+        self.reads = reads
+        self.writes = writes
+        self.explicit_deps: list = []
+        self._done_event: Optional[object] = None  # threading.Event per run
+        #: Wall seconds of this node's last execution (None before a run).
+        self.duration: Optional[float] = None
+        #: Wall timestamp (perf_counter) the last execution started at.
+        self.started_at: Optional[float] = None
+
+    def after(self, *nodes: "Node") -> "Node":
+        """Order this node after ``nodes`` regardless of buffer overlap.
+
+        The explicit escape hatch for dependencies the inference cannot
+        see (side effects through host state, time ordering for
+        benchmarks).  Returns ``self`` for chaining.
+        """
+        for n in nodes:
+            if not isinstance(n, Node):
+                raise GraphError(f"after() takes Node handles, got {n!r}")
+            if n.graph is not self.graph:
+                raise GraphError("after() across different graphs")
+            if n.index >= self.index:
+                raise GraphError(
+                    f"node #{self.index} cannot wait on node #{n.index}: "
+                    "explicit edges must point at earlier-recorded nodes"
+                )
+            self.explicit_deps.append(n.index)
+        self.graph._invalidate()
+        return self
+
+    # -- future protocol (meaningful after graph.submit) -----------------
+
+    @property
+    def done(self) -> bool:
+        """True once this node's task completed in the current/last run.
+        False before any submission."""
+        ev = self._done_event
+        return bool(ev is not None and ev.is_set())
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until this node completes; True unless ``timeout`` hit.
+
+        Raises :class:`GraphError` when the graph was never submitted —
+        waiting on an unsubmitted node would deadlock forever.
+        """
+        ev = self._done_event
+        if ev is None:
+            raise GraphError(
+                f"wait() on node #{self.index} before the graph was submitted"
+            )
+        return ev.wait(timeout=timeout)
+
+    @property
+    def deps(self) -> Sequence[int]:
+        """Resolved dependency indices (inferred + explicit) from the
+        last build, or the explicit ones if the graph is unbuilt."""
+        exec_ = self.graph._exec
+        if exec_ is not None:
+            return exec_.deps[self.index]
+        return tuple(self.explicit_deps)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node #{self.index} {self.kind} {self.label!r} "
+            f"on {self.device!r}>"
+        )

@@ -14,6 +14,8 @@ lives on the device the kernel runs on — the reproduction's analogue of
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -25,6 +27,18 @@ from .alignment import OPTIMAL_ALIGNMENT_BYTES, pitch_elements
 from .shm import ShmArraySpec, ShmBacking, shm_buffers_default
 
 __all__ = ["Buffer", "alloc", "alloc_like"]
+
+#: Monotonic allocation ids: the stable identity the dataflow-graph
+#: dependency-inference pass keys buffer accesses on.  Ids are never
+#: reused, so a freed-and-reallocated buffer can never alias a cached
+#: graph's dependency structure.
+_buf_ids = itertools.count(1)
+_buf_ids_lock = threading.Lock()
+
+
+def _next_buf_id() -> int:
+    with _buf_ids_lock:
+        return next(_buf_ids)
 
 
 class Buffer:
@@ -64,6 +78,29 @@ class Buffer:
             self._shm = None
             self._padded = np.zeros(padded_shape, dtype=self.dtype)
         self._freed = False
+        self._buf_id = _next_buf_id()
+
+    # -- identity / access metadata (dataflow-graph protocol) -----------
+
+    @property
+    def buf_id(self) -> int:
+        """Process-stable allocation id (monotonic, never reused).
+
+        The dataflow graph's dependency inference keys accesses on this
+        id rather than object identity, so views and their base buffer
+        resolve to the same memory."""
+        return self._buf_id
+
+    @property
+    def base_buffer(self) -> "Buffer":
+        """The owning allocation (a buffer is its own base; views
+        delegate to theirs)."""
+        return self
+
+    def access_box(self) -> tuple:
+        """The ``((offset, extent), ...)`` region this endpoint touches
+        within its base allocation — the whole buffer."""
+        return tuple((0, int(e)) for e in self.extent)
 
     # -- geometry -------------------------------------------------------
 

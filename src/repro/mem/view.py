@@ -39,6 +39,26 @@ class ViewSubView:
                 f"extent {buf.extent!r}"
             )
 
+    # -- identity / access metadata (dataflow-graph protocol) -----------
+
+    @property
+    def buf_id(self) -> int:
+        """The base allocation's stable id (dependency inference treats
+        a view as an access to a region of its base buffer)."""
+        return self.buf.buf_id
+
+    @property
+    def base_buffer(self) -> Buffer:
+        return self.buf
+
+    def access_box(self) -> tuple:
+        """The ``((offset, extent), ...)`` window this view touches
+        within its base allocation; disjoint windows of one buffer do
+        not conflict in the dataflow graph."""
+        return tuple(
+            (int(o), int(e)) for o, e in zip(self.offset, self.extent)
+        )
+
     # -- geometry (copy-endpoint protocol) ------------------------------
 
     @property

@@ -65,9 +65,7 @@ class Event:
             )
         with self._cv:
             self._record_count += 1
-            target = self._record_count
         queue.enqueue(self)
-        self._last_target = target
         return self
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -130,18 +128,20 @@ def record(event: Event, queue: Queue) -> Event:
     return event.record(queue)
 
 
-def wait_queue_for(queue: Queue, event: Event) -> None:
-    """Make ``queue`` wait for ``event`` before running later tasks.
-
-    Alias of :func:`enqueue_after` (kept for the paper-era spelling).
-    Non-blocking queues park no OS thread on the dependency; on a
-    blocking queue this blocks the host, which is the correct
-    degenerate behaviour.
-    """
-    queue.enqueue_after(event)
-
-
 def enqueue_after(queue: Queue, event: Event) -> None:
-    """Free-function spelling of ``queue.enqueue_after(event)``:
-    cross-queue dependency without a host-side ``wait()`` barrier."""
+    """The canonical free-function spelling of
+    ``queue.enqueue_after(event)``: a cross-queue dependency without a
+    host-side ``wait()`` barrier.  Non-blocking queues park no OS
+    thread on the dependency; on a blocking queue this blocks the host,
+    which is the correct degenerate behaviour."""
     queue.enqueue_after(event)
+
+
+def wait_queue_for(queue: Queue, event: Event) -> None:
+    """Paper-era alias of :func:`enqueue_after` (``alpaka::wait::
+    wait(stream, event)``), kept for source compatibility.
+
+    A thin shim: it delegates to :func:`enqueue_after` so the two
+    spellings can never diverge (covered by
+    ``tests/queue/test_event_reuse.py``)."""
+    enqueue_after(queue, event)

@@ -67,6 +67,21 @@ class Queue:
             raise QueueError("enqueue_after on a destroyed queue")
         self._submit(lambda: event.wait())
 
+    def enqueue_callback(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on the queue, in stream order, once every
+        previously enqueued task has completed.
+
+        The completion-callback hook of the dataflow-graph executor
+        (CUDA's ``cudaLaunchHostFunc``): the callback executes in the
+        queue's worker context, so it must be short and must not block
+        on the same queue.
+        """
+        if self._destroyed:
+            raise QueueError("enqueue_callback on a destroyed queue")
+        if not callable(fn):
+            raise QueueError(f"enqueue_callback needs a callable, got {fn!r}")
+        self._submit(fn)
+
     def wait(self) -> None:
         """Block the host until all enqueued work has completed."""
 

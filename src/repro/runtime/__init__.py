@@ -28,6 +28,7 @@ from .instrument import (
     ExecutionObserver,
     notify_block,
     notify_copy,
+    notify_graph_end,
     notify_launch_begin,
     notify_launch_end,
     notify_plan_cache,
@@ -39,11 +40,16 @@ from .instrument import (
     unregister_observer,
 )
 from .plan import (
+    GRAPH_PLAN_CACHE_MAXSIZE,
     PLAN_CACHE_MAXSIZE,
+    GraphPlan,
     LaunchPlan,
     build_plan,
+    clear_graph_plan_cache,
     clear_plan_cache,
+    get_graph_plan,
     get_plan,
+    graph_plan_cache_info,
     plan_cache_info,
 )
 from .scheduler import (
@@ -66,6 +72,7 @@ from .scheduler import (
 
 __all__ = [
     "launch",
+    "execute_plan",
     # plan
     "LaunchPlan",
     "build_plan",
@@ -73,6 +80,12 @@ __all__ = [
     "clear_plan_cache",
     "plan_cache_info",
     "PLAN_CACHE_MAXSIZE",
+    # graph plan
+    "GraphPlan",
+    "get_graph_plan",
+    "clear_graph_plan_cache",
+    "graph_plan_cache_info",
+    "GRAPH_PLAN_CACHE_MAXSIZE",
     # scheduler
     "Scheduler",
     "SequentialScheduler",
@@ -103,6 +116,7 @@ __all__ = [
     "notify_queue_drain",
     "notify_plan_cache",
     "notify_sanitizer_report",
+    "notify_graph_end",
 ]
 
 
@@ -126,23 +140,36 @@ def launch(task, device) -> "LaunchPlan":
 
         return sanitized_launch(task, device)
 
-    from ..acc.base import GridContext
+    return execute_plan(get_plan(task, device), task, device)
+
+
+def execute_plan(plan, task, device, grid=None, scheduler=None) -> "LaunchPlan":
+    """The Execute stage alone: dispatch an already-resolved ``plan``.
+
+    :func:`launch` calls this after plan resolution; the dataflow-graph
+    executor (:mod:`repro.graph`) calls it directly during warm graph
+    replay with the node's cached ``grid`` context and ``scheduler``, so
+    a replayed pipeline pays neither plan-cache lookup nor grid-context
+    construction per node.  Observer notifications, device launch
+    accounting and modeled-time advance are identical on both paths.
+    """
     from ..acc.timing import advance_modeled_time
 
-    plan = get_plan(task, device)
-    args = plan.unwrap_args(task.args)
-    grid = GridContext(
-        device,
-        plan.work_div,
-        plan.props,
-        args,
-        shared_mem_bytes=plan.shared_mem_bytes,
-    )
+    if grid is None:
+        from ..acc.base import GridContext
+
+        grid = GridContext(
+            device,
+            plan.work_div,
+            plan.props,
+            plan.unwrap_args(task.args),
+            shared_mem_bytes=plan.shared_mem_bytes,
+        )
     device.note_kernel_launch()
     plan.launches += 1
     notify_launch_begin(plan, task, device)
     try:
-        sched = scheduler_for(device, plan.schedule)
+        sched = scheduler or scheduler_for(device, plan.schedule)
         sched.dispatch(plan, grid, plan.block_indices, task)
         advance_modeled_time(task, device, plan.acc_type.kind, plan.work_div)
     except BaseException:

@@ -38,6 +38,7 @@ __all__ = [
     "notify_sanitizer_report",
     "notify_span_begin",
     "notify_span_end",
+    "notify_graph_end",
 ]
 
 
@@ -89,6 +90,11 @@ class ExecutionObserver:
         """A sanitized launch finished; ``record`` is its
         :class:`repro.sanitize.report.LaunchRecord` (findings included,
         possibly empty)."""
+
+    def on_graph_end(self, graph_exec, stats) -> None:
+        """A dataflow graph finished one submission; ``stats`` is a
+        :class:`repro.graph.executor.GraphRunStats` with per-node
+        timings, critical-path length and overlap accounting."""
 
 
 _lock = threading.Lock()
@@ -206,6 +212,14 @@ def notify_sanitizer_report(plan, record) -> None:
         return
     for o in obs:
         o.on_sanitizer_report(plan, record)
+
+
+def notify_graph_end(graph_exec, stats) -> None:
+    obs = _observers
+    if not obs:
+        return
+    for o in obs:
+        o.on_graph_end(graph_exec, stats)
 
 
 def notify_span_begin(span) -> None:

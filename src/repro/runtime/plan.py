@@ -36,10 +36,19 @@ __all__ = [
     "clear_plan_cache",
     "plan_cache_info",
     "PLAN_CACHE_MAXSIZE",
+    "GraphPlan",
+    "get_graph_plan",
+    "clear_graph_plan_cache",
+    "graph_plan_cache_info",
+    "GRAPH_PLAN_CACHE_MAXSIZE",
 ]
 
 #: Upper bound on cached plans; least-recently-used entries evict first.
 PLAN_CACHE_MAXSIZE = 512
+
+#: Upper bound on cached whole-graph plans (each holds its nodes'
+#: :class:`LaunchPlan` and grid contexts).
+GRAPH_PLAN_CACHE_MAXSIZE = 64
 
 
 def _thread_runners() -> Dict[str, Callable]:
@@ -230,6 +239,113 @@ def _build_plan(task, device) -> LaunchPlan:
 
 
 # ---------------------------------------------------------------------------
+# Whole-graph plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphPlan:
+    """Everything about one dataflow graph that survives re-submission.
+
+    Built once per graph *structure* — the node identity tuple the graph
+    layer derives from kernels, work divisions, buffer ids and edges —
+    and cached LRU under that key, a :class:`GraphPlan` snapshots every
+    node's resolved :class:`LaunchPlan`, its grid context (validated,
+    unwrapped arguments included), its scheduler, the resolved
+    dependency edges and the topological order.  A warm pipeline
+    therefore re-dispatches with **one** cache hit instead of one plan
+    resolution per node (ROADMAP item 3: a graph warm-launches as
+    cheaply as one kernel).
+    """
+
+    key: tuple
+    #: Node indices in one valid topological execution order.
+    order: Tuple[int, ...]
+    #: Per-node resolved dependency indices (explicit + inferred).
+    deps: Tuple[Tuple[int, ...], ...]
+    #: node index -> resolved LaunchPlan (kernel nodes only).
+    node_plans: Dict[int, LaunchPlan] = field(default_factory=dict)
+    #: node index -> cached (GridContext, scheduler) (kernel nodes only).
+    node_grids: Dict[int, object] = field(default_factory=dict)
+    #: node index -> zero-argument replay closure (the inline fast
+    #: path: dispatch + accounting with plan, grid and scheduler bound).
+    node_ops: Dict[int, object] = field(default_factory=dict)
+    #: node index -> device uid the node executes on.
+    device_uids: Tuple[int, ...] = ()
+    #: How many times this plan has been re-dispatched warm.
+    replays: int = 0
+    #: Whether this graph plan instance was served from the cache.
+    served_from_cache: bool = False
+
+    @property
+    def node_count(self) -> int:
+        return len(self.order)
+
+    def describe(self) -> str:
+        return (
+            f"GraphPlan({self.node_count} nodes, "
+            f"{sum(len(d) for d in self.deps)} edges, "
+            f"replays={self.replays})"
+        )
+
+
+_graph_cache: "OrderedDict[tuple, GraphPlan]" = OrderedDict()
+_graph_lock = threading.Lock()
+_graph_hits = 0
+_graph_misses = 0
+
+
+def get_graph_plan(key: tuple, build: Callable[[], GraphPlan]) -> GraphPlan:
+    """The cached-or-built :class:`GraphPlan` for ``key``.
+
+    ``build`` runs outside the cache lock on a miss (it resolves one
+    :class:`LaunchPlan` per kernel node, which may itself take the plan
+    cache lock).  Announced through ``on_plan_cache`` observers like
+    per-launch plans, so the telemetry hit-rate counters cover graphs.
+    """
+    global _graph_hits, _graph_misses
+    with _graph_lock:
+        plan = _graph_cache.get(key)
+        if plan is not None:
+            _graph_cache.move_to_end(key)
+            _graph_hits += 1
+            plan.served_from_cache = True
+    if plan is not None:
+        notify_plan_cache(plan, True)
+        return plan
+    plan = build()
+    plan.key = key
+    with _graph_lock:
+        _graph_misses += 1
+        _graph_cache[key] = plan
+        _graph_cache.move_to_end(key)
+        while len(_graph_cache) > GRAPH_PLAN_CACHE_MAXSIZE:
+            _graph_cache.popitem(last=False)
+    notify_plan_cache(plan, False)
+    return plan
+
+
+def clear_graph_plan_cache() -> None:
+    """Drop every cached graph plan and zero its hit/miss counters."""
+    global _graph_hits, _graph_misses
+    with _graph_lock:
+        _graph_cache.clear()
+        _graph_hits = 0
+        _graph_misses = 0
+
+
+def graph_plan_cache_info() -> Dict[str, int]:
+    """``{"hits": ..., "misses": ..., "size": ..., "maxsize": ...}``."""
+    with _graph_lock:
+        return {
+            "hits": _graph_hits,
+            "misses": _graph_misses,
+            "size": len(_graph_cache),
+            "maxsize": GRAPH_PLAN_CACHE_MAXSIZE,
+        }
+
+
+# ---------------------------------------------------------------------------
 # LRU plan cache
 # ---------------------------------------------------------------------------
 
@@ -295,12 +411,16 @@ def get_plan(task, device) -> LaunchPlan:
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and zero the hit/miss counters."""
+    """Drop every cached plan and zero the hit/miss counters.
+
+    Graph plans embed per-node launch plans, so they are dropped too —
+    a stale graph must never outlive the plans it snapshot."""
     global _hits, _misses
     with _cache_lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+    clear_graph_plan_cache()
 
 
 def plan_cache_info() -> Dict[str, int]:

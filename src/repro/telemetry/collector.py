@@ -88,6 +88,8 @@ class TelemetryCollector(ExecutionObserver):
         self._lock = threading.Lock()
         # thread id -> (plan, wall t0, device sim_time_fs at begin)
         self._inflight: Dict[int, Tuple[object, float, int]] = {}
+        # graph ids whose trace track metadata was already emitted
+        self._graph_tracks: set = set()
 
     # -- event buffer ---------------------------------------------------
 
@@ -259,6 +261,77 @@ class TelemetryCollector(ExecutionObserver):
                 args={"kernel": record.kernel, "findings": n},
             )
         )
+
+    def on_graph_end(self, graph_exec, stats) -> None:
+        labels = {"graph": f"g{stats.graph_id}", "mode": stats.mode}
+        reg = self.registry
+        reg.counter(
+            "repro_graph_submits_total", "dataflow graph submissions",
+            **labels,
+        ).inc()
+        reg.counter(
+            "repro_graph_nodes_total", "graph nodes executed", **labels
+        ).inc(stats.node_count)
+        reg.counter(
+            "repro_graph_wall_seconds_total", "summed graph wall time",
+            **labels,
+        ).inc(stats.wall_seconds)
+        reg.histogram(
+            "repro_graph_critical_path_seconds",
+            "longest dependency-chain duration per submission", **labels,
+        ).observe(stats.critical_path_seconds)
+        reg.histogram(
+            "repro_graph_overlap_ratio",
+            "node_seconds / wall_seconds per submission (>1 = overlap)",
+            buckets=(0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 4.0, 8.0),
+            **labels,
+        ).observe(stats.overlap_ratio)
+        # Node slices get their own per-graph track (tid) so Perfetto
+        # groups one submission's nodes together regardless of which
+        # queue worker thread actually ran them.
+        tid = 1_000_000 + stats.graph_id
+        with self._lock:
+            new_track = stats.graph_id not in self._graph_tracks
+            self._graph_tracks.add(stats.graph_id)
+        if new_track:
+            self._emit(
+                TraceEvent(
+                    name="thread_name", cat="graph", ph="M", ts=0.0,
+                    tid=tid,
+                    args={"name": f"graph g{stats.graph_id}"},
+                )
+            )
+        base = (graph_exec._t0 - self._t0) * 1e6
+        self._emit(
+            TraceEvent(
+                name=f"graph g{stats.graph_id}",
+                cat="graph",
+                ph="X",
+                ts=max(0.0, base),
+                dur=stats.wall_seconds * 1e6,
+                tid=tid,
+                args={
+                    "mode": stats.mode,
+                    "nodes": stats.node_count,
+                    "devices": stats.device_count,
+                    "replayed": stats.replayed,
+                    "critical_path_s": stats.critical_path_seconds,
+                    "overlap_ratio": round(stats.overlap_ratio, 3),
+                },
+            )
+        )
+        for nd in stats.nodes:
+            self._emit(
+                TraceEvent(
+                    name=f"#{nd['index']} {nd['label']}",
+                    cat="graph",
+                    ph="X",
+                    ts=max(0.0, base + nd["start"] * 1e6),
+                    dur=nd["duration"] * 1e6,
+                    tid=tid,
+                    args={"kind": nd["kind"], "device": nd["device"]},
+                )
+            )
 
     def on_span_end(self, span) -> None:
         self.registry.histogram(

@@ -119,6 +119,56 @@ def _span_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
     return rows
 
 
+def _graph_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
+    """One row per graph track: submissions, node count, critical path
+    and the copy/compute overlap ratio (the dataflow-graph scheduler's
+    headline numbers)."""
+    by_graph: Dict[str, Dict[str, object]] = {}
+    for metric in (
+        "repro_graph_submits_total",
+        "repro_graph_nodes_total",
+        "repro_graph_wall_seconds_total",
+        "repro_graph_critical_path_seconds",
+        "repro_graph_overlap_ratio",
+    ):
+        for inst in collector.registry.instruments(metric):
+            labels = dict(inst.labels)
+            key = labels.get("graph", "?")
+            row = by_graph.setdefault(
+                key, {"graph": key, "mode": labels.get("mode", "?")}
+            )
+            row[metric] = inst
+    rows = []
+    for key in sorted(by_graph, key=lambda g: int(g.lstrip("g") or 0)):
+        r = by_graph[key]
+        submits = r.get("repro_graph_submits_total")
+        nodes = r.get("repro_graph_nodes_total")
+        wall = r.get("repro_graph_wall_seconds_total")
+        cp = r.get("repro_graph_critical_path_seconds")
+        ov = r.get("repro_graph_overlap_ratio")
+        n_submits = int(submits.value) if submits else 0
+        rows.append(
+            {
+                "graph": r["graph"],
+                "mode": r["mode"],
+                "submits": n_submits,
+                "nodes": int(nodes.value // max(1, n_submits)) if nodes else 0,
+                "wall p50": _fmt_seconds(
+                    wall.value / n_submits if wall and n_submits else 0.0
+                ),
+                "critical path p50": _fmt_seconds(
+                    cp.percentile(50) if isinstance(cp, Histogram) else 0.0
+                ),
+                "overlap": (
+                    f"{ov.mean:.2f}x"
+                    if isinstance(ov, Histogram) and ov.count
+                    else "-"
+                ),
+            }
+        )
+    return rows
+
+
 def _counter_total(collector, metric: str) -> float:
     return sum(inst.value for inst in collector.registry.instruments(metric))
 
@@ -133,6 +183,9 @@ def summary(collector: TelemetryCollector) -> Dict[str, object]:
         ),
         "sanitizer_findings": int(
             _counter_total(collector, "repro_sanitizer_findings_total")
+        ),
+        "graph_submits": int(
+            _counter_total(collector, "repro_graph_submits_total")
         ),
         "plan_cache_hit_rate": collector.plan_cache_hit_rate,
         "tuning_cache_hit_rate": collector.tuning_cache_hit_rate,
@@ -173,6 +226,15 @@ def render(collector: TelemetryCollector) -> str:
         f"queue drains: {agg['queue_drains']}   "
         f"sanitizer findings: {agg['sanitizer_findings']}"
     )
+
+    graph_rows = _graph_rows(collector)
+    if graph_rows:
+        parts.append("")
+        parts.append(
+            render_table(
+                graph_rows, "Dataflow graphs (critical path & overlap)"
+            )
+        )
 
     span_rows = _span_rows(collector)
     if span_rows:

@@ -1,0 +1,1 @@
+"""Dataflow-graph unit tests."""

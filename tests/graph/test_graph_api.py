@@ -1,0 +1,181 @@
+"""Graph recording API: node handles, device resolution, validation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccCpuSerial,
+    AccGpuCudaSim,
+    Graph,
+    WorkDivMembers,
+    get_dev_by_idx,
+    mem,
+)
+from repro.core.errors import GraphError
+from repro.core.kernel import fn_acc
+
+
+@fn_acc
+def _noop(acc, b):
+    pass
+
+
+@pytest.fixture
+def dev():
+    return get_dev_by_idx(AccCpuSerial, 0)
+
+
+WD = WorkDivMembers.make(1, 1, 1)
+
+
+class TestRecording:
+    def test_launch_returns_inert_node(self, dev):
+        b = mem.alloc(dev, 4)
+        b.as_numpy()[:] = 7.0
+        g = Graph()
+        n = g.launch(AccCpuSerial, WD, _noop, b, label="first")
+        assert (n.index, n.kind, n.label) == (0, "kernel", "first")
+        assert n.device is dev and not n.done
+        assert np.all(b.as_numpy() == 7.0)  # recording ran nothing
+        assert len(g) == 1 == g.node_count
+        b.free()
+
+    def test_label_defaults_to_kernel_name(self, dev):
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        assert g.launch(AccCpuSerial, WD, _noop, b).label == "_noop"
+        b.free()
+
+    def test_copy_and_memset_intent(self, dev):
+        b = mem.alloc(dev, 4)
+        host = np.zeros(4)
+        g = Graph()
+        m = g.memset(b, 1.0)
+        c = g.copy(host, b)
+        assert m.reads == () and len(m.writes) == 1
+        assert len(c.reads) == 1 and len(c.writes) == 1
+        # memset writes b, copy reads b -> RAW edge.
+        assert g.dependencies() == {0: (), 1: (0,)}
+        b.free()
+
+    def test_call_requires_callable_and_endpoints(self, dev):
+        g = Graph()
+        with pytest.raises(GraphError, match="callable"):
+            g.call(42, device=dev)
+        with pytest.raises(GraphError, match="memory endpoints"):
+            g.call(lambda: None, device=dev, reads=[3])
+
+    def test_empty_graph_submit_rejected(self):
+        with pytest.raises(GraphError, match="empty graph"):
+            Graph().submit()
+
+
+class TestDeviceResolution:
+    def test_device_comes_from_buffer(self, dev):
+        b = mem.alloc(dev, 4)
+        assert Graph().launch(AccCpuSerial, WD, _noop, b).device is dev
+        b.free()
+
+    def test_mixed_devices_in_one_launch_rejected(self, dev):
+        other = get_dev_by_idx(AccGpuCudaSim, 0)
+        a, b = mem.alloc(dev, 4), mem.alloc(other, 4)
+
+        @fn_acc
+        def two(acc, x, y):
+            pass
+
+        with pytest.raises(GraphError, match="stage data"):
+            Graph().launch(AccCpuSerial, WD, two, a, b)
+        a.free()
+        b.free()
+
+    def test_no_device_anywhere_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError, match="default_device"):
+            g.call(lambda: None)
+
+    def test_default_device_seats_host_nodes(self, dev):
+        g = Graph(default_device=dev)
+        n = g.call(lambda: None)
+        assert n.device is dev
+
+    def test_submit_devices_pin_rejects_strays(self, dev):
+        other = get_dev_by_idx(AccGpuCudaSim, 0)
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        g.launch(AccCpuSerial, WD, _noop, b)
+        with pytest.raises(GraphError, match="outside submit"):
+            g.submit(devices=[other])
+        b.free()
+
+
+class TestExplicitEdges:
+    def test_after_merges_with_inferred(self, dev):
+        a, b = mem.alloc(dev, 4), mem.alloc(dev, 4)
+        g = Graph()
+        n0 = g.launch(AccCpuSerial, WD, _noop, a)
+        n1 = g.launch(AccCpuSerial, WD, _noop, b)  # independent buffer
+        assert g.dependencies()[1] == ()
+        n1.after(n0)
+        assert g.dependencies()[1] == (0,)
+        assert tuple(n1.deps) == (0,)
+        a.free()
+        b.free()
+
+    def test_after_returns_self_for_chaining(self, dev):
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        n0 = g.launch(AccCpuSerial, WD, _noop, b)
+        n1 = g.launch(AccCpuSerial, WD, _noop, b)
+        assert n1.after(n0) is n1
+        b.free()
+
+    def test_after_rejects_non_nodes(self, dev):
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        n = g.launch(AccCpuSerial, WD, _noop, b)
+        with pytest.raises(GraphError, match="Node handles"):
+            n.after("n0")
+        b.free()
+
+    def test_after_rejects_cross_graph(self, dev):
+        b = mem.alloc(dev, 4)
+        g1, g2 = Graph(), Graph()
+        n1 = g1.launch(AccCpuSerial, WD, _noop, b)
+        n2 = g2.launch(AccCpuSerial, WD, _noop, b)
+        with pytest.raises(GraphError, match="different graphs"):
+            n2.after(n1)
+        b.free()
+
+    def test_after_rejects_forward_edges(self, dev):
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        n0 = g.launch(AccCpuSerial, WD, _noop, b)
+        n1 = g.launch(AccCpuSerial, WD, _noop, b)
+        with pytest.raises(GraphError, match="earlier-recorded"):
+            n0.after(n1)
+        with pytest.raises(GraphError, match="earlier-recorded"):
+            n0.after(n0)
+        b.free()
+
+
+class TestNodeFutureProtocol:
+    def test_wait_before_submit_raises(self, dev):
+        b = mem.alloc(dev, 4)
+        n = Graph().launch(AccCpuSerial, WD, _noop, b)
+        with pytest.raises(GraphError, match="before the graph was submitted"):
+            n.wait()
+        b.free()
+
+    def test_done_and_wait_after_submit(self, dev):
+        b = mem.alloc(dev, 4)
+        g = Graph()
+        n = g.launch(AccCpuSerial, WD, _noop, b)
+        g.submit()
+        assert n.done and n.wait(timeout=1.0)
+        assert n.duration is not None and n.duration >= 0.0
+        b.free()
+
+    def test_graph_wait_before_submit_raises(self):
+        with pytest.raises(GraphError, match="before any submit"):
+            Graph().wait()

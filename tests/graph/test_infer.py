@@ -1,0 +1,135 @@
+"""Buffer-dependency inference: accesses, classification, hazard edges."""
+
+import numpy as np
+import pytest
+
+from repro import AccCpuSerial, get_dev_by_idx, mem
+from repro.graph import Access, access_of, classify_args, infer_edges
+from repro.graph.infer import accesses_overlap
+
+
+@pytest.fixture
+def dev():
+    return get_dev_by_idx(AccCpuSerial, 0)
+
+
+class TestAccessOf:
+    def test_buffer_is_whole_allocation(self, dev):
+        b = mem.alloc(dev, 16)
+        a = access_of(b)
+        assert a.key == ("buf", b.buf_id) and a.box is None
+        b.free()
+
+    def test_view_carries_region_box(self, dev):
+        b = mem.alloc(dev, (8, 8))
+        v = mem.sub_view(b, (2, 0), (4, 8))
+        a = access_of(v)
+        assert a.key == ("buf", b.buf_id)
+        assert a.box == ((2, 4), (0, 8))
+        b.free()
+
+    def test_numpy_keys_on_identity(self):
+        arr = np.zeros(4)
+        a = access_of(arr)
+        assert a.key == ("np", id(arr)) and a.box is None
+        assert access_of(np.zeros(4)).key != a.key
+
+    def test_plain_values_are_not_memory(self):
+        assert access_of(3) is None
+        assert access_of("x") is None
+
+
+class TestClassifyArgs:
+    def test_default_is_read_write(self, dev):
+        b = mem.alloc(dev, 8)
+        r, w = classify_args((4, 2.0, b))
+        assert [a.key for a in r] == [("buf", b.buf_id)]
+        assert [a.key for a in w] == [("buf", b.buf_id)]
+        b.free()
+
+    def test_narrowing_is_per_endpoint(self, dev):
+        src, dst, other = (mem.alloc(dev, 8) for _ in range(3))
+        r, w = classify_args(
+            (src, dst, other), reads=[src], writes=[dst]
+        )
+        rk = {a.key for a in r}
+        wk = {a.key for a in w}
+        # Declared endpoints get exactly the declared intent ...
+        assert ("buf", src.buf_id) in rk and ("buf", src.buf_id) not in wk
+        assert ("buf", dst.buf_id) in wk and ("buf", dst.buf_id) not in rk
+        # ... while the unlisted argument stays read-write.
+        assert ("buf", other.buf_id) in rk and ("buf", other.buf_id) in wk
+        for b in (src, dst, other):
+            b.free()
+
+    def test_non_endpoint_annotation_rejected(self):
+        with pytest.raises(TypeError, match="memory endpoint"):
+            classify_args((), reads=[42])
+
+
+class TestOverlap:
+    K = ("buf", 7)
+
+    def test_different_allocations_never_overlap(self):
+        assert not accesses_overlap(Access(("buf", 1)), Access(("buf", 2)))
+
+    def test_whole_allocation_overlaps_any_box(self):
+        assert accesses_overlap(
+            Access(self.K, None), Access(self.K, ((0, 1),))
+        )
+
+    def test_disjoint_boxes_do_not_overlap(self):
+        a = Access(self.K, ((0, 4), (0, 8)))
+        b = Access(self.K, ((4, 4), (0, 8)))
+        assert not accesses_overlap(a, b)
+
+    def test_touching_ranges_overlap(self):
+        a = Access(self.K, ((0, 5),))
+        b = Access(self.K, ((4, 3),))
+        assert accesses_overlap(a, b)
+
+    def test_dim_mismatch_stays_conservative(self):
+        a = Access(self.K, ((0, 2),))
+        b = Access(self.K, ((10, 2), (0, 1)))
+        assert accesses_overlap(a, b)
+
+
+class TestInferEdges:
+    A = Access(("buf", 1))
+    B = Access(("buf", 2))
+
+    def test_reader_after_writer(self):
+        deps = infer_edges([((), (self.A,)), ((self.A,), ())])
+        assert deps == [set(), {0}]
+
+    def test_reader_after_reader_is_free(self):
+        deps = infer_edges([((self.A,), ()), ((self.A,), ())])
+        assert deps == [set(), set()]
+
+    def test_writer_after_reader_and_writer(self):
+        deps = infer_edges([
+            ((), (self.A,)),       # 0 writes
+            ((self.A,), ()),       # 1 reads      -> RAW on 0
+            ((), (self.A,)),       # 2 writes     -> WAR on 1, WAW via 1
+        ])
+        assert deps[1] == {0}
+        assert 1 in deps[2]
+
+    def test_disjoint_buffers_stay_independent(self):
+        deps = infer_edges([((), (self.A,)), ((), (self.B,))])
+        assert deps == [set(), set()]
+
+    def test_disjoint_regions_stay_independent(self):
+        left = Access(("buf", 3), ((0, 4),))
+        right = Access(("buf", 3), ((4, 4),))
+        deps = infer_edges([((), (left,)), ((), (right,))])
+        assert deps == [set(), set()]
+
+    def test_whole_write_truncates_history(self):
+        """A long same-buffer chain stays linear: each whole-allocation
+        write prunes everything older, so node i depends on i-1 only."""
+        chain = [((self.A,), (self.A,)) for _ in range(8)]
+        deps = infer_edges(chain)
+        assert deps[0] == set()
+        for i in range(1, 8):
+            assert deps[i] == {i - 1}

@@ -1,0 +1,156 @@
+"""``enqueue_after`` x :class:`ProcessPoolScheduler`.
+
+The wait-gate is a host-side primitive; the process-pool scheduler runs
+kernel blocks in *worker processes*.  These tests pin the contract at
+their intersection: a launch gated on an event must observe every write
+of the predecessor launch, whether those writes travelled through
+POSIX shared memory (eligible kernels) or through the thread-pool
+fallback (private buffers), and whether the queues belong to the same
+or different devices of a platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mem
+from repro.acc.cpu import AccCpuOmp2Blocks
+from repro.core.index import Blocks, Grid, get_idx
+from repro.core.kernel import create_task_kernel, fn_acc
+from repro.core.workdiv import WorkDivMembers
+from repro.dev.manager import get_dev_by_idx
+from repro.queue import Event, QueueNonBlocking, enqueue_after
+from repro.runtime import (
+    ProcessPoolScheduler,
+    clear_plan_cache,
+    get_plan,
+    scheduler_for,
+    shutdown_schedulers,
+)
+from repro.runtime.procpool import reset_worker_state
+from repro.runtime.scheduler import PROCESS_WORKERS_ENV, SCHEDULER_ENV
+
+N = 1024
+BLOCKS = 4
+SPAN = N // BLOCKS
+
+
+@fn_acc
+def _produce(acc, out):
+    blk = get_idx(acc, Grid, Blocks)[0]
+    lo = blk * SPAN
+    out[lo : lo + SPAN] = np.arange(lo, lo + SPAN, dtype=np.float64)
+
+
+@fn_acc
+def _consume(acc, src, dst):
+    blk = get_idx(acc, Grid, Blocks)[0]
+    lo = blk * SPAN
+    dst[lo : lo + SPAN] = 2.0 * src[lo : lo + SPAN] + 1.0
+
+
+@pytest.fixture(autouse=True)
+def _procpool_env(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV, "processes")
+    monkeypatch.setenv(PROCESS_WORKERS_ENV, "2")
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+    shutdown_schedulers()
+    reset_worker_state()
+
+
+def _wd():
+    return WorkDivMembers.make(BLOCKS, 1, SPAN)
+
+
+def _run_gated(dev, shm_src: bool, shm_dst: bool):
+    """Producer on queue A, consumer on queue B gated via an event."""
+    src = mem.alloc(dev, N, shm=shm_src)
+    dst = mem.alloc(dev, N, shm=shm_dst)
+    src.as_numpy()[:] = -1.0
+    dst.as_numpy()[:] = -1.0
+
+    produce = create_task_kernel(AccCpuOmp2Blocks, _wd(), _produce, src)
+    consume = create_task_kernel(AccCpuOmp2Blocks, _wd(), _consume, src, dst)
+
+    qa, qb = QueueNonBlocking(dev), QueueNonBlocking(dev)
+    ev = Event(dev)
+    qa.enqueue(produce)
+    ev.record(qa)
+    enqueue_after(qb, ev)
+    qb.enqueue(consume)
+    qb.wait()
+    qa.wait()
+
+    expect = 2.0 * np.arange(float(N)) + 1.0
+    np.testing.assert_array_equal(dst.as_numpy(), expect)
+
+    plans = get_plan(produce, dev), get_plan(consume, dev)
+    qa.destroy()
+    qb.destroy()
+    src.free()
+    dst.free()
+    return plans
+
+
+class TestGatedVisibility:
+    def test_shm_buffers_worker_process_writes_visible(self):
+        """Both launches eligible: the producer's writes land in worker
+        processes; the gated consumer (also in workers) must read them
+        back through the shared segment — any lost write shows up as a
+        ``-1`` surviving into ``dst``."""
+        dev = get_dev_by_idx(AccCpuOmp2Blocks)
+        p_prod, p_cons = _run_gated(dev, shm_src=True, shm_dst=True)
+        assert p_prod.schedule == "processes" == p_cons.schedule
+        assert isinstance(
+            scheduler_for(dev, "processes"), ProcessPoolScheduler
+        )
+
+    def test_private_buffers_fall_back_but_stay_ordered(self):
+        """Private (non-shm) buffers make the launches process-pool
+        ineligible; the fallback path must preserve the exact same
+        gating semantics."""
+        dev = get_dev_by_idx(AccCpuOmp2Blocks)
+        _run_gated(dev, shm_src=False, shm_dst=False)
+
+    def test_mixed_shm_producer_private_consumer(self):
+        """Producer goes through worker processes, the consumer falls
+        back to threads — the cross-scheduler edge is the interesting
+        one: thread-side code must see process-side writes."""
+        dev = get_dev_by_idx(AccCpuOmp2Blocks)
+        p_prod, p_cons = _run_gated(dev, shm_src=True, shm_dst=False)
+        assert p_prod.schedule == "processes"
+
+    def test_chain_of_gated_rounds(self):
+        """A multi-round pipeline (produce -> gated bump -> gated bump)
+        re-using one event, every stage in worker processes."""
+        dev = get_dev_by_idx(AccCpuOmp2Blocks)
+        buf = mem.alloc(dev, N, shm=True)
+        buf.as_numpy()[:] = 0.0
+        bump = create_task_kernel(AccCpuOmp2Blocks, _wd(), _bump_blocks, buf)
+        assert get_plan(bump, dev).schedule == "processes"
+
+        qa, qb = QueueNonBlocking(dev), QueueNonBlocking(dev)
+        ev = Event(dev)
+        queues = [qa, qb]
+        rounds = 6
+        for i in range(rounds):
+            q = queues[i % 2]
+            if i:
+                enqueue_after(q, ev)  # gate on the previous round
+            q.enqueue(bump)
+            ev.record(q)
+        for q in queues:
+            q.wait()
+        # Every round observed the previous one: no lost increments.
+        assert np.all(buf.as_numpy() == float(rounds))
+        qa.destroy()
+        qb.destroy()
+        buf.free()
+
+
+@fn_acc
+def _bump_blocks(acc, b):
+    blk = get_idx(acc, Grid, Blocks)[0]
+    lo = blk * SPAN
+    b[lo : lo + SPAN] += 1.0
