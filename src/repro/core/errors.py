@@ -24,6 +24,7 @@ __all__ = [
     "TraceError",
     "ModelError",
     "SanitizerError",
+    "ServeError",
 ]
 
 
@@ -102,3 +103,8 @@ class ModelError(AlpakaError, ValueError):
 class SanitizerError(AlpakaError, RuntimeError):
     """The kernel sanitizer (:mod:`repro.sanitize`) found defects and was
     asked to fail loudly (``SanitizerReport.raise_if_findings``)."""
+
+
+class ServeError(AlpakaError, RuntimeError):
+    """The serving gateway (:mod:`repro.serve`) rejected or failed a
+    request for a reason other than the kernel itself failing."""

@@ -139,7 +139,11 @@ class Device:
     # -- bookkeeping ------------------------------------------------------
 
     def note_kernel_launch(self) -> None:
-        self.kernel_launch_count += 1
+        # Many threads launch on one device concurrently (the serving
+        # gateway's lanes, user threads sharing a device); a bare += is
+        # a lost-update race under free threading.
+        with self._sim_lock:
+            self.kernel_launch_count += 1
 
     def require_resident(self, buf) -> None:
         """Assert that ``buf`` lives on this device (kernel-argument

@@ -1,6 +1,11 @@
 """Kernel library: the paper's workloads plus common idioms."""
 
 from .axpy import AxpyElementsKernel, AxpyKernel, axpy_cuda_native, axpy_reference
+from .batched import (
+    DEFAULT_ROWS_PER_CHUNK,
+    BatchedGemmKernel,
+    batched_gemm_reference,
+)
 from .gemm import (
     ALPAKA_EXTRA_API_CALLS,
     ALPAKA_GPU_OVERHEAD_FRACTION,
@@ -37,6 +42,9 @@ __all__ = [
     "AxpyElementsKernel",
     "axpy_cuda_native",
     "axpy_reference",
+    "BatchedGemmKernel",
+    "batched_gemm_reference",
+    "DEFAULT_ROWS_PER_CHUNK",
     "GemmCudaStyleKernel",
     "GemmOmpStyleKernel",
     "GemmTilingKernel",

@@ -1,0 +1,87 @@
+"""Batched kernels: many independent small problems in one grid.
+
+The serving gateway (:mod:`repro.serve`) coalesces compatible small
+launches arriving within a batching window into one launch.  For
+elementwise kernels plain concatenation suffices; GEMM needs a kernel
+that understands a *stack* of problems.  :class:`BatchedGemmKernel`
+computes ``C[b] <- alpha*A[b]@B[b] + beta*C[b]`` for every problem
+``b`` of a ``(batch, n, n)`` stack.
+
+Bit-identity contract: the kernel processes each problem in
+``rows_per_chunk``-row chunks with exactly the operand shapes of the
+solo path (``(chunk, n) @ (n, n)``), so a request's result is bitwise
+identical whether it ran alone (``batch == 1``) or merged into a
+64-problem stack — the property ``benchmarks/bench_serving.py``
+asserts against direct ``launch()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.element import grid_strided_spans
+from ..core.kernel import fn_acc
+from ..hardware.cache import AccessPattern
+from ..perfmodel.kernel_model import KernelCharacteristics
+
+__all__ = [
+    "BatchedGemmKernel",
+    "batched_gemm_reference",
+    "DEFAULT_ROWS_PER_CHUNK",
+]
+
+#: Row-chunk granularity shared by the solo and batched serving paths.
+DEFAULT_ROWS_PER_CHUNK = 64
+
+
+def batched_gemm_reference(alpha, A, B, beta, C, rows_per_chunk=DEFAULT_ROWS_PER_CHUNK):
+    """Host-side reference with the kernel's exact chunking."""
+    batch, n, _ = C.shape
+    out = C.copy()
+    for b in range(batch):
+        for r0 in range(0, n, rows_per_chunk):
+            r1 = min(n, r0 + rows_per_chunk)
+            out[b, r0:r1, :] = (
+                alpha * (A[b, r0:r1, :] @ B[b, :, :]) + beta * C[b, r0:r1, :]
+            )
+    return out
+
+
+class BatchedGemmKernel:
+    """Stacked DGEMM: one grid over ``batch * ceil(n/rows_per_chunk)``
+    row chunks.
+
+    Work units are (problem, chunk) pairs flattened into a 1-d index
+    space and grid-strided, so any work division covers any stack — the
+    serving batcher only changes the grid extent, never the per-chunk
+    arithmetic.
+    """
+
+    @fn_acc
+    def __call__(self, acc, batch, n, rows_per_chunk, alpha, beta, A, B, C):
+        chunks_per_problem = -(-n // rows_per_chunk)
+        total = batch * chunks_per_problem
+        for span in grid_strided_spans(acc, total):
+            for c in range(span.start, span.stop):
+                b, ci = divmod(c, chunks_per_problem)
+                r0 = ci * rows_per_chunk
+                r1 = min(n, r0 + rows_per_chunk)
+                C[b, r0:r1, :] = (
+                    alpha * (A[b, r0:r1, :] @ B[b, :, :])
+                    + beta * C[b, r0:r1, :]
+                )
+
+    def characteristics(
+        self, work_div, batch, n, rows_per_chunk, alpha, beta, A, B, C
+    ) -> KernelCharacteristics:
+        # The OMP-style GEMM cost model, scaled by the stack depth.
+        return KernelCharacteristics(
+            flops=batch * (2.0 * n**3 + 3.0 * n**2),
+            global_read_bytes=batch * 8.0 * (2.0 * n**2),
+            spill_read_bytes=batch * 8.0 * n**3,
+            global_write_bytes=batch * 8.0 * n**2,
+            working_set_bytes=int(n) * int(n) * 8,
+            thread_access_pattern=AccessPattern.CONTIGUOUS,
+            vector_friendly=True,
+            on_chip_read_bytes=batch * 16.0 * n**3,
+        )

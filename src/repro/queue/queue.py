@@ -75,12 +75,21 @@ class Queue:
         (CUDA's ``cudaLaunchHostFunc``): the callback executes in the
         queue's worker context, so it must be short and must not block
         on the same queue.
+
+        Robustness contract: a callback that raises must neither kill
+        the drain thread nor poison the queue — later tasks (and later
+        callbacks) still run, and the error is re-raised from the next
+        :meth:`wait`.  Callbacks also run when the queue *is* poisoned
+        by an earlier task failure: completion hooks observe outcomes,
+        they do not depend on them, and skipping them would wedge any
+        caller awaiting a completion (the serving gateway's device
+        lanes rely on this).
         """
         if self._destroyed:
             raise QueueError("enqueue_callback on a destroyed queue")
         if not callable(fn):
             raise QueueError(f"enqueue_callback needs a callable, got {fn!r}")
-        self._submit(fn)
+        self._submit_callback(fn)
 
     def wait(self) -> None:
         """Block the host until all enqueued work has completed."""
@@ -109,6 +118,12 @@ class Queue:
 
     def _submit(self, runnable: Callable[[], None]) -> None:
         raise NotImplementedError
+
+    def _submit_callback(self, fn: Callable[[], None]) -> None:
+        # Blocking queues run the callback inline: the caller *is* the
+        # worker context, so a raising callback surfaces right here and
+        # there is no drain thread to protect.
+        self._submit(fn)
 
     def __repr__(self) -> str:
         kind = "blocking" if self.blocking else "non-blocking"
@@ -157,13 +172,25 @@ class _WaitGate:
         self.event.add_fire_callback(notify)
 
 
+class _Callback:
+    """Marks an enqueued completion callback: runs even on a poisoned
+    queue, and its own failure never poisons the queue (captured and
+    re-raised from ``wait()`` instead)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+
+
 class QueueNonBlocking(Queue):
     """Asynchronous queue: a worker thread drains tasks in order.
 
     The first enqueued task that raises poisons the queue: the exception
     is re-raised (chained) from the next :meth:`wait` or
     :meth:`enqueue`, mirroring how CUDA reports asynchronous errors on
-    the next API call.
+    the next API call.  Completion callbacks are exempt from both sides
+    of that rule — see :meth:`Queue.enqueue_callback`.
     """
 
     blocking = False
@@ -174,6 +201,7 @@ class QueueNonBlocking(Queue):
         self._cv = threading.Condition()
         self._pending = 0
         self._error: Optional[BaseException] = None
+        self._callback_errors: list = []
         self._shutdown = False
         self._worker = threading.Thread(
             target=self._run, name=f"queue-{dev.uid}", daemon=True
@@ -218,6 +246,22 @@ class QueueNonBlocking(Queue):
             runnable = self._next_runnable()
             if runnable is None:
                 return
+            if isinstance(runnable, _Callback):
+                # Callbacks run regardless of poison state, and their
+                # failures are quarantined from it: captured here,
+                # re-raised from wait(), never blocking the drain.
+                try:
+                    runnable.fn()
+                except BaseException as exc:  # noqa: BLE001
+                    with self._cv:
+                        self._callback_errors.append(exc)
+                with self._cv:
+                    self._pending -= 1
+                    drained = self._pending == 0
+                    self._cv.notify_all()
+                if drained:
+                    notify_queue_drain(self)
+                continue
             try:
                 # Poison check under the lock: without it a task could
                 # observe a stale None and start after a sibling already
@@ -244,11 +288,27 @@ class QueueNonBlocking(Queue):
                 "an asynchronously enqueued task failed"
             ) from err
 
+    def _raise_callback_errors(self) -> None:
+        if self._callback_errors:
+            errors, self._callback_errors = self._callback_errors, []
+            raise QueueError(
+                f"{len(errors)} enqueued callback(s) raised; first error "
+                "chained below"
+            ) from errors[0]
+
     def _submit(self, runnable: Callable[[], None]) -> None:
         with self._cv:
             self._raise_pending_error()
             self._pending += 1
             self._tasks.append(runnable)
+            self._cv.notify_all()
+
+    def _submit_callback(self, fn: Callable[[], None]) -> None:
+        # No poison check: a completion callback must reach the worker
+        # even after an earlier task failed, or its awaiter hangs.
+        with self._cv:
+            self._pending += 1
+            self._tasks.append(_Callback(fn))
             self._cv.notify_all()
 
     def enqueue_after(self, event) -> None:
@@ -274,6 +334,7 @@ class QueueNonBlocking(Queue):
                 while self._pending > 0:
                     self._cv.wait()
                 self._raise_pending_error()
+                self._raise_callback_errors()
 
     def destroy(self) -> None:
         if self._destroyed:

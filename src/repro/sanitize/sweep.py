@@ -243,9 +243,28 @@ def _run_transpose(acc, device, queue):
     queue.enqueue(create_task_kernel(acc, wd, TransposeTiledKernel(), n, inp, out))
 
 
+def _run_batched(acc, device, queue):
+    from .. import mem
+    from ..core.kernel import create_task_kernel
+    from ..kernels import DEFAULT_ROWS_PER_CHUNK, BatchedGemmKernel
+
+    batch, n = 3, 8
+    rng = np.random.default_rng(11)
+    A = _staged(mem, queue, device, rng.random((batch, n, n)))
+    B = _staged(mem, queue, device, rng.random((batch, n, n)))
+    C = _staged(mem, queue, device, rng.random((batch, n, n)))
+    queue.enqueue(
+        create_task_kernel(
+            acc, WorkDivMembers.make(batch, 1, 1), BatchedGemmKernel(),
+            batch, n, DEFAULT_ROWS_PER_CHUNK, 1.5, 0.5, A, B, C,
+        )
+    )
+
+
 #: name -> launch function; every shipped kernel family appears once.
 KERNEL_SWEEP: Tuple[Tuple[str, object], ...] = (
     ("axpy", _run_axpy),
+    ("batched", _run_batched),
     ("gemm", _run_gemm),
     ("histogram", _run_histogram),
     ("reduce", _run_reduce),

@@ -1,0 +1,113 @@
+"""The batching coalescer: merge compatible small launches.
+
+Admitted launch requests park here for up to ``batch_window`` seconds.
+Requests whose workload reports the same batch key (same kernel, same
+scalars, same dtype — and, via the router, the same back-end) coalesce
+into one :class:`Batch`, launched as a single merged grid with
+per-request result slicing.  A batch flushes when its window expires or
+it reaches ``batch_max`` members; graph requests and unbatchable
+workloads pass through as singleton batches immediately.
+
+The batcher is pure bookkeeping — no threads, no clocks of its own.
+The gateway pump drives it with explicit timestamps, which keeps the
+flush logic deterministic and directly testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .types import GraphRequest
+from .workloads import get_workload
+
+__all__ = ["Batch", "Batcher"]
+
+
+class Batch:
+    """One unit of device work: 1..batch_max requests sharing a key."""
+
+    __slots__ = ("key", "requests", "workload", "deadline", "backend")
+
+    def __init__(self, key, workload, backend: str, deadline: float):
+        self.key = key
+        self.workload = workload
+        self.backend = backend
+        self.deadline = deadline
+        self.requests: List = []
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Batch {self.workload.name} x{self.size} "
+            f"backend={self.backend or 'auto'}>"
+        )
+
+
+class Batcher:
+    """Window-based coalescing of admitted requests."""
+
+    def __init__(self, window: float, batch_max: int, enabled: bool = True):
+        self.window = float(window)
+        self.batch_max = int(batch_max)
+        self.enabled = bool(enabled)
+        #: Open batches by (batch_key, backend).
+        self._open: Dict[Tuple, Batch] = {}
+        #: Batches ready to launch (full, expired, or unbatchable).
+        self._ready: List[Batch] = []
+
+    # -- intake -----------------------------------------------------------
+
+    def add(self, request, now: float) -> None:
+        """Park ``request`` in an open batch or emit it as ready."""
+        workload = get_workload(request.workload)
+        key = None
+        if self.enabled and not isinstance(request, GraphRequest):
+            key = workload.batch_key(request)
+        if key is None:
+            batch = Batch(None, workload, request.backend, now)
+            batch.requests.append(request)
+            self._ready.append(batch)
+            return
+        slot = (key, request.backend)
+        batch = self._open.get(slot)
+        if batch is None:
+            batch = Batch(key, workload, request.backend, now + self.window)
+            self._open[slot] = batch
+        batch.requests.append(request)
+        if batch.size >= self.batch_max:
+            del self._open[slot]
+            self._ready.append(batch)
+
+    # -- flush ------------------------------------------------------------
+
+    def pop_ready(self, now: float) -> List[Batch]:
+        """Every batch due at ``now``: full/unbatchable ones plus open
+        batches whose window expired."""
+        due = [s for s, b in self._open.items() if b.deadline <= now]
+        for slot in due:
+            self._ready.append(self._open.pop(slot))
+        ready, self._ready = self._ready, []
+        return ready
+
+    def flush_all(self) -> List[Batch]:
+        """Drain everything regardless of deadlines (shutdown path)."""
+        self._ready.extend(self._open.values())
+        self._open.clear()
+        ready, self._ready = self._ready, []
+        return ready
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest open-batch deadline, or ``None`` when nothing is
+        parked — the pump's sleep bound."""
+        if not self._open:
+            return None
+        return min(b.deadline for b in self._open.values())
+
+    @property
+    def parked(self) -> int:
+        return sum(b.size for b in self._open.values()) + sum(
+            b.size for b in self._ready
+        )

@@ -1,0 +1,213 @@
+"""Async client for ``python -m repro.serve``.
+
+:class:`ServeClient` multiplexes any number of concurrent requests over
+one TCP connection: a background reader task routes each response line
+to the matching awaiter by correlation id.  :class:`RetryAfter`
+backpressure from the server is honoured transparently by
+:meth:`launch`/:meth:`submit_graph` (sleep for the server's hint, then
+resubmit) up to ``max_retries``; pass ``max_retries=0`` to surface
+:class:`RetryAfter` to the caller instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.errors import ServeError
+from .protocol import (
+    MAX_LINE_BYTES,
+    decode_arrays,
+    decode_message,
+    encode_arrays,
+    encode_message,
+)
+from .types import DEFAULT_TENANT, GatewayClosed, RetryAfter, ServeResult
+
+__all__ = ["ServeClient"]
+
+#: Default cap on transparent RetryAfter resubmissions.
+DEFAULT_MAX_RETRIES = 50
+
+
+class ServeClient:
+    """JSON-lines gateway client.  Use as ``async with ServeClient(...)``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock: Optional[asyncio.Lock] = None
+        self._closed = False
+
+    # -- connection -------------------------------------------------------
+
+    async def connect(self) -> "ServeClient":
+        # Match the protocol frame bound — the asyncio default stream
+        # limit (64 KiB) would reject large array responses.
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_waiters(GatewayClosed("client connection closed"))
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- reader -----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = decode_message(line)
+                waiter = self._waiters.pop(message.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_waiters(exc)
+            return
+        self._fail_waiters(GatewayClosed("server closed the connection"))
+
+    def _fail_waiters(self, exc: BaseException) -> None:
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+
+    # -- request plumbing -------------------------------------------------
+
+    async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._writer is None or self._closed:
+            raise GatewayClosed("client is not connected")
+        msg_id = next(self._ids)
+        message["id"] = msg_id
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[msg_id] = waiter
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_message(message))
+                await self._writer.drain()
+            return await waiter
+        finally:
+            self._waiters.pop(msg_id, None)
+
+    @staticmethod
+    def _raise_remote(response: Dict[str, Any]) -> None:
+        name = response.get("error", "ServeError")
+        msg = response.get("message", "remote failure")
+        if name == "RetryAfter":
+            raise RetryAfter(
+                tenant="",
+                delay=float(response.get("retry_after", 0.05)),
+                depth=0,
+            )
+        if name == "GatewayClosed":
+            raise GatewayClosed(msg)
+        raise ServeError(f"{name}: {msg}")
+
+    async def _submit(self, op: str, workload, tenant, backend, params, arrays):
+        message = {
+            "op": op,
+            "workload": workload,
+            "tenant": tenant,
+            "backend": backend,
+            "params": params or {},
+            "arrays": encode_arrays(
+                {k: np.asarray(v) for k, v in (arrays or {}).items()}
+            ),
+        }
+        retries = 0
+        while True:
+            response = await self._roundtrip(dict(message))
+            if response.get("ok"):
+                return ServeResult(
+                    request_id=response.get("id", -1),
+                    tenant=tenant,
+                    workload=workload,
+                    arrays=decode_arrays(response.get("arrays") or {}),
+                    latency=float(response.get("latency", 0.0)),
+                    batch_size=int(response.get("batch_size", 1)),
+                    lane=response.get("lane", ""),
+                )
+            try:
+                self._raise_remote(response)
+            except RetryAfter as exc:
+                if retries >= self.max_retries:
+                    raise
+                retries += 1
+                await asyncio.sleep(exc.delay)
+
+    # -- public API -------------------------------------------------------
+
+    async def launch(
+        self,
+        workload: str,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        backend: str = "",
+        params: Optional[dict] = None,
+        arrays: Optional[dict] = None,
+    ) -> ServeResult:
+        """Submit one kernel launch; resolves when the result arrives."""
+        return await self._submit("launch", workload, tenant, backend, params, arrays)
+
+    async def submit_graph(
+        self,
+        workload: str,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        backend: str = "",
+        params: Optional[dict] = None,
+        arrays: Optional[dict] = None,
+    ) -> ServeResult:
+        """Submit one dataflow graph as a single unit of admission."""
+        return await self._submit("graph", workload, tenant, backend, params, arrays)
+
+    async def stats(self) -> Dict[str, Any]:
+        response = await self._roundtrip({"op": "stats"})
+        if not response.get("ok"):
+            self._raise_remote(response)
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        response = await self._roundtrip({"op": "ping"})
+        return bool(response.get("pong"))

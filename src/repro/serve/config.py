@@ -1,0 +1,229 @@
+"""Gateway configuration and its ``REPRO_SERVE_*`` environment surface.
+
+Every knob of the serving gateway is settable three ways, in priority
+order: explicit :class:`ServeConfig` field < environment variable <
+keyword override.  The environment names mirror the rest of the
+project's ``REPRO_*`` family so an operator configures the whole stack
+in one place::
+
+    REPRO_SERVE_PORT=7411 REPRO_SERVE_BATCH_WINDOW=0.002 \
+        REPRO_SERVE_TENANT_WEIGHTS=gold:4,free:1 python -m repro.serve
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ServeError
+
+__all__ = [
+    "ServeConfig",
+    "ServeConfigError",
+    "config_from_env",
+    "parse_tenant_weights",
+    "parse_lanes",
+    "HOST_ENV",
+    "PORT_ENV",
+    "BATCH_WINDOW_ENV",
+    "BATCH_MAX_ENV",
+    "QUEUE_BOUND_ENV",
+    "INFLIGHT_ENV",
+    "TENANT_WEIGHTS_ENV",
+    "LANES_ENV",
+    "DEFAULT_BACKEND",
+]
+
+HOST_ENV = "REPRO_SERVE_HOST"
+PORT_ENV = "REPRO_SERVE_PORT"
+BATCH_WINDOW_ENV = "REPRO_SERVE_BATCH_WINDOW"
+BATCH_MAX_ENV = "REPRO_SERVE_BATCH_MAX"
+QUEUE_BOUND_ENV = "REPRO_SERVE_QUEUE_BOUND"
+INFLIGHT_ENV = "REPRO_SERVE_INFLIGHT"
+TENANT_WEIGHTS_ENV = "REPRO_SERVE_TENANT_WEIGHTS"
+LANES_ENV = "REPRO_SERVE_LANES"
+
+#: Back-end a request (and the default lane set) falls back to when it
+#: does not name one.  Serial keeps the smallest per-launch footprint,
+#: which is what a gateway multiplexing many tiny launches wants.
+DEFAULT_BACKEND = "AccCpuSerial"
+
+
+class ServeConfigError(ServeError, ValueError):
+    """A gateway configuration value is malformed."""
+
+
+def parse_tenant_weights(spec: str) -> Dict[str, float]:
+    """``"gold:4,free:1"`` → ``{"gold": 4.0, "free": 1.0}``.
+
+    Weights are relative fair-share ratios; unknown tenants default to
+    weight 1.0 at admission time, so the map only needs the exceptions.
+    """
+    weights: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition(":")
+        if not sep or not name.strip():
+            raise ServeConfigError(
+                f"tenant weight entry {part!r} is not 'name:weight'"
+            )
+        try:
+            w = float(value)
+        except ValueError:
+            raise ServeConfigError(
+                f"tenant weight for {name.strip()!r} is not a number: {value!r}"
+            ) from None
+        if w <= 0:
+            raise ServeConfigError(
+                f"tenant weight for {name.strip()!r} must be positive, got {w}"
+            )
+        weights[name.strip()] = w
+    return weights
+
+
+def parse_lanes(spec: str) -> List[Tuple[str, int]]:
+    """``"AccCpuSerial:0,AccGpuCudaSim:1"`` → ``[(backend, device_idx)...]``.
+
+    A bare back-end name means device 0.
+    """
+    lanes: List[Tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, idx = part.partition(":")
+        if not name:
+            raise ServeConfigError(f"lane entry {part!r} has no back-end name")
+        if sep and idx:
+            try:
+                lanes.append((name, int(idx)))
+            except ValueError:
+                raise ServeConfigError(
+                    f"lane device index for {name!r} is not an integer: {idx!r}"
+                ) from None
+        else:
+            lanes.append((name, 0))
+    return lanes
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the gateway needs to know, in one immutable record."""
+
+    #: TCP bind address of ``python -m repro.serve`` (in-process
+    #: gateways ignore it).
+    host: str = "127.0.0.1"
+    port: int = 7411
+
+    #: Batching coalescer window in seconds: a compatible launch that
+    #: arrives within this window of the first member joins its batch.
+    #: ``0`` keeps admission order but still merges whatever is ready at
+    #: the same pump step; batching is disabled with ``enable_batching``.
+    batch_window: float = 0.002
+    #: Hard cap on requests merged into one batched grid.
+    batch_max: int = 64
+    enable_batching: bool = True
+
+    #: Per-tenant admission queue bound — beyond it the gateway pushes
+    #: back with :class:`~repro.serve.types.RetryAfter` instead of
+    #: buffering unboundedly.
+    queue_bound: int = 256
+    #: Per-tenant in-flight cap (requests admitted to a device lane but
+    #: not yet completed).  Stops one tenant occupying every lane.
+    tenant_inflight: int = 8
+    #: Fair-share weights (deficit round-robin quanta) by tenant name;
+    #: tenants not listed weigh 1.0.
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+
+    #: Device lanes as ``(backend_name, device_idx)`` pairs.  Empty
+    #: means: every device of :data:`DEFAULT_BACKEND`'s platform.
+    lanes: Tuple[Tuple[str, int], ...] = ()
+
+    #: Pump idle tick in seconds (upper bound on added latency when no
+    #: batch deadline is pending).
+    pump_tick: float = 0.001
+
+    #: Seconds a graceful shutdown waits for in-flight work to drain
+    #: before abandoning (and failing) the stragglers.
+    drain_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.port < 0 or self.port > 65535:
+            raise ServeConfigError(f"port out of range: {self.port}")
+        if self.batch_window < 0:
+            raise ServeConfigError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.batch_max < 1:
+            raise ServeConfigError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.queue_bound < 1:
+            raise ServeConfigError(
+                f"queue_bound must be >= 1, got {self.queue_bound}"
+            )
+        if self.tenant_inflight < 1:
+            raise ServeConfigError(
+                f"tenant_inflight must be >= 1, got {self.tenant_inflight}"
+            )
+        for name, w in self.tenant_weights.items():
+            if w <= 0:
+                raise ServeConfigError(
+                    f"tenant weight for {name!r} must be positive, got {w}"
+                )
+
+    def weight_of(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, 1.0)
+
+    def with_overrides(self, **kwargs) -> "ServeConfig":
+        try:
+            return replace(self, **kwargs)
+        except TypeError as exc:
+            raise ServeConfigError(str(exc)) from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ServeConfigError(f"{name} is not a number: {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ServeConfigError(f"{name} is not an integer: {raw!r}") from None
+
+
+def config_from_env(base: Optional[ServeConfig] = None) -> ServeConfig:
+    """A :class:`ServeConfig` with every ``REPRO_SERVE_*`` variable
+    applied on top of ``base`` (default-constructed when omitted)."""
+    cfg = base or ServeConfig()
+    weights = cfg.tenant_weights
+    raw_weights = os.environ.get(TENANT_WEIGHTS_ENV)
+    if raw_weights is not None and raw_weights.strip():
+        weights = parse_tenant_weights(raw_weights)
+    lanes = cfg.lanes
+    raw_lanes = os.environ.get(LANES_ENV)
+    if raw_lanes is not None and raw_lanes.strip():
+        lanes = tuple(parse_lanes(raw_lanes))
+    return cfg.with_overrides(
+        host=os.environ.get(HOST_ENV, cfg.host),
+        port=_env_int(PORT_ENV, cfg.port),
+        batch_window=_env_float(BATCH_WINDOW_ENV, cfg.batch_window),
+        batch_max=_env_int(BATCH_MAX_ENV, cfg.batch_max),
+        queue_bound=_env_int(QUEUE_BOUND_ENV, cfg.queue_bound),
+        tenant_inflight=_env_int(INFLIGHT_ENV, cfg.tenant_inflight),
+        tenant_weights=weights,
+        lanes=lanes,
+    )

@@ -1,0 +1,336 @@
+"""The gateway: admission → batching → device sharding, one object.
+
+:class:`Gateway` is the in-process serving engine.  Clients (threads,
+the asyncio TCP server, the benchmark's simulated fleet) call
+:meth:`submit` and get a :class:`~repro.serve.types.ServeHandle` back;
+a single **pump** thread drives the pipeline::
+
+    submit() ──> FairShareAdmission ──> Batcher ──> ShardRouter ──> lanes
+      (offer;        (weighted DRR        (window      (least-loaded
+       RetryAfter     + in-flight cap)     coalesce)    QueueNonBlocking)
+       when full)
+
+Completion flows back through each lane queue's ``enqueue_callback``
+into the request's future.  Shutdown is graceful by default: new
+admissions are rejected, queued and parked work drains, lanes close,
+and (on request) the per-device worker pools are released.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from typing import Dict, Optional
+
+from .admission import FairShareAdmission
+from .batcher import Batcher
+from .config import ServeConfig, config_from_env
+from .metrics import record_completion, record_retry_delay
+from .router import ShardRouter
+from .types import (
+    GatewayClosed,
+    GraphRequest,
+    LaunchRequest,
+    RetryAfter,
+    ServeHandle,
+    ServeResult,
+)
+from .workloads import get_workload
+
+__all__ = ["Gateway"]
+
+
+class Gateway:
+    """Async kernel-launch gateway over the repro runtime.
+
+    ``config`` defaults to :func:`config_from_env`; keyword overrides
+    win over both (``Gateway(batch_window=0.0)``).  The gateway starts
+    its pump immediately and is ready for :meth:`submit` on return.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, **overrides):
+        if config is None:
+            config = config_from_env()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.admission = FairShareAdmission(config)
+        self.batcher = Batcher(
+            config.batch_window, config.batch_max, config.enable_batching
+        )
+        self.router = ShardRouter(config)
+        self._handles: Dict[int, ServeHandle] = {}
+        self._handles_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._idle = threading.Condition()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="serve-pump", daemon=True
+        )
+        self._pump.start()
+        self._atexit = atexit.register(self._atexit_shutdown)
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, request) -> ServeHandle:
+        """Admit ``request`` (a :class:`LaunchRequest` or
+        :class:`GraphRequest`); returns its handle.
+
+        Raises :class:`RetryAfter` when the tenant's queue is full and
+        :class:`GatewayClosed` after shutdown began — both *before* any
+        state is kept, so a rejected request costs nothing.
+        """
+        if self._stopped.is_set() or self._draining.is_set():
+            raise GatewayClosed("gateway is shutting down")
+        # Validate before admission: malformed payloads must not burn
+        # fair-share credit or surface as opaque lane errors.
+        get_workload(request.workload).validate(request)
+        if request.backend:
+            self.router._candidates(request.backend)  # raises if unknown
+        handle = ServeHandle(request)
+        with self._handles_lock:
+            self._handles[request.request_id] = handle
+        try:
+            self.admission.offer(request)
+        except RetryAfter as exc:
+            record_retry_delay(exc.delay)
+            with self._handles_lock:
+                self._handles.pop(request.request_id, None)
+            raise
+        except BaseException:
+            with self._handles_lock:
+                self._handles.pop(request.request_id, None)
+            raise
+        with self._handles_lock:
+            self._submitted += 1
+        return handle
+
+    def launch(
+        self,
+        workload: str,
+        *,
+        tenant: str = "default",
+        backend: str = "",
+        params: Optional[dict] = None,
+        arrays: Optional[dict] = None,
+    ) -> ServeHandle:
+        """Convenience: build and submit a :class:`LaunchRequest`."""
+        return self.submit(
+            LaunchRequest(
+                workload=workload,
+                tenant=tenant,
+                backend=backend,
+                params=params or {},
+                arrays=arrays or {},
+            )
+        )
+
+    def submit_graph(
+        self,
+        workload: str,
+        *,
+        tenant: str = "default",
+        backend: str = "",
+        params: Optional[dict] = None,
+        arrays: Optional[dict] = None,
+    ) -> ServeHandle:
+        """Convenience: build and submit a :class:`GraphRequest` — the
+        whole graph is one unit of admission and fair-share accounting."""
+        return self.submit(
+            GraphRequest(
+                workload=workload,
+                tenant=tenant,
+                backend=backend,
+                params=params or {},
+                arrays=arrays or {},
+            )
+        )
+
+    # -- pump -------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        tick = self.config.pump_tick
+        while not self._stopped.is_set():
+            self.admission.ready.clear()
+            moved = self._pump_step()
+            if self._draining.is_set() and self._quiescent():
+                with self._idle:
+                    self._idle.notify_all()
+            if moved:
+                continue
+            deadline = self.batcher.next_deadline()
+            timeout = tick
+            if deadline is not None:
+                timeout = max(0.0, min(tick, deadline - time.perf_counter()))
+            self.admission.ready.wait(timeout)
+
+    def _pump_step(self) -> bool:
+        """One pump iteration; True when any request moved a stage."""
+        moved = False
+        while True:
+            req = self.admission.next_ready()
+            if req is None:
+                break
+            self.batcher.add(req, time.perf_counter())
+            moved = True
+        if self._draining.is_set():
+            ready = self.batcher.flush_all()
+        else:
+            ready = self.batcher.pop_ready(time.perf_counter())
+        for batch in ready:
+            self.router.submit(batch, self._on_request_done)
+            moved = True
+        return moved
+
+    def _on_request_done(self, request, outputs, error, lane, batch_size) -> None:
+        """Lane completion callback (runs in the lane queue's worker)."""
+        now = time.perf_counter()
+        latency = max(0.0, now - request.submitted_at)
+        service = max(0.0, now - request.admitted_at)
+        ok = error is None
+        self.admission.task_finished(request.tenant, service, ok)
+        record_completion(request.tenant, latency, ok)
+        with self._handles_lock:
+            handle = self._handles.pop(request.request_id, None)
+            if ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+        if handle is None:
+            return
+        if ok:
+            handle._resolve(
+                ServeResult(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    workload=request.workload,
+                    arrays=outputs,
+                    latency=latency,
+                    batch_size=batch_size,
+                    lane=lane.label,
+                )
+            )
+        else:
+            handle._fail(error)
+        with self._idle:
+            self._idle.notify_all()
+
+    # -- introspection ----------------------------------------------------
+
+    def _quiescent(self) -> bool:
+        with self._handles_lock:
+            return not self._handles
+
+    def pending(self) -> int:
+        with self._handles_lock:
+            return len(self._handles)
+
+    def stats(self) -> dict:
+        with self._handles_lock:
+            counts = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "pending": len(self._handles),
+            }
+        return {
+            "requests": counts,
+            "tenants": self.admission.stats(),
+            "lanes": self.router.stats(),
+            "queued": self.admission.queued(),
+            "inflight": self.router.inflight(),
+            "closed": self.closed,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._draining.is_set() or self._stopped.is_set()
+
+    # -- shutdown ---------------------------------------------------------
+
+    def shutdown(
+        self,
+        drain: bool = True,
+        timeout: Optional[float] = None,
+        release_pools: bool = True,
+    ) -> bool:
+        """Stop the gateway.
+
+        ``drain=True``: reject new admissions, let queued/parked/running
+        work finish (bounded by ``timeout``, default
+        ``config.drain_timeout``), then close the lanes.  ``drain=False``
+        fails queued work immediately and only waits for what is already
+        on a lane.  Returns True when everything completed in time;
+        stragglers' handles are failed with :class:`ServeError` either
+        way.  Idempotent.
+        """
+        if self._stopped.is_set():
+            return True
+        if timeout is None:
+            timeout = self.config.drain_timeout
+        self._draining.set()
+        stranded = self.admission.close(drain=drain)
+        self.admission.ready.set()
+
+        drained = True
+        deadline = time.perf_counter() + timeout
+        with self._idle:
+            while not self._quiescent():
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    drained = False
+                    break
+                self._idle.wait(min(0.05, remaining))
+
+        self._stopped.set()
+        self.admission.ready.set()
+        self._pump.join(timeout=5)
+
+        # Lanes: wait for whatever already reached a queue, then close.
+        self.router.drain(timeout=max(0.0, deadline - time.perf_counter()))
+        self.router.close()
+
+        # Anything still unresolved (stranded queue entries on abort,
+        # stragglers on timeout) fails explicitly — a drained gateway
+        # leaves no dangling futures.
+        with self._handles_lock:
+            leftovers = list(self._handles.values())
+            self._handles.clear()
+        if stranded:
+            drained = False
+        for handle in leftovers:
+            handle._fail(
+                GatewayClosed(
+                    "gateway shut down before this request completed"
+                )
+            )
+        if release_pools:
+            from ..dev.manager import shutdown_device_workers
+
+            shutdown_device_workers()
+        atexit.unregister(self._atexit_shutdown)
+        return drained
+
+    def _atexit_shutdown(self) -> None:
+        # Interpreter exit: drain briefly, never hang the process.
+        try:
+            self.shutdown(drain=True, timeout=5.0)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"<Gateway {state} lanes={len(self.router.lanes)} "
+            f"pending={self.pending()}>"
+        )

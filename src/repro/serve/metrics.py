@@ -1,0 +1,99 @@
+"""Per-tenant serving metrics, recorded into the telemetry registry.
+
+The gateway reports through the same
+:class:`repro.telemetry.metrics.MetricsRegistry` the runtime uses, so
+one Prometheus scrape (or one telemetry report) covers both the kernel
+runtime and the serving layer.  The label axes extend the canonical
+``kernel x backend x device`` set with **tenant** — the dimension the
+fair-share scheduler is accountable for.
+
+Metric families:
+
+* ``repro_serve_requests_total{tenant, outcome}`` — queued / rejected /
+  completed / failed / cancelled admission outcomes;
+* ``repro_serve_queue_depth{tenant}`` — current admission queue depth;
+* ``repro_serve_inflight{lane}`` — requests executing per device lane;
+* ``repro_serve_batch_size`` — merged-launch occupancy distribution;
+* ``repro_serve_latency_seconds{tenant}`` — submit-to-result wall
+  latency;
+* ``repro_serve_retry_delay_seconds`` — backpressure delays suggested
+  to clients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..telemetry.metrics import MetricsRegistry, registry
+
+__all__ = [
+    "record_admission",
+    "record_completion",
+    "record_batch",
+    "record_inflight",
+    "record_retry_delay",
+    "serve_registry",
+]
+
+#: Batch occupancy buckets: 1..batch_max in powers of two.
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def serve_registry() -> MetricsRegistry:
+    """The registry serve metrics land in (the process-wide one)."""
+    return registry()
+
+
+def record_admission(tenant: str, outcome: str, depth: Optional[int] = None) -> None:
+    reg = registry()
+    reg.counter(
+        "repro_serve_requests_total",
+        "Serving requests by admission outcome",
+        tenant=tenant,
+        outcome=outcome,
+    ).inc()
+    if depth is not None:
+        reg.gauge(
+            "repro_serve_queue_depth",
+            "Admission queue depth per tenant",
+            tenant=tenant,
+        ).set(depth)
+
+
+def record_completion(tenant: str, latency: float, ok: bool) -> None:
+    reg = registry()
+    reg.counter(
+        "repro_serve_requests_total",
+        "Serving requests by admission outcome",
+        tenant=tenant,
+        outcome="completed" if ok else "failed",
+    ).inc()
+    reg.histogram(
+        "repro_serve_latency_seconds",
+        "Submit-to-result latency per tenant",
+        tenant=tenant,
+    ).observe(latency)
+
+
+def record_batch(size: int, lane: str) -> None:
+    registry().histogram(
+        "repro_serve_batch_size",
+        "Requests merged per launched batch",
+        buckets=BATCH_BUCKETS,
+        lane=lane,
+    ).observe(float(size))
+
+
+def record_inflight(lane: str, delta: int) -> None:
+    registry().gauge(
+        "repro_serve_inflight",
+        "Requests executing per device lane",
+        lane=lane,
+    ).inc(delta)
+
+
+def record_retry_delay(delay: float) -> None:
+    registry().histogram(
+        "repro_serve_retry_delay_seconds",
+        "Backpressure delays suggested to clients",
+    ).observe(delay)

@@ -1,0 +1,131 @@
+"""Wire protocol for ``python -m repro.serve``: JSON lines over TCP.
+
+Every message is one JSON object terminated by ``\\n``.  Arrays travel
+as base64 of their C-contiguous bytes plus dtype and shape — crude but
+dependency-free and loss-free (the bytes are the bytes; bit-identity
+with in-process launches survives the wire).
+
+Client → server::
+
+    {"op": "launch", "id": 7, "workload": "axpy", "tenant": "alice",
+     "backend": "", "params": {"alpha": 2.0},
+     "arrays": {"x": {"dtype": "float64", "shape": [1024],
+                      "data": "<base64>"}, ...}}
+    {"op": "graph", ...}            # same fields, graph admission
+    {"op": "stats", "id": 8}
+    {"op": "ping", "id": 9}
+
+Server → client::
+
+    {"id": 7, "ok": true, "arrays": {...}, "latency": 0.0031,
+     "batch_size": 8, "lane": "AccCpuSerial/0"}
+    {"id": 7, "ok": false, "error": "RetryAfter", "message": "...",
+     "retry_after": 0.25}
+    {"id": 8, "ok": true, "stats": {...}}
+
+``id`` is a client-chosen correlation token echoed verbatim; responses
+may arrive out of submission order (that is the point of the gateway).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.errors import ServeError
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_arrays",
+    "decode_arrays",
+    "encode_message",
+    "decode_message",
+    "result_payload",
+    "error_payload",
+    "MAX_LINE_BYTES",
+]
+
+#: Upper bound on one protocol line; a 64 MiB line is a client bug, not
+#: a workload.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(s) for s in payload["shape"])
+        raw = base64.b64decode(payload["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed array payload: {exc}") from exc
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ServeError(
+            f"array payload size mismatch: got {len(raw)} bytes, "
+            f"shape {shape} of {dtype} needs {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    return {name: encode_array(arr) for name, arr in arrays.items()}
+
+
+def decode_arrays(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    if not isinstance(payload, dict):
+        raise ServeError("'arrays' must be an object of named arrays")
+    return {name: decode_array(spec) for name, spec in payload.items()}
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError("protocol message must be a JSON object")
+    return message
+
+
+def result_payload(msg_id, result) -> Dict[str, Any]:
+    """Wire form of a :class:`~repro.serve.types.ServeResult`."""
+    return {
+        "id": msg_id,
+        "ok": True,
+        "arrays": encode_arrays(result.arrays),
+        "latency": result.latency,
+        "batch_size": result.batch_size,
+        "lane": result.lane,
+    }
+
+
+def error_payload(msg_id, exc: BaseException) -> Dict[str, Any]:
+    """Wire form of a failure; RetryAfter carries its delay hint."""
+    payload = {
+        "id": msg_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    delay = getattr(exc, "delay", None)
+    if delay is not None:
+        payload["retry_after"] = delay
+    return payload

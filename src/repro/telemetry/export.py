@@ -21,6 +21,7 @@ Perfetto.
 from __future__ import annotations
 
 import json
+import re
 from typing import List, Optional, Union
 
 from .collector import TelemetryCollector
@@ -148,10 +149,33 @@ def validate_trace(trace: Union[dict, str]) -> dict:
 # ---------------------------------------------------------------------------
 
 
+#: Legal exposition-format identifiers.  Names produced at runtime (a
+#: kernel class name, a tenant string from the network) may contain
+#: anything; the exporter must never emit a line Prometheus rejects.
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _sanitize_name(name: str, pattern: "re.Pattern") -> str:
+    if pattern.match(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
 def _escape_label_value(value: str) -> str:
+    # Text-format escaping for quoted label values: backslash, quote
+    # and newline, in that order (escaping the escapes first).
     return (
         value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape only backslash and newline (quotes stay bare).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labels_str(labels, extra: Optional[dict] = None) -> str:
@@ -159,7 +183,9 @@ def _labels_str(labels, extra: Optional[dict] = None) -> str:
     if not pairs:
         return ""
     inner = ",".join(
-        f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs
+        f"{_sanitize_name(str(k), _LABEL_NAME_RE)}"
+        f'="{_escape_label_value(str(v))}"'
+        for k, v in pairs
     )
     return "{" + inner + "}"
 
@@ -176,15 +202,28 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     Metric names are emitted as registered (the runtime's counters
     already follow the ``_total`` convention); histograms expand into
     cumulative ``_bucket`` series plus ``_sum`` and ``_count``.
+
+    Conformance guarantees (the text-format spec is strict and most
+    scrapers are stricter): label values escape backslash, double quote
+    and newline; ``# HELP`` text escapes backslash and newline; metric
+    and label names with characters outside the legal identifier set
+    are rewritten with underscores; and each family's ``# HELP`` /
+    ``# TYPE`` headers are emitted exactly once, before its samples.
     """
     lines: List[str] = []
-    for name in registry.names():
-        kind = registry.kind_of(name)
-        help_text = registry.help_of(name)
-        if help_text:
-            lines.append(f"# HELP {name} {help_text}")
-        lines.append(f"# TYPE {name} {kind}")
-        for inst in registry.instruments(name):
+    emitted_families = set()
+    for raw_name in registry.names():
+        kind = registry.kind_of(raw_name)
+        help_text = registry.help_of(raw_name)
+        name = _sanitize_name(raw_name, _METRIC_NAME_RE)
+        # Two registered names collapsing onto one sanitized family
+        # must not repeat the headers mid-exposition.
+        if name not in emitted_families:
+            emitted_families.add(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+        for inst in registry.instruments(raw_name):
             if isinstance(inst, (Counter, Gauge)):
                 lines.append(
                     f"{name}{_labels_str(inst.labels)} {_fmt(inst.value)}"

@@ -169,6 +169,41 @@ def _graph_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
     return rows
 
 
+def _serve_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
+    """One row per serving tenant: admissions, rejections, latency
+    percentiles — the multi-tenant gateway's fairness at a glance."""
+    tenants: Dict[str, Dict[str, object]] = {}
+    for inst in collector.registry.instruments("repro_serve_requests_total"):
+        labels = dict(inst.labels)
+        tenant = labels.get("tenant", "?")
+        row = tenants.setdefault(tenant, {"tenant": tenant})
+        row[labels.get("outcome", "?")] = int(inst.value)
+    for inst in collector.registry.instruments("repro_serve_latency_seconds"):
+        if not isinstance(inst, Histogram) or not inst.count:
+            continue
+        tenant = dict(inst.labels).get("tenant", "?")
+        row = tenants.setdefault(tenant, {"tenant": tenant})
+        q = inst.quantiles()
+        row["_q"] = q
+        row["_count"] = inst.count
+    rows = []
+    for tenant in sorted(tenants):
+        r = tenants[tenant]
+        q = r.get("_q", {})
+        rows.append(
+            {
+                "tenant": tenant,
+                "completed": r.get("_count", 0),
+                "queued": r.get("queued", 0),
+                "rejected": r.get("rejected", 0),
+                "p50": _fmt_seconds(q.get("p50", 0.0)),
+                "p95": _fmt_seconds(q.get("p95", 0.0)),
+                "p99": _fmt_seconds(q.get("p99", 0.0)),
+            }
+        )
+    return rows
+
+
 def _counter_total(collector, metric: str) -> float:
     return sum(inst.value for inst in collector.registry.instruments(metric))
 
@@ -186,6 +221,9 @@ def summary(collector: TelemetryCollector) -> Dict[str, object]:
         ),
         "graph_submits": int(
             _counter_total(collector, "repro_graph_submits_total")
+        ),
+        "serve_requests": int(
+            _counter_total(collector, "repro_serve_requests_total")
         ),
         "plan_cache_hit_rate": collector.plan_cache_hit_rate,
         "tuning_cache_hit_rate": collector.tuning_cache_hit_rate,
@@ -234,6 +272,13 @@ def render(collector: TelemetryCollector) -> str:
             render_table(
                 graph_rows, "Dataflow graphs (critical path & overlap)"
             )
+        )
+
+    serve_rows = _serve_rows(collector)
+    if serve_rows:
+        parts.append("")
+        parts.append(
+            render_table(serve_rows, "Serving (per tenant)")
         )
 
     span_rows = _span_rows(collector)

@@ -48,3 +48,6 @@ class TestExamples:
 
     def test_roofline_report(self):
         run_example("roofline_report.py", [])
+
+    def test_serving_client(self):
+        run_example("serving_client.py", [])

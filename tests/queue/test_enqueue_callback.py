@@ -1,0 +1,144 @@
+"""enqueue_callback robustness: a raising callback must neither kill
+the drain thread nor poison the queue (regression for the serving
+gateway's lane-completion path)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import accelerator, get_dev_by_idx
+from repro.core.errors import KernelError, QueueError
+from repro.queue.queue import QueueBlocking, QueueNonBlocking
+
+
+@pytest.fixture
+def device():
+    return get_dev_by_idx(accelerator("AccCpuSerial"), 0)
+
+
+@pytest.fixture
+def queue(device):
+    q = QueueNonBlocking(device)
+    yield q
+    # Drain leftovers without letting a deliberately-raised test error
+    # escape the fixture.
+    try:
+        q.destroy()
+    except (KernelError, QueueError):
+        pass
+
+
+class TestCallbackHappyPath:
+    def test_callback_runs_in_order(self, queue):
+        order = []
+        queue.enqueue(lambda: order.append("task"))
+        queue.enqueue_callback(lambda: order.append("callback"))
+        queue.enqueue(lambda: order.append("after"))
+        queue.wait()
+        assert order == ["task", "callback", "after"]
+
+    def test_callback_on_blocking_queue_runs_inline(self, device):
+        ran = []
+        q = QueueBlocking(device)
+        q.enqueue_callback(lambda: ran.append(True))
+        assert ran == [True]
+
+
+class TestRaisingCallback:
+    def test_error_surfaces_on_wait(self, queue):
+        def bad():
+            raise ValueError("callback exploded")
+
+        queue.enqueue_callback(bad)
+        with pytest.raises(QueueError, match="callback"):
+            queue.wait()
+
+    def test_error_chains_original(self, queue):
+        def bad():
+            raise ValueError("the original")
+
+        queue.enqueue_callback(bad)
+        with pytest.raises(QueueError) as exc_info:
+            queue.wait()
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_drain_thread_survives(self, queue):
+        """Later tasks still run after a callback raised — the drain
+        thread must not be wedged or dead."""
+        ran = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        queue.enqueue_callback(bad)
+        queue.enqueue(lambda: ran.append("task_after"))
+        queue.enqueue_callback(lambda: ran.append("cb_after"))
+        with pytest.raises(QueueError):
+            queue.wait()
+        assert ran == ["task_after", "cb_after"]
+
+    def test_queue_not_poisoned_for_enqueue(self, queue):
+        """A raising callback must not make the next enqueue throw the
+        way a failing *task* does."""
+
+        def bad():
+            raise RuntimeError("boom")
+
+        queue.enqueue_callback(bad)
+        ran = threading.Event()
+        queue.enqueue(ran.set)  # must not raise
+        assert ran.wait(timeout=5)
+
+    def test_error_reported_once(self, queue):
+        def bad():
+            raise RuntimeError("boom")
+
+        queue.enqueue_callback(bad)
+        with pytest.raises(QueueError):
+            queue.wait()
+        queue.wait()  # second wait: clean
+
+    def test_multiple_errors_aggregated(self, queue):
+        for i in range(3):
+            queue.enqueue_callback(
+                lambda i=i: (_ for _ in ()).throw(ValueError(f"cb{i}"))
+            )
+        with pytest.raises(QueueError, match="3 enqueued callback"):
+            queue.wait()
+
+
+class TestCallbackVsTaskPoison:
+    def test_task_failure_still_poisons(self, queue):
+        """The task poison contract is unchanged by the callback fix."""
+
+        def bad_task():
+            raise RuntimeError("task boom")
+
+        queue.enqueue(bad_task)
+        with pytest.raises(KernelError):
+            queue.wait()
+
+    def test_callback_runs_on_poisoned_queue(self, queue):
+        """Completion callbacks are delivery guarantees: they run even
+        after an earlier task failed, so an awaiter is never stranded."""
+        delivered = threading.Event()
+
+        def bad_task():
+            raise RuntimeError("task boom")
+
+        queue.enqueue(bad_task)
+        queue.enqueue_callback(delivered.set)
+        assert delivered.wait(timeout=5)
+        with pytest.raises(KernelError):
+            queue.wait()
+
+    def test_skipped_tasks_after_poison_but_callbacks_run(self, queue):
+        ran = []
+        queue.enqueue(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        queue.enqueue(lambda: ran.append("task"))  # skipped: poisoned
+        queue.enqueue_callback(lambda: ran.append("cb"))  # still runs
+        with pytest.raises(KernelError):
+            queue.wait()
+        assert ran == ["cb"]

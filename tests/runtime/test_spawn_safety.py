@@ -27,6 +27,7 @@ from repro.kernels import (
     AddOffsetsKernel,
     AxpyElementsKernel,
     AxpyKernel,
+    BatchedGemmKernel,
     BitonicSortKernel,
     BlockScanKernel,
     CsrSpmvKernel,
@@ -55,6 +56,7 @@ from repro.runtime.scheduler import PROCESS_WORKERS_ENV, SCHEDULER_ENV
 KERNEL_INSTANCES = [
     AxpyKernel(),
     AxpyElementsKernel(),
+    BatchedGemmKernel(),
     GemmCudaStyleKernel(),
     GemmOmpStyleKernel(),
     GemmTilingKernel(),

@@ -1,0 +1,204 @@
+"""Fair-share admission: weighted DRR, caps, backpressure, shutdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    FairShareAdmission,
+    GatewayClosed,
+    LaunchRequest,
+    RetryAfter,
+    ServeConfig,
+)
+
+
+def _config(**kw):
+    defaults = dict(queue_bound=8, tenant_inflight=100)
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def _req(tenant: str) -> LaunchRequest:
+    return LaunchRequest(workload="axpy", tenant=tenant)
+
+
+def _drain(adm, limit=10_000):
+    out = []
+    for _ in range(limit):
+        req = adm.next_ready()
+        if req is None:
+            break
+        out.append(req)
+    return out
+
+
+class TestOfferAndRelease:
+    def test_fifo_within_tenant(self):
+        adm = FairShareAdmission(_config())
+        reqs = [_req("a") for _ in range(5)]
+        for r in reqs:
+            adm.offer(r)
+        released = _drain(adm)
+        assert [r.request_id for r in released] == [
+            r.request_id for r in reqs
+        ]
+
+    def test_empty_returns_none(self):
+        adm = FairShareAdmission(_config())
+        assert adm.next_ready() is None
+
+    def test_release_sets_admitted_timestamp(self):
+        adm = FairShareAdmission(_config())
+        adm.offer(_req("a"))
+        req = adm.next_ready()
+        assert req.admitted_at >= req.submitted_at
+
+    def test_ready_event_set_on_offer(self):
+        adm = FairShareAdmission(_config())
+        adm.ready.clear()
+        adm.offer(_req("a"))
+        assert adm.ready.is_set()
+
+
+class TestWeightedFairness:
+    def test_equal_weights_interleave(self):
+        adm = FairShareAdmission(_config(queue_bound=100))
+        for _ in range(10):
+            adm.offer(_req("a"))
+            adm.offer(_req("b"))
+        released = _drain(adm)
+        firsts = [r.tenant for r in released[:10]]
+        # Round-robin: neither tenant gets more than a 1-release lead.
+        assert firsts.count("a") == 5
+        assert firsts.count("b") == 5
+
+    def test_weight_ratio_respected(self):
+        adm = FairShareAdmission(
+            _config(queue_bound=300, tenant_weights={"gold": 3.0, "free": 1.0})
+        )
+        for _ in range(200):
+            adm.offer(_req("gold"))
+            adm.offer(_req("free"))
+        released = _drain(adm, limit=100)
+        gold = sum(1 for r in released if r.tenant == "gold")
+        free = sum(1 for r in released if r.tenant == "free")
+        assert free > 0
+        # 3:1 within rounding slack over a 100-release window.
+        assert 2.0 <= gold / free <= 4.0
+
+    def test_fractional_weight_accumulates(self):
+        adm = FairShareAdmission(
+            _config(queue_bound=100, tenant_weights={"slow": 0.5, "fast": 1.0})
+        )
+        for _ in range(40):
+            adm.offer(_req("slow"))
+            adm.offer(_req("fast"))
+        released = _drain(adm, limit=30)
+        slow = sum(1 for r in released if r.tenant == "slow")
+        fast = sum(1 for r in released if r.tenant == "fast")
+        assert slow > 0, "a 0.5-weight tenant must still be served"
+        assert fast > slow
+
+    def test_idle_tenant_loses_credit(self):
+        # DRR rule: a tenant with an empty queue must not bank deficit
+        # and burst later.
+        adm = FairShareAdmission(_config(queue_bound=100))
+        adm.offer(_req("a"))
+        _drain(adm)  # several empty-queue visits for both tenants
+        for _ in range(6):
+            adm.offer(_req("a"))
+            adm.offer(_req("b"))
+        released = _drain(adm)
+        firsts = [r.tenant for r in released[:6]]
+        assert firsts.count("a") == 3
+        assert firsts.count("b") == 3
+
+
+class TestInflightCap:
+    def test_cap_blocks_release(self):
+        adm = FairShareAdmission(_config(tenant_inflight=2))
+        for _ in range(5):
+            adm.offer(_req("a"))
+        assert len(_drain(adm)) == 2
+        assert adm.next_ready() is None
+
+    def test_completion_frees_slot(self):
+        adm = FairShareAdmission(_config(tenant_inflight=1))
+        adm.offer(_req("a"))
+        adm.offer(_req("a"))
+        assert adm.next_ready() is not None
+        assert adm.next_ready() is None
+        adm.task_finished("a", 0.001, ok=True)
+        assert adm.next_ready() is not None
+
+    def test_capped_tenant_does_not_block_others(self):
+        adm = FairShareAdmission(_config(tenant_inflight=1))
+        adm.offer(_req("a"))
+        adm.offer(_req("a"))
+        adm.offer(_req("b"))
+        released = _drain(adm)
+        assert {r.tenant for r in released} == {"a", "b"}
+
+
+class TestBackpressure:
+    def test_retry_after_on_full_queue(self):
+        adm = FairShareAdmission(_config(queue_bound=3))
+        for _ in range(3):
+            adm.offer(_req("a"))
+        with pytest.raises(RetryAfter) as exc_info:
+            adm.offer(_req("a"))
+        exc = exc_info.value
+        assert exc.tenant == "a"
+        assert exc.depth == 3
+        assert 0.001 <= exc.delay <= 5.0
+
+    def test_full_queue_is_per_tenant(self):
+        adm = FairShareAdmission(_config(queue_bound=2))
+        adm.offer(_req("a"))
+        adm.offer(_req("a"))
+        adm.offer(_req("b"))  # b's queue is its own
+
+    def test_delay_scales_with_service_time(self):
+        adm = FairShareAdmission(_config(queue_bound=4))
+        for _ in range(4):
+            adm.offer(_req("a"))
+        for _ in range(8):  # raise the EWMA: ~0.5 s per request
+            adm.task_finished("a", 0.5, ok=True)
+        with pytest.raises(RetryAfter) as exc_info:
+            adm.offer(_req("a"))
+        assert exc_info.value.delay > 0.5
+
+    def test_rejected_counted(self):
+        adm = FairShareAdmission(_config(queue_bound=1))
+        adm.offer(_req("a"))
+        with pytest.raises(RetryAfter):
+            adm.offer(_req("a"))
+        assert adm.stats()["a"]["rejected"] == 1
+
+
+class TestClose:
+    def test_closed_rejects_offers(self):
+        adm = FairShareAdmission(_config())
+        adm.close()
+        with pytest.raises(GatewayClosed):
+            adm.offer(_req("a"))
+
+    def test_graceful_close_keeps_queue(self):
+        adm = FairShareAdmission(_config())
+        adm.offer(_req("a"))
+        stranded = adm.close(drain=True)
+        assert stranded == []
+        assert adm.next_ready() is not None
+
+    def test_abort_close_returns_stranded(self):
+        adm = FairShareAdmission(_config())
+        a, b = _req("a"), _req("b")
+        adm.offer(a)
+        adm.offer(b)
+        stranded = adm.close(drain=False)
+        assert {r.request_id for r in stranded} == {
+            a.request_id,
+            b.request_id,
+        }
+        assert adm.next_ready() is None

@@ -1,0 +1,118 @@
+"""Batching coalescer: windows, keys, size caps, flush semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve import Batcher, GraphRequest, LaunchRequest
+
+
+def _axpy(alpha=2.0, n=16, tenant="t"):
+    return LaunchRequest(
+        workload="axpy",
+        tenant=tenant,
+        params={"alpha": alpha},
+        arrays={"x": np.zeros(n), "y": np.zeros(n)},
+    )
+
+
+class TestCoalescing:
+    def test_same_key_merges(self):
+        b = Batcher(window=0.01, batch_max=8)
+        b.add(_axpy(), now=0.0)
+        b.add(_axpy(), now=0.001)
+        assert b.pop_ready(now=0.005) == []  # window still open
+        batches = b.pop_ready(now=0.02)
+        assert len(batches) == 1
+        assert batches[0].size == 2
+
+    def test_different_alpha_does_not_merge(self):
+        b = Batcher(window=0.01, batch_max=8)
+        b.add(_axpy(alpha=1.0), now=0.0)
+        b.add(_axpy(alpha=2.0), now=0.0)
+        batches = b.pop_ready(now=1.0)
+        assert len(batches) == 2
+        assert all(batch.size == 1 for batch in batches)
+
+    def test_different_dtype_does_not_merge(self):
+        b = Batcher(window=0.01, batch_max=8)
+        r32 = LaunchRequest(
+            workload="axpy",
+            params={"alpha": 2.0},
+            arrays={
+                "x": np.zeros(4, np.float32),
+                "y": np.zeros(4, np.float32),
+            },
+        )
+        b.add(_axpy(), now=0.0)
+        b.add(r32, now=0.0)
+        assert len(b.pop_ready(now=1.0)) == 2
+
+    def test_different_backend_does_not_merge(self):
+        b = Batcher(window=0.01, batch_max=8)
+        r = _axpy()
+        r.backend = "AccCpuSerial"
+        b.add(_axpy(), now=0.0)
+        b.add(r, now=0.0)
+        assert len(b.pop_ready(now=1.0)) == 2
+
+    def test_batch_max_flushes_immediately(self):
+        b = Batcher(window=10.0, batch_max=3)
+        for _ in range(3):
+            b.add(_axpy(), now=0.0)
+        batches = b.pop_ready(now=0.0)  # before the window would expire
+        assert len(batches) == 1
+        assert batches[0].size == 3
+
+    def test_overflow_opens_new_batch(self):
+        b = Batcher(window=10.0, batch_max=2)
+        for _ in range(5):
+            b.add(_axpy(), now=0.0)
+        full = b.pop_ready(now=0.0)
+        assert [batch.size for batch in full] == [2, 2]
+        assert b.parked == 1
+
+
+class TestPassThrough:
+    def test_graph_requests_never_batch(self):
+        b = Batcher(window=10.0, batch_max=8)
+        g = GraphRequest(workload="heat_equation", params={"steps": 1})
+        b.add(g, now=0.0)
+        batches = b.pop_ready(now=0.0)
+        assert len(batches) == 1
+        assert batches[0].requests == [g]
+
+    def test_batching_disabled_passes_through(self):
+        b = Batcher(window=10.0, batch_max=8, enabled=False)
+        b.add(_axpy(), now=0.0)
+        b.add(_axpy(), now=0.0)
+        batches = b.pop_ready(now=0.0)
+        assert [batch.size for batch in batches] == [1, 1]
+
+
+class TestFlush:
+    def test_window_expiry_is_per_batch(self):
+        b = Batcher(window=0.01, batch_max=8)
+        b.add(_axpy(alpha=1.0), now=0.0)
+        b.add(_axpy(alpha=2.0), now=0.008)
+        first = b.pop_ready(now=0.012)
+        assert len(first) == 1
+        assert first[0].requests[0].params["alpha"] == 1.0
+        second = b.pop_ready(now=0.020)
+        assert len(second) == 1
+
+    def test_flush_all_drains_open_batches(self):
+        b = Batcher(window=100.0, batch_max=8)
+        b.add(_axpy(), now=0.0)
+        b.add(_axpy(), now=0.0)
+        batches = b.flush_all()
+        assert len(batches) == 1
+        assert batches[0].size == 2
+        assert b.parked == 0
+
+    def test_next_deadline_tracks_earliest(self):
+        b = Batcher(window=0.5, batch_max=8)
+        assert b.next_deadline() is None
+        b.add(_axpy(alpha=1.0), now=1.0)
+        b.add(_axpy(alpha=2.0), now=2.0)
+        assert b.next_deadline() == 1.5

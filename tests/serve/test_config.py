@@ -1,0 +1,122 @@
+"""ServeConfig construction, env overrides and the parse helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    ServeConfig,
+    ServeConfigError,
+    config_from_env,
+    parse_lanes,
+    parse_tenant_weights,
+)
+from repro.serve.config import (
+    BATCH_MAX_ENV,
+    BATCH_WINDOW_ENV,
+    INFLIGHT_ENV,
+    LANES_ENV,
+    PORT_ENV,
+    QUEUE_BOUND_ENV,
+    TENANT_WEIGHTS_ENV,
+)
+
+
+class TestDefaults:
+    def test_defaults_sane(self):
+        cfg = ServeConfig()
+        assert cfg.port == 7411
+        assert cfg.batch_window > 0
+        assert cfg.batch_max > 1
+        assert cfg.queue_bound > 0
+        assert cfg.tenant_inflight > 0
+        assert cfg.enable_batching
+
+    def test_weight_of_defaults_to_one(self):
+        cfg = ServeConfig(tenant_weights={"gold": 4.0})
+        assert cfg.weight_of("gold") == 4.0
+        assert cfg.weight_of("anyone_else") == 1.0
+
+    def test_with_overrides(self):
+        cfg = ServeConfig().with_overrides(batch_max=7, port=9000)
+        assert cfg.batch_max == 7
+        assert cfg.port == 9000
+        assert cfg.batch_window == ServeConfig().batch_window
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(ServeConfigError):
+            ServeConfig().with_overrides(no_such_field=1)
+
+    def test_validation(self):
+        with pytest.raises(ServeConfigError):
+            ServeConfig(batch_max=0)
+        with pytest.raises(ServeConfigError):
+            ServeConfig(queue_bound=-1)
+        with pytest.raises(ServeConfigError):
+            ServeConfig(batch_window=-0.1)
+
+
+class TestParsers:
+    def test_parse_tenant_weights(self):
+        assert parse_tenant_weights("gold:4,free:1") == {
+            "gold": 4.0,
+            "free": 1.0,
+        }
+
+    def test_parse_tenant_weights_empty(self):
+        assert parse_tenant_weights("") == {}
+
+    def test_parse_tenant_weights_malformed(self):
+        with pytest.raises(ServeConfigError):
+            parse_tenant_weights("gold=4")
+        with pytest.raises(ServeConfigError):
+            parse_tenant_weights("gold:heavy")
+        with pytest.raises(ServeConfigError):
+            parse_tenant_weights("gold:-2")
+
+    def test_parse_lanes(self):
+        assert parse_lanes("AccCpuSerial:0,AccCpuOmp2Blocks:0") == [
+            ("AccCpuSerial", 0),
+            ("AccCpuOmp2Blocks", 0),
+        ]
+
+    def test_parse_lanes_default_device(self):
+        assert parse_lanes("AccCpuSerial") == [("AccCpuSerial", 0)]
+
+    def test_parse_lanes_malformed(self):
+        with pytest.raises(ServeConfigError):
+            parse_lanes("AccCpuSerial:zero")
+
+
+class TestEnv:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(PORT_ENV, "8123")
+        monkeypatch.setenv(BATCH_WINDOW_ENV, "0.01")
+        monkeypatch.setenv(BATCH_MAX_ENV, "32")
+        monkeypatch.setenv(QUEUE_BOUND_ENV, "77")
+        monkeypatch.setenv(INFLIGHT_ENV, "3")
+        monkeypatch.setenv(TENANT_WEIGHTS_ENV, "gold:2")
+        monkeypatch.setenv(LANES_ENV, "AccCpuSerial:0")
+        cfg = config_from_env()
+        assert cfg.port == 8123
+        assert cfg.batch_window == 0.01
+        assert cfg.batch_max == 32
+        assert cfg.queue_bound == 77
+        assert cfg.tenant_inflight == 3
+        assert cfg.tenant_weights == {"gold": 2.0}
+        assert cfg.lanes == (("AccCpuSerial", 0),)
+
+    def test_env_bad_value_raises(self, monkeypatch):
+        monkeypatch.setenv(PORT_ENV, "not_a_port")
+        with pytest.raises(ServeConfigError):
+            config_from_env()
+
+    def test_env_untouched_uses_defaults(self, monkeypatch):
+        for var in (
+            PORT_ENV,
+            BATCH_WINDOW_ENV,
+            TENANT_WEIGHTS_ENV,
+            LANES_ENV,
+        ):
+            monkeypatch.delenv(var, raising=False)
+        assert config_from_env().port == ServeConfig().port

@@ -1,0 +1,285 @@
+"""Gateway end-to-end: submit → batch → execute → resolve, plus
+backpressure, error delivery, fairness accounting and shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServeError
+from repro.serve import (
+    Gateway,
+    GatewayClosed,
+    RetryAfter,
+    ServeConfig,
+)
+
+
+@pytest.fixture
+def gateway():
+    gw = Gateway(ServeConfig(batch_window=0.002, drain_timeout=30.0))
+    yield gw
+    gw.shutdown(release_pools=False)
+
+
+def _axpy_args(rng, n=128):
+    return {
+        "params": {"alpha": 2.0},
+        "arrays": {
+            "x": rng.standard_normal(n),
+            "y": rng.standard_normal(n),
+        },
+    }
+
+
+class TestEndToEnd:
+    def test_single_launch(self, gateway, rng):
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        handle = gateway.launch(
+            "axpy", params={"alpha": 3.0}, arrays={"x": x, "y": y}
+        )
+        result = handle.result(timeout=30)
+        assert np.array_equal(result.arrays["y"], 3.0 * x + y)
+        assert result.latency > 0
+        assert result.lane
+
+    def test_concurrent_burst_batches(self, gateway, rng):
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        handles = [
+            gateway.launch(
+                "axpy", params={"alpha": 2.0}, arrays={"x": x, "y": y}
+            )
+            for _ in range(8)
+        ]
+        results = [h.result(timeout=30) for h in handles]
+        assert all(
+            np.array_equal(r.arrays["y"], 2.0 * x + y) for r in results
+        )
+        # The burst lands inside one window: at least one merged batch.
+        assert max(r.batch_size for r in results) > 1
+
+    def test_batched_result_bit_identical_to_solo(self, rng):
+        x = rng.standard_normal(200)
+        y = rng.standard_normal(200)
+        with Gateway(
+            ServeConfig(enable_batching=False, batch_window=0.0)
+        ) as solo_gw:
+            solo = solo_gw.launch(
+                "axpy", params={"alpha": 1.3}, arrays={"x": x, "y": y}
+            ).result(timeout=30)
+            assert solo.batch_size == 1
+            solo_gw.shutdown(release_pools=False)
+        with Gateway(ServeConfig(batch_window=0.005)) as batch_gw:
+            handles = [
+                batch_gw.launch(
+                    "axpy", params={"alpha": 1.3}, arrays={"x": x, "y": y}
+                )
+                for _ in range(4)
+            ]
+            results = [h.result(timeout=30) for h in handles]
+            batch_gw.shutdown(release_pools=False)
+        for r in results:
+            assert np.array_equal(r.arrays["y"], solo.arrays["y"])
+
+    def test_graph_submission(self, gateway):
+        plate = np.zeros((16, 16))
+        plate[0, :] = 100.0
+        handle = gateway.submit_graph(
+            "heat_equation",
+            params={"steps": 3, "c": 0.2},
+            arrays={"plate": plate},
+        )
+        result = handle.result(timeout=60)
+        out = result.arrays["plate"]
+        assert out.shape == (16, 16)
+        assert out[1, 1] > 0  # heat diffused off the hot edge
+        assert result.batch_size == 1  # graphs never merge
+
+    def test_mixed_tenants_complete(self, gateway, rng):
+        handles = []
+        for tenant in ("alice", "bob", "carol"):
+            for _ in range(4):
+                handles.append(
+                    gateway.launch(
+                        "axpy", tenant=tenant, **_axpy_args(rng)
+                    )
+                )
+        for h in handles:
+            h.result(timeout=30)
+        stats = gateway.stats()
+        assert stats["requests"]["completed"] == 12
+        assert set(stats["tenants"]) == {"alice", "bob", "carol"}
+
+    def test_await_handle(self, gateway, rng):
+        import asyncio
+
+        async def run():
+            handle = gateway.launch("axpy", **_axpy_args(rng))
+            return await handle
+
+        result = asyncio.run(run())
+        assert "y" in result.arrays
+
+
+class TestValidationAndErrors:
+    def test_invalid_request_rejected_at_submit(self, gateway):
+        with pytest.raises(ServeError):
+            gateway.launch("axpy", params={"alpha": 1.0}, arrays={})
+        # Nothing was admitted or leaked.
+        assert gateway.pending() == 0
+
+    def test_unknown_workload_rejected(self, gateway):
+        with pytest.raises(ServeError, match="unknown workload"):
+            gateway.launch("definitely_not_registered")
+
+    def test_unknown_backend_rejected(self, gateway, rng):
+        with pytest.raises(ServeError, match="no lane"):
+            gateway.launch(
+                "axpy", backend="AccGpuHypothetical", **_axpy_args(rng)
+            )
+
+    def test_execution_error_fails_only_that_handle(self, gateway, rng):
+        from repro.serve import register_workload, Workload
+
+        class Exploding(Workload):
+            name = "test_exploding"
+
+            def validate(self, req):
+                pass
+
+            def execute(self, requests, acc_type, device):
+                raise RuntimeError("boom")
+
+        try:
+            register_workload(Exploding())
+        except ServeError:
+            pass  # registered by an earlier test run
+        bad = gateway.launch("test_exploding")
+        good = gateway.launch("axpy", **_axpy_args(rng))
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.result(timeout=30)
+        good.result(timeout=30)  # the lane survived the failure
+        assert gateway.stats()["requests"]["failed"] == 1
+
+
+class TestBackpressure:
+    def test_retry_after_when_queue_full(self, rng):
+        # One-request queue, no pump progress possible during the
+        # flood: the second offer must bounce.
+        gw = Gateway(
+            ServeConfig(
+                queue_bound=1, tenant_inflight=1, batch_window=0.0
+            )
+        )
+        try:
+            args = _axpy_args(rng, n=20_000)
+            seen_retry = False
+            handles = []
+            for _ in range(50):
+                try:
+                    handles.append(gateway_launch(gw, args))
+                except RetryAfter as exc:
+                    seen_retry = True
+                    assert exc.delay > 0
+                    break
+            assert seen_retry
+            for h in handles:
+                h.result(timeout=30)
+        finally:
+            gw.shutdown(release_pools=False)
+
+
+def gateway_launch(gw, args):
+    return gw.launch("axpy", **args)
+
+
+class TestShutdown:
+    def test_shutdown_drains_inflight(self, rng):
+        gw = Gateway(ServeConfig(batch_window=0.002))
+        handles = [
+            gw.launch("axpy", **_axpy_args(rng)) for _ in range(6)
+        ]
+        assert gw.shutdown(release_pools=False) is True
+        for h in handles:
+            assert "y" in h.result(timeout=1).arrays
+
+    def test_submit_after_shutdown_raises(self, rng):
+        gw = Gateway(ServeConfig(batch_window=0.0))
+        gw.shutdown(release_pools=False)
+        with pytest.raises(GatewayClosed):
+            gw.launch("axpy", **_axpy_args(rng))
+
+    def test_shutdown_idempotent(self):
+        gw = Gateway(ServeConfig(batch_window=0.0))
+        assert gw.shutdown(release_pools=False) is True
+        assert gw.shutdown(release_pools=False) is True
+
+    def test_abort_fails_queued_handles(self, rng):
+        # Tiny in-flight cap + many requests: most sit in the admission
+        # queue when the abort lands.
+        gw = Gateway(
+            ServeConfig(
+                batch_window=0.0, tenant_inflight=1, queue_bound=256
+            )
+        )
+        args = _axpy_args(rng, n=50_000)
+        handles = [gw.launch("axpy", **args) for _ in range(30)]
+        gw.shutdown(drain=False, release_pools=False)
+        outcomes = {"ok": 0, "closed": 0}
+        for h in handles:
+            try:
+                h.result(timeout=5)
+                outcomes["ok"] += 1
+            except GatewayClosed:
+                outcomes["closed"] += 1
+        assert outcomes["ok"] + outcomes["closed"] == 30
+        assert outcomes["closed"] > 0, "abort should strand queued work"
+
+    def test_no_leaked_pump_thread(self):
+        gw = Gateway(ServeConfig(batch_window=0.0))
+        pump = gw._pump
+        gw.shutdown(release_pools=False)
+        pump.join(timeout=5)
+        assert not pump.is_alive()
+
+    def test_context_manager(self, rng):
+        with Gateway(ServeConfig(batch_window=0.002)) as gw:
+            h = gw.launch("axpy", **_axpy_args(rng))
+            h.result(timeout=30)
+        assert gw.closed
+
+
+class TestThreadedClients:
+    def test_many_threads_share_gateway(self, gateway, rng):
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        expected = 2.0 * x + y
+        errors = []
+
+        def client(tenant):
+            try:
+                for _ in range(5):
+                    r = gateway.launch(
+                        "axpy",
+                        tenant=tenant,
+                        params={"alpha": 2.0},
+                        arrays={"x": x, "y": y},
+                    ).result(timeout=30)
+                    assert np.array_equal(r.arrays["y"], expected)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(f"t{i}",))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert gateway.stats()["requests"]["completed"] == 40

@@ -1,0 +1,128 @@
+"""Wire codec round-trips and malformed-payload rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServeError
+from repro.serve.protocol import (
+    decode_array,
+    decode_arrays,
+    decode_message,
+    encode_array,
+    encode_arrays,
+    encode_message,
+    error_payload,
+    result_payload,
+)
+from repro.serve.types import LaunchRequest, RetryAfter, ServeResult
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(10, dtype=np.float64),
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.array([], dtype=np.int64),
+            np.arange(24, dtype=np.int32).reshape(2, 3, 4),
+        ],
+    )
+    def test_roundtrip_bit_exact(self, arr):
+        back = decode_array(encode_array(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(20, dtype=np.float64)[::2]
+        back = decode_array(encode_array(arr))
+        assert np.array_equal(back, arr)
+
+    def test_decoded_array_is_writable(self):
+        back = decode_array(encode_array(np.arange(4.0)))
+        back[0] = 99.0  # frombuffer gives read-only memory; we copy
+
+    def test_size_mismatch_rejected(self):
+        payload = encode_array(np.arange(10.0))
+        payload["shape"] = [11]
+        with pytest.raises(ServeError, match="size mismatch"):
+            decode_array(payload)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ServeError):
+            decode_array({"dtype": "float64"})
+        with pytest.raises(ServeError):
+            decode_array({"dtype": "nope", "shape": [1], "data": ""})
+
+    def test_arrays_dict_roundtrip(self):
+        arrays = {"x": np.arange(4.0), "y": np.ones((2, 2))}
+        back = decode_arrays(encode_arrays(arrays))
+        assert set(back) == {"x", "y"}
+        assert np.array_equal(back["y"], arrays["y"])
+
+    def test_arrays_must_be_object(self):
+        with pytest.raises(ServeError):
+            decode_arrays([1, 2, 3])
+
+
+class TestMessageFraming:
+    def test_roundtrip(self):
+        msg = {"op": "launch", "id": 7, "params": {"alpha": 2.0}}
+        line = encode_message(msg)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == msg
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServeError, match="malformed JSON"):
+            decode_message(b"{nope\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            decode_message(b"[1,2]\n")
+
+
+class TestPayloads:
+    def test_result_payload(self):
+        res = ServeResult(
+            request_id=3,
+            tenant="a",
+            workload="axpy",
+            arrays={"y": np.arange(3.0)},
+            latency=0.01,
+            batch_size=4,
+            lane="AccCpuSerial/0",
+        )
+        payload = result_payload(9, res)
+        assert payload["ok"] is True
+        assert payload["id"] == 9
+        assert payload["batch_size"] == 4
+        assert np.array_equal(
+            decode_arrays(payload["arrays"])["y"], np.arange(3.0)
+        )
+
+    def test_error_payload_plain(self):
+        payload = error_payload(5, ValueError("nope"))
+        assert payload == {
+            "id": 5,
+            "ok": False,
+            "error": "ValueError",
+            "message": "nope",
+        }
+
+    def test_error_payload_retry_after(self):
+        payload = error_payload(5, RetryAfter("a", 0.25, 10))
+        assert payload["error"] == "RetryAfter"
+        assert payload["retry_after"] == 0.25
+
+
+class TestRequestDefaults:
+    def test_request_ids_unique(self):
+        a = LaunchRequest(workload="axpy")
+        b = LaunchRequest(workload="axpy")
+        assert a.request_id != b.request_id
+
+    def test_arrays_coerced_to_ndarray(self):
+        r = LaunchRequest(workload="axpy", arrays={"x": [1.0, 2.0]})
+        assert isinstance(r.arrays["x"], np.ndarray)

@@ -1,0 +1,183 @@
+"""Workload registry, validation, and the bit-identity contract:
+batched execution must equal solo execution bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import accelerator, get_dev_by_idx
+from repro.core.errors import ServeError
+from repro.serve import (
+    LaunchRequest,
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_dev_by_idx(accelerator("AccCpuSerial"), 0)
+
+
+@pytest.fixture(scope="module")
+def acc_type():
+    return accelerator("AccCpuSerial")
+
+
+def _solo(workload, request, acc_type, device):
+    return workload.execute([request], acc_type, device)[0]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = workload_names()
+        for name in ("axpy", "scale", "gemm", "heat_equation"):
+            assert name in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ServeError, match="unknown workload"):
+            get_workload("no_such_kernel")
+
+    def test_register_custom(self):
+        class Doubler(Workload):
+            name = "test_doubler"
+
+            def validate(self, request):
+                pass
+
+            def batch_key(self, request):
+                return None
+
+            def execute(self, requests, acc_type, device):
+                return [
+                    {"x": np.asarray(r.arrays["x"]) * 2} for r in requests
+                ]
+
+        register_workload(Doubler())
+        assert get_workload("test_doubler").name == "test_doubler"
+
+
+class TestValidation:
+    def test_axpy_requires_arrays(self):
+        with pytest.raises(ServeError):
+            get_workload("axpy").validate(
+                LaunchRequest(workload="axpy", params={"alpha": 1.0})
+            )
+
+    def test_axpy_rejects_shape_mismatch(self):
+        with pytest.raises(ServeError):
+            get_workload("axpy").validate(
+                LaunchRequest(
+                    workload="axpy",
+                    params={"alpha": 1.0},
+                    arrays={"x": np.zeros(4), "y": np.zeros(5)},
+                )
+            )
+
+    def test_gemm_rejects_non_square(self):
+        with pytest.raises(ServeError):
+            get_workload("gemm").validate(
+                LaunchRequest(
+                    workload="gemm",
+                    params={"alpha": 1.0, "beta": 0.0},
+                    arrays={"A": np.zeros((4, 5)), "B": np.zeros((5, 4))},
+                )
+            )
+
+
+class TestBitIdentity:
+    """The acceptance criterion: results of batched execution are
+    bit-identical to running each request alone."""
+
+    def test_axpy_batched_equals_solo(self, acc_type, device):
+        rng = np.random.default_rng(7)
+        workload = get_workload("axpy")
+        reqs = [
+            LaunchRequest(
+                workload="axpy",
+                params={"alpha": 1.7},
+                arrays={
+                    "x": rng.standard_normal(257),
+                    "y": rng.standard_normal(257),
+                },
+            )
+            for _ in range(5)
+        ]
+        solo = [_solo(workload, r, acc_type, device) for r in reqs]
+        merged = workload.execute(reqs, acc_type, device)
+        for s, m in zip(solo, merged):
+            assert np.array_equal(s["y"], m["y"])
+
+    def test_axpy_ragged_sizes_batch(self, acc_type, device):
+        rng = np.random.default_rng(8)
+        workload = get_workload("axpy")
+        reqs = [
+            LaunchRequest(
+                workload="axpy",
+                params={"alpha": 0.5},
+                arrays={
+                    "x": rng.standard_normal(n),
+                    "y": rng.standard_normal(n),
+                },
+            )
+            for n in (3, 64, 1000)
+        ]
+        solo = [_solo(workload, r, acc_type, device) for r in reqs]
+        merged = workload.execute(reqs, acc_type, device)
+        for s, m in zip(solo, merged):
+            assert np.array_equal(s["y"], m["y"])
+
+    def test_gemm_batched_equals_solo(self, acc_type, device):
+        rng = np.random.default_rng(9)
+        n = 48
+        workload = get_workload("gemm")
+        reqs = [
+            LaunchRequest(
+                workload="gemm",
+                params={"alpha": 1.0, "beta": 0.5},
+                arrays={
+                    "A": rng.standard_normal((n, n)),
+                    "B": rng.standard_normal((n, n)),
+                    "C": rng.standard_normal((n, n)),
+                },
+            )
+            for _ in range(4)
+        ]
+        solo = [_solo(workload, r, acc_type, device) for r in reqs]
+        merged = workload.execute(reqs, acc_type, device)
+        for s, m in zip(solo, merged):
+            assert np.array_equal(s["C"], m["C"])
+
+    def test_gemm_matches_reference(self, acc_type, device):
+        from repro.kernels import batched_gemm_reference
+
+        rng = np.random.default_rng(10)
+        n = 96  # spans two 64-row chunks
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C = rng.standard_normal((n, n))
+        req = LaunchRequest(
+            workload="gemm",
+            params={"alpha": 2.0, "beta": -1.0},
+            arrays={"A": A, "B": B, "C": C},
+        )
+        out = _solo(get_workload("gemm"), req, acc_type, device)
+        ref = batched_gemm_reference(2.0, A[None], B[None], -1.0, C[None])[0]
+        assert np.array_equal(out["C"], ref)
+
+    def test_inputs_not_mutated(self, acc_type, device):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        x0, y0 = x.copy(), y.copy()
+        req = LaunchRequest(
+            workload="axpy",
+            params={"alpha": 3.0},
+            arrays={"x": x, "y": y},
+        )
+        _solo(get_workload("axpy"), req, acc_type, device)
+        assert np.array_equal(x, x0)
+        assert np.array_equal(y, y0)
