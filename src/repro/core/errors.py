@@ -25,6 +25,7 @@ __all__ = [
     "ModelError",
     "SanitizerError",
     "ServeError",
+    "TuningFleetError",
 ]
 
 
@@ -108,3 +109,10 @@ class SanitizerError(AlpakaError, RuntimeError):
 class ServeError(AlpakaError, RuntimeError):
     """The serving gateway (:mod:`repro.serve`) rejected or failed a
     request for a reason other than the kernel itself failing."""
+
+
+class TuningFleetError(AlpakaError, RuntimeError):
+    """The shared tuning service (:mod:`repro.tuning.fleet`) failed:
+    daemon unreachable mid-conversation, malformed protocol reply, or a
+    lease/config contract violation.  Tuning itself degrades gracefully
+    (Table 2 heuristic) rather than raising this on the launch path."""

@@ -78,6 +78,7 @@ __all__ = [
     "register_workload",
     "get_workload",
     "workload_names",
+    "OnlineTuner",
 ]
 
 
@@ -88,6 +89,11 @@ def __getattr__(name):
         from .client import ServeClient
 
         return ServeClient
+    if name == "OnlineTuner":
+        # Lazy: pulls the tuning fleet in only when online tuning is used.
+        from .online import OnlineTuner
+
+        return OnlineTuner
     if name in ("serve_forever", "ServeServer"):
         from . import server
 

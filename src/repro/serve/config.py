@@ -32,6 +32,7 @@ __all__ = [
     "INFLIGHT_ENV",
     "TENANT_WEIGHTS_ENV",
     "LANES_ENV",
+    "ONLINE_TUNING_ENV",
     "DEFAULT_BACKEND",
 ]
 
@@ -43,6 +44,7 @@ QUEUE_BOUND_ENV = "REPRO_SERVE_QUEUE_BOUND"
 INFLIGHT_ENV = "REPRO_SERVE_INFLIGHT"
 TENANT_WEIGHTS_ENV = "REPRO_SERVE_TENANT_WEIGHTS"
 LANES_ENV = "REPRO_SERVE_LANES"
+ONLINE_TUNING_ENV = "REPRO_SERVE_ONLINE_TUNING"
 
 #: Back-end a request (and the default lane set) falls back to when it
 #: does not name one.  Serial keeps the smallest per-launch footprint,
@@ -150,6 +152,12 @@ class ServeConfig:
     #: before abandoning (and failing) the stragglers.
     drain_timeout: float = 30.0
 
+    #: Feed completed-request latencies into a
+    #: :class:`repro.tuning.fleet.DriftMonitor` and re-tune drifted
+    #: workloads in the background (``REPRO_SERVE_ONLINE_TUNING=1``;
+    #: drift thresholds come from ``REPRO_TUNING_DRIFT_*``).
+    online_tuning: bool = False
+
     def __post_init__(self):
         if self.port < 0 or self.port > 65535:
             raise ServeConfigError(f"port out of range: {self.port}")
@@ -205,6 +213,18 @@ def _env_int(name: str, default: int) -> int:
         raise ServeConfigError(f"{name} is not an integer: {raw!r}") from None
 
 
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value in ("1", "yes", "true", "on"):
+        return True
+    if value in ("0", "no", "false", "off"):
+        return False
+    raise ServeConfigError(f"{name} is not a boolean: {raw!r}")
+
+
 def config_from_env(base: Optional[ServeConfig] = None) -> ServeConfig:
     """A :class:`ServeConfig` with every ``REPRO_SERVE_*`` variable
     applied on top of ``base`` (default-constructed when omitted)."""
@@ -226,4 +246,5 @@ def config_from_env(base: Optional[ServeConfig] = None) -> ServeConfig:
         tenant_inflight=_env_int(INFLIGHT_ENV, cfg.tenant_inflight),
         tenant_weights=weights,
         lanes=lanes,
+        online_tuning=_env_bool(ONLINE_TUNING_ENV, cfg.online_tuning),
     )

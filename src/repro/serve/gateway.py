@@ -55,6 +55,13 @@ class Gateway:
         if overrides:
             config = config.with_overrides(**overrides)
         self.config = config
+        # Online drift-driven re-tuning (see repro.serve.online): fed
+        # from the completion callback, re-tunes off the hot path.
+        self.online = None
+        if config.online_tuning:
+            from .online import OnlineTuner
+
+            self.online = OnlineTuner()
         self.admission = FairShareAdmission(config)
         self.batcher = Batcher(
             config.batch_window, config.batch_max, config.enable_batching
@@ -194,6 +201,8 @@ class Gateway:
         ok = error is None
         self.admission.task_finished(request.tenant, service, ok)
         record_completion(request.tenant, latency, ok)
+        if ok and self.online is not None:
+            self.online.observe(request, service, lane)
         with self._handles_lock:
             handle = self._handles.pop(request.request_id, None)
             if ok:
@@ -237,7 +246,7 @@ class Gateway:
                 "failed": self._failed,
                 "pending": len(self._handles),
             }
-        return {
+        stats = {
             "requests": counts,
             "tenants": self.admission.stats(),
             "lanes": self.router.stats(),
@@ -245,6 +254,9 @@ class Gateway:
             "inflight": self.router.inflight(),
             "closed": self.closed,
         }
+        if self.online is not None:
+            stats["online_tuning"] = self.online.stats()
+        return stats
 
     @property
     def closed(self) -> bool:
@@ -289,6 +301,8 @@ class Gateway:
         self._stopped.set()
         self.admission.ready.set()
         self._pump.join(timeout=5)
+        if self.online is not None:
+            self.online.close()
 
         # Lanes: wait for whatever already reached a queue, then close.
         self.router.drain(timeout=max(0.0, deadline - time.perf_counter()))

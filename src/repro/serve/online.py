@@ -1,0 +1,99 @@
+"""Online tuning for the serving gateway.
+
+:class:`OnlineTuner` closes the loop the tuning paper leaves open: the
+division tuned offline may stop being right while the service runs (a
+noisy neighbour, a shifted request-size mix, a changed machine model).
+The gateway feeds every completed request's **service latency** (time
+since admission — queueing excluded, so fair-share backlog cannot
+masquerade as kernel drift) into a fleet
+:class:`~repro.tuning.fleet.DriftMonitor`; when a workload drifts, the
+monitor calls back here, and the tuner re-runs that workload's
+:meth:`~repro.serve.workloads.Workload.retune` probe on a background
+thread at the **most recently observed problem size** on the lane that
+served it.
+
+The hot-swap itself is not this module's code: the forced re-tune bumps
+the tuning generation, the plan cache keys AUTO plans on it, and the
+next plan resolution serves the new division.  Requests in flight keep
+their already-resolved plan — results stay bit-identical because only
+the work division changes, never the arithmetic.
+
+Enable with ``REPRO_SERVE_ONLINE_TUNING=1`` (or
+``Gateway(online_tuning=True)``); drift thresholds and budgets come
+from the ``REPRO_TUNING_DRIFT_*`` family.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..tuning.fleet.config import FleetConfig, fleet_config_from_env
+from ..tuning.fleet.drift import DriftMonitor
+from .workloads import get_workload
+
+__all__ = ["OnlineTuner"]
+
+#: Arrays whose size is "the problem size" for drift re-tuning, probed
+#: in order (axpy/scale carry ``x``; gemm carries ``A``).
+_SIZE_ARRAYS = ("x", "A", "plate")
+
+
+class OnlineTuner:
+    """Per-gateway drift watcher + background re-tuner."""
+
+    def __init__(self, config: Optional[FleetConfig] = None):
+        self.config = config or fleet_config_from_env()
+        self.monitor = DriftMonitor(self._retune, self.config)
+        # workload -> (problem size, acc_type, device) of the latest
+        # completed request; what a re-tune re-measures.
+        self._targets: Dict[str, Tuple[int, object, object]] = {}
+        self._lock = threading.Lock()
+        self._retunes = 0
+
+    # -- gateway-facing ------------------------------------------------
+
+    def observe(self, request, service: float, lane) -> None:
+        """Feed one completed request (gateway completion callback)."""
+        size = self._problem_size(request)
+        if size is not None:
+            with self._lock:
+                self._targets[request.workload] = (
+                    size, lane.acc_type, lane.device
+                )
+        self.monitor.observe(request.workload, service)
+
+    def stats(self) -> dict:
+        with self._lock:
+            retunes = self._retunes
+        return {"retunes": retunes, "workloads": self.monitor.snapshot()}
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        return self.monitor.wait_idle(timeout)
+
+    def close(self) -> None:
+        self.monitor.close()
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _problem_size(request) -> Optional[int]:
+        for name in _SIZE_ARRAYS:
+            arr = request.arrays.get(name)
+            if arr is not None:
+                return int(arr.size)
+        return None
+
+    def _retune(self, workload: str) -> None:
+        """DriftMonitor callback — runs on the monitor's background
+        thread, never on a request path."""
+        with self._lock:
+            target = self._targets.get(workload)
+        if target is None:
+            return
+        size, acc_type, device = target
+        if get_workload(workload).retune(
+            acc_type, device, size, self.config.drift_budget
+        ):
+            with self._lock:
+                self._retunes += 1

@@ -97,6 +97,14 @@ class Workload:
         returns one output-array dict per request, in order."""
         raise NotImplementedError
 
+    def retune(self, acc_type, device, n: int, budget: int) -> bool:
+        """Re-measure this workload's kernel at problem size ``n`` with
+        at most ``budget`` measurements, replacing the cached division
+        (the online :class:`~repro.tuning.fleet.DriftMonitor` calls this
+        off the hot path).  Returns False when the workload has nothing
+        tunable — the default."""
+        return False
+
 
 # ---------------------------------------------------------------------------
 # Elementwise family: batch by concatenation
@@ -119,11 +127,64 @@ def _fetch(queue, buf, shape, dtype) -> np.ndarray:
     return out
 
 
-def _elementwise_workdiv(acc_type, device, n: int) -> WorkDivMembers:
+def _elementwise_workdiv(
+    acc_type, device, n: int, kernel=None
+) -> WorkDivMembers:
+    """Division for an n-element elementwise launch: the *tuned* one
+    when the tuning cache knows this (kernel, back-end, device,
+    extent-bucket), else the same Table 2 heuristic as before.  Routing
+    through :func:`auto_divide` is what lets a background re-tune
+    hot-swap serving launches — the next plan resolution after a
+    tuning-generation bump picks the new winner up."""
+    from ..tuning import auto_divide
+
     props = acc_type.get_acc_dev_props(device)
-    return divide_work(
-        n, props, acc_type.mapping_strategy, thread_elems=min(n, 256)
+    if kernel is None:
+        return divide_work(
+            n, props, acc_type.mapping_strategy, thread_elems=min(n, 256)
+        )
+    return auto_divide(
+        n,
+        props,
+        kernel=kernel,
+        acc_type=acc_type,
+        device=device,
+        thread_elems=min(n, 256),
     )
+
+
+def _retune_elementwise(kernel, make_args, acc_type, device, n: int, budget: int) -> bool:
+    """Budgeted forced re-tune of one elementwise kernel at size ``n``.
+
+    ``make_args(buf)`` builds the kernel argument tuple around a staged
+    n-element buffer.  The fresh measurement overwrites the cache entry
+    and bumps the tuning generation, so in-flight plans finish on the
+    old division and the next plan resolution serves the new one.
+    """
+    from .. import mem
+    from ..mem import memset
+    from ..tuning import autotune
+
+    queue = QueueBlocking(device)
+    a = mem.alloc(device, n, pitched=False)
+    b = mem.alloc(device, n, pitched=False)
+    memset(queue, a, 0)
+    memset(queue, b, 0)
+    try:
+        autotune(
+            kernel,
+            acc_type,
+            n,
+            make_args(n, a, b),
+            device=device,
+            strategy="coordinate",
+            budget=budget,
+            force=True,
+        )
+    finally:
+        a.free()
+        b.free()
+    return True
 
 
 class AxpyWorkload(Workload):
@@ -157,9 +218,11 @@ class AxpyWorkload(Workload):
         x = _stage(queue, device, x_host)
         y = _stage(queue, device, y_host)
         try:
+            kernel = AxpyElementsKernel()
             task = create_task_kernel(
-                acc_type, _elementwise_workdiv(acc_type, device, n),
-                AxpyElementsKernel(), n, alpha, x, y,
+                acc_type,
+                _elementwise_workdiv(acc_type, device, n, kernel),
+                kernel, n, alpha, x, y,
             )
             queue.enqueue(task)
             merged = _fetch(queue, y, y_host.shape, y_host.dtype)
@@ -172,6 +235,13 @@ class AxpyWorkload(Workload):
             out.append({"y": merged[offset : offset + size].copy()})
             offset += size
         return out
+
+    def retune(self, acc_type, device, n: int, budget: int) -> bool:
+        return _retune_elementwise(
+            AxpyElementsKernel(),
+            lambda n_, x, y: (n_, 1.0, x, y),
+            acc_type, device, n, budget,
+        )
 
 
 class ScaleWorkload(Workload):
@@ -200,9 +270,11 @@ class ScaleWorkload(Workload):
         x = _stage(queue, device, x_host)
         result = _stage(queue, device, np.zeros_like(x_host))
         try:
+            kernel = ScaleKernel()
             task = create_task_kernel(
-                acc_type, _elementwise_workdiv(acc_type, device, n),
-                ScaleKernel(), n, factor, x, result,
+                acc_type,
+                _elementwise_workdiv(acc_type, device, n, kernel),
+                kernel, n, factor, x, result,
             )
             queue.enqueue(task)
             merged = _fetch(queue, result, x_host.shape, x_host.dtype)
@@ -215,6 +287,13 @@ class ScaleWorkload(Workload):
             out.append({"out": merged[offset : offset + size].copy()})
             offset += size
         return out
+
+    def retune(self, acc_type, device, n: int, budget: int) -> bool:
+        return _retune_elementwise(
+            ScaleKernel(),
+            lambda n_, x, out: (n_, 1.0, x, out),
+            acc_type, device, n, budget,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -192,6 +192,15 @@ def autotune(
     (sequential / thread pool, plus the process pool when the back-end
     declares ``supports_process_blocks``), and the winner is persisted
     with the entry — AUTO launches then pick it up at plan time.
+
+    With the fleet enabled (``REPRO_TUNING_FLEET=lock|daemon``, see
+    :mod:`repro.tuning.fleet`), the measurement itself is coordinated
+    across worker processes: exactly one worker per (kernel, back-end,
+    device, extent-bucket) wins the lease and measures; the others
+    adopt its published result (``strategy="fleet"``) or — if the
+    winner takes too long — return the Table 2 heuristic immediately
+    (``strategy="fleet-heuristic"``, zero measurements) and pick the
+    winner up on the next tuning-generation bump.
     """
     ext = as_vec(extent)
     if device is None:
@@ -203,6 +212,16 @@ def autotune(
 
     props = acc_type.get_acc_dev_props(device).for_dim(ext.dim)
     key = TuningCache.key(kernel, acc_type, device, ext)
+
+    fleet = None
+    if not force:
+        from .fleet.coordinator import maybe_coordinator
+
+        fleet = maybe_coordinator(cache)
+        if fleet is not None:
+            # Freshen the local view: a sibling may have tuned this key
+            # since our cache last touched disk / the daemon.
+            fleet.fetch(key)
 
     if not force:
         hit = cache.get(kernel, acc_type, device, ext)
@@ -228,6 +247,54 @@ def autotune(
                 cache_key=key,
                 schedule=hit.schedule,
             )
+
+    fleet_token = None
+    if fleet is not None:
+        fleet_token = fleet.try_lease(key)
+        if fleet_token is None:
+            adopted = fleet.wait_for(key)
+            if adopted is None:
+                # The holder released (or died) without publishing —
+                # the lease may be free now; contend once more.
+                fleet_token = fleet.try_lease(key)
+            if fleet_token is None:
+                usable = adopted is not None and not (
+                    tune_schedule and adopted.schedule is None
+                )
+                refit = (
+                    _refit_for_extent(adopted.work_div, ext, props)
+                    if usable
+                    else None
+                )
+                if refit is not None:
+                    return TuningResult(
+                        work_div=refit,
+                        seconds=adopted.seconds,
+                        from_cache=True,
+                        source=adopted.source,
+                        strategy="fleet",
+                        measurements=0,
+                        launches=0,
+                        pruned=0,
+                        cache_key=key,
+                        schedule=adopted.schedule,
+                    )
+                # Waited the winner out: answer *now* with the Table 2
+                # heuristic (zero measurements) — the winner's result
+                # arrives later through the tuning-generation bump.
+                return TuningResult(
+                    work_div=divide_work(
+                        ext, props, acc_type.mapping_strategy
+                    ),
+                    seconds=float("nan"),
+                    from_cache=False,
+                    source="heuristic",
+                    strategy="fleet-heuristic",
+                    measurements=0,
+                    launches=0,
+                    pruned=0,
+                    cache_key=key,
+                )
 
     candidates = candidate_divisions(
         ext,
@@ -267,15 +334,24 @@ def autotune(
         measured[wd] = mt
         return mt.seconds
 
-    result = run_search(
-        strategy,
-        candidates,
-        objective,
-        seeds=n_seeds,
-        budget=budget,
-        seed=seed,
-        predicted=predicted or None,
-    )
+    extra = {"hof_label": key} if strategy == "evolve" else {}
+    try:
+        result = run_search(
+            strategy,
+            candidates,
+            objective,
+            seeds=n_seeds,
+            budget=budget,
+            seed=seed,
+            predicted=predicted or None,
+            **extra,
+        )
+    except BaseException:
+        # A failed search must not leave the fleet-wide measurement
+        # lease dangling until it times out.
+        if fleet is not None and fleet_token is not None:
+            fleet.release(key, fleet_token)
+        raise
 
     best = result.best
     best_mt = measured[best.work_div]
@@ -313,9 +389,15 @@ def autotune(
         source=best_mt.source,
         schedule=best_schedule,
     )
-    cache.put(kernel, acc_type, device, ext, entry)
-    if save:
-        cache.save()
+    if fleet is not None and fleet_token is not None:
+        # Publish fleet-wide: persists through the coordinator and
+        # releases the lease; siblings parked in wait_for() unblock on
+        # this and adopt the entry.
+        fleet.publish(key, entry, token=fleet_token)
+    else:
+        cache.put(kernel, acc_type, device, ext, entry)
+        if save:
+            cache.save()
 
     return TuningResult(
         work_div=best.work_div,

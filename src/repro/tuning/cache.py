@@ -15,20 +15,29 @@ deliberately precise on the device axis: the fingerprint folds in the
 machine model's identity, core geometry and clock, so a cache produced
 on one modeled machine never misleads another.
 
-Corrupt or unreadable cache files are treated as empty (a tuner must
-never fail because a cache rotted); writes are atomic
-(write-temp-then-rename) so a crash mid-save cannot destroy earlier
-results.
+Corrupt or unreadable cache files warn once and are treated as empty (a
+tuner must never fail because a cache rotted); writes are atomic
+(write-temp-then-rename) and **merge-on-write** under an advisory file
+lock, so a crash mid-save cannot destroy earlier results and concurrent
+writer processes storing different kernels cannot silently drop each
+other's entries (the pre-fleet read-modify-write was last-writer-wins).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+try:  # advisory locking is POSIX-only; elsewhere saves stay best-effort
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from ..core.vec import Vec, as_vec
 from ..core.workdiv import WorkDivMembers
@@ -46,6 +55,10 @@ __all__ = [
     "kernel_id",
     "bucket_extent",
     "tuning_generation",
+    "bump_tuning_generation",
+    "entry_to_dict",
+    "entry_from_dict",
+    "file_lock",
 ]
 
 #: Environment variable overriding where the tuning cache lives.
@@ -78,6 +91,44 @@ def _bump_generation() -> None:
     global _generation
     with _generation_lock:
         _generation += 1
+
+
+def bump_tuning_generation() -> None:
+    """Invalidate every AUTO launch plan resolved so far.
+
+    The fleet layer calls this when a *remote* tuning result is adopted
+    (daemon push, file re-read): the local cache gained an entry without
+    going through :meth:`TuningCache.put`, and plans resolved against
+    the pre-adoption state must not survive it."""
+    _bump_generation()
+
+
+@contextlib.contextmanager
+def file_lock(path: str, *, exclusive: bool = True) -> Iterator[None]:
+    """Advisory inter-process lock on ``path`` (a sidecar ``.lock`` file).
+
+    Serialises cache writers across *processes* — the merge-on-write in
+    :meth:`TuningCache.save` and the fleet coordinator's lease bookkeeping
+    both take it.  Reentrant use within one process is the caller's
+    responsibility; on platforms without :mod:`fcntl` the lock degrades
+    to a no-op (single-process semantics are still covered by the
+    in-object mutex).
+    """
+    lock_path = path + ".lock"
+    directory = os.path.dirname(os.path.abspath(lock_path))
+    os.makedirs(directory, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - non-POSIX hosts
+        yield
+        return
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 def default_cache_path() -> str:
@@ -189,6 +240,13 @@ def _entry_from_dict(data: dict) -> CachedResult:
     )
 
 
+#: Public names for the wire/disk form of one entry — the fleet daemon
+#: ships :class:`CachedResult` values over its JSON-lines protocol in
+#: exactly the on-disk schema.
+entry_to_dict = _entry_to_dict
+entry_from_dict = _entry_from_dict
+
+
 class TuningCache:
     """JSON-backed map from tuning keys to winning work divisions.
 
@@ -204,6 +262,9 @@ class TuningCache:
         self._entries: Dict[str, CachedResult] = {}
         self._loaded = False
         self._lock = threading.Lock()
+        # A clear() is an explicit drop: the next save must NOT merge the
+        # dropped entries back in from disk.
+        self._cleared = False
 
     @property
     def path(self) -> str:
@@ -224,57 +285,139 @@ class TuningCache:
 
     # -- persistence ---------------------------------------------------
 
+    @staticmethod
+    def _read_entries(path: str, *, warn: bool) -> Optional[Dict[str, CachedResult]]:
+        """Parse the on-disk entry map, or ``None`` when nothing usable
+        is there.  A *present but rotten* file warns (``warn=True``) —
+        starting fresh silently hides operational problems like a disk
+        filling up mid-write — while a missing file stays silent."""
+        try:
+            with open(path) as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            if warn:
+                warnings.warn(
+                    f"tuning cache {path!r} is unreadable ({exc}); "
+                    "starting fresh",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            if warn:
+                warnings.warn(
+                    f"tuning cache {path!r} is corrupt or truncated "
+                    f"({exc}); starting fresh",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_FORMAT_VERSION
+            or not isinstance(data.get("entries"), dict)
+        ):
+            if warn and data != {} and raw.strip():
+                warnings.warn(
+                    f"tuning cache {path!r} has an unrecognised schema "
+                    f"(expected version {CACHE_FORMAT_VERSION}); "
+                    "starting fresh",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        out: Dict[str, CachedResult] = {}
+        for key, raw_entry in data["entries"].items():
+            try:
+                out[key] = _entry_from_dict(raw_entry)
+            except (KeyError, TypeError, ValueError):
+                continue  # skip individually rotten entries
+        return out
+
     def _load_locked(self) -> None:
         if self._loaded:
             return
         self._loaded = True
-        try:
-            with open(self.path) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            return
-        if not isinstance(data, dict):
-            return
-        if data.get("version") != CACHE_FORMAT_VERSION:
-            return
-        entries = data.get("entries")
-        if not isinstance(entries, dict):
-            return
-        for key, raw in entries.items():
-            try:
-                self._entries[key] = _entry_from_dict(raw)
-            except (KeyError, TypeError, ValueError):
-                continue  # skip individually rotten entries
+        entries = self._read_entries(self.path, warn=True)
+        if entries:
+            self._entries.update(entries)
 
     def save(self) -> str:
-        """Write the cache atomically; returns the path written."""
+        """Write the cache atomically; returns the path written.
+
+        The write **merges on-disk entries** it does not know about (and
+        does so under an advisory file lock), so two processes that each
+        tuned a different kernel both keep their results no matter the
+        save order.  For conflicting keys the in-memory entry wins — it
+        is this process's most recent measurement.  After an explicit
+        :meth:`clear` the next save skips the merge once: a clear must
+        actually drop entries, not resurrect them from disk.
+        """
         with self._lock:
             self._load_locked()
-            payload = {
-                "version": CACHE_FORMAT_VERSION,
-                "entries": {
-                    k: _entry_to_dict(v)
-                    for k, v in sorted(self._entries.items())
-                },
-            }
             path = self.path
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=".repro-tuning-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
+            skip_merge = self._cleared
+        adopted = 0
+        with file_lock(path):
+            with self._lock:
+                if not skip_merge:
+                    disk = self._read_entries(path, warn=False) or {}
+                    for key, entry in disk.items():
+                        if key not in self._entries:
+                            self._entries[key] = entry
+                            adopted += 1
+                self._cleared = False
+                payload = {
+                    "version": CACHE_FORMAT_VERSION,
+                    "entries": {
+                        k: _entry_to_dict(v)
+                        for k, v in sorted(self._entries.items())
+                    },
+                }
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".repro-tuning-", suffix=".tmp", dir=directory
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        if adopted:
+            # Entries adopted from a sibling process change what AUTO
+            # launches resolve to; invalidate pre-merge plans.
+            _bump_generation()
         return path
+
+    def reload(self) -> int:
+        """Re-read the file and adopt entries this process has not seen;
+        returns how many were adopted (never drops an in-memory entry —
+        a concurrent writer's file may lag this process's put()s).
+
+        The fleet coordinator polls this in file-lock mode so workers
+        that lost a tuning race pick the winner up from disk."""
+        with self._lock:
+            self._loaded = True
+            disk = self._read_entries(self.path, warn=False) or {}
+            adopted = 0
+            for key, entry in disk.items():
+                if self._entries.get(key) != entry:
+                    self._entries[key] = entry
+                    adopted += 1
+        if adopted:
+            _bump_generation()
+        return adopted
 
     # -- access --------------------------------------------------------
 
@@ -301,12 +444,37 @@ class TuningCache:
         _bump_generation()
         return key
 
+    def get_key(self, key: str) -> Optional[CachedResult]:
+        """Entry under a pre-computed cache ``key`` (the fleet daemon
+        and coordinator work with raw keys — they have no kernel
+        object)."""
+        with self._lock:
+            self._load_locked()
+            return self._entries.get(key)
+
+    def put_key(self, key: str, result: CachedResult) -> str:
+        """Store ``result`` under a pre-computed cache ``key`` (not yet
+        saved — call :meth:`save` to persist)."""
+        with self._lock:
+            self._load_locked()
+            self._entries[key] = result
+        _bump_generation()
+        return key
+
+    def entries_snapshot(self) -> Dict[str, CachedResult]:
+        """A point-in-time copy of every entry, keyed by cache key."""
+        with self._lock:
+            self._load_locked()
+            return dict(self._entries)
+
     def clear(self) -> None:
         """Drop the in-memory entries (the file is untouched until
-        :meth:`save`)."""
+        :meth:`save`, which then drops them on disk too instead of
+        merging them back)."""
         with self._lock:
             self._entries.clear()
             self._loaded = True
+            self._cleared = True
         _bump_generation()
 
     def __len__(self) -> int:

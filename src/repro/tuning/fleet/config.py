@@ -1,0 +1,231 @@
+"""Fleet-tuning configuration and its ``REPRO_TUNING_*`` env surface.
+
+One immutable record configures all three fleet features:
+
+* **sharing** — ``REPRO_TUNING_FLEET`` selects how worker processes
+  coordinate: ``off`` (per-process tuning, the pre-fleet behaviour),
+  ``lock`` (advisory file locking + lease files next to the JSON cache;
+  no daemon needed) or ``daemon`` (the socket service of
+  ``python -m repro.tuning.fleet serve`` at ``REPRO_TUNING_FLEET_ADDR``).
+* **leases** — how long a tuning lease is honoured before siblings may
+  break it, and how long a worker that lost the race waits for the
+  winner before proceeding with the Table 2 heuristic.
+* **drift** — the ``REPRO_TUNING_DRIFT_*`` family tuning the online
+  re-tuner: EWMA smoothing, drift threshold ratio, sample window,
+  cooldown between re-tunes and the measurement budget of a background
+  re-tune.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ...core.errors import TuningFleetError
+
+__all__ = [
+    "FleetConfig",
+    "FleetConfigError",
+    "fleet_config_from_env",
+    "parse_fleet_mode",
+    "parse_addr",
+    "FLEET_ENV",
+    "FLEET_ADDR_ENV",
+    "DRIFT_THRESHOLD_ENV",
+    "DRIFT_WINDOW_ENV",
+    "DRIFT_COOLDOWN_ENV",
+    "DRIFT_BUDGET_ENV",
+    "DRIFT_EWMA_ENV",
+    "HOF_ENV",
+    "DEFAULT_DAEMON_PORT",
+    "FLEET_MODES",
+]
+
+FLEET_ENV = "REPRO_TUNING_FLEET"
+FLEET_ADDR_ENV = "REPRO_TUNING_FLEET_ADDR"
+DRIFT_THRESHOLD_ENV = "REPRO_TUNING_DRIFT_THRESHOLD"
+DRIFT_WINDOW_ENV = "REPRO_TUNING_DRIFT_WINDOW"
+DRIFT_COOLDOWN_ENV = "REPRO_TUNING_DRIFT_COOLDOWN"
+DRIFT_BUDGET_ENV = "REPRO_TUNING_DRIFT_BUDGET"
+DRIFT_EWMA_ENV = "REPRO_TUNING_DRIFT_EWMA"
+#: Hall-of-fame file of the evolutionary search (see fleet.evolve).
+HOF_ENV = "REPRO_TUNING_HOF"
+
+#: Port the fleet daemon binds when the address names none.
+DEFAULT_DAEMON_PORT = 7412
+
+FLEET_MODES = ("off", "lock", "daemon")
+
+
+class FleetConfigError(TuningFleetError, ValueError):
+    """A fleet configuration value is malformed."""
+
+
+def parse_fleet_mode(raw: Optional[str]) -> str:
+    """Map the ``REPRO_TUNING_FLEET`` value to a mode name.
+
+    Unset / empty / ``0`` / ``off`` → ``off``; ``1`` / ``lock`` /
+    ``file`` → ``lock`` (file locking is the no-daemon default);
+    ``daemon`` / ``socket`` → ``daemon``.
+    """
+    if raw is None:
+        return "off"
+    value = raw.strip().lower()
+    if value in ("", "0", "off", "no", "false"):
+        return "off"
+    if value in ("1", "lock", "file", "flock", "yes", "true"):
+        return "lock"
+    if value in ("daemon", "socket", "serve"):
+        return "daemon"
+    raise FleetConfigError(
+        f"{FLEET_ENV}={raw!r} not understood; use one of off|lock|daemon"
+    )
+
+
+def parse_addr(raw: str) -> Tuple[str, int]:
+    """``"host:port"`` (or bare ``"host"`` / bare ``":port"``) → tuple."""
+    value = raw.strip()
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        return (value or "127.0.0.1", DEFAULT_DAEMON_PORT)
+    try:
+        port_no = int(port)
+    except ValueError:
+        raise FleetConfigError(
+            f"{FLEET_ADDR_ENV} port is not an integer: {port!r}"
+        ) from None
+    if not 0 <= port_no <= 65535:
+        raise FleetConfigError(f"{FLEET_ADDR_ENV} port out of range: {port_no}")
+    return (host or "127.0.0.1", port_no)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything the fleet layer needs to know, in one record."""
+
+    #: Coordination mode: ``off`` / ``lock`` / ``daemon``.
+    mode: str = "off"
+    #: Daemon address (daemon mode only).
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_DAEMON_PORT
+
+    #: Seconds a tuning lease is honoured.  A worker that crashed while
+    #: holding one stops blocking the fleet after this long.
+    lease_timeout: float = 120.0
+    #: Seconds a lease loser waits for the winner's result before
+    #: proceeding with the Table 2 heuristic (it adopts the winner later
+    #: through the generation bump).
+    wait_timeout: float = 60.0
+    #: Poll interval while waiting on a sibling's result (lock mode
+    #: re-reads the cache file at this cadence; daemon mode uses a
+    #: server-side blocking wait and ignores it).
+    poll_interval: float = 0.05
+    #: Socket timeout for one daemon round-trip.
+    io_timeout: float = 10.0
+
+    #: Observed-latency EWMA must exceed ``drift_threshold`` × the tuned
+    #: baseline (or the window p95 must exceed it vs. the baseline p95)
+    #: to count as drift.
+    drift_threshold: float = 1.5
+    #: Samples kept per workload window (and needed before the first
+    #: drift verdict).
+    drift_window: int = 64
+    #: EWMA smoothing factor (weight of the newest sample).
+    drift_ewma_alpha: float = 0.2
+    #: Seconds between background re-tunes of one workload key.
+    drift_cooldown: float = 30.0
+    #: Measurement budget of one background re-tune.
+    drift_budget: int = 8
+
+    def __post_init__(self):
+        if self.mode not in FLEET_MODES:
+            raise FleetConfigError(
+                f"mode must be one of {FLEET_MODES}, got {self.mode!r}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise FleetConfigError(f"port out of range: {self.port}")
+        for name in ("lease_timeout", "wait_timeout", "io_timeout"):
+            if getattr(self, name) <= 0:
+                raise FleetConfigError(
+                    f"{name} must be > 0, got {getattr(self, name)}"
+                )
+        if self.poll_interval <= 0:
+            raise FleetConfigError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if self.drift_threshold <= 1.0:
+            raise FleetConfigError(
+                f"drift_threshold must be > 1 (a ratio vs. the baseline), "
+                f"got {self.drift_threshold}"
+            )
+        if self.drift_window < 4:
+            raise FleetConfigError(
+                f"drift_window must be >= 4, got {self.drift_window}"
+            )
+        if not 0.0 < self.drift_ewma_alpha <= 1.0:
+            raise FleetConfigError(
+                f"drift_ewma_alpha must be in (0, 1], got {self.drift_ewma_alpha}"
+            )
+        if self.drift_cooldown < 0:
+            raise FleetConfigError(
+                f"drift_cooldown must be >= 0, got {self.drift_cooldown}"
+            )
+        if self.drift_budget < 1:
+            raise FleetConfigError(
+                f"drift_budget must be >= 1, got {self.drift_budget}"
+            )
+
+    @property
+    def addr(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def with_overrides(self, **kwargs) -> "FleetConfig":
+        try:
+            return replace(self, **kwargs)
+        except TypeError as exc:
+            raise FleetConfigError(str(exc)) from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise FleetConfigError(f"{name} is not a number: {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise FleetConfigError(f"{name} is not an integer: {raw!r}") from None
+
+
+def fleet_config_from_env(base: Optional[FleetConfig] = None) -> FleetConfig:
+    """A :class:`FleetConfig` with every ``REPRO_TUNING_FLEET*`` /
+    ``REPRO_TUNING_DRIFT_*`` variable applied on top of ``base``."""
+    cfg = base or FleetConfig()
+    mode = cfg.mode
+    raw_mode = os.environ.get(FLEET_ENV)
+    if raw_mode is not None:
+        mode = parse_fleet_mode(raw_mode)
+    host, port = cfg.host, cfg.port
+    raw_addr = os.environ.get(FLEET_ADDR_ENV)
+    if raw_addr is not None and raw_addr.strip():
+        host, port = parse_addr(raw_addr)
+    return cfg.with_overrides(
+        mode=mode,
+        host=host,
+        port=port,
+        drift_threshold=_env_float(DRIFT_THRESHOLD_ENV, cfg.drift_threshold),
+        drift_window=_env_int(DRIFT_WINDOW_ENV, cfg.drift_window),
+        drift_cooldown=_env_float(DRIFT_COOLDOWN_ENV, cfg.drift_cooldown),
+        drift_budget=_env_int(DRIFT_BUDGET_ENV, cfg.drift_budget),
+        drift_ewma_alpha=_env_float(DRIFT_EWMA_ENV, cfg.drift_ewma_alpha),
+    )

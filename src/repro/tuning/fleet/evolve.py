@@ -1,0 +1,307 @@
+"""Evolutionary work-division search (``strategy="evolve"``).
+
+A population-based alternative to exhaustive/coordinate search over the
+*joint* candidate space.  A genome is one pre-validated candidate
+division, addressed by its (block-thread extent, thread-element extent)
+coordinate — crossover recombines the block axis of one parent with the
+element axis of the other, mutation steps to an axis neighbour, and any
+child that leaves the valid-candidate set snaps back to a parent, so
+evolution can never propose a division the accelerator would reject.
+
+Population zero is not random: it is the Table 2 seed divisions plus
+the performance model's top-ranked candidates (the ``_prune`` ordering
+exhaustive search uses), so generation 0 already ties the heuristic and
+the model's best guess, and evolution only spends its budget improving
+on them.
+
+Each generation's fittest individuals are appended to a persisted
+**hall of fame** (JSON, ``$REPRO_TUNING_HOF`` or
+``.repro-tuning-hof.json``), latest generation first in the
+``python -m repro.tuning.fleet hof`` report — the generations view of
+the juno genetic optimizer is the exemplar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random as _random
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.workdiv import WorkDivMembers
+from ..cache import file_lock
+from ..search import (
+    PRUNE_RATIO,
+    SEARCH_STRATEGIES,
+    SearchResult,
+    Trial,
+    _best,
+    _prune,
+)
+from .config import HOF_ENV
+
+__all__ = [
+    "evolve_search",
+    "default_hof_path",
+    "load_hall_of_fame",
+    "DEFAULT_HOF_FILENAME",
+    "HOF_FORMAT_VERSION",
+]
+
+#: Default hall-of-fame file, created in the current working directory.
+DEFAULT_HOF_FILENAME = ".repro-tuning-hof.json"
+
+HOF_FORMAT_VERSION = 1
+
+
+def default_hof_path() -> str:
+    env = os.environ.get(HOF_ENV)
+    if env:
+        return env
+    return os.path.join(os.getcwd(), DEFAULT_HOF_FILENAME)
+
+
+def _wd_payload(wd: WorkDivMembers) -> dict:
+    return {
+        "grid": list(wd.grid_block_extent),
+        "block": list(wd.block_thread_extent),
+        "elems": list(wd.thread_elem_extent),
+    }
+
+
+def load_hall_of_fame(path: Optional[str] = None) -> dict:
+    """The persisted hall-of-fame document (empty skeleton when the
+    file is missing or rotten — a report tool must not crash on it)."""
+    path = path or default_hof_path()
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {"version": HOF_FORMAT_VERSION, "runs": []}
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != HOF_FORMAT_VERSION
+        or not isinstance(data.get("runs"), list)
+    ):
+        return {"version": HOF_FORMAT_VERSION, "runs": []}
+    return data
+
+
+def _append_run(path: str, run: dict) -> None:
+    """Append one run record, read-merge-write atomically under the
+    advisory lock (fleet workers may finish evolve runs concurrently)."""
+    with file_lock(path):
+        doc = load_hall_of_fame(path)
+        doc["runs"].append(run)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".repro-hof-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _coord(wd: WorkDivMembers) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    return (tuple(wd.block_thread_extent), tuple(wd.thread_elem_extent))
+
+
+def evolve_search(
+    candidates: Sequence[WorkDivMembers],
+    objective,
+    *,
+    seeds: int = 0,
+    budget: Optional[int] = None,
+    seed: int = 0,
+    predicted: Optional[Dict[WorkDivMembers, float]] = None,
+    prune_ratio: float = PRUNE_RATIO,
+    population: int = 8,
+    max_generations: int = 16,
+    elite: int = 2,
+    tournament: int = 3,
+    mutation_rate: float = 0.35,
+    stale_after: int = 3,
+    hof_size: int = 3,
+    hof_path: Optional[str] = None,
+    hof_label: str = "evolve",
+) -> SearchResult:
+    """Tournament-selected, crossover/mutation search over the candidate
+    space; persists a per-generation hall of fame.
+
+    Deterministic for a given ``seed``.  ``budget`` caps *total distinct
+    measurements* (memoised — re-evaluating a surviving individual is
+    free); evolution also stops after ``stale_after`` generations
+    without improvement or after ``max_generations``.
+    """
+    order, pruned = _prune(candidates, seeds, predicted, prune_ratio)
+    if not order:
+        raise ValueError("empty candidate space")
+    rng = _random.Random(seed)
+
+    # Valid-coordinate index: (block, elems) -> candidate.  Axis value
+    # lists are sorted so mutation's "neighbour" is the next/previous
+    # extent along that axis.
+    valid: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], WorkDivMembers] = {}
+    for wd in order:
+        valid.setdefault(_coord(wd), wd)
+    block_axis = sorted({c[0] for c in valid})
+    elem_axis = sorted({c[1] for c in valid})
+
+    measured: Dict[WorkDivMembers, float] = {}
+    trials: List[Trial] = []
+
+    def spend(wd: WorkDivMembers) -> Optional[float]:
+        """Memoised measurement; None once the budget is gone."""
+        if wd in measured:
+            return measured[wd]
+        if budget is not None and len(trials) >= budget:
+            return None
+        secs = objective(wd)
+        measured[wd] = secs
+        trials.append(Trial(wd, secs))
+        return secs
+
+    def fitness(wd: WorkDivMembers) -> float:
+        return measured.get(wd, float("inf"))
+
+    def crossover(a: WorkDivMembers, b: WorkDivMembers) -> WorkDivMembers:
+        ca, cb = _coord(a), _coord(b)
+        for combo in ((ca[0], cb[1]), (cb[0], ca[1])):
+            child = valid.get(combo)
+            if child is not None:
+                return child
+        return a if fitness(a) <= fitness(b) else b
+
+    def mutate(wd: WorkDivMembers) -> WorkDivMembers:
+        block, elems = _coord(wd)
+        if rng.random() < 0.5:
+            axis, make = block_axis, lambda v: (v, elems)
+            at = axis.index(block)
+        else:
+            axis, make = elem_axis, lambda v: (block, v)
+            at = axis.index(elems)
+        steps = list(range(1, len(axis)))
+        rng.shuffle(steps)
+        for step in steps:
+            for direction in (1, -1):
+                idx = at + direction * step
+                if 0 <= idx < len(axis):
+                    child = valid.get(make(axis[idx]))
+                    if child is not None:
+                        return child
+        return wd
+
+    def pick(pool: List[WorkDivMembers]) -> WorkDivMembers:
+        k = min(tournament, len(pool))
+        return min(rng.sample(pool, k), key=fitness)
+
+    # -- generation 0: Table 2 seeds + model-ranked head ---------------
+    pop_size = max(2, min(population, len(order)))
+    pop = list(dict.fromkeys(order))[:pop_size]
+
+    generations: List[dict] = []
+    best_so_far = float("inf")
+    stale = 0
+    out_of_budget = False
+
+    for gen in range(max_generations):
+        for wd in pop:
+            if spend(wd) is None:
+                out_of_budget = True
+                break
+
+        ranked = sorted(
+            (wd for wd in dict.fromkeys(pop) if wd in measured), key=fitness
+        )
+        if ranked:
+            gen_best = fitness(ranked[0])
+            generations.append(
+                {
+                    "generation": gen,
+                    "hall_of_fame": [
+                        {
+                            "work_div": _wd_payload(wd),
+                            "seconds": measured[wd],
+                        }
+                        for wd in ranked[:hof_size]
+                        if measured[wd] != float("inf")
+                    ],
+                    "best_seconds": (
+                        gen_best if gen_best != float("inf") else None
+                    ),
+                    "measurements": len(trials),
+                }
+            )
+            if gen_best < best_so_far:
+                best_so_far = gen_best
+                stale = 0
+            else:
+                stale += 1
+
+        if out_of_budget or stale >= stale_after:
+            break
+        if len(measured) >= len(valid):
+            break  # the whole space is measured; nothing left to evolve
+
+        survivors = ranked or pop
+        elite_n = min(elite, len(survivors))
+        next_pop = list(survivors[:elite_n])
+        while len(next_pop) < pop_size:
+            child = crossover(pick(survivors), pick(survivors))
+            if rng.random() < mutation_rate:
+                child = mutate(child)
+            next_pop.append(child)
+        # Duplicates are free (memoised) but diversity is not: replace
+        # repeats with unmeasured candidates while any remain.
+        seen: List[WorkDivMembers] = []
+        unmeasured = [wd for wd in order if wd not in measured]
+        rng.shuffle(unmeasured)
+        for wd in next_pop:
+            if wd in seen and unmeasured:
+                seen.append(unmeasured.pop())
+            else:
+                seen.append(wd)
+        pop = seen
+
+    result = SearchResult(
+        best=_best(trials), trials=trials, pruned=pruned, strategy="evolve"
+    )
+
+    path = hof_path or default_hof_path()
+    try:
+        _append_run(
+            path,
+            {
+                "label": hof_label,
+                "strategy": "evolve",
+                "time": time.time(),
+                "seed": seed,
+                "budget": budget,
+                "population": pop_size,
+                "measurements": len(trials),
+                "space": len(valid),
+                "best": {
+                    "work_div": _wd_payload(result.best.work_div),
+                    "seconds": result.best.seconds,
+                },
+                "generations": generations,
+            },
+        )
+    except OSError:
+        pass  # the hall of fame is a report, never worth failing a tune
+
+    return result
+
+
+SEARCH_STRATEGIES.setdefault("evolve", evolve_search)

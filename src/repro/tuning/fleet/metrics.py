@@ -1,0 +1,92 @@
+"""Fleet-tuning metrics, recorded into the shared telemetry registry.
+
+Same registry the runtime and the serving gateway report into, so one
+telemetry report covers launch counts, serving latency *and* how the
+fleet converged on its tuning results.
+
+Metric families:
+
+* ``repro_tuning_fleet_requests_total{mode, op, outcome}`` — cache
+  lookups / publishes / lease attempts per coordination mode;
+* ``repro_tuning_fleet_lease_wait_seconds`` — how long lease losers
+  waited for the winner's result;
+* ``repro_tuning_fleet_measurements_total{mode}`` — full measurement
+  runs actually executed (the number the fleet exists to minimise);
+* ``repro_tuning_fleet_adopted_total{mode}`` — results adopted from a
+  sibling worker instead of measured locally;
+* ``repro_tuning_fleet_drift_total{workload, outcome}`` — drift-test
+  verdicts (``detected`` / ``retuned`` / ``cooldown``);
+* ``repro_tuning_fleet_retune_seconds`` — background re-tune durations.
+"""
+
+from __future__ import annotations
+
+from ...telemetry.metrics import MetricsRegistry, registry
+
+__all__ = [
+    "fleet_registry",
+    "record_op",
+    "record_lease_wait",
+    "record_measurement",
+    "record_adopted",
+    "record_drift",
+    "record_retune_seconds",
+]
+
+#: Lease-wait buckets: sub-millisecond (daemon push) to a minute.
+WAIT_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0)
+
+
+def fleet_registry() -> MetricsRegistry:
+    """The registry fleet metrics land in (the process-wide one)."""
+    return registry()
+
+
+def record_op(mode: str, op: str, outcome: str) -> None:
+    registry().counter(
+        "repro_tuning_fleet_requests_total",
+        "Fleet tuning operations by mode, op and outcome",
+        mode=mode,
+        op=op,
+        outcome=outcome,
+    ).inc()
+
+
+def record_lease_wait(seconds: float) -> None:
+    registry().histogram(
+        "repro_tuning_fleet_lease_wait_seconds",
+        "Time lease losers spent waiting for the winner's result",
+        buckets=WAIT_BUCKETS,
+    ).observe(seconds)
+
+
+def record_measurement(mode: str) -> None:
+    registry().counter(
+        "repro_tuning_fleet_measurements_total",
+        "Full tuning measurement runs executed",
+        mode=mode,
+    ).inc()
+
+
+def record_adopted(mode: str) -> None:
+    registry().counter(
+        "repro_tuning_fleet_adopted_total",
+        "Tuning results adopted from a sibling instead of measured",
+        mode=mode,
+    ).inc()
+
+
+def record_drift(workload: str, outcome: str) -> None:
+    registry().counter(
+        "repro_tuning_fleet_drift_total",
+        "Drift-test verdicts per workload",
+        workload=workload,
+        outcome=outcome,
+    ).inc()
+
+
+def record_retune_seconds(seconds: float) -> None:
+    registry().histogram(
+        "repro_tuning_fleet_retune_seconds",
+        "Background re-tune durations",
+    ).observe(seconds)

@@ -51,3 +51,6 @@ class TestExamples:
 
     def test_serving_client(self):
         run_example("serving_client.py", [])
+
+    def test_online_tuning(self):
+        run_example("online_tuning.py", [])

@@ -1,0 +1,147 @@
+"""End-to-end fleet convergence: 4 real worker processes autotune the
+same (kernel, back-end, device, extent) and must produce exactly ONE
+fleet-wide measurement run, with every worker ending on the winner's
+division — in daemon mode and in file-lock-only mode."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.tuning import TuningCache
+from repro.tuning.fleet.config import FLEET_ADDR_ENV, FLEET_ENV
+from repro.tuning.fleet.daemon import FleetDaemon
+from repro.tuning.fleet.config import FleetConfig
+
+N_WORKERS = 4
+
+# Every worker runs this same script, so the kernel's identity
+# (module + qualname) is identical fleet-wide.
+WORKER = """\
+import json
+
+from repro import AccCpuSerial, QueueBlocking, autotune, fn_acc, get_dev_by_idx, mem
+from repro.mem import memset
+
+
+class FleetKernel:
+    @fn_acc
+    def __call__(self, acc, n, out):
+        from repro.core.element import independent_elements
+
+        for i in independent_elements(acc, n):
+            out[i[0]] = i[0] * 2.0
+
+
+def main():
+    acc = AccCpuSerial
+    dev = get_dev_by_idx(acc)
+    n = 256
+    out = mem.alloc(dev, n)
+    memset(QueueBlocking(dev), out, 0)
+    res = autotune(
+        FleetKernel(), acc, n, (n, out), device=dev,
+        strategy="random", budget=3, max_block_threads=8,
+    )
+    print(json.dumps({
+        "strategy": res.strategy,
+        "measurements": res.measurements,
+        "from_cache": res.from_cache,
+        "block": list(res.work_div.block_thread_extent),
+        "elems": list(res.work_div.thread_elem_extent),
+        "key": res.cache_key,
+    }))
+
+
+main()
+"""
+
+
+def _spawn_workers(tmp_path, extra_env):
+    script = tmp_path / "worker.py"
+    script.write_text(WORKER)
+    env = dict(os.environ)
+    repo = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(repo, "src"), env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_TUNING_CACHE"] = str(tmp_path / "shared-cache.json")
+    env["REPRO_TUNING_HOF"] = str(tmp_path / "hof.json")
+    env.update(extra_env)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=str(tmp_path),
+            text=True,
+        )
+        for _ in range(N_WORKERS)
+    ]
+    results = []
+    for p in procs:
+        out, err = p.communicate(timeout=120)
+        assert p.returncode == 0, f"worker failed:\n{err}\n{out}"
+        results.append(json.loads(out.strip().splitlines()[-1]))
+    return results
+
+
+def _assert_converged(results, cache_path):
+    # Exactly one full measurement run happened fleet-wide.
+    measured = [r for r in results if r["measurements"] > 0]
+    assert len(measured) == 1, results
+    winner = measured[0]
+    assert winner["strategy"] == "random"
+    # Nobody fell back to the heuristic (the winner was fast enough),
+    # and everyone ended on the winner's tuned division.
+    for r in results:
+        assert r["strategy"] in ("random", "fleet", "cache"), results
+        assert r["key"] == winner["key"]
+        assert r["block"] == winner["block"]
+        assert r["elems"] == winner["elems"]
+    # The shared cache holds the single winning entry.
+    cache = TuningCache(cache_path)
+    entry = cache.get_key(winner["key"])
+    assert entry is not None
+    assert list(entry.work_div.block_thread_extent) == winner["block"]
+
+
+class TestConvergence:
+    def test_file_lock_mode(self, tmp_path):
+        results = _spawn_workers(tmp_path, {FLEET_ENV: "lock"})
+        _assert_converged(results, str(tmp_path / "shared-cache.json"))
+
+    def test_daemon_mode(self, tmp_path):
+        daemon = FleetDaemon(
+            FleetConfig(mode="daemon"),
+            cache_path=str(tmp_path / "shared-cache.json"),
+            host="127.0.0.1",
+            port=0,
+        )
+        host, port = daemon.start()
+        try:
+            results = _spawn_workers(
+                tmp_path,
+                {FLEET_ENV: "daemon", FLEET_ADDR_ENV: f"{host}:{port}"},
+            )
+        finally:
+            daemon.shutdown()
+        _assert_converged(results, str(tmp_path / "shared-cache.json"))
+
+    def test_daemon_unreachable_degrades_to_standalone(self, tmp_path):
+        """A worker pointed at a dead daemon must still tune (the fleet
+        only removes duplicate work; it is never a dependency)."""
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        results = _spawn_workers(
+            solo, {FLEET_ENV: "daemon", FLEET_ADDR_ENV: "127.0.0.1:1"}
+        )
+        # Without coordination at least the first finisher measured for
+        # itself (late starters may still hit the saved file)...
+        assert any(r["measurements"] > 0 for r in results)
+        # ...and merge-on-write leaves one coherent cache file behind.
+        cache = TuningCache(str(solo / "shared-cache.json"))
+        assert cache.get_key(results[0]["key"]) is not None

@@ -1,0 +1,197 @@
+"""The fleet daemon and its JSON-lines client, exercised in-process."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import TuningFleetError
+from repro.core.vec import Vec
+from repro.core.workdiv import WorkDivMembers
+from repro.tuning import TuningCache
+from repro.tuning.cache import CachedResult
+from repro.tuning.fleet.client import FleetClient
+from repro.tuning.fleet.config import FleetConfig
+from repro.tuning.fleet.daemon import FleetDaemon
+
+KEY = "k|AccCpuSerial|m:cpu:1x4@3GHz|512"
+ENTRY = CachedResult(
+    work_div=WorkDivMembers(Vec(4), Vec(2), Vec(8)),
+    seconds=1.25e-6,
+    strategy="exhaustive",
+    source="modeled",
+    schedule="pooled",
+)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    d = FleetDaemon(
+        FleetConfig(mode="daemon", lease_timeout=30.0, wait_timeout=10.0),
+        cache_path=str(tmp_path / "daemon-cache.json"),
+        host="127.0.0.1",
+        port=0,
+    )
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture()
+def client(daemon):
+    cfg = FleetConfig(
+        mode="daemon", host=daemon.host, port=daemon.port, io_timeout=5.0
+    )
+    c = FleetClient(cfg)
+    yield c
+    c.close()
+
+
+def _second_client(daemon):
+    return FleetClient(
+        FleetConfig(
+            mode="daemon", host=daemon.host, port=daemon.port, io_timeout=5.0
+        )
+    )
+
+
+class TestOps:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_get_miss(self, client):
+        assert client.get(KEY) is None
+
+    def test_put_then_get_roundtrips_the_entry(self, client):
+        client.put(KEY, ENTRY)
+        got = client.get(KEY)
+        assert got == ENTRY  # work div, seconds, strategy, schedule intact
+
+    def test_put_persists_atomically(self, daemon, client):
+        client.put(KEY, ENTRY)
+        # A cold cache object reading the daemon's file sees the entry.
+        fresh = TuningCache(daemon.cache.path)
+        assert fresh.get_key(KEY) == ENTRY
+
+    def test_stats_shape(self, client):
+        client.put(KEY, ENTRY)
+        stats = client.stats()
+        assert stats["entries"] == 1
+        assert stats["leases"] == 0
+        assert stats["ops"]["put"] == 1
+        assert stats["uptime"] >= 0
+        assert stats["cache_path"]
+
+    def test_unknown_op_rejected_but_connection_survives(self, client):
+        with pytest.raises(TuningFleetError, match="unknown op"):
+            client._roundtrip({"op": "explode"})
+        assert client.ping()  # same socket still serves
+
+
+class TestLeases:
+    def test_exactly_one_winner(self, daemon, client):
+        other = _second_client(daemon)
+        try:
+            token = client.lease(KEY)
+            assert token
+            assert other.lease(KEY) is None
+        finally:
+            other.close()
+
+    def test_lease_on_cached_key_is_denied(self, client):
+        client.put(KEY, ENTRY)
+        assert client.lease(KEY) is None  # nothing left to measure
+
+    def test_release_reopens_the_race(self, client):
+        token = client.lease(KEY)
+        client.release(KEY, token)
+        assert client.lease(KEY)
+
+    def test_put_with_token_clears_the_lease(self, daemon, client):
+        token = client.lease(KEY)
+        client.put(KEY, ENTRY, token=token)
+        assert client.stats()["leases"] == 0
+
+    def test_expired_lease_stops_blocking(self, tmp_path):
+        d = FleetDaemon(
+            FleetConfig(mode="daemon", lease_timeout=0.2),
+            cache_path=str(tmp_path / "c.json"),
+            host="127.0.0.1",
+            port=0,
+        )
+        d.start()
+        c = FleetClient(
+            FleetConfig(mode="daemon", host=d.host, port=d.port, io_timeout=5.0)
+        )
+        try:
+            assert c.lease(KEY)
+            time.sleep(0.3)
+            assert c.lease(KEY)  # the dead worker's lease expired
+        finally:
+            c.close()
+            d.shutdown()
+
+
+class TestWait:
+    def test_wait_resolves_on_publish(self, daemon, client):
+        publisher = _second_client(daemon)
+        token = publisher.lease(KEY)
+        got = []
+        t = threading.Thread(target=lambda: got.append(client.wait(KEY, 10.0)))
+        t.start()
+        try:
+            time.sleep(0.05)
+            publisher.put(KEY, ENTRY, token=token)
+            t.join(timeout=5.0)
+            assert got == [ENTRY]
+        finally:
+            publisher.close()
+
+    def test_wait_returns_early_when_lease_abandoned(self, daemon, client):
+        holder = _second_client(daemon)
+        token = holder.lease(KEY)
+        got = []
+        t = threading.Thread(target=lambda: got.append(client.wait(KEY, 30.0)))
+        t.start()
+        try:
+            time.sleep(0.05)
+            started = time.monotonic()
+            holder.release(KEY, token)
+            t.join(timeout=5.0)
+            assert got == [None]
+            assert time.monotonic() - started < 5.0  # not the 30 s timeout
+        finally:
+            holder.close()
+
+    def test_wait_without_any_lease_returns_immediately(self, client):
+        started = time.monotonic()
+        assert client.wait(KEY, 30.0) is None
+        assert time.monotonic() - started < 5.0
+
+    def test_wait_times_out_under_a_live_lease(self, daemon, client):
+        holder = _second_client(daemon)
+        holder.lease(KEY)
+        try:
+            started = time.monotonic()
+            assert client.wait(KEY, 0.3) is None
+            assert time.monotonic() - started >= 0.3
+        finally:
+            holder.close()
+
+
+class TestClientFailureModes:
+    def test_unreachable_daemon_raises_at_construction(self):
+        cfg = FleetConfig(
+            mode="daemon", host="127.0.0.1", port=1, io_timeout=0.5
+        )
+        with pytest.raises(TuningFleetError, match="unreachable"):
+            FleetClient(cfg)
+
+    def test_daemon_shutdown_surfaces_as_fleet_error(self, daemon):
+        c = _second_client(daemon)
+        daemon.shutdown()
+        with pytest.raises(TuningFleetError):
+            c.ping()
+        # And the client stays closed rather than half-alive.
+        with pytest.raises(TuningFleetError, match="closed"):
+            c.ping()

@@ -1,0 +1,98 @@
+"""Lease sidecar files: exclusive create, stale break, liveness."""
+
+import json
+import os
+import time
+
+from repro.tuning.fleet.lock import LeaseFile, lease_path
+
+KEY = "kernel|AccCpuSerial|machine:cpu:1x4@3GHz|1024"
+
+
+def _leases(tmp_path, timeout=120.0):
+    return LeaseFile(str(tmp_path / "cache.json"), timeout=timeout)
+
+
+class TestAcquire:
+    def test_first_acquire_wins(self, tmp_path):
+        lf = _leases(tmp_path)
+        lease = lf.try_acquire(KEY)
+        assert lease is not None
+        assert lease.key == KEY
+        assert os.path.exists(lease.path)
+
+    def test_body_records_pid_and_key(self, tmp_path):
+        lf = _leases(tmp_path)
+        lease = lf.try_acquire(KEY)
+        body = json.loads(open(lease.path).read())
+        assert body["pid"] == os.getpid()
+        assert body["key"] == KEY
+
+    def test_second_acquire_denied_while_held(self, tmp_path):
+        lf = _leases(tmp_path)
+        assert lf.try_acquire(KEY) is not None
+        assert lf.try_acquire(KEY) is None
+
+    def test_release_frees_the_lease(self, tmp_path):
+        lf = _leases(tmp_path)
+        lease = lf.try_acquire(KEY)
+        lf.release(lease)
+        assert not os.path.exists(lease.path)
+        assert lf.try_acquire(KEY) is not None
+
+    def test_release_is_idempotent(self, tmp_path):
+        lf = _leases(tmp_path)
+        lease = lf.try_acquire(KEY)
+        lf.release(lease)
+        lf.release(lease)  # must not raise
+
+    def test_distinct_keys_do_not_contend(self, tmp_path):
+        lf = _leases(tmp_path)
+        assert lf.try_acquire("key-a") is not None
+        assert lf.try_acquire("key-b") is not None
+
+
+class TestStaleBreak:
+    def test_stale_lease_is_broken_and_reacquired(self, tmp_path):
+        lf = _leases(tmp_path, timeout=0.5)
+        lease = lf.try_acquire(KEY)
+        # Age the file past the timeout instead of sleeping.
+        old = time.time() - 10.0
+        os.utime(lease.path, (old, old))
+        again = lf.try_acquire(KEY)
+        assert again is not None
+
+    def test_fresh_lease_is_not_broken(self, tmp_path):
+        lf = _leases(tmp_path, timeout=60.0)
+        assert lf.try_acquire(KEY) is not None
+        assert lf.try_acquire(KEY) is None
+
+
+class TestHolderAlive:
+    def test_absent_lease_is_dead(self, tmp_path):
+        assert not _leases(tmp_path).holder_alive(KEY)
+
+    def test_fresh_lease_is_alive(self, tmp_path):
+        lf = _leases(tmp_path)
+        lf.try_acquire(KEY)
+        assert lf.holder_alive(KEY)
+
+    def test_stale_lease_is_dead(self, tmp_path):
+        lf = _leases(tmp_path, timeout=0.5)
+        lease = lf.try_acquire(KEY)
+        old = time.time() - 10.0
+        os.utime(lease.path, (old, old))
+        assert not lf.holder_alive(KEY)
+
+
+class TestLeasePath:
+    def test_stable_per_key(self):
+        assert lease_path("/x/c.json", KEY) == lease_path("/x/c.json", KEY)
+
+    def test_distinct_per_key(self):
+        assert lease_path("/x/c.json", "a") != lease_path("/x/c.json", "b")
+
+    def test_sits_next_to_the_cache(self, tmp_path):
+        p = lease_path(str(tmp_path / "c.json"), KEY)
+        assert p.startswith(str(tmp_path / "c.json"))
+        assert p.endswith(".lease")

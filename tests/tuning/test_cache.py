@@ -1,7 +1,10 @@
-"""Tuning cache: keys, persistence, tolerance of rot."""
+"""Tuning cache: keys, persistence, tolerance of rot, concurrency."""
 
 import json
 import os
+import subprocess
+import sys
+import warnings
 
 import pytest
 
@@ -120,20 +123,36 @@ class TestPersistence:
         assert cache.get(_kernel_b, AccCpuSerial, dev, 1000) is None
         assert cache.get(_kernel_a, AccCpuSerial, dev, 4096) is None
 
-    def test_missing_file_is_empty(self, tmp_path):
+    def test_missing_file_is_empty_and_silent(self, tmp_path):
         cache = TuningCache(str(tmp_path / "absent.json"))
-        assert len(cache) == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            assert len(cache) == 0
 
-    def test_corrupt_file_is_empty(self, tmp_path):
+    def test_corrupt_file_warns_and_starts_fresh(self, tmp_path):
         path = tmp_path / "c.json"
         path.write_text("{ not json !!!")
         cache = TuningCache(str(path))
-        assert len(cache) == 0
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            assert len(cache) == 0
 
-    def test_wrong_version_is_empty(self, tmp_path):
+    def test_wrong_version_warns_and_starts_fresh(self, tmp_path):
         path = tmp_path / "c.json"
         path.write_text(json.dumps({"version": 999, "entries": {"k": {}}}))
-        assert len(TuningCache(str(path))) == 0
+        with pytest.warns(RuntimeWarning, match="unrecognised schema"):
+            assert len(TuningCache(str(path))) == 0
+
+    def test_corrupt_file_is_usable_and_save_repairs_it(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("]]] total rot")
+        dev = get_dev_by_idx(AccCpuSerial)
+        cache = TuningCache(str(path))
+        with pytest.warns(RuntimeWarning):
+            cache.put(_kernel_a, AccCpuSerial, dev, 64, ENTRY)
+        cache.save()
+        data = json.loads(path.read_text())
+        assert data["version"] >= 1
+        assert len(data["entries"]) == 1
 
     def test_rotten_entry_skipped_others_kept(self, tmp_path):
         path = str(tmp_path / "c.json")
@@ -164,6 +183,137 @@ class TestPersistence:
         cache.put(_kernel_a, AccCpuSerial, dev, 64, ENTRY)
         cache.clear()
         assert cache.get(_kernel_a, AccCpuSerial, dev, 64) is None
+
+
+class TestRawKeyAPI:
+    def test_put_key_get_key_roundtrip(self, tmp_path):
+        cache = TuningCache(str(tmp_path / "c.json"))
+        cache.put_key("raw|key", ENTRY)
+        assert cache.get_key("raw|key") == ENTRY
+        assert "raw|key" in cache
+
+    def test_entries_snapshot_is_a_copy(self, tmp_path):
+        cache = TuningCache(str(tmp_path / "c.json"))
+        cache.put_key("a", ENTRY)
+        snap = cache.entries_snapshot()
+        snap.clear()
+        assert cache.get_key("a") == ENTRY
+
+    def test_put_key_bumps_the_tuning_generation(self, tmp_path):
+        from repro.tuning.cache import tuning_generation
+
+        cache = TuningCache(str(tmp_path / "c.json"))
+        before = tuning_generation()
+        cache.put_key("a", ENTRY)
+        assert tuning_generation() > before
+
+
+class TestMergeOnWrite:
+    """Regression: the pre-fleet save was read-modify-write from memory
+    only — two processes tuning different kernels silently dropped each
+    other's entries (last writer wins)."""
+
+    def _entry(self, blocks):
+        return CachedResult(
+            work_div=WorkDivMembers.make(blocks, 1, 8),
+            seconds=1e-6,
+            strategy="exhaustive",
+            source="modeled",
+        )
+
+    def test_two_writers_keep_both_entries(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        # Both "processes" load the (empty) file before either saves.
+        a, b = TuningCache(path), TuningCache(path)
+        len(a), len(b)
+        a.put_key("kernel-a", self._entry(2))
+        a.save()
+        b.put_key("kernel-b", self._entry(4))
+        b.save()  # must merge kernel-a back in, not clobber it
+        final = TuningCache(path)
+        assert final.get_key("kernel-a") is not None
+        assert final.get_key("kernel-b") is not None
+
+    def test_conflicting_key_favours_the_writers_own_entry(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        len(a), len(b)
+        a.put_key("k", self._entry(2))
+        a.save()
+        b.put_key("k", self._entry(4))
+        b.save()
+        # B measured most recently from its own point of view.
+        assert TuningCache(path).get_key("k").work_div.grid_block_extent[0] == 4
+
+    def test_clear_then_save_does_not_resurrect_disk_entries(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        cache = TuningCache(path)
+        cache.put_key("k", self._entry(2))
+        cache.save()
+        cache.clear()
+        cache.save()
+        assert len(TuningCache(path)) == 0
+
+    def test_reload_adopts_sibling_entries(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        len(b)  # load before the sibling writes
+        a.put_key("k", self._entry(2))
+        a.save()
+        assert b.get_key("k") is None  # stale in-memory view
+        assert b.reload() == 1
+        assert b.get_key("k") is not None
+
+    def test_reload_never_drops_unsaved_local_entries(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        b.put_key("local", self._entry(2))  # not yet saved
+        a.put_key("remote", self._entry(4))
+        a.save()
+        b.reload()
+        assert b.get_key("local") is not None
+        assert b.get_key("remote") is not None
+
+    def test_concurrent_writer_processes_lose_nothing(self, tmp_path):
+        """Four real processes save distinct keys into one file at the
+        same time; the advisory file lock must keep all four."""
+        path = str(tmp_path / "c.json")
+        script = tmp_path / "writer.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.core.workdiv import WorkDivMembers\n"
+            "from repro.tuning import CachedResult, TuningCache\n"
+            "idx = int(sys.argv[1])\n"
+            "cache = TuningCache(sys.argv[2])\n"
+            "entry = CachedResult(\n"
+            "    work_div=WorkDivMembers.make(idx + 1, 1, 8),\n"
+            "    seconds=1e-6, strategy='exhaustive', source='modeled')\n"
+            "for round in range(5):\n"
+            "    cache.put_key(f'kernel-{idx}-{round}', entry)\n"
+            "    cache.save()\n"
+        )
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p
+            for p in (os.path.join(repo, "src"), env.get("PYTHONPATH"))
+            if p
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(i), path],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for i in range(4)
+        ]
+        for p in procs:
+            _, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err
+        final = TuningCache(path)
+        assert len(final) == 20  # 4 writers x 5 rounds, nothing dropped
 
 
 class TestEnvOverride:

@@ -160,7 +160,24 @@ class TestPruning:
 
 class TestDispatch:
     def test_known_strategies(self):
-        assert set(SEARCH_STRATEGIES) == {"exhaustive", "random", "coordinate"}
+        # "evolve" registers lazily when repro.tuning.fleet is imported
+        # (run_search loads it on first demand), so it may or may not be
+        # present depending on what ran before this test.
+        assert {"exhaustive", "random", "coordinate"} <= set(SEARCH_STRATEGIES)
+        assert set(SEARCH_STRATEGIES) <= {
+            "exhaustive", "random", "coordinate", "evolve",
+        }
+
+    def test_evolve_registers_on_demand(self):
+        res = run_search(
+            "evolve",
+            _divisions(6),
+            _objective_min_at(3),
+            budget=6,
+            hof_path=None,
+        )
+        assert res.strategy == "evolve"
+        assert "evolve" in SEARCH_STRATEGIES
 
     def test_run_search_dispatches(self):
         res = run_search("exhaustive", _divisions(4), _objective_min_at(2))
