@@ -26,10 +26,13 @@ call, which is where the cost is paid once.
 
 from __future__ import annotations
 
+import contextlib
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from ..core.errors import InvalidWorkDiv
+from ..core.errors import InvalidWorkDiv, TuningFleetError
 from ..core.properties import AccDevProps
 from ..core.vec import Vec, as_vec
 from ..core.workdiv import (
@@ -150,6 +153,59 @@ def _refit_for_extent(
     return refit
 
 
+def _fleet_down(fleet) -> None:
+    """A fleet transport died mid-conversation (daemon gone, socket
+    reset): record it, drop the process-wide coordinator so the next
+    autotune re-probes, and degrade *this* call to standalone tuning.
+    An unreachable fleet removes shared convergence, never the tuning
+    itself — :exc:`TuningFleetError` must not escape :func:`autotune`.
+    Returns ``None`` so callers can write ``fleet = _fleet_down(fleet)``.
+    """
+    from .fleet import metrics
+    from .fleet.coordinator import reset_coordinator
+
+    metrics.record_op(getattr(fleet, "mode", "?"), "transport", "lost")
+    reset_coordinator()
+    return None
+
+
+@contextlib.contextmanager
+def _lease_heartbeat(fleet, key: str, token):
+    """Keep a held measurement lease alive while the search runs.
+
+    A tuning run that outlasts the fleet's ``lease_timeout`` (plausible
+    for exhaustive or evolve searches over large spaces) must not have
+    its lease broken mid-measurement: siblings would duplicate the work
+    and waiters would bail to the heuristic while the winner is still
+    working.  Refreshes at a third of the timeout; a refresh failure
+    (daemon died, lease file already broken) just ends the heartbeat —
+    the measurement itself proceeds and publishes standalone.
+    """
+    if fleet is None or token is None:
+        yield
+        return
+    timeout = getattr(getattr(fleet, "config", None), "lease_timeout", 120.0)
+    interval = max(timeout / 3.0, 0.05)
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                fleet.refresh(key, token)
+            except Exception:
+                return
+
+    thread = threading.Thread(
+        target=beat, name="tuning-lease-heartbeat", daemon=True
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=1.0)
+
+
 def autotune(
     kernel,
     acc_type,
@@ -200,7 +256,12 @@ def autotune(
     adopt its published result (``strategy="fleet"``) or — if the
     winner takes too long — return the Table 2 heuristic immediately
     (``strategy="fleet-heuristic"``, zero measurements) and pick the
-    winner up on the next tuning-generation bump.
+    winner up on the next tuning-generation bump.  A fleet transport
+    that dies mid-call degrades that call to standalone tuning —
+    :exc:`~repro.core.errors.TuningFleetError` never escapes here — a
+    held lease is heartbeat-refreshed while the search runs, and a
+    ``tune_schedule=True`` caller whose fleet entry lacks a stored
+    schedule measures locally rather than starving on the heuristic.
     """
     ext = as_vec(extent)
     if device is None:
@@ -219,9 +280,12 @@ def autotune(
 
         fleet = maybe_coordinator(cache)
         if fleet is not None:
-            # Freshen the local view: a sibling may have tuned this key
-            # since our cache last touched disk / the daemon.
-            fleet.fetch(key)
+            try:
+                # Freshen the local view: a sibling may have tuned this
+                # key since our cache last touched disk / the daemon.
+                fleet.fetch(key)
+            except TuningFleetError:
+                fleet = _fleet_down(fleet)
 
     if not force:
         hit = cache.get(kernel, acc_type, device, ext)
@@ -249,52 +313,66 @@ def autotune(
             )
 
     fleet_token = None
+    adopted = None
     if fleet is not None:
-        fleet_token = fleet.try_lease(key)
-        if fleet_token is None:
-            adopted = fleet.wait_for(key)
-            if adopted is None:
-                # The holder released (or died) without publishing —
-                # the lease may be free now; contend once more.
-                fleet_token = fleet.try_lease(key)
+        try:
+            fleet_token = fleet.try_lease(key)
             if fleet_token is None:
-                usable = adopted is not None and not (
-                    tune_schedule and adopted.schedule is None
-                )
-                refit = (
-                    _refit_for_extent(adopted.work_div, ext, props)
-                    if usable
-                    else None
-                )
-                if refit is not None:
-                    return TuningResult(
-                        work_div=refit,
-                        seconds=adopted.seconds,
-                        from_cache=True,
-                        source=adopted.source,
-                        strategy="fleet",
-                        measurements=0,
-                        launches=0,
-                        pruned=0,
-                        cache_key=key,
-                        schedule=adopted.schedule,
-                    )
-                # Waited the winner out: answer *now* with the Table 2
-                # heuristic (zero measurements) — the winner's result
-                # arrives later through the tuning-generation bump.
+                adopted = fleet.wait_for(key)
+                if adopted is None:
+                    # The holder released (or died) without publishing —
+                    # the lease may be free now; contend once more.
+                    fleet_token = fleet.try_lease(key)
+        except TuningFleetError:
+            fleet = _fleet_down(fleet)
+            fleet_token = None
+            adopted = None
+    if fleet is not None and fleet_token is None:
+        schedule_gap = (
+            adopted is not None
+            and tune_schedule
+            and adopted.schedule is None
+        )
+        if not schedule_gap:
+            refit = (
+                _refit_for_extent(adopted.work_div, ext, props)
+                if adopted is not None
+                else None
+            )
+            if refit is not None:
                 return TuningResult(
-                    work_div=divide_work(
-                        ext, props, acc_type.mapping_strategy
-                    ),
-                    seconds=float("nan"),
-                    from_cache=False,
-                    source="heuristic",
-                    strategy="fleet-heuristic",
+                    work_div=refit,
+                    seconds=adopted.seconds,
+                    from_cache=True,
+                    source=adopted.source,
+                    strategy="fleet",
                     measurements=0,
                     launches=0,
                     pruned=0,
                     cache_key=key,
+                    schedule=adopted.schedule,
                 )
+            # Waited the winner out: answer *now* with the Table 2
+            # heuristic (zero measurements) — the winner's result
+            # arrives later through the tuning-generation bump.
+            return TuningResult(
+                work_div=divide_work(
+                    ext, props, acc_type.mapping_strategy
+                ),
+                seconds=float("nan"),
+                from_cache=False,
+                source="heuristic",
+                strategy="fleet-heuristic",
+                measurements=0,
+                launches=0,
+                pruned=0,
+                cache_key=key,
+            )
+        # schedule_gap: the fleet's entry has no stored schedule and a
+        # lease on an already-cached key is never granted, so waiting
+        # would starve this tune_schedule caller on the heuristic
+        # forever.  Ignore the fleet's entry for this call and measure
+        # locally (the scheduled entry is published back below).
 
     candidates = candidate_divisions(
         ext,
@@ -335,52 +413,56 @@ def autotune(
         return mt.seconds
 
     extra = {"hof_label": key} if strategy == "evolve" else {}
-    try:
-        result = run_search(
-            strategy,
-            candidates,
-            objective,
-            seeds=n_seeds,
-            budget=budget,
-            seed=seed,
-            predicted=predicted or None,
-            **extra,
-        )
-    except BaseException:
-        # A failed search must not leave the fleet-wide measurement
-        # lease dangling until it times out.
-        if fleet is not None and fleet_token is not None:
-            fleet.release(key, fleet_token)
-        raise
+    with _lease_heartbeat(fleet, key, fleet_token):
+        try:
+            result = run_search(
+                strategy,
+                candidates,
+                objective,
+                seeds=n_seeds,
+                budget=budget,
+                seed=seed,
+                predicted=predicted or None,
+                **extra,
+            )
+        except BaseException:
+            # A failed search must not leave the fleet-wide measurement
+            # lease dangling until it times out.
+            if fleet is not None and fleet_token is not None:
+                with contextlib.suppress(TuningFleetError):
+                    fleet.release(key, fleet_token)
+            raise
 
-    best = result.best
-    best_mt = measured[best.work_div]
+        best = result.best
+        best_mt = measured[best.work_div]
 
-    best_schedule: Optional[str] = None
-    schedule_trials: Dict[str, float] = {}
-    schedule_launches = 0
-    if tune_schedule:
-        candidates_sched = _schedule_candidates(acc_type)
-        for sched in candidates_sched:
-            try:
-                mt = measure_division(
-                    kernel,
-                    acc_type,
-                    device,
-                    best.work_div,
-                    args,
-                    shared_mem_bytes=shared_mem_bytes,
-                    warmup=warmup,
-                    repeat=repeat,
-                    schedule=sched,
-                    clock="wall",
+        best_schedule: Optional[str] = None
+        schedule_trials: Dict[str, float] = {}
+        schedule_launches = 0
+        if tune_schedule:
+            candidates_sched = _schedule_candidates(acc_type)
+            for sched in candidates_sched:
+                try:
+                    mt = measure_division(
+                        kernel,
+                        acc_type,
+                        device,
+                        best.work_div,
+                        args,
+                        shared_mem_bytes=shared_mem_bytes,
+                        warmup=warmup,
+                        repeat=repeat,
+                        schedule=sched,
+                        clock="wall",
+                    )
+                except Exception:
+                    continue  # a strategy the launch rejects never wins
+                schedule_trials[sched] = mt.seconds
+                schedule_launches += mt.launches
+            if schedule_trials:
+                best_schedule = min(
+                    schedule_trials, key=schedule_trials.get
                 )
-            except Exception:
-                continue  # a strategy the launch rejects never wins
-            schedule_trials[sched] = mt.seconds
-            schedule_launches += mt.launches
-        if schedule_trials:
-            best_schedule = min(schedule_trials, key=schedule_trials.get)
 
     entry = CachedResult(
         work_div=best.work_div,
@@ -388,13 +470,19 @@ def autotune(
         strategy=result.strategy,
         source=best_mt.source,
         schedule=best_schedule,
+        measured_at=time.time(),
     )
-    if fleet is not None and fleet_token is not None:
-        # Publish fleet-wide: persists through the coordinator and
-        # releases the lease; siblings parked in wait_for() unblock on
-        # this and adopt the entry.
-        fleet.publish(key, entry, token=fleet_token)
-    else:
+    if fleet is not None:
+        try:
+            # Publish fleet-wide: persists through the coordinator and
+            # releases the lease; siblings parked in wait_for() unblock
+            # on this and adopt the entry.  The token is None for a
+            # schedule-gap re-measure of an already-cached key — the
+            # daemon then stores and notifies without touching leases.
+            fleet.publish(key, entry, token=fleet_token)
+        except TuningFleetError:
+            fleet = _fleet_down(fleet)
+    if fleet is None:
         cache.put(kernel, acc_type, device, ext, entry)
         if save:
             cache.save()

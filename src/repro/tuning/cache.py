@@ -21,6 +21,9 @@ tuner must never fail because a cache rotted); writes are atomic
 lock, so a crash mid-save cannot destroy earlier results and concurrent
 writer processes storing different kernels cannot silently drop each
 other's entries (the pre-fleet read-modify-write was last-writer-wins).
+Conflicting keys resolve to the entry with the newest ``measured_at``
+stamp, so a fresh re-tune is never reverted by a process still holding
+the superseded result in memory.
 """
 
 from __future__ import annotations
@@ -209,6 +212,13 @@ class CachedResult:
     #: (``autotune(tune_schedule=True)``); None means "back-end
     #: default" and keeps old cache files readable.
     schedule: Optional[str] = None
+    #: Wall-clock ``time.time()`` when the measurement finished; 0.0 for
+    #: entries from pre-timestamp cache files.  Arbitrates merge
+    #: conflicts: the *newest* measurement wins on :meth:`TuningCache.save`
+    #: and :meth:`TuningCache.reload`, so a drift-driven re-tune cannot
+    #: be silently reverted by a sibling process whose in-memory cache
+    #: still holds the superseded entry.
+    measured_at: float = 0.0
 
 
 def _entry_to_dict(entry: CachedResult) -> dict:
@@ -223,6 +233,8 @@ def _entry_to_dict(entry: CachedResult) -> dict:
     }
     if entry.schedule is not None:
         data["schedule"] = entry.schedule
+    if entry.measured_at:
+        data["measured_at"] = entry.measured_at
     return data
 
 
@@ -237,6 +249,7 @@ def _entry_from_dict(data: dict) -> CachedResult:
         strategy=str(data.get("strategy", "?")),
         source=str(data.get("source", "?")),
         schedule=str(schedule) if schedule is not None else None,
+        measured_at=float(data.get("measured_at", 0.0)),
     )
 
 
@@ -352,8 +365,10 @@ class TuningCache:
         The write **merges on-disk entries** it does not know about (and
         does so under an advisory file lock), so two processes that each
         tuned a different kernel both keep their results no matter the
-        save order.  For conflicting keys the in-memory entry wins — it
-        is this process's most recent measurement.  After an explicit
+        save order.  Conflicting keys are arbitrated by ``measured_at``:
+        the newer measurement wins, ties keep the in-memory entry — so a
+        sibling whose in-memory cache lags a fleet re-tune cannot write
+        the superseded entry back over the fresh one.  After an explicit
         :meth:`clear` the next save skips the merge once: a clear must
         actually drop entries, not resurrect them from disk.
         """
@@ -367,7 +382,11 @@ class TuningCache:
                 if not skip_merge:
                     disk = self._read_entries(path, warn=False) or {}
                     for key, entry in disk.items():
-                        if key not in self._entries:
+                        mine = self._entries.get(key)
+                        if mine is None or (
+                            entry != mine
+                            and entry.measured_at > mine.measured_at
+                        ):
                             self._entries[key] = entry
                             adopted += 1
                 self._cleared = False
@@ -401,9 +420,12 @@ class TuningCache:
         return path
 
     def reload(self) -> int:
-        """Re-read the file and adopt entries this process has not seen;
-        returns how many were adopted (never drops an in-memory entry —
-        a concurrent writer's file may lag this process's put()s).
+        """Re-read the file and adopt entries this process has not seen,
+        plus strictly *newer* measurements of keys it has (same
+        ``measured_at`` arbitration as :meth:`save`); returns how many
+        were adopted.  An in-memory entry at least as new as the disk's
+        is never dropped — a concurrent writer's file may lag this
+        process's put()s.
 
         The fleet coordinator polls this in file-lock mode so workers
         that lost a tuning race pick the winner up from disk."""
@@ -412,7 +434,10 @@ class TuningCache:
             disk = self._read_entries(self.path, warn=False) or {}
             adopted = 0
             for key, entry in disk.items():
-                if self._entries.get(key) != entry:
+                mine = self._entries.get(key)
+                if mine is None or (
+                    entry != mine and entry.measured_at > mine.measured_at
+                ):
                     self._entries[key] = entry
                     adopted += 1
         if adopted:

@@ -148,6 +148,15 @@ class FleetClient:
     def release(self, key: str, token: str) -> None:
         self._roundtrip({"op": "release", "key": key, "token": token})
 
+    def renew(self, key: str, token: str) -> bool:
+        """Extend a held lease's deadline; False when the lease is no
+        longer ours (expired and re-granted, or already released)."""
+        return bool(
+            self._roundtrip(
+                {"op": "renew", "key": key, "token": token}
+            ).get("renewed")
+        )
+
     def wait(self, key: str, timeout: float) -> Optional[CachedResult]:
         reply = self._roundtrip(
             {"op": "wait", "key": key, "timeout": timeout},

@@ -64,6 +64,11 @@ class FleetCoordinator:
         """Give up a lease without publishing (measurement failed)."""
         raise NotImplementedError
 
+    def refresh(self, key: str, token) -> None:
+        """Heartbeat a held lease so a measurement that outlasts
+        ``lease_timeout`` is not broken mid-run (best-effort no-op by
+        default)."""
+
     def publish(self, key: str, result: CachedResult, token=None) -> None:
         """Make ``result`` visible fleet-wide and release ``token``."""
         raise NotImplementedError
@@ -122,6 +127,10 @@ class FileLockCoordinator(FleetCoordinator):
     def release(self, key: str, token) -> None:
         if token is not None:
             self._leases.release(token)
+
+    def refresh(self, key: str, token) -> None:
+        if token is not None:
+            self._leases.touch(token)
 
     def publish(self, key: str, result: CachedResult, token=None) -> None:
         self.cache.put_key(key, result)
@@ -186,6 +195,10 @@ class DaemonCoordinator(FleetCoordinator):
     def release(self, key: str, token) -> None:
         if token is not None:
             self._client.release(key, token)
+
+    def refresh(self, key: str, token) -> None:
+        if token is not None:
+            self._client.renew(key, token)
 
     def publish(self, key: str, result: CachedResult, token=None) -> None:
         self.cache.put_key(key, result)

@@ -9,9 +9,10 @@ Semantics worth stating:
 
 * **Leases are in-memory** (uuid token + deadline).  A worker that
   crashed mid-measurement stops blocking the fleet when its lease
-  expires; a daemon restart forgets all leases, which merely lets the
-  race re-run — the merge-on-write cache makes duplicate publishes
-  harmless.
+  expires; a *live* worker whose tuning run outlasts the timeout keeps
+  its lease through ``renew`` heartbeats.  A daemon restart forgets all
+  leases, which merely lets the race re-run — the merge-on-write cache
+  makes duplicate publishes harmless.
 * **`wait` is push-style**: the op parks on a condition variable and
   returns the entry the moment a `put` lands (or early with ``null``
   when the lease holder released without publishing), instead of the
@@ -206,8 +207,14 @@ class FleetDaemon:
         self.cache.save()
         token = msg.get("token")
         with self._cond:
+            # Only the lease holder's own publish clears the lease: an
+            # uncoordinated put (token=None, e.g. a tune_schedule
+            # re-measure of a cached key) must not cancel an active
+            # holder that is still measuring and will publish its own
+            # result.  Waiters are notified either way — the entry is
+            # in the cache and they can adopt it.
             held = self._leases.get(key)
-            if held is not None and (token is None or held[0] == token):
+            if held is not None and token is not None and held[0] == token:
                 del self._leases[key]
             self._cond.notify_all()
         return {"stored": True}
@@ -233,6 +240,19 @@ class FleetDaemon:
             deadline = time.monotonic() + self.config.lease_timeout
             self._leases[key] = (token, deadline)
         return {"token": token}
+
+    def _op_renew(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Extend a held lease's deadline (heartbeat from a measuring
+        worker whose tuning run outlives ``lease_timeout``)."""
+        key = str(msg["key"])
+        token = str(msg.get("token", ""))
+        with self._cond:
+            held = self._leases.get(key)
+            if held is not None and held[0] == token:
+                deadline = time.monotonic() + self.config.lease_timeout
+                self._leases[key] = (token, deadline)
+                return {"renewed": True}
+        return {"renewed": False}
 
     def _op_release(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         key = str(msg["key"])

@@ -8,9 +8,12 @@ tiny JSON body (pid, key, acquire time) purely for diagnostics.
 
 Liveness is time-based, not pid-based: a worker that crashed while
 holding a lease stops blocking its siblings once the lease is older
-than the configured ``lease_timeout``.  Breaking a stale lease happens
-under the cache's advisory :func:`~repro.tuning.cache.file_lock` so two
-breakers cannot both conclude they won.
+than the configured ``lease_timeout``; a *live* holder whose
+measurement outlasts the timeout stays alive by :meth:`LeaseFile.touch`
+heartbeats (``autotune`` refreshes its lease while the search runs).
+Breaking a stale lease happens under the cache's advisory
+:func:`~repro.tuning.cache.file_lock` so two breakers cannot both
+conclude they won.
 """
 
 from __future__ import annotations
@@ -99,6 +102,17 @@ class LeaseFile:
                 except OSError:
                     pass
             return self._try_create(key, path)
+
+    def touch(self, lease: Lease) -> bool:
+        """Refresh the lease file's mtime so a live holder mid-way
+        through a long measurement is not mistaken for a dead one and
+        broken by its siblings; False when the file is gone (the lease
+        was broken already)."""
+        try:
+            os.utime(lease.path, None)
+            return True
+        except OSError:
+            return False
 
     def release(self, lease: Lease) -> None:
         """Give the lease up (idempotent; tolerates a broken lease)."""

@@ -8,6 +8,7 @@ import time
 import pytest
 
 from repro import AccCpuSerial, QueueBlocking, autotune, fn_acc, get_dev_by_idx
+from repro.core.errors import TuningFleetError
 from repro.core.vec import Vec
 from repro.core.workdiv import WorkDivMembers
 from repro.tuning import TuningCache
@@ -213,6 +214,35 @@ class _StubFleet:
         self.published.append((key, result, token))
 
 
+class _DyingFleet(_StubFleet):
+    """A coordinator whose transport died after construction: the named
+    ops raise TuningFleetError mid-conversation."""
+
+    def __init__(self, dies_on, **kwargs):
+        super().__init__(**kwargs)
+        self.dies_on = set(dies_on)
+
+    def _maybe_die(self, op):
+        if op in self.dies_on:
+            raise TuningFleetError(f"daemon gone ({op})")
+
+    def fetch(self, key):
+        self._maybe_die("fetch")
+        return super().fetch(key)
+
+    def try_lease(self, key):
+        self._maybe_die("try_lease")
+        return super().try_lease(key)
+
+    def wait_for(self, key, timeout=None):
+        self._maybe_die("wait_for")
+        return super().wait_for(key, timeout)
+
+    def publish(self, key, result, token=None):
+        self._maybe_die("publish")
+        return super().publish(key, result, token)
+
+
 class _Kern:
     @fn_acc
     def __call__(self, acc, n, out):
@@ -287,6 +317,9 @@ class TestAutotuneIntegration:
         assert key == res.cache_key
         assert token == "tok-1"
         assert entry.work_div == res.work_div
+        # Fresh measurements are stamped so merge conflicts resolve to
+        # the newest entry fleet-wide.
+        assert entry.measured_at > 0
 
     def test_failed_search_releases_the_lease(self, monkeypatch):
         dev, args = _tune_args()
@@ -298,6 +331,34 @@ class TestAutotuneIntegration:
             )
         assert stub.released == [(TuningCache.key(_Kern(), AccCpuSerial, get_dev_by_idx(AccCpuSerial), 256), "tok-1")]
         assert stub.published == []
+
+    def test_tune_schedule_gap_measures_instead_of_starving(self, monkeypatch):
+        """Regression: a schedule-less fleet entry plus the daemon's
+        'cached' lease denial used to starve tune_schedule callers on
+        the fleet-heuristic forever; they must measure locally."""
+        dev, args = _tune_args()
+        schedule_less = CachedResult(
+            work_div=WorkDivMembers(Vec(32), Vec(1), Vec(8)),
+            seconds=3e-6,
+            strategy="random",
+            source="modeled",
+        )
+        stub = _StubFleet(lease_results=[None], wait_result=schedule_less)
+        self._patch(monkeypatch, stub)
+        res = autotune(
+            _Kern(), AccCpuSerial, 256, args, device=dev,
+            strategy="random", budget=2, max_block_threads=8,
+            tune_schedule=True,
+        )
+        assert res.strategy != "fleet-heuristic"
+        assert not res.from_cache
+        assert res.measurements >= 1
+        # The re-measured entry is published back, uncoordinated
+        # (token=None) — the daemon stores it without touching leases.
+        assert len(stub.published) == 1
+        _, entry, token = stub.published[0]
+        assert token is None
+        assert entry.work_div == res.work_div
 
     def test_lock_mode_end_to_end_single_process(self, monkeypatch, tmp_path, isolated_cache):
         monkeypatch.setenv(FLEET_ENV, "lock")
@@ -314,3 +375,114 @@ class TestAutotuneIntegration:
         # A "sibling process" (fresh cache object) sees the entry.
         sibling = TuningCache(str(isolated_cache))
         assert sibling.get_key(res.cache_key) is not None
+
+
+class TestFleetTransportDeath:
+    """Regression (high severity): a daemon dying *after* the
+    coordinator connected used to raise TuningFleetError out of
+    autotune(); it must degrade that call to standalone tuning."""
+
+    def _patch(self, monkeypatch, stub):
+        import repro.tuning.fleet.coordinator as coord_mod
+
+        monkeypatch.setattr(
+            coord_mod, "maybe_coordinator", lambda cache, config=None: stub
+        )
+
+    @pytest.mark.parametrize(
+        "op", ["fetch", "try_lease", "wait_for", "publish"]
+    )
+    def test_dead_transport_degrades_to_standalone(self, monkeypatch, op):
+        from repro.tuning import default_cache
+
+        dev, args = _tune_args()
+        lease_results = ["tok-1"] if op == "publish" else [None, None]
+        stub = _DyingFleet(dies_on=[op], lease_results=lease_results)
+        self._patch(monkeypatch, stub)
+        res = autotune(
+            _Kern(), AccCpuSerial, 256, args, device=dev,
+            strategy="random", budget=2, max_block_threads=8,
+        )
+        assert not res.from_cache
+        assert res.measurements >= 1  # measured standalone, no error
+        # The result still landed in the local cache.
+        assert default_cache().get_key(res.cache_key) is not None
+
+    def test_daemon_death_midsession_degrades(
+        self, monkeypatch, tmp_path, isolated_cache
+    ):
+        """End to end over the real transport: tune once through a live
+        daemon, kill it, tune again on the same (still connected)
+        coordinator."""
+        from repro.tuning.fleet.config import FLEET_ADDR_ENV
+
+        daemon = FleetDaemon(
+            _cfg(mode="daemon"),
+            cache_path=str(tmp_path / "daemon-cache.json"),
+            host="127.0.0.1",
+            port=0,
+        )
+        host, port = daemon.start()
+        monkeypatch.setenv(FLEET_ENV, "daemon")
+        monkeypatch.setenv(FLEET_ADDR_ENV, f"{host}:{port}")
+        reset_coordinator()
+        dev, args = _tune_args()
+        try:
+            res = autotune(
+                _Kern(), AccCpuSerial, 256, args, device=dev,
+                strategy="random", budget=2, max_block_threads=8,
+            )
+            assert not res.from_cache
+        finally:
+            daemon.shutdown()
+        # The daemon is gone but the coordinator is still wired up; the
+        # next tuning call must complete standalone, not raise.
+        dev2, args2 = _tune_args(512)
+        res2 = autotune(
+            _Kern(), AccCpuSerial, 512, args2, device=dev2,
+            strategy="random", budget=2, max_block_threads=8,
+        )
+        assert res2.measurements >= 1
+
+
+class TestLeaseHeartbeat:
+    """A held lease is refreshed while the measurement runs, so tuning
+    runs longer than lease_timeout are not broken mid-measurement."""
+
+    def test_heartbeat_refreshes_while_measuring(self):
+        from repro.tuning import _lease_heartbeat
+
+        class _Recorder:
+            config = _cfg(mode="lock", lease_timeout=0.3)
+
+            def __init__(self):
+                self.refreshed = []
+
+            def refresh(self, key, token):
+                self.refreshed.append((key, token))
+
+        fleet = _Recorder()
+        with _lease_heartbeat(fleet, "key", "tok"):
+            time.sleep(0.35)  # > lease_timeout / 3
+        beats = list(fleet.refreshed)
+        assert ("key", "tok") in beats
+        time.sleep(0.15)
+        assert fleet.refreshed == beats  # stopped with the context
+
+    def test_refresh_failure_ends_the_heartbeat_quietly(self):
+        from repro.tuning import _lease_heartbeat
+
+        class _Dying:
+            config = _cfg(mode="lock", lease_timeout=0.3)
+
+            def refresh(self, key, token):
+                raise TuningFleetError("daemon gone")
+
+        with _lease_heartbeat(_Dying(), "key", "tok"):
+            time.sleep(0.25)  # the beat thread must swallow the error
+
+    def test_no_heartbeat_without_a_lease(self):
+        from repro.tuning import _lease_heartbeat
+
+        with _lease_heartbeat(None, "key", None):
+            pass

@@ -112,6 +112,53 @@ class TestLeases:
         client.put(KEY, ENTRY, token=token)
         assert client.stats()["leases"] == 0
 
+    def test_put_without_token_leaves_the_active_lease_alone(self, daemon, client):
+        """Regression: an uncoordinated publish (token=None, e.g. a
+        tune_schedule re-measure) used to cancel the measuring holder's
+        lease."""
+        holder = _second_client(daemon)
+        try:
+            token = holder.lease(KEY)
+            assert token
+            client.put(KEY, ENTRY)  # no token: not the holder's publish
+            assert client.stats()["leases"] == 1  # holder keeps measuring
+            holder.put(KEY, ENTRY, token=token)  # its own publish clears
+            assert client.stats()["leases"] == 0
+        finally:
+            holder.close()
+
+    def test_renew_extends_a_held_lease(self, tmp_path):
+        d = FleetDaemon(
+            FleetConfig(mode="daemon", lease_timeout=0.4),
+            cache_path=str(tmp_path / "c.json"),
+            host="127.0.0.1",
+            port=0,
+        )
+        d.start()
+        cfg = FleetConfig(
+            mode="daemon", host=d.host, port=d.port, io_timeout=5.0
+        )
+        holder, other = FleetClient(cfg), FleetClient(cfg)
+        try:
+            token = holder.lease(KEY)
+            assert token
+            # Heartbeat well past the original 0.4 s deadline...
+            for _ in range(4):
+                time.sleep(0.15)
+                assert holder.renew(KEY, token)
+            # ...and the lease is still held, not expired and re-granted.
+            assert other.lease(KEY) is None
+        finally:
+            holder.close()
+            other.close()
+            d.shutdown()
+
+    def test_renew_with_wrong_token_is_refused(self, client):
+        token = client.lease(KEY)
+        assert token
+        assert not client.renew(KEY, "not-the-token")
+        assert not client.renew("never|leased|key", token)
+
     def test_expired_lease_stops_blocking(self, tmp_path):
         d = FleetDaemon(
             FleetConfig(mode="daemon", lease_timeout=0.2),

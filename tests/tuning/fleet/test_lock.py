@@ -85,6 +85,27 @@ class TestHolderAlive:
         assert not lf.holder_alive(KEY)
 
 
+class TestTouch:
+    """Regression: a live holder whose measurement outlasts the lease
+    timeout had its lease broken by siblings; touch() is the heartbeat
+    that keeps it alive."""
+
+    def test_touch_keeps_a_long_measurement_alive(self, tmp_path):
+        lf = _leases(tmp_path, timeout=0.5)
+        lease = lf.try_acquire(KEY)
+        old = time.time() - 10.0
+        os.utime(lease.path, (old, old))  # would count as stale...
+        assert lf.touch(lease)  # ...but the holder heartbeats
+        assert lf.holder_alive(KEY)
+        assert lf.try_acquire(KEY) is None  # siblings cannot break it
+
+    def test_touch_reports_an_already_broken_lease(self, tmp_path):
+        lf = _leases(tmp_path)
+        lease = lf.try_acquire(KEY)
+        os.unlink(lease.path)
+        assert not lf.touch(lease)
+
+
 class TestLeasePath:
     def test_stable_per_key(self):
         assert lease_path("/x/c.json", KEY) == lease_path("/x/c.json", KEY)

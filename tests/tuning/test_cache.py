@@ -316,6 +316,82 @@ class TestMergeOnWrite:
         assert len(final) == 20  # 4 writers x 5 rounds, nothing dropped
 
 
+class TestMeasuredAtArbitration:
+    """Regression: merge-on-write used to let the in-memory entry win
+    every conflict, so a sibling process whose cache lagged a drift
+    re-tune wrote the stale entry back over the fresh one on its next
+    save(); reload() conversely clobbered newer unsaved local entries.
+    ``measured_at`` now arbitrates both ways: the newest measurement
+    wins, ties keep the in-memory entry."""
+
+    def _entry(self, blocks, measured_at=0.0):
+        return CachedResult(
+            work_div=WorkDivMembers.make(blocks, 1, 8),
+            seconds=1e-6,
+            strategy="exhaustive",
+            source="modeled",
+            measured_at=measured_at,
+        )
+
+    def _grid(self, cache, key):
+        return cache.get_key(key).work_div.grid_block_extent[0]
+
+    def test_measured_at_roundtrips_through_the_file(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        cache = TuningCache(path)
+        cache.put_key("k", self._entry(2, measured_at=123.25))
+        cache.save()
+        assert TuningCache(path).get_key("k").measured_at == 123.25
+
+    def test_legacy_entries_read_as_unstamped(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        cache = TuningCache(path)
+        cache.put_key("k", self._entry(2))  # measured_at=0.0 not written
+        cache.save()
+        assert "measured_at" not in json.loads(open(path).read())["entries"]["k"]
+        assert TuningCache(path).get_key("k").measured_at == 0.0
+
+    def test_save_does_not_resurrect_a_stale_entry_over_a_retune(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        a.put_key("k", self._entry(2, measured_at=100.0))
+        a.save()
+        b.reload()  # the sibling adopted the original tune
+        a.put_key("k", self._entry(8, measured_at=200.0))  # drift re-tune
+        a.save()
+        b.save()  # the sibling's stale in-memory entry must NOT win
+        assert self._grid(TuningCache(path), "k") == 8
+        assert self._grid(b, "k") == 8  # ...and b itself adopted the re-tune
+
+    def test_save_keeps_the_writers_newer_measurement(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        len(a), len(b)
+        a.put_key("k", self._entry(2, measured_at=100.0))
+        a.save()
+        b.put_key("k", self._entry(4, measured_at=200.0))
+        b.save()
+        assert self._grid(TuningCache(path), "k") == 4
+
+    def test_reload_does_not_clobber_a_newer_inmemory_entry(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        a.put_key("k", self._entry(2, measured_at=100.0))
+        a.save()
+        b.put_key("k", self._entry(8, measured_at=200.0))  # fresher, unsaved
+        b.reload()
+        assert self._grid(b, "k") == 8
+
+    def test_reload_adopts_a_newer_disk_entry(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        a, b = TuningCache(path), TuningCache(path)
+        b.put_key("k", self._entry(2, measured_at=100.0))
+        a.put_key("k", self._entry(8, measured_at=200.0))
+        a.save()
+        assert b.reload() == 1
+        assert self._grid(b, "k") == 8
+
+
 class TestEnvOverride:
     def test_env_var_moves_default_path(self, monkeypatch, tmp_path):
         target = str(tmp_path / "elsewhere" / "cache.json")
