@@ -22,7 +22,7 @@ from repro import (
     mem,
 )
 from repro.atomic import AtomicDomain
-from repro.bench import measure_wall, write_report
+from repro.bench import measure_wall, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.hardware import AccessPattern, machine
 from repro.kernels import AxpyElementsKernel, AxpyKernel, GemmTilingKernel
@@ -68,6 +68,11 @@ def test_ablation_element_level(benchmark):
     )
     print("\n" + text)
     write_report("ablation_element_level.txt", text)
+    write_bench_json("ablation_element_level", {
+        "scalar_seconds": (t_scalar, "s"),
+        "vector_seconds": (t_vector, "s"),
+        "speedup": speedup,
+    })
 
 
 def test_ablation_shared_tiling(benchmark):
@@ -105,6 +110,11 @@ def test_ablation_shared_tiling(benchmark):
     )
     print("\n" + text)
     write_report("ablation_tiling.txt", text)
+    write_bench_json("ablation_tiling", {
+        "tiled_modeled_seconds": (t_tiled, "s"),
+        "untiled_modeled_seconds": (t_untiled, "s"),
+        "tiling_advantage": t_untiled / t_tiled,
+    })
 
 
 def _striping_ablation(updates=4000, threads=4):
@@ -152,3 +162,8 @@ def test_ablation_atomic_striping(benchmark):
     )
     print("\n" + text)
     write_report("ablation_striping.txt", text)
+    write_bench_json("ablation_striping", {
+        "stripes_1_seconds": (results[1], "s"),
+        "stripes_64_seconds": (results[64], "s"),
+        "ratio_1_vs_64": ratio,
+    })

@@ -22,7 +22,7 @@ from repro.apps.hase import (
     default_sample_points,
     gaussian_pump_profile,
 )
-from repro.bench import fig10_hase, write_report
+from repro.bench import fig10_hase, write_bench_json, write_report
 from repro.comparison import render_table
 
 
@@ -47,6 +47,13 @@ def test_fig10_modeled(benchmark):
     )
     print("\n" + text)
     write_report("fig10_modeled.txt", text)
+    write_bench_json("fig10_modeled", {
+        "k20_speedup_vs_native": by["Alpaka(CUDA) on K20"][
+            "Speedup vs native K20"
+        ],
+        "opteron_speedup_vs_native": opteron,
+        "haswell_speedup_vs_native": haswell,
+    })
 
 
 def _run_hase_small():

@@ -13,7 +13,7 @@ element level recovers the packed forms.  The CPU tracer reproduces the
 packed/scalar split from the same kernel objects.
 """
 
-from repro.bench import fig4_ptx_comparison, write_report
+from repro.bench import fig4_ptx_comparison, write_bench_json, write_report
 from repro.kernels import AxpyElementsKernel, AxpyKernel
 from repro.trace import (
     classify_fp_instructions,
@@ -38,6 +38,13 @@ def test_fig4(benchmark):
     )
     print("\n" + text)
     write_report("fig4.txt", text)
+    write_bench_json("fig4", {
+        "identical_up_to_cache_modifiers": int(
+            cmp.identical_up_to_cache_modifiers
+        ),
+        "alpaka_instructions": data["alpaka_instructions"],
+        "native_instructions": data["native_instructions"],
+    })
 
 
 def test_fig4_cpu_assembler(benchmark):
@@ -71,3 +78,9 @@ def test_fig4_cpu_assembler(benchmark):
     )
     print("\n" + text)
     write_report("fig4_cpu.txt", text)
+    write_bench_json("fig4_cpu", {
+        "scalar_kernel_scalar_ops": scalar["scalar"],
+        "scalar_kernel_packed_ops": scalar["packed"],
+        "span_kernel_scalar_ops": packed["scalar"],
+        "span_kernel_packed_ops": packed["packed"],
+    })

@@ -15,6 +15,7 @@ from repro.bench import (
     DEFAULT_SIZES,
     fig5_measured_overhead_host,
     fig5_zero_overhead,
+    write_bench_json,
     write_report,
 )
 from repro.comparison import render_series
@@ -38,6 +39,10 @@ def test_fig5_modeled(benchmark):
     )
     print("\n" + text)
     write_report("fig5_modeled.txt", text)
+    write_bench_json("fig5_modeled", {
+        f"{name}_min_speedup": min(curve.values())
+        for name, curve in curves.items()
+    })
 
 
 def test_fig5_measured_host(benchmark):
@@ -55,3 +60,4 @@ def test_fig5_measured_host(benchmark):
     )
     print("\n" + text)
     write_report("fig5_measured.txt", text)
+    write_bench_json("fig5_measured", {"host_speedup": speedup})

@@ -7,7 +7,12 @@ factor decomposition must name the paper's two reasons: data access
 patterns and work division / synchronisation cost.
 """
 
-from repro.bench import DEFAULT_SIZES, fig6_swapped_backends, write_report
+from repro.bench import (
+    DEFAULT_SIZES,
+    fig6_swapped_backends,
+    write_bench_json,
+    write_report,
+)
 from repro.comparison import render_series
 
 
@@ -33,3 +38,7 @@ def test_fig6(benchmark):
     )
     print("\n" + text)
     write_report("fig6.txt", text)
+    write_bench_json("fig6", {
+        f"{name}_largest_n_speedup": curve[max(curve)]
+        for name, curve in curves.items()
+    })

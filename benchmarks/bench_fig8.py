@@ -7,7 +7,12 @@ with or beats native everywhere, and more elements per thread help on
 both architectures.
 """
 
-from repro.bench import DEFAULT_SIZES, fig8_single_source_tiling, write_report
+from repro.bench import (
+    DEFAULT_SIZES,
+    fig8_single_source_tiling,
+    write_bench_json,
+    write_report,
+)
 from repro.comparison import render_series
 
 
@@ -43,3 +48,9 @@ def test_fig8(benchmark):
     )
     print("\n" + text)
     write_report("fig8.txt", text)
+    write_bench_json("fig8", {
+        "gpu_4elem_best_speedup": max(gpu4.values()),
+        "gpu_1elem_best_speedup": max(gpu1.values()),
+        "cpu_16k_best_speedup": max(cpu16k.values()),
+        "cpu_256_best_speedup": max(cpu256.values()),
+    })

@@ -8,7 +8,12 @@ theoretical peak.  Paper finding: every curve sits around 20 % of peak
 
 import math
 
-from repro.bench import DEFAULT_SIZES, fig9_performance_portability, write_report
+from repro.bench import (
+    DEFAULT_SIZES,
+    fig9_performance_portability,
+    write_bench_json,
+    write_report,
+)
 from repro.comparison import render_series
 
 
@@ -38,3 +43,8 @@ def test_fig9(benchmark):
     )
     print("\n" + text)
     write_report("fig9.txt", text)
+    metrics = {
+        f"{name}_peak_fraction": frac for name, frac in fractions.items()
+    }
+    metrics["geometric_mean_peak_fraction"] = gmean
+    write_bench_json("fig9", metrics)

@@ -9,7 +9,7 @@ machine model.
 """
 
 from repro.acc import AccCpuOmp2Blocks, AccCpuOmp2Threads
-from repro.bench import write_report
+from repro.bench import write_bench_json, write_report
 from repro.comparison import render_table
 from repro.hardware import machine
 from repro.kernels import GemmTilingKernel, gemm_workdiv_tiling
@@ -64,6 +64,12 @@ def test_future_work_xeon_phi_modeled(benchmark):
     )
     print("\n" + text)
     write_report("future_work_mic.txt", text)
+    write_bench_json("future_work_mic", {
+        "block_mapping_gflops": (rows[0]["GFLOPS"], "GFLOPS"),
+        "block_mapping_peak_fraction": rows[0]["Fraction of peak"],
+        "thread_mapping_gflops": (rows[1]["GFLOPS"], "GFLOPS"),
+        "thread_mapping_peak_fraction": rows[1]["Fraction of peak"],
+    })
 
 
 def test_future_work_xeon_phi_functional(benchmark):

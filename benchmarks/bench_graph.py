@@ -33,7 +33,7 @@ from repro import (
     get_dev_by_idx,
     mem,
 )
-from repro.bench import measure_wall, write_report
+from repro.bench import measure_wall, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.kernels import Jacobi2DKernel, jacobi_reference_step
 from repro.runtime import graph_plan_cache_info
@@ -123,6 +123,12 @@ def test_graph_warm_replay_bound(benchmark):
     )
     print("\n" + text)
     write_report("graph_replay.txt", text)
+    write_bench_json("graph_replay", {
+        "single_warm_launch": (costs["single"], "s"),
+        "graph_replay_total": (costs["graph"], "s"),
+        "graph_replay_per_node": (per_node, "s"),
+        "pipeline_nodes": PIPELINE_NODES,
+    })
 
     # The acceptance bound: the whole warm pipeline for the price of
     # (less than) three warm launches.

@@ -33,6 +33,25 @@ from repro.kernels import (
 
 ACC = AccCpuOmp2Blocks
 
+#: Mean wall seconds per kernel, dumped as BENCH_kernels.json once the
+#: module finishes (machine-readable history for trend tooling).
+_JSON_METRICS = {}
+
+
+def _note(name, benchmark):
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        _JSON_METRICS[f"{name}_mean"] = (stats.stats.mean, "s")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_json():
+    yield
+    if _JSON_METRICS:
+        from repro.bench import write_bench_json
+
+        write_bench_json("kernels", _JSON_METRICS)
+
 
 @pytest.fixture(scope="module")
 def dev():
@@ -54,6 +73,7 @@ def test_axpy_1m(benchmark, dev, queue, rng):
     wd = WorkDivMembers.make(n // 8192, 1, 8192)
     task = create_task_kernel(ACC, wd, AxpyElementsKernel(), n, 2.0, x, y)
     benchmark(lambda: queue.enqueue(task))
+    _note("axpy_1m", benchmark)
     assert np.isfinite(y.as_numpy()).all()
 
 
@@ -70,6 +90,7 @@ def test_dot_1m(benchmark, dev, queue, rng):
         queue.enqueue(create_task_kernel(ACC, wd, DotKernel(), n, x, x, out))
 
     benchmark(run)
+    _note("dot_1m", benchmark)
     assert out.as_numpy()[0] == pytest.approx(float(x_h @ x_h), rel=1e-9)
 
 
@@ -86,6 +107,7 @@ def test_gemm_tiling_128(benchmark, dev, queue, rng):
         ACC, wd, GemmTilingKernel(), n, 1.0, bufs[0], bufs[1], 0.0, bufs[2]
     )
     benchmark(lambda: queue.enqueue(task))
+    _note("gemm_tiling_128", benchmark)
     np.testing.assert_allclose(
         bufs[2].as_numpy(), dgemm_reference(1.0, A, B, 0.0, C), rtol=1e-10
     )
@@ -103,6 +125,7 @@ def test_jacobi_256(benchmark, dev, queue, rng):
     wd = WorkDivMembers.make(Vec(h, w).ceil_div(elems), Vec(1, 1), elems)
     task = create_task_kernel(ACC, wd, Jacobi2DKernel(), h, w, 0.2, src, dst)
     benchmark(lambda: queue.enqueue(task))
+    _note("jacobi_256", benchmark)
     np.testing.assert_allclose(dst.as_numpy(), jacobi_reference_step(g, 0.2))
 
 
@@ -113,6 +136,7 @@ def test_scan_64k(benchmark, dev, queue, rng):
     out = mem.alloc(dev, n)
     mem.copy(queue, x, x_h)
     benchmark(lambda: scan_exclusive(ACC, queue, x, out, n, chunk=1024))
+    _note("scan_64k", benchmark)
     np.testing.assert_allclose(out.as_numpy(), scan_reference(x_h), rtol=1e-10)
 
 
@@ -131,6 +155,7 @@ def test_histogram_256k(benchmark, dev, queue, rng):
         )
 
     benchmark(run)
+    _note("histogram_256k", benchmark)
     np.testing.assert_array_equal(
         hist.as_numpy(), histogram_reference(x_h, 64, 0.0, 1.0)
     )

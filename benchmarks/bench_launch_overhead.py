@@ -25,7 +25,12 @@ from repro import (
     fn_acc,
     get_dev_by_idx,
 )
-from repro.bench import launch_stats, measure_wall, write_report
+from repro.bench import (
+    launch_stats,
+    measure_wall,
+    write_bench_json,
+    write_report,
+)
 from repro.comparison import render_table
 
 LAUNCHES = 100
@@ -109,6 +114,12 @@ def test_launch_overhead(benchmark):
     )
     print("\n" + text)
     write_report("launch_overhead.txt", text)
+    metrics = {}
+    for name, c in costs.items():
+        metrics[f"{name}_cold_launch"] = (c["cold"], "s")
+        metrics[f"{name}_warm_launch"] = (c["warm"], "s")
+        metrics[f"{name}_cache_hit_rate"] = c["hit_rate"]
+    write_bench_json("launch_overhead", metrics)
 
     # Repeated launches of an identical task must be served by the plan
     # cache: 1 miss, LAUNCHES-1 hits.

@@ -23,7 +23,7 @@ from repro.apps.hase import (
     default_sample_points,
     gaussian_pump_profile,
 )
-from repro.bench import write_report
+from repro.bench import write_bench_json, write_report
 from repro.comparison import render_table
 from repro.core.workdiv import WorkDivMembers
 from repro.hardware import machine
@@ -65,6 +65,11 @@ def test_multi_gpu_scaling_saturated_modeled(benchmark):
     )
     print("\n" + text)
     write_report("multi_gpu_scaling.txt", text)
+    write_bench_json("multi_gpu_scaling", {
+        "one_die_modeled_seconds": (t_one, "s"),
+        "two_die_modeled_seconds": (t_half, "s"),
+        "scaling": speedup,
+    })
 
 
 def test_multi_gpu_underoccupied_functional(benchmark):

@@ -34,7 +34,7 @@ from repro import (
     mem,
 )
 from repro.acc.cpu import AccCpuOmp2Blocks
-from repro.bench import measure_wall, write_report
+from repro.bench import measure_wall, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.kernels.axpy import AxpyElementsKernel, axpy_reference
 from repro.kernels.gemm import GemmOmpStyleKernel, dgemm_reference
@@ -206,6 +206,11 @@ def test_scaling():
     )
     print("\n" + text)
     write_report("scaling.txt", text)
+    metrics = {}
+    for env_value in SCHEDULES:
+        metrics[f"axpy_{env_value}"] = (axpy[env_value], "s")
+        metrics[f"gemm_{env_value}"] = (gemm[env_value], "s")
+    write_bench_json("scaling", metrics)
 
     required = _required_speedup()
     if required is not None:

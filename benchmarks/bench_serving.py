@@ -37,7 +37,7 @@ import numpy as np
 import pytest
 
 from repro import accelerator, get_dev_by_idx
-from repro.bench import write_report
+from repro.bench import write_bench_json, write_report
 from repro.comparison import render_table
 from repro.dev.manager import device_workers
 from repro.mem.shm import active_segment_names
@@ -174,6 +174,15 @@ def test_serving_batching_throughput(benchmark):
     )
     print("\n" + text)
     write_report("serving_throughput.txt", text)
+    write_bench_json("serving_throughput", {
+        "batched_throughput": (stats["batched"]["throughput"], "req/s"),
+        "unbatched_throughput": (
+            stats["unbatched"]["throughput"], "req/s"
+        ),
+        "batching_speedup": speedup,
+        "batched_max_batch": stats["batched"]["max_batch"],
+        "batched_mean_batch": stats["batched"]["mean_batch"],
+    })
 
     # The batcher really ran (not 1000 singleton "batches")...
     assert stats["batched"]["max_batch"] > 1, stats
@@ -295,6 +304,11 @@ def test_serving_fairness_greedy_tenant(benchmark):
     )
     print("\n" + text)
     write_report("serving_fairness.txt", text)
+    write_bench_json("serving_fairness", {
+        "solo_p99": (solo_p99, "s"),
+        "contended_p99": (contended_p99, "s"),
+        "p99_bound": (bound, "s"),
+    })
     assert contended_p99 <= bound, (solo_p99, contended_p99)
 
 
@@ -518,6 +532,12 @@ async def _smoke_main() -> int:
     )
     print("\n" + text)
     write_report("serving_smoke.txt", text)
+    write_bench_json("serving_smoke", {
+        "solo_p99": (solo["p99"], "s"),
+        "contended_p99": (contended["p99"], "s"),
+        "solo_requests": solo["requests"],
+        "contended_requests": contended["requests"],
+    })
 
     ok = True
     if solo["requests"] != SMOKE_CLIENTS * SMOKE_PER_CLIENT:

@@ -13,7 +13,7 @@ from repro.comparison import (
     render_table,
     table1_rows,
 )
-from repro.bench import write_report
+from repro.bench import write_bench_json, write_report
 
 
 def test_table1(benchmark):
@@ -36,3 +36,8 @@ def test_table1(benchmark):
     )
     print("\n" + text)
     write_report("table1.txt", text)
+    metrics = {"properties_checked": len(results)}
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        metrics["evaluate_alpaka_mean"] = (stats.stats.mean, "s")
+    write_bench_json("table1", metrics)

@@ -4,7 +4,7 @@ Checks the symbolic mappings (thread-level vs block-level strategies)
 and benchmarks the automatic work divider over a sweep of problem sizes.
 """
 
-from repro.bench import table2_rows, write_report
+from repro.bench import table2_rows, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.core import MappingStrategy, divide_work
 from repro.acc import all_accelerators
@@ -40,3 +40,8 @@ def test_table2(benchmark):
     )
     print("\n" + text)
     write_report("table2.txt", text)
+    metrics = {"divisions_swept": len(sweep)}
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        metrics["divide_work_sweep_mean"] = (stats.stats.mean, "s")
+    write_bench_json("table2", metrics)

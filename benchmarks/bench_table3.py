@@ -5,7 +5,7 @@ clocks and peaks; the bench prints the table transposed like the paper
 and cross-checks each peak against a first-principles recomputation.
 """
 
-from repro.bench import table3_rows, write_report
+from repro.bench import table3_rows, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.hardware import TABLE3_KEYS, machine
 
@@ -35,3 +35,8 @@ def test_table3(benchmark):
     text = render_table(rows, "Table 3: evaluation hardware (one row per machine)")
     print("\n" + text)
     write_report("table3.txt", text)
+    metrics = {"machines": len(rows)}
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        metrics["table3_rows_mean"] = (stats.stats.mean, "s")
+    write_bench_json("table3", metrics)

@@ -36,7 +36,7 @@ from repro import (
     get_dev_by_idx,
     mem,
 )
-from repro.bench import launch_stats, write_report
+from repro.bench import launch_stats, write_bench_json, write_report
 from repro.comparison import render_table
 from repro.kernels.gemm import GemmTilingKernel, dgemm_reference
 from repro.kernels.stencil import Jacobi2DKernel, jacobi_reference_step
@@ -173,6 +173,12 @@ def test_tuned_vs_default(benchmark, tmp_path):
     )
     print("\n" + text)
     write_report("tuning_tuned_vs_default.txt", text)
+    write_bench_json("tuning_tuned_vs_default", {
+        f"{r['Workload']}_{r['Back-end']}_speedup": float(
+            r["speed-up"].rstrip("x")
+        )
+        for r in rows
+    })
 
     # The default heuristic is seeded into every candidate space, so
     # the tuned division can only tie or beat it — on every back-end,

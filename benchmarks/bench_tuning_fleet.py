@@ -26,7 +26,7 @@ import numpy as np
 
 from repro import QueueBlocking, autotune, get_dev_by_idx, mem
 from repro.acc import AccCpuSerial
-from repro.bench import write_report
+from repro.bench import write_bench_json, write_report
 from repro.comparison import render_table
 from repro.kernels.gemm import GemmTilingKernel
 from repro.tuning import TuningCache
@@ -154,6 +154,12 @@ def test_fleet_of_four_vs_solo(benchmark, tmp_path):
     )
     print("\n" + text)
     write_report("tuning_fleet_vs_solo.txt", text)
+    write_bench_json("tuning_fleet_vs_solo", {
+        "solo_wall": (solo_wall, "s"),
+        "fleet_wall": (fleet_wall, "s"),
+        "fleet_workers": N_WORKERS,
+        "fleet_measurement_runs": len(measured),
+    })
 
     # Exactly one fleet-wide measurement run; everyone else adopted.
     assert len(measured) == 1, fleet_results
@@ -217,6 +223,12 @@ def test_evolve_within_5pct_of_exhaustive(benchmark, tmp_path):
     )
     print("\n" + text)
     write_report("tuning_fleet_evolve_vs_exhaustive.txt", text)
+    write_bench_json("tuning_fleet_evolve_vs_exhaustive", {
+        "exhaustive_best": (ex.seconds, "s"),
+        "evolve_best": (ev.seconds, "s"),
+        "exhaustive_measurements": ex.measurements,
+        "evolve_measurements": ev.measurements,
+    })
 
     assert ev.seconds <= EVOLVE_TOLERANCE * ex.seconds, (ev.seconds, ex.seconds)
     assert ev.measurements < ex.measurements, (ev.measurements, ex.measurements)

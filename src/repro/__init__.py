@@ -100,6 +100,11 @@ from .tuning import TuningCache, TuningResult, autotune, default_cache
 # Zero-code observability: REPRO_TELEMETRY=1 installs the session
 # collector the moment the library is imported (no-op otherwise).
 telemetry.maybe_activate_from_env()
+# Crash flight recorder: REPRO_FLIGHT_RECORDER_DIR=<dir> arms a
+# bounded ring of recent runtime events, dumped on kernel crashes /
+# sanitizer findings / queue poisonings.  The process-pool scheduler
+# mirrors REPRO_* env into workers, so workers arm themselves too.
+telemetry.flight.maybe_activate_from_env()
 
 __version__ = "1.0.0"
 

@@ -13,7 +13,14 @@ from .figures import (
     table2_rows,
     table3_rows,
 )
-from .harness import launch_stats, measure_wall, sim_time_of, write_report
+from .harness import (
+    host_fingerprint,
+    launch_stats,
+    measure_wall,
+    sim_time_of,
+    write_bench_json,
+    write_report,
+)
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -31,4 +38,6 @@ __all__ = [
     "sim_time_of",
     "launch_stats",
     "write_report",
+    "write_bench_json",
+    "host_fingerprint",
 ]

@@ -404,6 +404,14 @@ class GraphExec:
         pending = {"n": len(self._queues)}
         pending_lock = threading.Lock()
 
+        # Distributed tracing: queue worker threads are not the
+        # submitting thread, so hand them the submitter's ambient
+        # context — node launches then stamp trace ids and the queued
+        # run stitches under the request that submitted the graph.
+        from ..telemetry import tracing
+
+        trace_ctx = tracing.current()
+
         def _make_runner(node):
             # Errors are harvested at the graph level rather than left
             # to poison the queue: a poisoned queue skips its remaining
@@ -414,6 +422,8 @@ class GraphExec:
             def _run():
                 start = perf()
                 node.started_at = start
+                if trace_ctx is not None:
+                    prev_ctx = tracing.set_current(trace_ctx)
                 try:
                     if not self.failed:
                         if node.kind == "call":
@@ -426,6 +436,8 @@ class GraphExec:
                             self.error = e
                             self.failed = True
                 finally:
+                    if trace_ctx is not None:
+                        tracing.set_current(prev_ctx)
                     node.duration = perf() - start
                     node._done_event.set()
 

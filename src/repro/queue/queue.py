@@ -273,6 +273,13 @@ class QueueNonBlocking(Queue):
             except BaseException as exc:  # noqa: BLE001 - reported on wait
                 with self._cv:
                     self._error = exc
+                # Flight recorder: a poisoned queue is exactly the
+                # failure whose prior-seconds context matters.  One
+                # boolean read when off; never raises on this thread.
+                from ..telemetry import flight
+
+                if flight.active():
+                    flight.on_queue_poisoned(self, exc)
             finally:
                 with self._cv:
                     self._pending -= 1

@@ -172,7 +172,7 @@ def execute_plan(plan, task, device, grid=None, scheduler=None) -> "LaunchPlan":
         sched = scheduler or scheduler_for(device, plan.schedule)
         sched.dispatch(plan, grid, plan.block_indices, task)
         advance_modeled_time(task, device, plan.acc_type.kind, plan.work_div)
-    except BaseException:
+    except BaseException as exc:
         # The kernel failure is the error the caller must see: observers
         # are still told the launch ended, but an observer raising from
         # on_launch_end here must not mask the original exception.
@@ -180,6 +180,13 @@ def execute_plan(plan, task, device, grid=None, scheduler=None) -> "LaunchPlan":
             notify_launch_end(plan, task, device)
         except Exception:
             pass
+        # Flight recorder (REPRO_FLIGHT_RECORDER_DIR): dump the recent
+        # event ring alongside the crash.  One boolean read when off;
+        # never raises into the failing path.
+        from ..telemetry import flight
+
+        if flight.active():
+            flight.on_kernel_crash(plan, exc)
         raise
     # On a clean launch an observer exception propagates to the caller
     # (observers only raise when they mean to fail the run); the

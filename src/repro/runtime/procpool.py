@@ -288,7 +288,8 @@ def run_chunk(
     timed: bool,
     device_name: str = "device",
     device_uid: int = -1,
-) -> Tuple[int, Optional[List[Tuple[int, float]]]]:
+    trace: Optional[Dict[str, str]] = None,
+):
     """Execute blocks ``start:stop`` (C order) of the payload's grid.
 
     Returns ``(pid, timings)`` where ``timings`` is a list of
@@ -297,29 +298,77 @@ def run_chunk(
     plain-message :class:`~repro.core.errors.KernelError` — exception
     *causes* may hold unpicklable state and must not cross the process
     boundary.
+
+    ``trace`` (a dict with a W3C ``"traceparent"``, sent only when the
+    parent has an ambient :mod:`repro.telemetry.tracing` context)
+    switches the return to ``(pid, timings, spans)``: the worker times
+    the whole chunk as its own child span and ships it back as a plain
+    dict — ``t0``/``t1`` are the worker's ``perf_counter`` readings,
+    directly comparable with the parent's (one CLOCK_MONOTONIC
+    machine-wide), which the parent replays via the ``on_worker_span``
+    observer hook.  The 2-tuple shape without ``trace`` is the stable
+    contract older callers rely on.
     """
     from ..acc.engine import run_block_single_thread
+
+    ctx = None
+    if trace is not None:
+        from ..telemetry import tracing
+
+        ctx = tracing.from_traceparent(trace.get("traceparent"))
+        if ctx is not None:
+            tracing.set_current(ctx)
+    chunk_t0 = time.perf_counter() if ctx is not None else 0.0
 
     kernel, grid, block_indices = _materialize(
         digest, blob, device_name, device_uid
     )
     timings: Optional[List[Tuple[int, float]]] = [] if timed else None
-    for k in range(start, stop):
-        bidx = block_indices[k]
-        t0 = time.perf_counter() if timed else 0.0
-        try:
-            run_block_single_thread(grid, bidx, kernel, grid.args)
-        except BaseException as exc:  # noqa: BLE001 - crosses the pipe
-            if isinstance(exc, KernelError):
-                msg = str(exc)
-            else:
-                kname = getattr(
-                    kernel, "__name__", type(kernel).__name__
-                )
-                msg = f"kernel {kname!r} failed in block {bidx!r}: {exc!r}"
-            raise KernelError(
-                f"{msg} [process worker pid {os.getpid()}]"
-            ) from None
-        if timed:
-            timings.append((k, time.perf_counter() - t0))
-    return os.getpid(), timings
+    try:
+        for k in range(start, stop):
+            bidx = block_indices[k]
+            t0 = time.perf_counter() if timed else 0.0
+            try:
+                run_block_single_thread(grid, bidx, kernel, grid.args)
+            except BaseException as exc:  # noqa: BLE001 - crosses the pipe
+                if isinstance(exc, KernelError):
+                    msg = str(exc)
+                else:
+                    kname = getattr(
+                        kernel, "__name__", type(kernel).__name__
+                    )
+                    msg = f"kernel {kname!r} failed in block {bidx!r}: {exc!r}"
+                # Flight recorder: workers arm themselves from the
+                # mirrored REPRO_* env at import, so a worker-side crash
+                # leaves a worker-side dump (trace ids included via the
+                # ambient context installed above).
+                from ..telemetry import flight
+
+                if flight.active():
+                    rec = flight.recorder()
+                    if rec is not None:
+                        rec.record("worker_block_crash", error=msg, block=k)
+                        rec.dump("worker_block_crash", error=msg)
+                raise KernelError(
+                    f"{msg} [process worker pid {os.getpid()}]"
+                ) from None
+            if timed:
+                timings.append((k, time.perf_counter() - t0))
+    finally:
+        if ctx is not None:
+            from ..telemetry import tracing
+
+            tracing.set_current(None)
+    if ctx is None:
+        return os.getpid(), timings
+    span = dict(ctx.ids())
+    span.update(
+        name="chunk",
+        pid=os.getpid(),
+        t0=chunk_t0,
+        t1=time.perf_counter(),
+        blocks=stop - start,
+        start=start,
+        stop=stop,
+    )
+    return os.getpid(), timings, [span]

@@ -32,7 +32,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import KernelError
 from ..core.vec import Vec
-from .instrument import notify_block, notify_block_end, observers
+from .instrument import (
+    notify_block,
+    notify_block_end,
+    notify_worker_span,
+    observers,
+)
 
 __all__ = [
     "MAX_BLOCK_WORKERS",
@@ -384,6 +389,19 @@ class ProcessPoolScheduler(Scheduler):
                 _run_block(plan, grid, bidx, task, observed)
             return
 
+        # Distributed tracing: when observed *and* the launching thread
+        # carries an ambient context, ship its traceparent so workers
+        # time their chunk as a child span (replayed via
+        # ``on_worker_span``).  Unobserved launches send nothing — the
+        # payload stays byte-identical to the untraced case.
+        trace = None
+        if observed:
+            from ..telemetry import tracing
+
+            ctx = tracing.current()
+            if ctx is not None:
+                trace = {"traceparent": ctx.to_traceparent()}
+
         pool = self._ensure_pool()
         futures = [
             pool.submit(
@@ -395,6 +413,7 @@ class ProcessPoolScheduler(Scheduler):
                 observed,
                 self.device.name,
                 self.device.uid,
+                trace,
             )
             for start, stop in bounds
         ]
@@ -444,12 +463,18 @@ class ProcessPoolScheduler(Scheduler):
         :func:`current_worker_label`.
         """
         try:
-            for i, (_pid, timings) in results:
+            for i, result in results:
+                _pid, timings = result[0], result[1]
                 _worker_label.value = f"p{i}"
                 for k, seconds in timings or ():
                     bidx = plan.block_indices[k]
                     notify_block(plan, bidx)
                     notify_block_end(plan, bidx, seconds)
+                # 3-tuple results carry worker-side chunk spans (traced
+                # launches only); hand them to observers with the
+                # worker's real pid attached.
+                for span in (result[2] if len(result) > 2 else None) or ():
+                    notify_worker_span(dict(span, worker=f"p{i}"))
         finally:
             _worker_label.value = None
 

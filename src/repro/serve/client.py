@@ -155,6 +155,14 @@ class ServeClient:
                 {k: np.asarray(v) for k, v in (arrays or {}).items()}
             ),
         }
+        # Distributed tracing: propagate the caller's ambient context
+        # (or the REPRO_TRACEPARENT seed) so the server-side request
+        # joins this trace.  Untraced callers add nothing to the frame.
+        from ..telemetry import tracing
+
+        ctx = tracing.current() or tracing.from_env()
+        if ctx is not None:
+            message["trace"] = ctx.child().to_traceparent()
         retries = 0
         while True:
             response = await self._roundtrip(dict(message))

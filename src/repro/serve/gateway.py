@@ -23,6 +23,11 @@ import threading
 import time
 from typing import Dict, Optional
 
+from ..runtime.instrument import observers
+from ..telemetry import flight, tracing
+from ..telemetry import http as ops_http
+from ..telemetry.spans import record_span
+from ..telemetry.tracing import trace_store
 from .admission import FairShareAdmission
 from .batcher import Batcher
 from .config import ServeConfig, config_from_env
@@ -80,6 +85,22 @@ class Gateway:
         )
         self._pump.start()
         self._atexit = atexit.register(self._atexit_shutdown)
+        # Live ops endpoints (REPRO_TELEMETRY_HTTP=host:port): the
+        # gateway publishes its readiness; the listener is shared with
+        # any co-resident fleet daemon.
+        ops_http.maybe_start_from_env()
+        ops_http.register_health("gateway", self._health)
+
+    def _health(self):
+        """Readiness probe for ``/healthz``: up = accepting submissions
+        with a live pump."""
+        ok = not self.closed and self._pump.is_alive()
+        return ok, {
+            "pending": self.pending(),
+            "lanes": len(self.router.lanes),
+            "pump_alive": self._pump.is_alive(),
+            "draining": self._draining.is_set(),
+        }
 
     # -- submission -------------------------------------------------------
 
@@ -98,6 +119,22 @@ class Gateway:
         get_workload(request.workload).validate(request)
         if request.backend:
             self.router._candidates(request.backend)  # raises if unknown
+        # Trace identity: a wire-provided context wins; otherwise adopt
+        # the submitting thread's ambient one; otherwise mint a root —
+        # but only while something observes (untraced, unobserved
+        # submission stays allocation-free).
+        if request.trace is None:
+            ctx = tracing.current()
+            if ctx is None and observers():
+                ctx = tracing.new_trace()
+            request.trace = ctx
+        flight.maybe_record(
+            "serve_submit",
+            request_id=request.request_id,
+            workload=request.workload,
+            tenant=request.tenant,
+            **(request.trace.ids() if request.trace is not None else {}),
+        )
         handle = ServeHandle(request)
         with self._handles_lock:
             self._handles[request.request_id] = handle
@@ -201,6 +238,39 @@ class Gateway:
         ok = error is None
         self.admission.task_finished(request.tenant, service, ok)
         record_completion(request.tenant, latency, ok)
+        trace = request.trace
+        # The request's own span, announced after the fact (the gateway
+        # only learns the endpoints here) — free when unobserved.
+        record_span(
+            "serve.request",
+            now - latency,
+            now,
+            cat="serve",
+            trace=trace,
+            error=type(error).__name__ if error is not None else None,
+            workload=request.workload,
+            tenant=request.tenant,
+            lane=lane.label,
+            batch_size=batch_size,
+        )
+        if trace is not None or error is not None:
+            trace_store().add(
+                {
+                    "trace_id": trace.trace_id if trace is not None else "",
+                    "request_id": request.request_id,
+                    "workload": request.workload,
+                    "tenant": request.tenant,
+                    "lane": lane.label,
+                    "batch_size": batch_size,
+                    "latency_s": round(latency, 6),
+                    "error": (
+                        f"{type(error).__name__}: {error}"
+                        if error is not None
+                        else None
+                    ),
+                    "ts": time.time(),
+                }
+            )
         if ok and self.online is not None:
             self.online.observe(request, service, lane)
         with self._handles_lock:
@@ -282,6 +352,7 @@ class Gateway:
         """
         if self._stopped.is_set():
             return True
+        ops_http.unregister_health("gateway")
         if timeout is None:
             timeout = self.config.drain_timeout
         self._draining.set()

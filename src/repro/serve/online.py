@@ -26,10 +26,14 @@ from the ``REPRO_TUNING_DRIFT_*`` family.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Optional, Tuple
 
+from ..telemetry import flight, tracing
+from ..telemetry.spans import record_span
 from ..tuning.fleet.config import FleetConfig, fleet_config_from_env
 from ..tuning.fleet.drift import DriftMonitor
+from ..tuning.fleet.metrics import record_retune_outcome
 from .workloads import get_workload
 
 __all__ = ["OnlineTuner"]
@@ -45,9 +49,10 @@ class OnlineTuner:
     def __init__(self, config: Optional[FleetConfig] = None):
         self.config = config or fleet_config_from_env()
         self.monitor = DriftMonitor(self._retune, self.config)
-        # workload -> (problem size, acc_type, device) of the latest
-        # completed request; what a re-tune re-measures.
-        self._targets: Dict[str, Tuple[int, object, object]] = {}
+        # workload -> (problem size, acc_type, device, trace) of the
+        # latest completed request; what a re-tune re-measures — and
+        # the trace a triggered re-tune becomes a child span of.
+        self._targets: Dict[str, Tuple[int, object, object, object]] = {}
         self._lock = threading.Lock()
         self._retunes = 0
 
@@ -59,7 +64,10 @@ class OnlineTuner:
         if size is not None:
             with self._lock:
                 self._targets[request.workload] = (
-                    size, lane.acc_type, lane.device
+                    size,
+                    lane.acc_type,
+                    lane.device,
+                    getattr(request, "trace", None),
                 )
         self.monitor.observe(request.workload, service)
 
@@ -86,14 +94,64 @@ class OnlineTuner:
 
     def _retune(self, workload: str) -> None:
         """DriftMonitor callback — runs on the monitor's background
-        thread, never on a request path."""
+        thread, never on a request path.
+
+        The re-tune executes under a *child* of the triggering
+        request's trace context, so in the stitched distributed trace
+        the background re-tune (and the fleet lease/publish traffic it
+        causes) hangs off the gateway request that tipped the drift
+        detector.  Outcomes land in
+        ``repro_tuning_drift_retunes_total``:
+
+        * ``no_target`` — drift fired before any completed request left
+          a measurable problem size;
+        * ``completed`` — fresh division measured and adopted;
+        * ``reverted`` — the fresh measurement predicts no improvement
+          over the superseded entry (the hot-swap is a no-op);
+        * a raised re-tune propagates (the monitor records ``failed``).
+        """
+        record_retune_outcome(workload, "triggered")
         with self._lock:
             target = self._targets.get(workload)
         if target is None:
+            record_retune_outcome(workload, "no_target")
             return
-        size, acc_type, device = target
-        if get_workload(workload).retune(
-            acc_type, device, size, self.config.drift_budget
-        ):
+        size, acc_type, device, trace = target
+        ctx = trace.child() if trace is not None else None
+        flight.maybe_record(
+            "drift_retune",
+            workload=workload,
+            size=size,
+            **(ctx.ids() if ctx is not None else {}),
+        )
+        t0 = time.perf_counter()
+        with tracing.use(ctx):
+            outcome = get_workload(workload).retune(
+                acc_type, device, size, self.config.drift_budget
+            )
+        if outcome:
+            info = outcome if isinstance(outcome, dict) else {}
+            old = info.get("old_seconds")
+            new = info.get("new_seconds")
+            reverted = (
+                old is not None and new is not None and new >= old
+            )
+            record_retune_outcome(
+                workload,
+                "reverted" if reverted else "completed",
+                old_seconds=old,
+                new_seconds=new,
+            )
+            record_span(
+                "drift.retune",
+                t0,
+                time.perf_counter(),
+                cat="tuning",
+                trace=ctx,
+                workload=workload,
+                size=size,
+                old_seconds=old,
+                new_seconds=new,
+            )
             with self._lock:
                 self._retunes += 1

@@ -9,8 +9,16 @@ Client → server::
 
     {"op": "launch", "id": 7, "workload": "axpy", "tenant": "alice",
      "backend": "", "params": {"alpha": 2.0},
+     "trace": "00-<32 hex>-<16 hex>-01",
      "arrays": {"x": {"dtype": "float64", "shape": [1024],
                       "data": "<base64>"}, ...}}
+
+``trace`` is an optional W3C ``traceparent``
+(:mod:`repro.telemetry.tracing`): the server parses it into the
+request's trace context, so the gateway's spans — and everything they
+cascade into, kernel launches and pool-worker chunks included — join
+the caller's distributed trace.  Responses echo the request's trace
+ids back.
     {"op": "graph", ...}            # same fields, graph admission
     {"op": "stats", "id": 8}
     {"op": "ping", "id": 9}
@@ -105,9 +113,11 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     return message
 
 
-def result_payload(msg_id, result) -> Dict[str, Any]:
-    """Wire form of a :class:`~repro.serve.types.ServeResult`."""
-    return {
+def result_payload(msg_id, result, trace=None) -> Dict[str, Any]:
+    """Wire form of a :class:`~repro.serve.types.ServeResult`;
+    ``trace`` (a :class:`~repro.telemetry.tracing.TraceContext`) echoes
+    the request's trace ids back to the caller."""
+    payload = {
         "id": msg_id,
         "ok": True,
         "arrays": encode_arrays(result.arrays),
@@ -115,9 +125,12 @@ def result_payload(msg_id, result) -> Dict[str, Any]:
         "batch_size": result.batch_size,
         "lane": result.lane,
     }
+    if trace is not None:
+        payload["trace"] = trace.to_traceparent()
+    return payload
 
 
-def error_payload(msg_id, exc: BaseException) -> Dict[str, Any]:
+def error_payload(msg_id, exc: BaseException, trace=None) -> Dict[str, Any]:
     """Wire form of a failure; RetryAfter carries its delay hint."""
     payload = {
         "id": msg_id,
@@ -128,4 +141,6 @@ def error_payload(msg_id, exc: BaseException) -> Dict[str, Any]:
     delay = getattr(exc, "delay", None)
     if delay is not None:
         payload["retry_after"] = delay
+    if trace is not None:
+        payload["trace"] = trace.to_traceparent()
     return payload

@@ -26,6 +26,7 @@ from ..acc.registry import accelerator
 from ..core.errors import ServeError
 from ..dev.manager import get_dev_by_idx, get_dev_count
 from ..queue.queue import QueueNonBlocking
+from ..telemetry import tracing
 from .batcher import Batch
 from .config import DEFAULT_BACKEND, ServeConfig
 from .metrics import record_batch, record_inflight
@@ -137,12 +138,17 @@ class ShardRouter:
         lane._note_start(len(requests))
 
         state: Dict[str, Optional[object]] = {"outputs": None, "error": None}
+        # The merged launch executes under the batch leader's trace
+        # context (a coalesced batch is one launch; its kernel spans
+        # parent to the request that opened the batch).
+        trace = getattr(requests[0], "trace", None)
 
         def _run() -> None:
             try:
-                state["outputs"] = workload.execute(
-                    requests, lane.acc_type, lane.device
-                )
+                with tracing.use(trace):
+                    state["outputs"] = workload.execute(
+                        requests, lane.acc_type, lane.device
+                    )
             except BaseException as exc:  # delivered per request below
                 state["error"] = exc
 

@@ -145,6 +145,8 @@ class ServeServer:
         if op == "stats":
             return {"id": msg_id, "ok": True, "stats": self.gateway.stats()}
         if op in ("launch", "graph"):
+            from ..telemetry import tracing
+
             cls = LaunchRequest if op == "launch" else GraphRequest
             request = cls(
                 workload=message.get("workload", ""),
@@ -152,10 +154,13 @@ class ServeServer:
                 backend=message.get("backend", ""),
                 params=message.get("params") or {},
                 arrays=decode_arrays(message.get("arrays") or {}),
+                # A malformed traceparent degrades to untraced — the
+                # gateway then applies its own capture rules.
+                trace=tracing.from_traceparent(message.get("trace")),
             )
             handle = self.gateway.submit(request)
             result = await asyncio.wrap_future(handle.future)
-            return result_payload(msg_id, result)
+            return result_payload(msg_id, result, trace=request.trace)
         from ..core.errors import ServeError
 
         raise ServeError(f"unknown op {op!r}")

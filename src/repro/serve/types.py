@@ -93,6 +93,11 @@ class LaunchRequest:
     request_id: int = field(default_factory=_next_request_id)
     submitted_at: float = 0.0
     admitted_at: float = 0.0
+    #: Distributed-tracing identity
+    #: (:class:`repro.telemetry.tracing.TraceContext`): set by the TCP
+    #: server from the wire's ``trace`` field, or captured from the
+    #: ambient context at submit; None = untraced.
+    trace: Optional[Any] = None
 
     kind = "launch"
 
@@ -123,6 +128,8 @@ class GraphRequest:
     request_id: int = field(default_factory=_next_request_id)
     submitted_at: float = 0.0
     admitted_at: float = 0.0
+    #: See :attr:`LaunchRequest.trace`.
+    trace: Optional[Any] = None
 
     kind = "graph"
 

@@ -153,25 +153,31 @@ def _elementwise_workdiv(
     )
 
 
-def _retune_elementwise(kernel, make_args, acc_type, device, n: int, budget: int) -> bool:
+def _retune_elementwise(kernel, make_args, acc_type, device, n: int, budget: int):
     """Budgeted forced re-tune of one elementwise kernel at size ``n``.
 
     ``make_args(buf)`` builds the kernel argument tuple around a staged
     n-element buffer.  The fresh measurement overwrites the cache entry
     and bumps the tuning generation, so in-flight plans finish on the
     old division and the next plan resolution serves the new one.
+
+    Returns a truthy dict with the superseded entry's predicted seconds
+    (``old_seconds``, None on a cold cache) and the fresh winner's
+    (``new_seconds``) — what the drift metrics report as the re-tune's
+    old-vs-new outcome.
     """
     from .. import mem
     from ..mem import memset
-    from ..tuning import autotune
+    from ..tuning import autotune, default_cache
 
     queue = QueueBlocking(device)
     a = mem.alloc(device, n, pitched=False)
     b = mem.alloc(device, n, pitched=False)
     memset(queue, a, 0)
     memset(queue, b, 0)
+    old = default_cache().get(kernel, acc_type, device, n)
     try:
-        autotune(
+        result = autotune(
             kernel,
             acc_type,
             n,
@@ -184,7 +190,10 @@ def _retune_elementwise(kernel, make_args, acc_type, device, n: int, budget: int
     finally:
         a.free()
         b.free()
-    return True
+    return {
+        "old_seconds": old.seconds if old is not None else None,
+        "new_seconds": result.seconds,
+    }
 
 
 class AxpyWorkload(Workload):

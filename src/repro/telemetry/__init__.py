@@ -60,8 +60,11 @@ from .metrics import (
     registry,
     reset_registry,
 )
+from . import flight, http, tracing
+from .export import stitch_traces
 from .report import render, summary
-from .spans import NULL_SPAN, Span, sim_interval, span
+from .spans import NULL_SPAN, Span, record_span, sim_interval, span
+from .tracing import TRACEPARENT_ENV, TraceContext, TraceStore, trace_store
 
 __all__ = [
     # activation
@@ -87,13 +90,24 @@ __all__ = [
     # spans
     "Span",
     "span",
+    "record_span",
     "sim_interval",
     "NULL_SPAN",
+    # tracing
+    "tracing",
+    "TraceContext",
+    "TraceStore",
+    "trace_store",
+    "TRACEPARENT_ENV",
+    # ops surfaces
+    "flight",
+    "http",
     # export / report
     "to_chrome_trace",
     "write_chrome_trace",
     "to_prometheus",
     "validate_trace",
+    "stitch_traces",
     "TraceValidationError",
     "export_to",
     "render",

@@ -30,6 +30,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..runtime.instrument import ExecutionObserver
+from . import tracing
 from .metrics import MetricsRegistry
 
 __all__ = ["TelemetryCollector", "TraceEvent"]
@@ -42,9 +43,11 @@ _CONCURRENT_THREAD_EXECUTE = ("preemptive", "cooperative")
 class TraceEvent:
     """One exported trace entry (Chrome ``trace_event`` shaped)."""
 
-    __slots__ = ("name", "cat", "ph", "ts", "dur", "tid", "args")
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "tid", "args", "pid")
 
-    def __init__(self, name, cat, ph, ts, dur=0.0, tid=0, args=None):
+    def __init__(
+        self, name, cat, ph, ts, dur=0.0, tid=0, args=None, pid=None
+    ):
         self.name = name
         self.cat = cat
         self.ph = ph  # "X" complete | "i" instant
@@ -52,6 +55,11 @@ class TraceEvent:
         self.dur = dur  # microseconds (complete events)
         self.tid = tid
         self.args = args or {}
+        # None = this process (the exporter substitutes its default
+        # pid); an explicit value marks an event replayed from another
+        # process — a pool worker's span keeps the worker's real pid so
+        # the stitched trace shows one track per process.
+        self.pid = pid
 
     def __repr__(self) -> str:
         return f"<TraceEvent {self.ph} {self.cat}/{self.name} @{self.ts:.1f}us>"
@@ -95,6 +103,15 @@ class TelemetryCollector(ExecutionObserver):
 
     def _now_us(self) -> float:
         return (time.perf_counter() - self._t0) * 1e6
+
+    @staticmethod
+    def _with_trace_ids(args: Dict[str, object]) -> Dict[str, object]:
+        """Stamp the ambient trace identity (as a fresh child span) into
+        ``args``; a no-op for untraced work."""
+        ctx = tracing.current()
+        if ctx is not None:
+            args.update(ctx.child().ids())
+        return args
 
     def _emit(self, ev: TraceEvent) -> None:
         with self._lock:
@@ -182,13 +199,15 @@ class TelemetryCollector(ExecutionObserver):
                 ts=(t_begin - self._t0) * 1e6,
                 dur=wall * 1e6,
                 tid=tid,
-                args={
-                    "backend": labels["backend"],
-                    "device": labels["device"],
-                    "work_div": str(plan.work_div),
-                    "schedule": plan.schedule,
-                    "modeled_s": modeled,
-                },
+                args=self._with_trace_ids(
+                    {
+                        "backend": labels["backend"],
+                        "device": labels["device"],
+                        "work_div": str(plan.work_div),
+                        "schedule": plan.schedule,
+                        "modeled_s": modeled,
+                    }
+                ),
             )
         )
 
@@ -310,14 +329,16 @@ class TelemetryCollector(ExecutionObserver):
                 ts=max(0.0, base),
                 dur=stats.wall_seconds * 1e6,
                 tid=tid,
-                args={
-                    "mode": stats.mode,
-                    "nodes": stats.node_count,
-                    "devices": stats.device_count,
-                    "replayed": stats.replayed,
-                    "critical_path_s": stats.critical_path_seconds,
-                    "overlap_ratio": round(stats.overlap_ratio, 3),
-                },
+                args=self._with_trace_ids(
+                    {
+                        "mode": stats.mode,
+                        "nodes": stats.node_count,
+                        "devices": stats.device_count,
+                        "replayed": stats.replayed,
+                        "critical_path_s": stats.critical_path_seconds,
+                        "overlap_ratio": round(stats.overlap_ratio, 3),
+                    }
+                ),
             )
         )
         for nd in stats.nodes:
@@ -333,6 +354,44 @@ class TelemetryCollector(ExecutionObserver):
                 )
             )
 
+    def on_worker_span(self, info) -> None:
+        """A pool worker's timed region, replayed parent-side.
+
+        The worker recorded ``t0``/``t1`` with its own
+        ``time.perf_counter`` — CLOCK_MONOTONIC on Linux, shared across
+        processes — so the parent's ``_t0`` origin applies directly and
+        the worker's slices land at their true wall position.  The
+        event keeps the worker's real pid: the exported trace grows one
+        track per worker process.
+        """
+        t0 = float(info.get("t0", 0.0))
+        t1 = float(info.get("t1", t0))
+        wall = max(0.0, t1 - t0)
+        pid = int(info.get("pid", 0))
+        args: Dict[str, object] = {
+            k: v
+            for k, v in info.items()
+            if k not in ("name", "t0", "t1", "pid", "tid")
+        }
+        self.registry.histogram(
+            "repro_worker_span_seconds",
+            "wall duration of process-pool worker regions",
+            span=str(info.get("name", "chunk")),
+            worker=str(pid),
+        ).observe(wall)
+        self._emit(
+            TraceEvent(
+                name=str(info.get("name", "chunk")),
+                cat="worker",
+                ph="X",
+                ts=(t0 - self._t0) * 1e6,
+                dur=wall * 1e6,
+                tid=int(info.get("tid", pid)),
+                args=args,
+                pid=pid,
+            )
+        )
+
     def on_span_end(self, span) -> None:
         self.registry.histogram(
             "repro_span_seconds", "span wall duration",
@@ -343,6 +402,8 @@ class TelemetryCollector(ExecutionObserver):
             args["modeled_s"] = span.sim_s
         if span.error:
             args["error"] = span.error
+        if span.trace is not None:
+            args.update(span.trace.ids())
         self._emit(
             TraceEvent(
                 name=span.name,

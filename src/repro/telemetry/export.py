@@ -16,13 +16,21 @@ Two wire formats, both consumed by standard tools:
 suite run against exported traces: it accepts exactly what the Trace
 Event Format requires, so a trace that validates here loads in
 Perfetto.
+
+:func:`stitch_traces` merges the per-process traces of a distributed
+run (gateway, fleet daemon, pool workers) into one Perfetto-loadable
+file: each input's default-pid events are remapped to that process's
+real pid, and cross-process parent/child span links (the
+``trace_id`` / ``span_id`` / ``parent_id`` args the collector stamps)
+become flow arrows (``"s"``/``"f"`` events).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
-from typing import List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from .collector import TelemetryCollector
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -32,13 +40,18 @@ __all__ = [
     "write_chrome_trace",
     "to_prometheus",
     "validate_trace",
+    "stitch_traces",
     "TraceValidationError",
 ]
 
-#: ``pid`` every event carries — the library is single-process.
+#: Default ``pid`` for events of the exporting process.  Events the
+#: collector replayed from *other* processes (pool-worker spans) carry
+#: their real pid instead; ``otherData.pid`` records the exporter's
+#: real pid so :func:`stitch_traces` can remap the default.
 TRACE_PID = 1
 
-_VALID_PHASES = {"X", "i", "B", "E", "M", "C"}
+_VALID_PHASES = {"X", "i", "B", "E", "M", "C", "s", "t", "f"}
+_FLOW_PHASES = {"s", "t", "f"}
 
 
 class TraceValidationError(ValueError):
@@ -60,13 +73,19 @@ def to_chrome_trace(collector: TelemetryCollector) -> dict:
             "args": {"name": f"repro telemetry {collector.label}".strip()},
         }
     ]
+    foreign_pids: List[int] = []
     for ev in list(collector.events):
+        pid = getattr(ev, "pid", None)
+        if pid is None:
+            pid = TRACE_PID
+        elif pid != TRACE_PID and pid not in foreign_pids:
+            foreign_pids.append(pid)
         entry = {
             "name": ev.name,
             "cat": ev.cat,
             "ph": ev.ph,
             "ts": max(0.0, ev.ts),
-            "pid": TRACE_PID,
+            "pid": pid,
             "tid": ev.tid,
             "args": ev.args,
         }
@@ -75,12 +94,26 @@ def to_chrome_trace(collector: TelemetryCollector) -> dict:
         if ev.ph == "i":
             entry["s"] = "t"  # instant scope: thread
         events.append(entry)
+    # Replayed foreign-process events (pool-worker spans) get their own
+    # named process track.
+    for i, pid in enumerate(sorted(foreign_pids)):
+        events.insert(
+            1 + i,
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro worker pid={pid}"},
+            },
+        )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "exporter": "repro.telemetry",
             "dropped_events": collector.dropped_events,
+            "pid": os.getpid(),
         },
     }
 
@@ -128,6 +161,12 @@ def validate_trace(trace: Union[dict, str]) -> dict:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise TraceValidationError(f"{where}: bad dur {dur!r}")
+        if ph in _FLOW_PHASES:
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, (int, str)):
+                raise TraceValidationError(
+                    f"{where}: flow event needs an 'id' (got {flow_id!r})"
+                )
         for key in ("pid", "tid"):
             if key in ev and not isinstance(ev[key], int):
                 raise TraceValidationError(
@@ -142,6 +181,121 @@ def validate_trace(trace: Union[dict, str]) -> dict:
             f"trace is not JSON-serialisable: {exc}"
         ) from None
     return trace
+
+
+def stitch_traces(traces: Iterable[Union[dict, str]]) -> dict:
+    """Merge per-process Chrome traces into one distributed trace.
+
+    ``traces`` are :func:`to_chrome_trace`-shaped dicts (or JSON
+    strings) exported by different processes — gateway, fleet daemon,
+    workers.  Stitching does three things:
+
+    * **pid remapping** — each input's default-pid events
+      (:data:`TRACE_PID`) are rewritten to that process's real pid
+      (``otherData.pid``), so every process gets its own track; events
+      already carrying a real pid (replayed pool-worker spans) keep it;
+    * **track naming** — one ``process_name`` metadata event survives
+      per distinct pid;
+    * **flow arrows** — every event whose ``args.parent_id`` resolves
+      to another event's ``args.span_id`` on a *different* ``(pid,
+      tid)`` grows a ``"s"``→``"f"`` flow pair, so Perfetto draws the
+      cross-process/cross-thread arrows of the request.
+
+    The result is validated before it is returned.  Timestamps are
+    assumed comparable: every collector stamps ``ts`` from
+    ``time.perf_counter`` (CLOCK_MONOTONIC on Linux, one clock
+    machine-wide), minus its own start — stitched positions are
+    per-process-relative, which Perfetto renders fine; the arrows carry
+    the causality.
+    """
+    merged: List[dict] = []
+    meta_by_pid: Dict[int, dict] = {}
+    dropped = 0
+    source_pids: List[int] = []
+    for idx, trace in enumerate(traces):
+        trace = validate_trace(trace)
+        other = trace.get("otherData") or {}
+        real_pid = other.get("pid")
+        if not isinstance(real_pid, int) or real_pid == 0:
+            # No recorded pid: synthesize a stable stand-in per input.
+            real_pid = 1_000_000 + idx
+        source_pids.append(real_pid)
+        dropped += int(other.get("dropped_events", 0) or 0)
+        for ev in trace["traceEvents"]:
+            ev = dict(ev)
+            pid = ev.get("pid", TRACE_PID)
+            if pid == TRACE_PID:
+                pid = real_pid
+            ev["pid"] = pid
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                meta_by_pid.setdefault(pid, ev)
+                continue
+            merged.append(ev)
+
+    # Index span ids -> owning slice, then draw one arrow per
+    # cross-track parent/child edge.
+    by_span: Dict[str, dict] = {}
+    for ev in merged:
+        args = ev.get("args") or {}
+        span_id = args.get("span_id")
+        if isinstance(span_id, str) and span_id not in by_span:
+            by_span[span_id] = ev
+    flows: List[dict] = []
+    for ev in merged:
+        args = ev.get("args") or {}
+        parent_id = args.get("parent_id")
+        span_id = args.get("span_id")
+        if not isinstance(parent_id, str) or not isinstance(span_id, str):
+            continue
+        parent = by_span.get(parent_id)
+        if parent is None:
+            continue
+        same_track = (
+            parent.get("pid") == ev.get("pid")
+            and parent.get("tid") == ev.get("tid")
+        )
+        if same_track:
+            continue
+        flow_id = span_id  # unique per edge: one child, one arrow in
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": parent.get("ts", 0.0),
+                "pid": parent["pid"],
+                "tid": parent.get("tid", 0),
+            }
+        )
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": ev.get("ts", 0.0),
+                "pid": ev["pid"],
+                "tid": ev.get("tid", 0),
+            }
+        )
+
+    merged.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+    events: List[dict] = [
+        meta_by_pid[pid] for pid in sorted(meta_by_pid)
+    ] + merged + flows
+    stitched = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.telemetry",
+            "stitched_from": source_pids,
+            "dropped_events": dropped,
+            "flow_edges": len(flows) // 2,
+        },
+    }
+    return validate_trace(stitched)
 
 
 # ---------------------------------------------------------------------------
@@ -212,9 +366,9 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     """
     lines: List[str] = []
     emitted_families = set()
-    for raw_name in registry.names():
-        kind = registry.kind_of(raw_name)
-        help_text = registry.help_of(raw_name)
+    # One lock acquisition for the whole exposition: a scrape racing
+    # concurrent registration must never see a name without its kind.
+    for raw_name, kind, help_text, instruments in registry.export_snapshot():
         name = _sanitize_name(raw_name, _METRIC_NAME_RE)
         # Two registered names collapsing onto one sanitized family
         # must not repeat the headers mid-exposition.
@@ -223,7 +377,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             if help_text:
                 lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
-        for inst in registry.instruments(raw_name):
+        for inst in instruments:
             if isinstance(inst, (Counter, Gauge)):
                 lines.append(
                     f"{name}{_labels_str(inst.labels)} {_fmt(inst.value)}"

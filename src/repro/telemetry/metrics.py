@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 import threading
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -300,14 +300,36 @@ class MetricsRegistry:
         with self._lock:
             return self._help.get(name, "")
 
-    def instruments(self, name: Optional[str] = None) -> Iterator[object]:
+    def instruments(self, name: Optional[str] = None) -> List[object]:
         """All instruments, or all label variants of one metric name,
-        sorted by label set for deterministic export order."""
+        sorted by label set for deterministic export order.
+
+        Returns a materialized list snapshotted under the registry
+        lock *at call time* — a lazy generator here would take its
+        snapshot at first ``next()`` and silently interleave with
+        concurrent registration."""
         with self._lock:
             items = sorted(self._instruments.items())
+        return [
+            inst for (n, _), inst in items if name is None or n == name
+        ]
+
+    def export_snapshot(self) -> List[Tuple[str, str, str, List[object]]]:
+        """One consistent view for exporters: sorted ``(name, kind,
+        help, instruments)`` tuples captured under a single lock
+        acquisition, so a scrape racing registration never sees a name
+        without its kind (or vice versa)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+            kinds = dict(self._kinds)
+            helps = dict(self._help)
+        by_name: Dict[str, List[object]] = {}
         for (n, _), inst in items:
-            if name is None or n == name:
-                yield inst
+            by_name.setdefault(n, []).append(inst)
+        return [
+            (n, kinds.get(n, ""), helps.get(n, ""), by_name[n])
+            for n in sorted(by_name)
+        ]
 
     def __len__(self) -> int:
         with self._lock:

@@ -253,8 +253,10 @@ def _fleet_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
 
 
 def _drift_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
-    """One row per served workload the drift monitor watched: verdicts
-    and background re-tune latency."""
+    """One row per served workload the drift monitor watched: verdicts,
+    what each triggered re-tune actually did (completed vs reverted),
+    the predicted old→new seconds of the latest re-tune, and background
+    re-tune latency."""
     workloads: Dict[str, Dict[str, int]] = {}
     for inst in collector.registry.instruments(
         "repro_tuning_fleet_drift_total"
@@ -263,6 +265,24 @@ def _drift_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
         wl = labels.get("workload", "?")
         row = workloads.setdefault(wl, {})
         row[labels.get("outcome", "?")] = int(inst.value)
+    outcomes: Dict[str, Dict[str, int]] = {}
+    for inst in collector.registry.instruments(
+        "repro_tuning_drift_retunes_total"
+    ):
+        labels = dict(inst.labels)
+        wl = labels.get("workload", "?")
+        workloads.setdefault(wl, {})
+        row = outcomes.setdefault(wl, {})
+        row[labels.get("outcome", "?")] = int(inst.value)
+    predicted: Dict[str, Dict[str, float]] = {}
+    for inst in collector.registry.instruments(
+        "repro_tuning_drift_predicted_seconds"
+    ):
+        labels = dict(inst.labels)
+        wl = labels.get("workload", "?")
+        predicted.setdefault(wl, {})[labels.get("which", "?")] = float(
+            inst.value
+        )
     if not workloads:
         return []
     retune_h = None
@@ -273,13 +293,25 @@ def _drift_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
     rows = []
     for wl in sorted(workloads):
         r = workloads[wl]
+        o = outcomes.get(wl, {})
+        p = predicted.get(wl, {})
+        if "old" in p or "new" in p:
+            old_new = (
+                f"{_fmt_seconds(p.get('old', 0.0))}"
+                f"→{_fmt_seconds(p.get('new', 0.0))}"
+            )
+        else:
+            old_new = "-"
         rows.append(
             {
                 "workload": wl,
                 "drift detected": r.get("detected", 0),
                 "retuned": r.get("retuned", 0),
+                "completed": o.get("completed", 0),
+                "reverted": o.get("reverted", 0),
                 "cooldown": r.get("cooldown", 0),
                 "failed": r.get("failed", 0),
+                "old→new": old_new,
                 "retune p50": _fmt_seconds(
                     retune_h.percentile(50)
                     if isinstance(retune_h, Histogram) and retune_h.count

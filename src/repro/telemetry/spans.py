@@ -37,8 +37,9 @@ from typing import Dict, Iterator, List, Optional
 
 from ..runtime import instrument as _instrument
 from ..runtime.instrument import notify_span_begin, notify_span_end
+from . import tracing
 
-__all__ = ["Span", "span", "sim_interval", "NULL_SPAN"]
+__all__ = ["Span", "span", "record_span", "sim_interval", "NULL_SPAN"]
 
 _ids_lock = threading.Lock()
 _next_id = 0
@@ -66,6 +67,8 @@ class Span:
         "sim0_fs",
         "sim1_fs",
         "error",
+        "trace",
+        "_prev_ctx",
     )
 
     def __init__(
@@ -86,11 +89,23 @@ class Span:
         self.sim0_fs = 0
         self.sim1_fs = 0
         self.error: Optional[str] = None
+        #: Trace identity within a distributed request (None = the
+        #: opening thread had no ambient :mod:`~repro.telemetry.tracing`
+        #: context).
+        self.trace: Optional[tracing.TraceContext] = None
+        self._prev_ctx: Optional[tracing.TraceContext] = None
 
     # -- context manager ------------------------------------------------
 
     def __enter__(self) -> "Span":
         self.thread_id = threading.get_ident()
+        ctx = tracing.current()
+        if ctx is not None:
+            # This span becomes a child of the ambient context, and the
+            # *ambient* context becomes this span for the block's
+            # duration — nested spans and launches parent naturally.
+            self.trace = ctx.child()
+            self._prev_ctx = tracing.set_current(self.trace)
         if self.device is not None:
             self.sim0_fs = self.device.sim_time_fs
         self.t0 = time.perf_counter()
@@ -103,6 +118,8 @@ class Span:
             self.sim1_fs = self.device.sim_time_fs
         if exc_type is not None:
             self.error = exc_type.__name__
+        if self.trace is not None:
+            tracing.set_current(self._prev_ctx)
         notify_span_end(self)
         return False
 
@@ -158,6 +175,38 @@ def span(name: str, cat: str = "runtime", device=None, **attrs):
     if not _instrument._observers:
         return NULL_SPAN
     return Span(name, cat, device, attrs)
+
+
+def record_span(
+    name: str,
+    t0: float,
+    t1: float,
+    cat: str = "runtime",
+    trace: Optional["tracing.TraceContext"] = None,
+    error: Optional[str] = None,
+    **attrs,
+) -> Optional[Span]:
+    """Announce an already-measured region as a closed span.
+
+    For call sites that know a region's endpoints without having
+    wrapped it (the gateway learns a request's span only in the
+    completion callback; the fleet daemon's op handler measures inside
+    a protocol dispatcher).  ``t0``/``t1`` are ``time.perf_counter``
+    readings; ``trace`` stamps an explicit trace identity (the ambient
+    context is *not* consulted — pass what the request carried).
+
+    Free when unobserved: one falsy check, returns None.
+    """
+    if not _instrument._observers:
+        return None
+    sp = Span(name, cat, None, attrs)
+    sp.thread_id = threading.get_ident()
+    sp.t0 = t0
+    sp.t1 = t1
+    sp.trace = trace
+    sp.error = error
+    notify_span_end(sp)
+    return sp
 
 
 @contextmanager

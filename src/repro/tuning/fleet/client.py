@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 
 from ...core.errors import TuningFleetError
 from ...serve.protocol import decode_message, encode_message
+from ...telemetry import tracing
 from ..cache import CachedResult, entry_from_dict, entry_to_dict
 from .config import FleetConfig
 
@@ -76,6 +77,13 @@ class FleetClient:
                 raise TuningFleetError("fleet client is closed")
             self._next_id += 1
             payload = dict(payload, id=self._next_id)
+            # Distributed tracing: ops made during a drift re-tune (or
+            # any traced tuning path) carry the caller's context, so
+            # daemon-side spans stitch under the request that caused
+            # the fleet traffic.  Untraced callers add nothing.
+            ctx = tracing.current() or tracing.from_env()
+            if ctx is not None:
+                payload["trace"] = ctx.child().to_traceparent()
             try:
                 self._sock.settimeout(
                     timeout if timeout is not None else self.config.io_timeout

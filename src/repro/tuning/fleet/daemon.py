@@ -31,6 +31,9 @@ import uuid
 from typing import Any, Dict, Optional, Tuple
 
 from ...serve.protocol import MAX_LINE_BYTES, decode_message, encode_message
+from ...telemetry import flight, tracing
+from ...telemetry import http as ops_http
+from ...telemetry.spans import record_span
 from ..cache import TuningCache, entry_from_dict, entry_to_dict
 from .config import FleetConfig
 
@@ -79,7 +82,26 @@ class FleetDaemon:
             target=self._accept_loop, name="fleet-daemon-accept", daemon=True
         )
         self._accept_thread.start()
+        # Live ops surface: the daemon is a long-lived process, so it
+        # exposes /metrics, /healthz and /traces when asked to.
+        ops_http.maybe_start_from_env()
+        ops_http.register_health("fleet_daemon", self._health)
         return (self.host, self.port)
+
+    def _health(self):
+        with self._cond:
+            leases = sum(
+                1 for key in list(self._leases)
+                if self._lease_active_locked(key)
+            )
+            conns = len(self._conns)
+        up = self._server is not None and not self._stopping.is_set()
+        return up, {
+            "entries": len(self.cache),
+            "leases": leases,
+            "connections": conns,
+            "uptime": time.monotonic() - self._started_at,
+        }
 
     def serve_forever(self) -> None:
         if self._server is None:
@@ -93,6 +115,7 @@ class FleetDaemon:
             self.shutdown()
 
     def shutdown(self) -> None:
+        ops_http.unregister_health("fleet_daemon")
         self._stopping.set()
         with self._cond:
             self._cond.notify_all()
@@ -187,10 +210,31 @@ class FleetDaemon:
                 "message": f"unknown op {op!r}",
             }
         self._count(str(op))
+        # The wire context (when the client sent one) makes this op a
+        # child span of the remote caller; a malformed traceparent
+        # degrades to an untraced op.
+        ctx = tracing.from_traceparent(msg.get("trace"))
+        if op in ("lease", "put", "release", "wait"):
+            flight.maybe_record(
+                f"fleet_{op}",
+                key=str(msg.get("key", "")),
+                **(ctx.ids() if ctx is not None else {}),
+            )
+        t0 = time.perf_counter()
         try:
-            payload = handler(msg)
+            with tracing.use(ctx):
+                payload = handler(msg)
         except Exception as exc:  # a bad request must not kill the conn
+            record_span(
+                f"fleet.{op}", t0, time.perf_counter(), cat="fleet",
+                trace=ctx, error=type(exc).__name__,
+                key=str(msg.get("key", "")),
+            )
             return {"id": msg_id, "ok": False, "message": str(exc)}
+        record_span(
+            f"fleet.{op}", t0, time.perf_counter(), cat="fleet",
+            trace=ctx, key=str(msg.get("key", "")),
+        )
         return {"id": msg_id, "ok": True, **payload}
 
     def _op_ping(self, msg: Dict[str, Any]) -> Dict[str, Any]:
