@@ -143,6 +143,82 @@ def test_launch_overhead(benchmark):
     )
 
 
+def test_compiled_replay_launch_overhead():
+    """The `compiled` strategy's warm-launch cost: after the cold trace,
+    every launch is one cached-replay dispatch — no re-trace, and a
+    per-launch cost in the same band as the other single-dispatch
+    back-ends (a replay that secretly re-traced would sit orders of
+    magnitude above it)."""
+    import os
+
+    from repro.compile import compile_stats, reset_compile_stats
+    from repro.runtime.scheduler import SCHEDULER_ENV
+
+    prev = os.environ.get(SCHEDULER_ENV)
+    os.environ[SCHEDULER_ENV] = "compiled"
+    clear_plan_cache()
+    reset_compile_stats()
+    try:
+        import numpy as np
+
+        from repro import mem
+        from repro.kernels import AxpyKernel
+
+        acc = accelerator("AccCpuOmp2Blocks")
+        dev = get_dev_by_idx(acc, 0)
+        queue = QueueBlocking(dev)
+        n = 64
+        x = mem.alloc(dev, n)
+        y = mem.alloc(dev, n)
+        x.as_numpy()[:] = np.arange(float(n))
+        task = create_task_kernel(
+            acc, WorkDivMembers.make(n, 1, 1), AxpyKernel(), n, 1.5, x, y
+        )
+        queue.enqueue(task)  # cold: trace + compile
+
+        def launch():
+            for _ in range(LAUNCHES):
+                queue.enqueue(task)
+
+        warm = measure_wall(launch, repeat=3) / LAUNCHES
+        stats = compile_stats()
+        x.free()
+        y.free()
+    finally:
+        if prev is None:
+            os.environ.pop(SCHEDULER_ENV, None)
+        else:
+            os.environ[SCHEDULER_ENV] = prev
+        clear_plan_cache()
+
+    text = render_table(
+        [{
+            "Strategy": "compiled (warm replay)",
+            "warm [us]": f"{warm * 1e6:8.1f}",
+            "traces": str(stats["traces"]),
+            "retraces": str(stats["retraces"]),
+        }],
+        "Extension: compiled-replay launch overhead (64-thread AXPY)",
+    )
+    print("\n" + text)
+    write_report("launch_overhead_compiled.txt", text)
+    write_bench_json(
+        "launch_overhead_compiled",
+        {
+            "compiled_warm_launch": (warm, "s"),
+            "compiled_traces": stats["traces"],
+            "compiled_retraces": stats["retraces"],
+        },
+    )
+
+    # Warm compiled replay must never re-trace.
+    assert stats["traces"] == 1, stats
+    assert stats["retraces"] == 0, stats
+    assert stats["fallbacks"] == {}, stats
+    # Same order-of-magnitude band as the other warm launches.
+    assert warm < 2e-2, warm
+
+
 def test_chunking_precomputed_in_plan():
     """Warm launches must not re-partition block indices: the chunked
     dispatch geometry is memoised on the cached ``LaunchPlan``

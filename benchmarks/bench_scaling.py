@@ -47,11 +47,18 @@ SCHEDULES = {
     "sequential": "sequential",
     "threads": "pooled",
     "processes": "processes",
+    "compiled": "compiled",
 }
 
 AXPY_N = 1 << 22
 AXPY_BLOCKS = 16
 AXPY_LAUNCHES = 4
+
+#: Work division for the trace-vectorization gate: GPU-style block-heavy
+#: decomposition where per-block interpretation overhead dominates —
+#: the regime the compiled replay exists to eliminate.
+COMPILED_BLOCKS = 16384
+COMPILED_SPEEDUP_ENV = "REPRO_REQUIRE_COMPILED_SPEEDUP"
 
 GEMM_N = 384
 GEMM_ROWS_PER_BLOCK = 24
@@ -219,6 +226,102 @@ def test_scaling():
             f"process-pool AXPY speedup {speedup:.2f}x below the "
             f"required {required:.1f}x on {os.cpu_count()} cores"
         )
+
+
+def test_compiled_vectorization_gate():
+    """The trace-vectorizer's acceptance gate: element AXPY at n=2^22
+    under a block-heavy work division runs >= 5x faster compiled than
+    interpreted sequential, bit-identically, and warm replays never
+    re-trace.  ``REPRO_REQUIRE_COMPILED_SPEEDUP`` overrides the factor
+    (CI sets it explicitly so the gate cannot silently relax)."""
+    from repro.compile import compile_stats, reset_compile_stats
+
+    n = AXPY_N
+    blocks = COMPILED_BLOCKS
+    rng = np.random.default_rng(7)
+    x0 = rng.random(n)
+    y0 = rng.random(n)
+    expected = axpy_reference(1.5, x0, y0)
+
+    def run(schedule_env):
+        clear_plan_cache()
+        dev = get_dev_by_idx(AccCpuOmp2Blocks, 0)
+        queue = QueueBlocking(dev)
+        x = mem.alloc(dev, n)
+        y = mem.alloc(dev, n)
+        x.as_numpy()[:] = x0
+        y.as_numpy()[:] = y0
+        wd = WorkDivMembers.make((blocks,), (1,), (-(-n // blocks),))
+        task = create_task_kernel(
+            AccCpuOmp2Blocks, wd, AxpyElementsKernel(), n, 1.5, x, y
+        )
+        with _ForcedSchedule(schedule_env):
+            plan = get_plan(task, dev)
+            assert plan.schedule == SCHEDULES[schedule_env]
+            queue.enqueue(task)  # warm: trace once, cache the replay
+            result = y.as_numpy().copy()
+            y.as_numpy()[:] = y0
+
+            def launches():
+                for _ in range(AXPY_LAUNCHES):
+                    queue.enqueue(task)
+
+            seconds = measure_wall(launches, repeat=3) / AXPY_LAUNCHES
+        x.free()
+        y.free()
+        return seconds, result
+
+    seq_s, seq_result = run("sequential")
+    reset_compile_stats()
+    comp_s, comp_result = run("compiled")
+    stats = compile_stats()
+
+    # Identity: the vectorised replay is the same numpy ops in the same
+    # order, so bytes must match — not merely be close.
+    assert np.array_equal(comp_result, expected)
+    assert np.array_equal(comp_result, seq_result)
+
+    # Warm replay: one trace on the cold launch, zero re-traces over
+    # every warm launch (1 explicit + (warmup+repeat) timing rounds of
+    # AXPY_LAUNCHES each), no fallbacks.
+    assert stats["traces"] == 1, stats
+    assert stats["retraces"] == 0, stats
+    assert stats["fallbacks"] == {}, stats
+    assert stats["compiled_launches"] == 1 + 4 * AXPY_LAUNCHES, stats
+
+    speedup = seq_s / comp_s
+    required = float(os.environ.get(COMPILED_SPEEDUP_ENV, "5.0"))
+    text = render_table(
+        [
+            {
+                "Strategy": name,
+                "AXPY [ms]": f"{sec * 1e3:8.2f}",
+                "speedup": f"{seq_s / sec:5.2f}x",
+            }
+            for name, sec in (
+                ("sequential", seq_s),
+                ("compiled", comp_s),
+            )
+        ],
+        "Extension: trace-vectorized replay, element-level AXPY "
+        f"(n=2^22, {blocks} blocks) on {os.cpu_count()} cores",
+    )
+    print("\n" + text)
+    write_report("compiled.txt", text)
+    write_bench_json(
+        "compiled",
+        {
+            "axpy_sequential": (seq_s, "s"),
+            "axpy_compiled": (comp_s, "s"),
+            "speedup": speedup,
+            "traces": stats["traces"],
+            "retraces": stats["retraces"],
+        },
+    )
+    assert speedup >= required, (
+        f"compiled AXPY speedup {speedup:.2f}x below the required "
+        f"{required:.1f}x ({blocks} blocks, {os.cpu_count()} cores)"
+    )
 
 
 def test_no_shm_leaks_after_scaling():

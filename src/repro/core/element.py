@@ -93,7 +93,17 @@ def grid_strided_spans(acc, extent: int) -> Iterator[slice]:
 
     With a covering grid this degenerates to a single span identical to
     :func:`element_slice`.
+
+    Like :func:`get_idx`, the loop is interceptable: a compile-tracing
+    accelerator (:mod:`repro.compile`) provides ``trace_elem_spans``
+    and receives the *whole* loop — across threads and stride
+    iterations the clipped spans tile ``[0, extent)`` exactly once, so
+    the tracer collapses it to a single symbolic span.
     """
+    spans = getattr(acc, "trace_elem_spans", None)
+    if spans is not None:
+        yield from spans(extent)
+        return
     span = get_work_div(acc, Thread, Elems)[0]
     stride = get_work_div(acc, Grid, Elems)[0]
     start = get_idx(acc, Grid, Elems)[0]

@@ -26,6 +26,7 @@ __all__ = [
     "SanitizerError",
     "ServeError",
     "TuningFleetError",
+    "CompileCrossCheckError",
 ]
 
 
@@ -109,6 +110,14 @@ class SanitizerError(AlpakaError, RuntimeError):
 class ServeError(AlpakaError, RuntimeError):
     """The serving gateway (:mod:`repro.serve`) rejected or failed a
     request for a reason other than the kernel itself failing."""
+
+
+class CompileCrossCheckError(KernelError):
+    """Compiled replay and interpreted execution disagreed bit-for-bit
+    on a store target (``REPRO_COMPILE_CROSSCHECK=1`` or the
+    ``python -m repro.sanitize crosscheck`` sweep).  Either the
+    trace-vectorizer mis-compiled the kernel or the kernel's result
+    depends on cross-thread execution order — both are findings."""
 
 
 class TuningFleetError(AlpakaError, RuntimeError):

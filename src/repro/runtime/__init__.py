@@ -57,6 +57,7 @@ from .scheduler import (
     MAX_BLOCK_WORKERS_ENV,
     PROCESS_WORKERS_ENV,
     SCHEDULER_ENV,
+    CompiledScheduler,
     PooledScheduler,
     ProcessPoolScheduler,
     Scheduler,
@@ -91,6 +92,7 @@ __all__ = [
     "SequentialScheduler",
     "PooledScheduler",
     "ProcessPoolScheduler",
+    "CompiledScheduler",
     "scheduler_for",
     "shutdown_schedulers",
     "chunk_indices",

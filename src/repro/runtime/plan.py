@@ -100,6 +100,12 @@ class LaunchPlan:
     _chunk_bounds: Dict[int, Tuple[Tuple[int, int], ...]] = field(
         default_factory=dict, repr=False
     )
+    #: argument signature -> compiled replay closure (or a cached
+    #: fallback verdict); owned by :mod:`repro.compile.replay`.  Lives
+    #: on the plan so the cache shares the plan's LRU lifetime and the
+    #: trace happens once per (kernel, work-div, arg-shape), not per
+    #: launch.
+    _compiled: Dict = field(default_factory=dict, repr=False)
 
     def chunks_for(self, workers: int) -> list:
         """``chunk_indices(block_indices, workers)``, memoised.
@@ -221,7 +227,9 @@ def _build_plan(task, device) -> LaunchPlan:
         # legal strategy.
         schedule = "pooled"
     # A one-block grid gains nothing from pool dispatch; plan it out.
-    if wd.block_count == 1:
+    # (The compiled strategy replays the whole grid regardless of block
+    # count, so it is exempt from the demotion.)
+    if wd.block_count == 1 and schedule != "compiled":
         schedule = "sequential"
     from ..acc.engine import iter_indices
 

@@ -52,6 +52,7 @@ __all__ = [
     "SequentialScheduler",
     "PooledScheduler",
     "ProcessPoolScheduler",
+    "CompiledScheduler",
     "scheduler_for",
     "shutdown_schedulers",
     "chunk_indices",
@@ -69,7 +70,9 @@ MAX_BLOCK_WORKERS_ENV = "REPRO_MAX_BLOCK_WORKERS"
 
 #: Environment variable forcing a block-scheduling strategy onto every
 #: *pool-capable* back-end: ``sequential``, ``threads`` (alias
-#: ``pooled``) or ``processes``.  Back-ends that declare
+#: ``pooled``), ``processes`` or ``compiled`` (trace-vectorized whole-
+#: grid replay, falling back to the thread pool for kernels the
+#: vectorizer cannot represent).  Back-ends that declare
 #: ``block_schedule="sequential"`` (serial, fibers, the thread-level
 #: CPU back-ends) are never remapped — their block order is part of
 #: their semantics.
@@ -86,6 +89,8 @@ _SCHEDULE_ALIASES = {
     "pooled": "pooled",
     "processes": "processes",
     "process": "processes",
+    "compiled": "compiled",
+    "compile": "compiled",
 }
 
 
@@ -485,6 +490,100 @@ class ProcessPoolScheduler(Scheduler):
             pool.shutdown(wait=True)
 
 
+class CompiledScheduler(Scheduler):
+    """The whole grid executes as one trace-vectorized numpy replay.
+
+    Instead of dispatching blocks at all, the first launch of a
+    (kernel, work-division, argument-shape) configuration is traced
+    with batched symbolic thread coordinates (:mod:`repro.compile`) and
+    warm launches replay the recorded dataflow as fused array
+    operations — the closure is cached on the plan, so the steady state
+    is a dict lookup plus a handful of vectorized ufunc calls.
+
+    Launches the vectorizer cannot represent — divergent control flow,
+    barriers, atomics, shared memory, per-thread RNG, sanitizer-
+    instrumented grids, custom block subsets — fall back to the thread
+    pool with the reason classified, logged once per (kernel, reason),
+    counted in ``repro_compile_fallbacks_total`` and flight-recorded
+    (mirroring the process scheduler's classifier).  Fallbacks happen
+    strictly before any argument byte changes, so they are always
+    correct, never a partial launch.
+
+    ``REPRO_COMPILE_CROSSCHECK=1`` additionally runs every compiled
+    launch through the interpreter and asserts the two agree
+    bit-for-bit on all store targets.
+    """
+
+    schedule = "compiled"
+
+    def __init__(self, device):
+        super().__init__(device)
+        self._logged_reasons = set()
+
+    def _fallback(self, plan, grid, block_indices, task, reason: str,
+                  detail: str) -> None:
+        from ..compile.metrics import note_fallback
+        from ..compile.replay import kernel_name
+        from ..telemetry import flight
+
+        kname = kernel_name(task.kernel)
+        note_fallback(kname, reason)
+        key = (kname, reason)
+        if key not in self._logged_reasons:
+            self._logged_reasons.add(key)
+            _log.info(
+                "compiled dispatch of %s falls back to interpretation "
+                "[%s]: %s",
+                kname,
+                reason,
+                detail,
+            )
+        flight.maybe_record(
+            "compile_fallback", kernel=kname, reason=reason
+        )
+        scheduler_for(self.device, "pooled").dispatch(
+            plan, grid, block_indices, task
+        )
+
+    def dispatch(self, plan, grid, block_indices, task) -> None:
+        from ..compile.replay import crosscheck_active, execute_compiled
+        from ..compile.tracer import CompileFallback
+
+        if block_indices is not plan.block_indices:
+            # The replay covers the whole grid; a caller-selected block
+            # subset has no compiled equivalent.
+            self._fallback(
+                plan, grid, block_indices, task,
+                "custom-block-subset",
+                "launch uses a custom block-index subset",
+            )
+            return
+        if getattr(grid, "monitor", None) is not None:
+            # Sanitizer-instrumented launches must interpret: the
+            # monitor observes per-thread accesses, which a fused
+            # replay by design does not perform.
+            self._fallback(
+                plan, grid, block_indices, task,
+                "sanitizer",
+                "sanitizer-instrumented launch needs per-thread "
+                "interpretation",
+            )
+            return
+        interpret = None
+        if crosscheck_active():
+            pooled = scheduler_for(self.device, "pooled")
+
+            def interpret():
+                pooled.dispatch(plan, grid, block_indices, task)
+
+        try:
+            execute_compiled(plan, grid, task, interpret=interpret)
+        except CompileFallback as cf:
+            self._fallback(
+                plan, grid, block_indices, task, cf.reason, cf.detail
+            )
+
+
 _schedulers: Dict[Tuple[int, str], Scheduler] = {}
 _schedulers_lock = threading.Lock()
 
@@ -492,6 +591,7 @@ _SCHEDULER_TYPES: Dict[str, type] = {
     SequentialScheduler.schedule: SequentialScheduler,
     PooledScheduler.schedule: PooledScheduler,
     ProcessPoolScheduler.schedule: ProcessPoolScheduler,
+    CompiledScheduler.schedule: CompiledScheduler,
 }
 
 

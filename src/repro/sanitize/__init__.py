@@ -28,9 +28,10 @@ Entry points::
     with enabled() as report:
         enqueue(queue, task)
 
-    # CLI: demos, shipped kernels, examples
+    # CLI: demos, shipped kernels, examples, compiled cross-check
     python -m repro.sanitize demos
     python -m repro.sanitize examples
+    python -m repro.sanitize crosscheck
 
 This module keeps imports light (the runtime consults
 :func:`sanitize_active` on every launch); detector machinery loads on
@@ -70,6 +71,8 @@ __all__ = [
     "SanitizeMonitor",
     "FuzzFiberScheduler",
     "make_fuzzed_runner",
+    "sweep_crosscheck",
+    "CrossCheckReport",
 ]
 
 _LAZY = {
@@ -82,6 +85,8 @@ _LAZY = {
     "SanitizeMonitor": "monitor",
     "FuzzFiberScheduler": "fuzz",
     "make_fuzzed_runner": "fuzz",
+    "sweep_crosscheck": "crosscheck",
+    "CrossCheckReport": "crosscheck",
 }
 
 

@@ -2,10 +2,12 @@
 
 Subcommands::
 
-    demos     run the seeded-buggy demos; exit 0 iff every demo is FLAGGED
-    kernels   sanitize every shipped kernel; exit 1 on any finding
-    examples  run example scripts under the sanitizer; exit 1 on findings
-    run       sanitize an arbitrary script (``--seed`` replays a schedule)
+    demos       run the seeded-buggy demos; exit 0 iff every demo is FLAGGED
+    kernels     sanitize every shipped kernel; exit 1 on any finding
+    examples    run example scripts under the sanitizer; exit 1 on findings
+    run         sanitize an arbitrary script (``--seed`` replays a schedule)
+    crosscheck  replay the kernel sweep compiled vs interpreted; exit 1 on
+                any bit-level mismatch or unclassified compile crash
 
 ``demos`` inverts the usual polarity: the demos contain known bugs, so
 a *clean* report is the failure (exit 2) — that is the CI check that
@@ -56,6 +58,19 @@ def _parser() -> argparse.ArgumentParser:
         help="example paths (default: every examples/*.py)",
     )
     e.add_argument("--seed", type=int, help="schedule seed for fuzzing back-ends")
+
+    c = sub.add_parser(
+        "crosscheck",
+        help="replay the kernel sweep compiled vs interpreted (bit-identity)",
+    )
+    c.add_argument(
+        "--backend", action="append", dest="backends", metavar="NAME",
+        help="pooled back-end to sweep (repeatable; default: omp2-blocks)",
+    )
+    c.add_argument(
+        "--only", action="append", metavar="KERNEL",
+        help="restrict to one kernel family (repeatable)",
+    )
 
     r = sub.add_parser("run", help="sanitize an arbitrary python script")
     r.add_argument("script", help="path to the script")
@@ -189,6 +204,14 @@ def _cmd_examples(ns) -> int:
     return rc
 
 
+def _cmd_crosscheck(ns) -> int:
+    from .crosscheck import sweep_crosscheck
+
+    report = sweep_crosscheck(ns.backends, only=ns.only)
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def _cmd_run(ns) -> int:
     report = SanitizerReport(label=ns.script)
     with _with_seed(ns.seed):
@@ -202,6 +225,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demos": _cmd_demos,
         "kernels": _cmd_kernels,
         "examples": _cmd_examples,
+        "crosscheck": _cmd_crosscheck,
         "run": _cmd_run,
     }[ns.command](ns)
 

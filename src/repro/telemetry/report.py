@@ -44,6 +44,17 @@ def _find(collector, metric: str, **labels) -> Optional[object]:
     return None
 
 
+def _sum_counters(collector, metric: str, **labels) -> float:
+    """Total over every instrument matching ``labels`` (a kernel that ran
+    under several schedules owns one counter per schedule)."""
+    total = 0.0
+    for inst in collector.registry.instruments(metric):
+        have = dict(inst.labels)
+        if all(have.get(k) == v for k, v in labels.items()):
+            total += inst.value
+    return total
+
+
 def _launch_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
     rows = []
     for kernel, backend, device in collector.kernels():
@@ -77,7 +88,10 @@ def _launch_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
         row: Dict[str, object] = {
             "kernel": kernel,
             "backend": backend,
-            "launches": int(launches.value) if launches else 0,
+            "launches": int(_sum_counters(
+                collector, "repro_launches_total",
+                kernel=kernel, backend=backend, device=device,
+            )) if launches else 0,
             "launch p50": _fmt_seconds(
                 launch_h.percentile(50) if launch_h else 0.0
             ),
@@ -94,6 +108,18 @@ def _launch_rows(collector: TelemetryCollector) -> List[Dict[str, object]]:
             else "-"
         )
         row["modeled/wall"] = skew
+        total = _sum_counters(
+            collector, "repro_launches_total",
+            kernel=kernel, backend=backend, device=device,
+        )
+        vectorised = _sum_counters(
+            collector, "repro_launches_total",
+            kernel=kernel, backend=backend, device=device,
+            schedule="compiled",
+        )
+        row["compiled"] = (
+            f"{int(vectorised)}/{int(total)}" if vectorised else "-"
+        )
         rows.append(row)
     return rows
 

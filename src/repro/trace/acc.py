@@ -23,8 +23,12 @@ from .symbolic import SymArray, SymFloat, SymInt, TraceContext
 
 __all__ = ["TraceAcc", "ArgSpec", "trace_alpaka_kernel"]
 
-#: ("int", name) | ("float", name) | ("array", name) | ("const_array", name)
-ArgSpec = Tuple[str, str]
+#: ("int", name) | ("float", name) | ("array", name) | ("const_array", name),
+#: each optionally with a third element: the element dtype of an array
+#: parameter (default float64) — e.g. ("array", "counts", np.int32).
+#: The dtype scales the byte-offset computation and selects the
+#: ``ld.global``/``st.global`` type suffix.
+ArgSpec = Union[Tuple[str, str], Tuple[str, str, object]]
 
 _AXES = ("x", "y", "z")
 
@@ -184,16 +188,22 @@ class TraceAcc:
 
 def _make_params(ctx: TraceContext, arg_specs: Sequence[ArgSpec]):
     args = []
-    for kind, name in arg_specs:
+    for spec in arg_specs:
+        kind, name = spec[0], spec[1]
+        dtype = spec[2] if len(spec) > 2 else np.float64
         if kind == "int":
             args.append(SymInt(ctx, ctx.b.new_param("r")))
         elif kind == "float":
             args.append(SymFloat(ctx, ctx.b.new_param("fd")))
         elif kind == "array":
-            args.append(SymArray(ctx, ctx.b.new_param("rd"), name))
+            args.append(
+                SymArray(ctx, ctx.b.new_param("rd"), name, dtype=dtype)
+            )
         elif kind == "const_array":
             args.append(
-                SymArray(ctx, ctx.b.new_param("rd"), name, const=True)
+                SymArray(
+                    ctx, ctx.b.new_param("rd"), name, dtype=dtype, const=True
+                )
             )
         else:
             raise TraceError(f"unknown arg spec kind {kind!r} for {name!r}")

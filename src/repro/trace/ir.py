@@ -20,9 +20,9 @@ from ..core.errors import TraceError
 __all__ = ["Instruction", "IRBuilder", "RegisterClass"]
 
 #: PTX register-class prefixes.
-RegisterClass = str  # "r" | "rd" | "fd" | "p"
+RegisterClass = str  # "r" | "rd" | "f" | "fd" | "p"
 
-_VALID_CLASSES = ("r", "rd", "fd", "p")
+_VALID_CLASSES = ("r", "rd", "f", "fd", "p")
 
 
 @dataclass(frozen=True)

@@ -241,6 +241,21 @@ class SymFloat:
         return f"SymFloat({self.reg})"
 
 
+#: numpy (kind, itemsize) -> PTX type suffix for global loads/stores.
+_PTX_SUFFIX = {
+    ("f", 8): "f64",
+    ("f", 4): "f32",
+    ("i", 4): "s32",
+    ("i", 8): "s64",
+    ("u", 4): "u32",
+    ("u", 8): "u64",
+}
+
+#: PTX type suffix -> virtual register class of the loaded value.
+_REG_CLASS = {"f64": "fd", "f32": "f", "s32": "r", "u32": "r",
+              "s64": "rd", "u64": "rd"}
+
+
 class SymArray:
     """A global-memory array parameter.
 
@@ -248,6 +263,12 @@ class SymArray:
     ``const __restrict__`` — loads then use the non-coherent texture
     path (``ld.global.nc.f64``), the one-instruction difference the
     paper observes between the native CUDA and the Alpaka DAXPY PTX.
+
+    The element ``dtype`` decides both the byte-offset scaling
+    (``mul.wide.s32 idx, itemsize`` — shared *per itemsize* through
+    ``TraceContext.offset_cache``, exactly as nvcc shares the widened
+    product, but never across differing widths) and the load/store
+    type suffix (``ld.global.f32`` for a float32 buffer, not ``.f64``).
     """
 
     def __init__(
@@ -261,7 +282,14 @@ class SymArray:
         self.ctx = ctx
         self.param_reg = param_reg
         self.name = name
-        self.itemsize = np.dtype(dtype).itemsize
+        dt = np.dtype(dtype)
+        self.itemsize = dt.itemsize
+        try:
+            self.suffix = _PTX_SUFFIX[(dt.kind, dt.itemsize)]
+        except KeyError:
+            raise TraceError(
+                f"symbolic array {name!r}: no PTX mapping for dtype {dt}"
+            ) from None
         self.const = const
         self._global_reg: Optional[str] = None
         self._addr_cache: Dict[str, str] = {}
@@ -299,9 +327,15 @@ class SymArray:
                 f"{idx!r}; trace kernels index with thread-derived values"
             )
         addr = self._address(idx)
-        dst = self.ctx.b.new_reg("fd")
-        op = "ld.global.nc.f64" if self.const else "ld.global.f64"
+        dst = self.ctx.b.new_reg(_REG_CLASS[self.suffix])
+        op = (
+            f"ld.global.nc.{self.suffix}"
+            if self.const
+            else f"ld.global.{self.suffix}"
+        )
         self.ctx.b.emit(op, dst, addr)
+        if self.suffix in ("s32", "u32"):
+            return SymInt(self.ctx, dst)
         return SymFloat(self.ctx, dst)
 
     def __setitem__(self, idx, value) -> None:
@@ -312,10 +346,10 @@ class SymArray:
             )
         if isinstance(value, Product):
             value = value.materialise()
-        if not isinstance(value, SymFloat):
+        if not isinstance(value, (SymFloat, SymInt)):
             value = self.ctx.float_value(value)
         addr = self._address(idx)
-        self.ctx.b.emit("st.global.f64", None, addr, value.reg)
+        self.ctx.b.emit(f"st.global.{self.suffix}", None, addr, value.reg)
 
     def __repr__(self):
         return f"SymArray({self.name})"

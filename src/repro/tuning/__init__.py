@@ -245,9 +245,13 @@ def autotune(
     ``tune_schedule=True`` adds the block-scheduling strategy to the
     candidate space: after the division search, the winning division is
     wall-clock-measured under every strategy its back-end can run
-    (sequential / thread pool, plus the process pool when the back-end
-    declares ``supports_process_blocks``), and the winner is persisted
-    with the entry — AUTO launches then pick it up at plan time.
+    (sequential / thread pool, the process pool when the back-end
+    declares ``supports_process_blocks``, and the trace-vectorized
+    ``compiled`` replay), and the winner is persisted with the entry —
+    AUTO launches then pick it up at plan time.  With
+    ``strategy="evolve"`` the schedule is part of the genome instead:
+    the joint (division, schedule) space evolves in one run and no
+    post-search sweep happens.
 
     With the fleet enabled (``REPRO_TUNING_FLEET=lock|daemon``, see
     :mod:`repro.tuning.fleet`), the measurement itself is coordinated
@@ -413,6 +417,35 @@ def autotune(
         return mt.seconds
 
     extra = {"hof_label": key} if strategy == "evolve" else {}
+    if strategy == "evolve" and tune_schedule:
+        # Evolve searches the joint (division, schedule) space in one
+        # run: the compiled replay, the pools and sequential dispatch
+        # compete as genome values instead of a post-search sweep.
+        candidates_sched = _schedule_candidates(acc_type)
+        if candidates_sched:
+
+            def schedule_objective(wd: WorkDivMembers, sched: str) -> float:
+                try:
+                    mt = measure_division(
+                        kernel,
+                        acc_type,
+                        device,
+                        wd,
+                        args,
+                        shared_mem_bytes=shared_mem_bytes,
+                        warmup=warmup,
+                        repeat=repeat,
+                        schedule=sched,
+                        clock="wall",
+                    )
+                except Exception:
+                    return float("inf")
+                measured[wd] = mt
+                return mt.seconds
+
+            extra["schedules"] = candidates_sched
+            extra["schedule_objective"] = schedule_objective
+
     with _lease_heartbeat(fleet, key, fleet_token):
         try:
             result = run_search(
@@ -436,10 +469,14 @@ def autotune(
         best = result.best
         best_mt = measured[best.work_div]
 
-        best_schedule: Optional[str] = None
-        schedule_trials: Dict[str, float] = {}
+        best_schedule: Optional[str] = getattr(
+            result, "best_schedule", None
+        )
+        schedule_trials: Dict[str, float] = dict(
+            getattr(result, "schedule_trials", {}) or {}
+        )
         schedule_launches = 0
-        if tune_schedule:
+        if tune_schedule and best_schedule is None:
             candidates_sched = _schedule_candidates(acc_type)
             for sched in candidates_sched:
                 try:
@@ -509,14 +546,17 @@ def _schedule_candidates(acc_type) -> Tuple[str, ...]:
 
     Sequential back-ends (serial, fibers, the thread-level CPU
     back-ends) offer no choice — their block order is semantic.  Pooled
-    back-ends choose between the caller's thread, the thread pool, and
-    — when single-thread blocks make it safe — the process pool.
+    back-ends choose between the caller's thread, the thread pool,
+    — when single-thread blocks make it safe — the process pool, and
+    the trace-vectorized compiled replay (which self-measures its own
+    fallback-to-interpretation cost when the kernel cannot compile).
     """
     if getattr(acc_type, "block_schedule", "sequential") != "pooled":
         return ()
     cands = ["sequential", "pooled"]
     if getattr(acc_type, "supports_process_blocks", False):
         cands.append("processes")
+    cands.append("compiled")
     return tuple(cands)
 
 

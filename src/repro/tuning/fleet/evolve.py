@@ -135,6 +135,8 @@ def evolve_search(
     hof_size: int = 3,
     hof_path: Optional[str] = None,
     hof_label: str = "evolve",
+    schedules: Sequence[str] = (),
+    schedule_objective=None,
 ) -> SearchResult:
     """Tournament-selected, crossover/mutation search over the candidate
     space; persists a per-generation hall of fame.
@@ -143,53 +145,91 @@ def evolve_search(
     measurements* (memoised — re-evaluating a surviving individual is
     free); evolution also stops after ``stale_after`` generations
     without improvement or after ``max_generations``.
+
+    With ``schedules`` (and a ``schedule_objective(wd, schedule) ->
+    seconds``), the genome grows a third axis: each individual is a
+    (division, block-schedule) pair, crossover may take its schedule
+    from either parent, and mutation can step the schedule instead of a
+    division axis.  The winner's schedule lands in
+    :attr:`SearchResult.best_schedule` — this is how ``compiled`` (the
+    trace-vectorized replay) competes against ``sequential`` / pooled /
+    process dispatch inside one evolutionary run instead of a separate
+    post-search sweep.
     """
     order, pruned = _prune(candidates, seeds, predicted, prune_ratio)
     if not order:
         raise ValueError("empty candidate space")
     rng = _random.Random(seed)
 
-    # Valid-coordinate index: (block, elems) -> candidate.  Axis value
-    # lists are sorted so mutation's "neighbour" is the next/previous
-    # extent along that axis.
-    valid: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], WorkDivMembers] = {}
+    sched_axis: List[Optional[str]] = (
+        list(schedules) if schedules and schedule_objective else [None]
+    )
+
+    # Valid-coordinate index: (block, elems, schedule) -> individual.
+    # Axis value lists are sorted so mutation's "neighbour" is the
+    # next/previous extent along that axis.
+    valid: Dict[tuple, tuple] = {}
     for wd in order:
-        valid.setdefault(_coord(wd), wd)
+        c = _coord(wd)
+        for sched in sched_axis:
+            valid.setdefault(c + (sched,), (wd, sched))
     block_axis = sorted({c[0] for c in valid})
     elem_axis = sorted({c[1] for c in valid})
 
-    measured: Dict[WorkDivMembers, float] = {}
+    measured: Dict[tuple, float] = {}
     trials: List[Trial] = []
 
-    def spend(wd: WorkDivMembers) -> Optional[float]:
+    def coord(ind: tuple) -> tuple:
+        return _coord(ind[0]) + (ind[1],)
+
+    def spend(ind: tuple) -> Optional[float]:
         """Memoised measurement; None once the budget is gone."""
-        if wd in measured:
-            return measured[wd]
+        if ind in measured:
+            return measured[ind]
         if budget is not None and len(trials) >= budget:
             return None
-        secs = objective(wd)
-        measured[wd] = secs
+        wd, sched = ind
+        secs = objective(wd) if sched is None else schedule_objective(wd, sched)
+        measured[ind] = secs
         trials.append(Trial(wd, secs))
         return secs
 
-    def fitness(wd: WorkDivMembers) -> float:
-        return measured.get(wd, float("inf"))
+    def fitness(ind: tuple) -> float:
+        return measured.get(ind, float("inf"))
 
-    def crossover(a: WorkDivMembers, b: WorkDivMembers) -> WorkDivMembers:
-        ca, cb = _coord(a), _coord(b)
-        for combo in ((ca[0], cb[1]), (cb[0], ca[1])):
+    def crossover(a: tuple, b: tuple) -> tuple:
+        ca, cb = coord(a), coord(b)
+        scheds = [ca[2], cb[2]]
+        rng.shuffle(scheds)
+        for combo in (
+            (ca[0], cb[1], scheds[0]),
+            (cb[0], ca[1], scheds[1]),
+        ):
             child = valid.get(combo)
             if child is not None:
                 return child
         return a if fitness(a) <= fitness(b) else b
 
-    def mutate(wd: WorkDivMembers) -> WorkDivMembers:
-        block, elems = _coord(wd)
-        if rng.random() < 0.5:
-            axis, make = block_axis, lambda v: (v, elems)
+    def mutate(ind: tuple) -> tuple:
+        block, elems, sched = coord(ind)
+        genes = ["block", "elems"] + (
+            ["sched"] if len(sched_axis) > 1 else []
+        )
+        gene = rng.choice(genes)
+        if gene == "sched":
+            # Step the schedule axis: any other legal schedule.
+            others = [s for s in sched_axis if s != sched]
+            rng.shuffle(others)
+            for s in others:
+                child = valid.get((block, elems, s))
+                if child is not None:
+                    return child
+            return ind
+        if gene == "block":
+            axis, make = block_axis, lambda v: (v, elems, sched)
             at = axis.index(block)
         else:
-            axis, make = elem_axis, lambda v: (block, v)
+            axis, make = elem_axis, lambda v: (block, v, sched)
             at = axis.index(elems)
         steps = list(range(1, len(axis)))
         rng.shuffle(steps)
@@ -200,15 +240,22 @@ def evolve_search(
                     child = valid.get(make(axis[idx]))
                     if child is not None:
                         return child
-        return wd
+        return ind
 
-    def pick(pool: List[WorkDivMembers]) -> WorkDivMembers:
+    def pick(pool: List[tuple]) -> tuple:
         k = min(tournament, len(pool))
         return min(rng.sample(pool, k), key=fitness)
 
     # -- generation 0: Table 2 seeds + model-ranked head ---------------
-    pop_size = max(2, min(population, len(order)))
-    pop = list(dict.fromkeys(order))[:pop_size]
+    # With a schedule axis, the head divisions cycle through the legal
+    # schedules so every schedule is measured early.
+    pop_size = max(2, min(population, len(order) * len(sched_axis)))
+    head = list(dict.fromkeys(order))
+    pop = [
+        (head[i % len(head)], sched_axis[i % len(sched_axis)])
+        for i in range(pop_size)
+    ]
+    pop = list(dict.fromkeys(pop))
 
     generations: List[dict] = []
     best_so_far = float("inf")
@@ -216,13 +263,14 @@ def evolve_search(
     out_of_budget = False
 
     for gen in range(max_generations):
-        for wd in pop:
-            if spend(wd) is None:
+        for ind in pop:
+            if spend(ind) is None:
                 out_of_budget = True
                 break
 
         ranked = sorted(
-            (wd for wd in dict.fromkeys(pop) if wd in measured), key=fitness
+            (ind for ind in dict.fromkeys(pop) if ind in measured),
+            key=fitness,
         )
         if ranked:
             gen_best = fitness(ranked[0])
@@ -231,11 +279,16 @@ def evolve_search(
                     "generation": gen,
                     "hall_of_fame": [
                         {
-                            "work_div": _wd_payload(wd),
-                            "seconds": measured[wd],
+                            "work_div": _wd_payload(ind[0]),
+                            **(
+                                {"schedule": ind[1]}
+                                if ind[1] is not None
+                                else {}
+                            ),
+                            "seconds": measured[ind],
                         }
-                        for wd in ranked[:hof_size]
-                        if measured[wd] != float("inf")
+                        for ind in ranked[:hof_size]
+                        if measured[ind] != float("inf")
                     ],
                     "best_seconds": (
                         gen_best if gen_best != float("inf") else None
@@ -264,18 +317,33 @@ def evolve_search(
             next_pop.append(child)
         # Duplicates are free (memoised) but diversity is not: replace
         # repeats with unmeasured candidates while any remain.
-        seen: List[WorkDivMembers] = []
-        unmeasured = [wd for wd in order if wd not in measured]
+        seen: List[tuple] = []
+        unmeasured = [ind for ind in valid.values() if ind not in measured]
         rng.shuffle(unmeasured)
-        for wd in next_pop:
-            if wd in seen and unmeasured:
+        for ind in next_pop:
+            if ind in seen and unmeasured:
                 seen.append(unmeasured.pop())
             else:
-                seen.append(wd)
+                seen.append(ind)
         pop = seen
 
+    best_ind: Optional[tuple] = None
+    finite = {ind: s for ind, s in measured.items() if s != float("inf")}
+    if finite:
+        best_ind = min(finite, key=finite.get)
+    schedule_trials: Dict[str, float] = {}
+    for (wd, sched), secs in measured.items():
+        if sched is not None and secs != float("inf"):
+            schedule_trials[sched] = min(
+                schedule_trials.get(sched, float("inf")), secs
+            )
     result = SearchResult(
-        best=_best(trials), trials=trials, pruned=pruned, strategy="evolve"
+        best=_best(trials),
+        trials=trials,
+        pruned=pruned,
+        strategy="evolve",
+        best_schedule=best_ind[1] if best_ind is not None else None,
+        schedule_trials=schedule_trials,
     )
 
     path = hof_path or default_hof_path()
@@ -293,6 +361,11 @@ def evolve_search(
                 "space": len(valid),
                 "best": {
                     "work_div": _wd_payload(result.best.work_div),
+                    **(
+                        {"schedule": result.best_schedule}
+                        if result.best_schedule is not None
+                        else {}
+                    ),
                     "seconds": result.best.seconds,
                 },
                 "generations": generations,

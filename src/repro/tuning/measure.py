@@ -139,8 +139,9 @@ def measure_division(
     objective function.
 
     ``schedule`` pins the block-scheduling strategy for this measurement
-    (``"sequential"`` / ``"pooled"`` / ``"processes"``); the schedule
-    leg of the autotuner sweeps it with ``clock="wall"``.
+    (``"sequential"`` / ``"pooled"`` / ``"processes"`` /
+    ``"compiled"``); the schedule leg of the autotuner sweeps it with
+    ``clock="wall"``.
     """
     task = create_task_kernel(
         acc_type, work_div, kernel, *args, shared_mem_bytes=shared_mem_bytes

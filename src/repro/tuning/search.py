@@ -62,6 +62,12 @@ class SearchResult:
     #: Candidates skipped on the strength of the performance model.
     pruned: int = 0
     strategy: str = "?"
+    #: Winning block schedule when the strategy searched the joint
+    #: (division, schedule) space (evolve with ``schedules=...``);
+    #: ``None`` when the schedule axis was not part of the genome.
+    best_schedule: Optional[str] = None
+    #: Best seconds observed per schedule over the joint search.
+    schedule_trials: Dict[str, float] = field(default_factory=dict)
 
     @property
     def measurements(self) -> int:

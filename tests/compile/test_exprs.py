@@ -1,0 +1,135 @@
+"""Lane-expression IR: geometry, evaluation, memoisation."""
+
+import numpy as np
+import pytest
+
+from repro.compile.exprs import (
+    Arg,
+    Const,
+    EvalEnv,
+    LaneGeometry,
+    LaneIndex,
+    Load,
+    SpanLoad,
+    Ufunc,
+    describe_expr,
+    eval_expr,
+)
+from repro.core.workdiv import WorkDivMembers
+
+
+class TestLaneGeometry:
+    def test_1d_grid_thread_is_arange(self):
+        wd = WorkDivMembers.make(4, 8, 1)
+        geom = LaneGeometry(wd)
+        assert geom.lanes == 32
+        np.testing.assert_array_equal(
+            geom.axis_array("grid_thread", 0), np.arange(32)
+        )
+
+    def test_1d_block_and_thread(self):
+        wd = WorkDivMembers.make(4, 8, 1)
+        geom = LaneGeometry(wd)
+        np.testing.assert_array_equal(
+            geom.axis_array("block", 0), np.repeat(np.arange(4), 8)
+        )
+        np.testing.assert_array_equal(
+            geom.axis_array("thread", 0), np.tile(np.arange(8), 4)
+        )
+
+    def test_2d_matches_interpreted_order(self):
+        """Lane l = C-order (block, thread); per-axis components agree
+        with explicit nested iteration."""
+        wd = WorkDivMembers.make((2, 3), (2, 2), (1, 1))
+        geom = LaneGeometry(wd)
+        blocks, threads = [], []
+        for b0 in range(2):
+            for b1 in range(3):
+                for t0 in range(2):
+                    for t1 in range(2):
+                        blocks.append((b0, b1))
+                        threads.append((t0, t1))
+        for axis in range(2):
+            np.testing.assert_array_equal(
+                geom.axis_array("block", axis),
+                np.array([b[axis] for b in blocks]),
+            )
+            np.testing.assert_array_equal(
+                geom.axis_array("thread", axis),
+                np.array([t[axis] for t in threads]),
+            )
+            np.testing.assert_array_equal(
+                geom.axis_array("grid_thread", axis),
+                np.array([
+                    b[axis] * 2 + t[axis]  # block_thread_extent = (2, 2)
+                    for b, t in zip(blocks, threads)
+                ]),
+            )
+
+    def test_axis_arrays_cached(self):
+        geom = LaneGeometry(WorkDivMembers.make(2, 4, 1))
+        a = geom.axis_array("grid_thread", 0)
+        assert geom.axis_array("grid_thread", 0) is a
+
+
+class TestEval:
+    def geom(self):
+        return LaneGeometry(WorkDivMembers.make(4, 1, 1))
+
+    def test_const_arg_lane(self):
+        geom = self.geom()
+        env = EvalEnv((10, 2.5), geom)
+        assert eval_expr(Const(7), env) == 7
+        assert eval_expr(Arg(1), env) == 2.5
+        np.testing.assert_array_equal(
+            eval_expr(LaneIndex("grid_thread", 0), env), np.arange(4)
+        )
+
+    def test_ufunc_applies_actual_callable(self):
+        geom = self.geom()
+        env = EvalEnv((), geom)
+        node = Ufunc(np.multiply, (LaneIndex("grid_thread", 0), Const(3)))
+        np.testing.assert_array_equal(
+            eval_expr(node, env), np.arange(4) * 3
+        )
+
+    def test_memoised_per_selection(self):
+        geom = self.geom()
+        env = EvalEnv((), geom)
+        node = Ufunc(np.add, (LaneIndex("grid_thread", 0), Const(1)))
+        a = eval_expr(node, env)
+        assert eval_expr(node, env) is a  # same memo entry
+
+    def test_selection_restricts_lanes(self):
+        geom = self.geom()
+        x = np.array([10.0, 20.0, 30.0, 40.0])
+        idx = LaneIndex("grid_thread", 0)
+        node = Load(0, (idx,))
+        env = EvalEnv((x,), geom, sel=slice(0, 2), sel_key=1,
+                      identity_id=id(idx))
+        v = eval_expr(node, env)
+        np.testing.assert_array_equal(v, x[:2])
+        assert v.base is not None  # prefix fast path: a view, no gather
+
+    def test_gather_without_identity(self):
+        geom = self.geom()
+        x = np.array([10.0, 20.0, 30.0, 40.0])
+        idx = Ufunc(np.subtract, (Const(3), LaneIndex("grid_thread", 0)))
+        env = EvalEnv((x,), geom)
+        np.testing.assert_array_equal(
+            eval_expr(Load(0, (idx,)), env), x[::-1]
+        )
+
+    def test_span_load_is_prefix(self):
+        geom = self.geom()
+        x = np.arange(10.0)
+        env = EvalEnv((x,), geom)
+        v = eval_expr(SpanLoad(0, Const(6)), env)
+        np.testing.assert_array_equal(v, x[:6])
+
+
+class TestDescribe:
+    def test_rendering(self):
+        node = Ufunc(np.add, (Load(1, (LaneIndex("grid_thread", 0),)),
+                              Arg(0)))
+        assert describe_expr(node) == "add(load(arg1[grid_thread[0]]), arg0)"

@@ -155,6 +155,44 @@ class TestSymArray:
         _ = y[i]
         assert opcodes(ctx).count("mul.wide.s32") == 1
 
+    def test_offset_not_shared_across_itemsizes(self, ctx):
+        """Regression: two buffers of different dtypes indexed by the
+        same register must scale by their own itemsize — the offset
+        cache is keyed on (register, itemsize), never register alone."""
+        import numpy as np
+
+        f64 = SymArray(ctx, ctx.b.new_param("rd"), "a", dtype=np.float64)
+        f32 = SymArray(ctx, ctx.b.new_param("rd"), "b", dtype=np.float32)
+        i = ctx.int_value(0)
+        _ = f64[i]
+        _ = f32[i]
+        muls = [
+            ins for ins in ctx.b.instructions if ins.op == "mul.wide.s32"
+        ]
+        assert len(muls) == 2  # one widened product per itemsize
+        # Distinct byte-offset registers, scaled by 8 and 4 respectively.
+        dsts = {m.dst for m in muls}
+        assert len(dsts) == 2
+        scales = {m.srcs[-1] for m in muls}
+        assert scales == {"8", "4"}
+
+    def test_dtype_selects_load_store_suffix(self, ctx):
+        """A float32 buffer loads/stores through .f32, an int32 buffer
+        through .s32 — never the hardcoded .f64 path."""
+        import numpy as np
+
+        f32 = SymArray(ctx, ctx.b.new_param("rd"), "v", dtype=np.float32)
+        i32 = SymArray(ctx, ctx.b.new_param("rd"), "c", dtype=np.int32)
+        i = ctx.int_value(0)
+        v = f32[i]
+        f32[i] = v
+        c = i32[i]
+        i32[i] = c
+        ops = opcodes(ctx)
+        assert "ld.global.f32" in ops and "st.global.f32" in ops
+        assert "ld.global.s32" in ops and "st.global.s32" in ops
+        assert "ld.global.f64" not in ops and "st.global.f64" not in ops
+
     def test_address_reused_for_store(self, ctx):
         y = SymArray(ctx, ctx.b.new_param("rd"), "y")
         i = ctx.int_value(0)

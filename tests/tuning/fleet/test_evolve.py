@@ -158,3 +158,102 @@ class TestRegistration:
         )
         assert res.strategy == "evolve"
         assert load_hall_of_fame(hof)["runs"][0]["label"] == "via-dispatch"
+
+
+class TestScheduleGenome:
+    """The joint (division, schedule) genome behind tune_schedule +
+    strategy='evolve' — how `compiled` competes inside one run."""
+
+    def obj_div_only(self, wd):
+        raise AssertionError(
+            "plain objective must not run when every individual "
+            "carries a schedule"
+        )
+
+    def test_best_schedule_and_trials(self, tmp_path):
+        def sched_obj(wd, sched):
+            # 'compiled' wins everywhere; within it the separable
+            # landscape picks the usual minimum.
+            base = _separable(wd)
+            return base * (0.1 if sched == "compiled" else 1.0)
+
+        res = evolve_search(
+            _grid(),
+            self.obj_div_only,
+            seed=2,
+            hof_path=str(tmp_path / "hof.json"),
+            schedules=("sequential", "pooled", "compiled"),
+            schedule_objective=sched_obj,
+        )
+        assert res.best_schedule == "compiled"
+        assert set(res.schedule_trials) <= {"sequential", "pooled", "compiled"}
+        assert "compiled" in res.schedule_trials
+        assert res.schedule_trials["compiled"] == min(
+            res.schedule_trials.values()
+        )
+        assert res.best.work_div.block_thread_extent[0] == 8
+        assert res.best.work_div.thread_elem_extent[0] == 2
+
+    def test_without_schedules_best_schedule_is_none(self, tmp_path):
+        res = evolve_search(
+            _grid(), _separable, seed=1, hof_path=str(tmp_path / "hof.json")
+        )
+        assert res.best_schedule is None
+        assert res.schedule_trials == {}
+
+    def test_deterministic_for_seed_with_schedules(self, tmp_path):
+        def sched_obj(wd, sched):
+            return _separable(wd) + (0.5 if sched == "pooled" else 0.0)
+
+        hof = str(tmp_path / "hof.json")
+        kw = dict(
+            schedules=("sequential", "pooled"),
+            schedule_objective=sched_obj,
+            seed=9,
+            budget=15,
+            hof_path=hof,
+        )
+        r1 = evolve_search(_grid(), self.obj_div_only, **kw)
+        r2 = evolve_search(_grid(), self.obj_div_only, **kw)
+        assert [t.work_div for t in r1.trials] == [
+            t.work_div for t in r2.trials
+        ]
+        assert r1.best_schedule == r2.best_schedule
+
+    def test_generation_zero_covers_every_schedule(self, tmp_path):
+        seen = set()
+
+        def sched_obj(wd, sched):
+            seen.add(sched)
+            return _separable(wd)
+
+        evolve_search(
+            _grid(),
+            self.obj_div_only,
+            seed=0,
+            budget=8,
+            population=8,
+            hof_path=str(tmp_path / "hof.json"),
+            schedules=("sequential", "pooled", "processes", "compiled"),
+            schedule_objective=sched_obj,
+        )
+        assert seen == {"sequential", "pooled", "processes", "compiled"}
+
+    def test_hof_records_schedule(self, tmp_path):
+        hof = str(tmp_path / "hof.json")
+
+        def sched_obj(wd, sched):
+            return _separable(wd) * (0.5 if sched == "compiled" else 1.0)
+
+        evolve_search(
+            _grid(),
+            self.obj_div_only,
+            seed=4,
+            hof_path=hof,
+            schedules=("sequential", "compiled"),
+            schedule_objective=sched_obj,
+        )
+        run = load_hall_of_fame(hof)["runs"][0]
+        assert run["best"]["schedule"] == "compiled"
+        fame = run["generations"][0]["hall_of_fame"]
+        assert all("schedule" in entry for entry in fame)
